@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: cache associativity.  Section 7 of the paper points at
+ * page-placement schemes as a software remedy for the remaining
+ * conflict misses; the hardware remedy is associativity.  This sweep
+ * shows how much of the "other" miss category a 2-/4-way primary
+ * cache removes — and that the paper's optimizations still pay on
+ * top of it.
+ */
+
+#include <cstdio>
+
+#include "report/figures.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    std::printf("Ablation: primary-cache associativity (LRU)\n\n");
+
+    for (WorkloadKind kind : allWorkloads) {
+        std::printf("==== %s ====\n", toString(kind));
+        std::printf("%-6s %12s %12s %12s %12s\n", "ways", "os misses",
+                    "other", "os time", "bcpref time");
+        double ref = 0.0;
+        for (std::uint32_t ways : {1u, 2u, 4u}) {
+            MachineConfig machine = MachineConfig::base();
+            machine.l1Ways = ways;
+            const RunResult base =
+                runWorkload(kind, SystemKind::Base, machine);
+            const RunResult best =
+                runWorkload(kind, SystemKind::BCPref, machine);
+            if (ref == 0.0)
+                ref = double(base.stats.osTime());
+            std::printf("%-6u %12llu %12llu %12.3f %12.3f\n", ways,
+                        (unsigned long long)base.stats.osMissTotal(),
+                        (unsigned long long)base.stats.osMissOther,
+                        double(base.stats.osTime()) / ref,
+                        double(best.stats.osTime()) / ref);
+            clearTraceCache();
+        }
+        std::printf("\n");
+    }
+    std::printf("Expected shape: associativity trims the conflict "
+                "(other) misses but leaves block operations and\n"
+                "coherence untouched, so the optimization stack keeps "
+                "its margin at every associativity.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: instruction-side model.  The paper simulates both
+ * instruction and data accesses; this reproduction's calibrated runs
+ * use a statistical I-miss charge plus a capacity-only code presence
+ * in the unified L2.  This bench swaps in the detailed 16-KB
+ * primary-instruction-cache model and checks that the paper's
+ * conclusions are robust to the instruction-side modeling choice.
+ */
+
+#include <cstdio>
+
+#include "core/blockop/schemes.hh"
+#include "report/figures.hh"
+#include "sim/system.hh"
+#include "synth/generator.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+SimStats
+simulate(const Trace &trace, SimOptions opts, BlockScheme scheme)
+{
+    SimStats stats;
+    MemorySystem mem(MachineConfig::base());
+    auto exec = makeBlockOpExecutor(scheme, mem, stats, opts);
+    System system(trace, mem, *exec, opts, stats);
+    system.run();
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: statistical vs detailed instruction-cache "
+                "model\n\n");
+    std::printf("%-12s %28s %28s\n", "", "statistical I-side",
+                "detailed 16KB I-cache");
+    std::printf("%-12s %9s %9s %8s %9s %9s %8s\n", "workload", "imiss%",
+                "Dma/Base", "osMiss", "imiss%", "Dma/Base", "osMiss");
+
+    for (WorkloadKind kind : allWorkloads) {
+        const WorkloadProfile profile = WorkloadProfile::forKind(kind);
+        const Trace trace =
+            generateTrace(profile, CoherenceOptions::none());
+
+        double imiss_pct[2];
+        double dma_ratio[2];
+        std::uint64_t misses[2];
+        for (int detailed = 0; detailed < 2; ++detailed) {
+            SimOptions opts = profile.simOptions();
+            opts.modelICache = detailed != 0;
+            const SimStats base = simulate(trace, opts, BlockScheme::Base);
+            const SimStats dma = simulate(trace, opts, BlockScheme::Dma);
+            imiss_pct[detailed] =
+                100.0 * double(base.osImiss) / double(base.osTime());
+            dma_ratio[detailed] =
+                double(dma.osTime()) / double(base.osTime());
+            misses[detailed] = base.osMissTotal();
+        }
+        std::printf("%-12s %8.1f%% %9.3f %8llu %8.1f%% %9.3f %8llu\n",
+                    toString(kind), imiss_pct[0], dma_ratio[0],
+                    (unsigned long long)misses[0], imiss_pct[1],
+                    dma_ratio[1], (unsigned long long)misses[1]);
+    }
+
+    std::printf("\nExpected shape: the data-side miss counts barely "
+                "move (the L2 code-capacity effect is present in both\n"
+                "models), the I-miss share shifts, and Blk_Dma keeps "
+                "beating Base under either model.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: hot-spot prefetch lookahead (Section 6).  The paper
+ * notes that operand availability limits how early a prefetch can be
+ * hoisted, so some latency is only partially hidden.  This sweep
+ * varies the lookahead (in trace records) and reports how many of
+ * the hot-spot misses become fully hidden, partially hidden, or stay
+ * exposed.
+ */
+
+#include <cstdio>
+
+#include "core/blockop/schemes.hh"
+#include "core/hotspot/hotspot.hh"
+#include "report/figures.hh"
+#include "sim/system.hh"
+#include "synth/generator.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+SimStats
+runTrace(const Trace &trace, const SimOptions &opts)
+{
+    SimStats stats;
+    MemorySystem mem(MachineConfig::base());
+    auto exec = makeBlockOpExecutor(BlockScheme::Dma, mem, stats, opts);
+    System system(trace, mem, *exec, opts, stats);
+    system.run();
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: hot-spot prefetch lookahead (records ahead "
+                "of the consuming read)\n\n");
+
+    for (WorkloadKind kind : {WorkloadKind::Trfd4, WorkloadKind::Shell}) {
+        const WorkloadProfile profile = WorkloadProfile::forKind(kind);
+        const SimOptions opts = profile.simOptions();
+        const Trace trace =
+            generateTrace(profile, CoherenceOptions::relocUpdate());
+
+        const SimStats base = runTrace(trace, opts);
+        const HotspotPlan top = selectHotspots(base, paperHotspotCount);
+
+        std::printf("==== %s ====  (base remaining OS misses: %.0f)\n",
+                    toString(kind), remainingOsMisses(base));
+        const double base_stall =
+            double(base.osReadStall + base.osPrefStall);
+        std::printf("%-10s %12s %12s %12s %10s\n", "lookahead",
+                    "remaining", "part-hidden", "read+pref", "stall/base");
+        for (unsigned lookahead : {1u, 4u, 12u, 32u, 96u}) {
+            HotspotPlan plan = top;
+            plan.lookahead = lookahead;
+            const Trace rewritten = insertPrefetches(trace, plan);
+            const SimStats s = runTrace(rewritten, opts);
+            const double stall = double(s.osReadStall + s.osPrefStall);
+            std::printf("%-10u %12.0f %12llu %12.0f %9.3f\n", lookahead,
+                        remainingOsMisses(s),
+                        (unsigned long long)s.osMissPartiallyHidden, stall,
+                        stall / base_stall);
+        }
+        std::printf("\n");
+    }
+    std::printf("Expected shape: the stall ratio falls as the lookahead "
+                "grows toward the memory latency, then climbs again as\n"
+                "too-early prefetches are evicted before use — the "
+                "operand-availability bound the paper describes is also\n"
+                "close to the sweet spot.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: write-buffer depth.  Section 4.1.2 lists "deeper write
+ * buffers and higher bus and memory bandwidth" as the obvious
+ * alternative to a DMA-like engine for the destination-write stall.
+ * This sweep shows how far deeper buffers actually get: they shave
+ * the write stall but leave the read-side and instruction overheads,
+ * so Blk_Dma keeps winning.
+ */
+
+#include <cstdio>
+
+#include "report/figures.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    std::printf("Ablation: write-buffer depth (Base system; OS write "
+                "stall and OS time vs the paper's 4/8-deep buffers)\n\n");
+
+    for (WorkloadKind kind : {WorkloadKind::Trfd4, WorkloadKind::Arc2dFsck}) {
+        std::printf("==== %s ====\n", toString(kind));
+        std::printf("%-12s %14s %12s %12s\n", "l1wb/l2wb", "os wr stall",
+                    "os time", "dma os time");
+        double ref_time = 0.0;
+        for (const auto &[d1, d2] : {std::pair<unsigned, unsigned>{2, 4},
+                                     {4, 8},
+                                     {8, 16},
+                                     {16, 32}}) {
+            MachineConfig machine = MachineConfig::base();
+            machine.l1WriteBufferDepth = d1;
+            machine.l2WriteBufferDepth = d2;
+            const RunResult base =
+                runWorkload(kind, SystemKind::Base, machine);
+            const RunResult dma =
+                runWorkload(kind, SystemKind::BlkDma, machine);
+            if (ref_time == 0.0)
+                ref_time = double(base.stats.osTime());
+            std::printf("%3u/%-8u %14llu %12.3f %12.3f\n", d1, d2,
+                        (unsigned long long)base.stats.osWriteStall,
+                        double(base.stats.osTime()) / ref_time,
+                        double(dma.stats.osTime()) / ref_time);
+            clearTraceCache();
+        }
+        std::printf("\n");
+    }
+    std::printf("Expected shape: deeper buffers cut the write stall "
+                "with diminishing returns, but Blk_Dma still beats the\n"
+                "deepest configuration because it also removes the read "
+                "misses and the loop instructions.\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Calibration diagnostics (not a paper table): prints the full
+ * cycle-bucket and miss-taxonomy decomposition of every workload on
+ * the Base system, so the synthetic profiles can be tuned against
+ * Tables 1, 2, and 5 at a glance.
+ */
+
+#include <cstdio>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "report/experiment.hh"
+#include "report/table.hh"
+#include "synth/generator.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    for (WorkloadKind kind : allWorkloads) {
+        const RunResult run = runWorkload(kind, SystemKind::Base);
+        const SimStats &s = run.stats;
+        const double total = double(s.totalTime());
+
+        std::printf("==== %s ====\n", toString(kind));
+        std::printf("cycles: user exec %5.1f%%  imiss %4.1f%%  rd %4.1f%% "
+                    " wr %4.1f%%  pref %4.1f%%\n",
+                    100.0 * s.userExec / total, 100.0 * s.userImiss / total,
+                    100.0 * s.userReadStall / total,
+                    100.0 * s.userWriteStall / total,
+                    100.0 * s.userPrefStall / total);
+        std::printf("        os   exec %5.1f%%  imiss %4.1f%%  rd %4.1f%% "
+                    " wr %4.1f%%  pref %4.1f%%  spin %4.1f%%  idle %4.1f%%\n",
+                    100.0 * s.osExec / total, 100.0 * s.osImiss / total,
+                    100.0 * s.osReadStall / total,
+                    100.0 * s.osWriteStall / total,
+                    100.0 * s.osPrefStall / total, 100.0 * s.osSpin / total,
+                    100.0 * s.idle / total);
+        std::printf("reads:  user %llu os %llu (os %4.1f%%)\n",
+                    (unsigned long long)s.userReads,
+                    (unsigned long long)s.osReads,
+                    100.0 * s.osReads / double(s.totalReads()));
+        const double osm = double(s.osMissTotal());
+        std::printf("misses: user %llu os %llu (os %4.1f%%)  rate %4.2f%%\n",
+                    (unsigned long long)s.userMisses,
+                    (unsigned long long)s.osMissTotal(),
+                    100.0 * osm / double(s.totalMisses()),
+                    100.0 * s.totalMisses() / double(s.totalReads()));
+        const double coh = double(s.osMissCoherenceTotal());
+        std::printf("os miss: block %4.1f%%  coh %4.1f%%  other %4.1f%%\n",
+                    100.0 * s.osMissBlock / osm, 100.0 * coh / osm,
+                    100.0 * s.osMissOther / osm);
+        if (coh > 0) {
+            auto cohcat = [&](DataCategory c) {
+                return 100.0 *
+                    s.osMissCoherence[static_cast<std::size_t>(c)] / coh;
+            };
+            double named = cohcat(DataCategory::Barrier) +
+                cohcat(DataCategory::InfreqComm) +
+                cohcat(DataCategory::FreqShared) +
+                cohcat(DataCategory::Lock);
+            std::printf("coh:    barrier %4.1f%%  infreq %4.1f%%  "
+                        "freqsh %4.1f%%  lock %4.1f%%  other %4.1f%%\n",
+                        cohcat(DataCategory::Barrier),
+                        cohcat(DataCategory::InfreqComm),
+                        cohcat(DataCategory::FreqShared),
+                        cohcat(DataCategory::Lock), 100.0 - named);
+        }
+        std::printf("blk by size: <1K %llu  1-4K %llu  4K %llu\n",
+                    (unsigned long long)s.osMissBlockBySize[0],
+                    (unsigned long long)s.osMissBlockBySize[1],
+                    (unsigned long long)s.osMissBlockBySize[2]);
+        std::printf("displ:  inside %llu outside %llu (of %llu total "
+                    "misses)\n",
+                    (unsigned long long)s.displacementInside,
+                    (unsigned long long)s.displacementOutside,
+                    (unsigned long long)s.totalMisses());
+        std::printf("bus:    busy %llu cyc, %llu txns, %llu bytes\n",
+                    (unsigned long long)run.bus.busyCycles,
+                    (unsigned long long)run.bus.totalTransactions,
+                    (unsigned long long)run.bus.totalBytes);
+        // Top user-miss and OS-other-miss basic blocks.
+        auto top = [](const std::unordered_map<BasicBlockId,
+                                               std::uint64_t> &m) {
+            std::vector<std::pair<std::uint64_t, BasicBlockId>> v;
+            for (auto &[bb, n] : m)
+                v.emplace_back(n, bb);
+            std::sort(v.rbegin(), v.rend());
+            std::string out;
+            for (std::size_t i = 0; i < v.size() && i < 6; ++i)
+                out += "bb" + std::to_string(v[i].second) + ":" +
+                       std::to_string(v[i].first) + " ";
+            return out;
+        };
+        std::printf("user miss bbs: %s\n", top(s.userMissByBb).c_str());
+        std::printf("os other bbs:  %s\n", top(s.osOtherMissByBb).c_str());
+        // Block-operation census straight from the generator.
+        const Trace trace = generateTrace(kind, CoherenceOptions::none());
+        unsigned copies[3] = {0, 0, 0};
+        unsigned zeros[3] = {0, 0, 0};
+        for (const BlockOp &op : trace.blockOps()) {
+            const int cls = op.size < 1024 ? 0 : (op.size < 4096 ? 1 : 2);
+            (op.isCopy() ? copies : zeros)[cls] += 1;
+        }
+        std::printf("ops:    copies <1K %u 1-4K %u 4K %u | zeros <1K %u "
+                    "1-4K %u 4K %u\n\n",
+                    copies[0], copies[1], copies[2], zeros[0], zeros[1],
+                    zeros[2]);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension study: Section 7 suggests "the insertion of more
+ * prefetches" as a possible further optimization, and predicts low
+ * impact because few misses remain and the kernel is
+ * pointer-intensive.  This sweep grows the hot-spot count beyond the
+ * paper's 12 and measures the diminishing returns directly.
+ */
+
+#include <cstdio>
+
+#include "core/blockop/schemes.hh"
+#include "core/hotspot/hotspot.hh"
+#include "report/figures.hh"
+#include "sim/system.hh"
+#include "synth/generator.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+SimStats
+runTrace(const Trace &trace, const SimOptions &opts)
+{
+    SimStats stats;
+    MemorySystem mem(MachineConfig::base());
+    auto exec = makeBlockOpExecutor(BlockScheme::Dma, mem, stats, opts);
+    System system(trace, mem, *exec, opts, stats);
+    system.run();
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension: growing the hot-spot count past the "
+                "paper's 12\n\n");
+
+    for (WorkloadKind kind : {WorkloadKind::Trfd4, WorkloadKind::Shell}) {
+        const WorkloadProfile profile = WorkloadProfile::forKind(kind);
+        const SimOptions opts = profile.simOptions();
+        const Trace trace =
+            generateTrace(profile, CoherenceOptions::relocUpdate());
+        const SimStats base = runTrace(trace, opts);
+
+        std::printf("==== %s ====  (BCoh_RelUp remaining misses: %.0f)"
+                    "\n",
+                    toString(kind), remainingOsMisses(base));
+        std::printf("%-10s %10s %12s %12s %14s\n", "hotspots", "coverage",
+                    "remaining", "prefetches", "instr overhead");
+        for (unsigned count : {4u, 12u, 24u, 48u, 96u}) {
+            const HotspotPlan plan = selectHotspots(base, count);
+            const double coverage = hotspotCoverage(base, plan);
+            const Trace rewritten = insertPrefetches(trace, plan);
+            const SimStats s = runTrace(rewritten, opts);
+            const std::uint64_t prefetches =
+                rewritten.totalRecords() - trace.totalRecords();
+            std::printf("%-10u %9.0f%% %12.0f %12llu %13.2f%%\n", count,
+                        100.0 * coverage, remainingOsMisses(s),
+                        (unsigned long long)prefetches,
+                        100.0 * double(prefetches) /
+                            double(s.osInstrs));
+        }
+        std::printf("\n");
+    }
+    std::printf("Expected shape: coverage and miss reduction flatten "
+                "quickly past ~12-24 spots while the prefetch\n"
+                "instruction overhead keeps growing — the paper's "
+                "\"further optimizations are likely to have a low\n"
+                "impact\" in one table.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Extension study: Illinois (MESI) vs plain MSI as the base
+ * invalidation protocol.  Illinois' clean-exclusive state spares
+ * private data the upgrade transaction on its first write — exactly
+ * the traffic that would otherwise swamp the bus under the OS's
+ * private-page initialization (zero-filled pages written once).
+ */
+
+#include <cstdio>
+
+#include "report/figures.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    std::printf("Extension: Illinois (MESI) vs MSI invalidation "
+                "protocol, Base system\n\n");
+    std::printf("%-12s %14s %14s %12s %12s\n", "workload", "inval txns",
+                "inval txns", "os time", "os time");
+    std::printf("%-12s %14s %14s %12s %12s\n", "", "(Illinois)", "(MSI)",
+                "(Illinois)", "(MSI ratio)");
+
+    for (WorkloadKind kind : allWorkloads) {
+        MachineConfig illinois = MachineConfig::base();
+        MachineConfig msi = MachineConfig::base();
+        msi.protocol = CoherenceProtocol::Msi;
+
+        const RunResult a = runWorkload(kind, SystemKind::Base, illinois);
+        clearTraceCache();
+        const RunResult b = runWorkload(kind, SystemKind::Base, msi);
+        clearTraceCache();
+
+        std::printf("%-12s %14llu %14llu %12llu %12.3f\n", toString(kind),
+                    (unsigned long long)a.bus.invalidateTransactions,
+                    (unsigned long long)b.bus.invalidateTransactions,
+                    (unsigned long long)a.stats.osTime(),
+                    double(b.stats.osTime()) / double(a.stats.osTime()));
+    }
+    std::printf("\nExpected shape: MSI multiplies invalidation "
+                "transactions (every private first write upgrades); the "
+                "time cost\nstays small while the bus has headroom, but "
+                "the wasted address-bus slots are why the paper's "
+                "machine\nclass standardized on Illinois.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 1: the relative weight of the four components
+ * of block-operation overhead on the Base machine — read stall,
+ * write stall, displacement stall, and instruction execution.
+ * The paper reports roughly 30/30/10/30 across the workloads.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "report/figures.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    TextTable table("Figure 1: Components of block-operation overhead "
+                    "(fraction of block overhead; paper ~0.30/0.30/0.10/"
+                    "0.30)",
+                    workloadColumns());
+
+    std::vector<std::string> read_row, write_row, displ_row, instr_row;
+    for (WorkloadKind kind : allWorkloads) {
+        const SimStats &s = runWorkload(kind, SystemKind::Base).stats;
+        const double total = double(s.blockReadStall + s.blockWriteStall +
+                                    s.blockDisplStall + s.blockInstrExec);
+        read_row.push_back(formatValue(s.blockReadStall / total, 2));
+        write_row.push_back(formatValue(s.blockWriteStall / total, 2));
+        displ_row.push_back(formatValue(s.blockDisplStall / total, 2));
+        instr_row.push_back(formatValue(s.blockInstrExec / total, 2));
+    }
+    table.addRow("Read Stall", read_row);
+    table.addRow("Write Stall", write_row);
+    table.addRow("Displ. Stall", displ_row);
+    table.addRow("Instr. Exec.", instr_row);
+    table.print();
+
+    std::printf("\nBars (normalized block-operation overhead):\n");
+    unsigned col = 0;
+    for (WorkloadKind kind : allWorkloads) {
+        const SimStats &s = runWorkload(kind, SystemKind::Base).stats;
+        const double total = double(s.blockReadStall + s.blockWriteStall +
+                                    s.blockDisplStall + s.blockInstrExec);
+        std::printf("%-11s R[%s]\n", toString(kind),
+                    bar(double(s.blockReadStall), total, 30).c_str());
+        std::printf("%-11s W[%s]\n", "",
+                    bar(double(s.blockWriteStall), total, 30).c_str());
+        std::printf("%-11s D[%s]\n", "",
+                    bar(double(s.blockDisplStall), total, 30).c_str());
+        std::printf("%-11s I[%s]\n", "",
+                    bar(double(s.blockInstrExec), total, 30).c_str());
+        ++col;
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates Figure 2: normalized operating-system read misses in
+ * the 32-KB primary data caches under the block-operation schemes
+ * Base, Blk_Pref, Blk_Bypass, Blk_ByPref, and Blk_Dma, split into
+ * block-operation misses and other misses.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "report/figures.hh"
+#include "report/paper.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    const SystemKind systems[] = {SystemKind::Base, SystemKind::BlkPref,
+                                  SystemKind::BlkBypass,
+                                  SystemKind::BlkByPref, SystemKind::BlkDma};
+    const paper::Row *paper_rows[] = {nullptr, &paper::fig2BlkPref,
+                                      &paper::fig2BlkBypass,
+                                      &paper::fig2BlkByPref,
+                                      &paper::fig2BlkDma};
+
+    TextTable table("Figure 2: Normalized OS data misses under block-"
+                    "operation schemes (measured | paper)",
+                    workloadColumns());
+
+    std::vector<double> base_misses;
+    for (WorkloadKind kind : allWorkloads)
+        base_misses.push_back(
+            remainingOsMisses(runWorkload(kind, SystemKind::Base).stats));
+
+    for (unsigned s = 0; s < 5; ++s) {
+        std::vector<std::string> row;
+        unsigned col = 0;
+        for (WorkloadKind kind : allWorkloads) {
+            const SimStats &st = runWorkload(kind, systems[s]).stats;
+            const double norm =
+                remainingOsMisses(st) / base_misses[col];
+            row.push_back(paper_rows[s]
+                              ? cellVsPaper(norm, (*paper_rows[s])[col])
+                              : formatValue(norm, 2) + " | 1.00");
+            ++col;
+        }
+        table.addRow(toString(systems[s]), row);
+    }
+    table.print();
+
+    std::printf("\nBlock-miss vs other-miss split (measured, "
+                "fraction of Base):\n");
+    for (unsigned s = 0; s < 5; ++s) {
+        std::printf("%-10s", toString(systems[s]));
+        unsigned col = 0;
+        for (WorkloadKind kind : allWorkloads) {
+            const SimStats &st = runWorkload(kind, systems[s]).stats;
+            const double hidden = double(st.osMissPartiallyHidden);
+            // Attribute hidden misses to the block component (the
+            // prefetch schemes only prefetch block data here).
+            const double block =
+                std::max(0.0, double(st.osMissBlock) - hidden) /
+                base_misses[col];
+            const double other =
+                double(st.osMissCoherenceTotal() + st.osMissOther) /
+                base_misses[col];
+            std::printf("  %s:%0.2f+%0.2f", toString(kind), block, other);
+            ++col;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

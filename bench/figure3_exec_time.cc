@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates Figure 3: normalized operating-system execution time
+ * under all eight systems, decomposed into instruction execution,
+ * instruction-miss stall, write-buffer stall, data-read-miss stall,
+ * and prefetch (partially hidden) stall.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "report/figures.hh"
+#include "report/paper.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    const SystemKind systems[] = {
+        SystemKind::Base,      SystemKind::BlkPref,  SystemKind::BlkBypass,
+        SystemKind::BlkByPref, SystemKind::BlkDma,   SystemKind::BCohReloc,
+        SystemKind::BCohRelUp, SystemKind::BCPref};
+    const paper::Row *paper_rows[] = {
+        nullptr,
+        &paper::fig3BlkPref,
+        &paper::fig3BlkBypass,
+        &paper::fig3BlkByPref,
+        &paper::fig3BlkDma,
+        &paper::fig3BCohReloc,
+        &paper::fig3BCohRelUp,
+        &paper::fig3BCPref};
+
+    TextTable table("Figure 3: Normalized OS execution time "
+                    "(measured | paper)",
+                    workloadColumns());
+
+    std::vector<double> base_time;
+    for (WorkloadKind kind : allWorkloads)
+        base_time.push_back(
+            double(runWorkload(kind, SystemKind::Base).stats.osTime()));
+
+    double avg_speedup = 0.0;
+    for (unsigned s = 0; s < 8; ++s) {
+        std::vector<std::string> row;
+        unsigned col = 0;
+        for (WorkloadKind kind : allWorkloads) {
+            const SimStats &st = runWorkload(kind, systems[s]).stats;
+            const double norm = double(st.osTime()) / base_time[col];
+            row.push_back(paper_rows[s]
+                              ? cellVsPaper(norm, (*paper_rows[s])[col])
+                              : formatValue(norm, 2) + " | 1.00");
+            if (systems[s] == SystemKind::BCPref)
+                avg_speedup += 100.0 * (1.0 / norm - 1.0) / 4.0;
+            ++col;
+        }
+        table.addRow(toString(systems[s]), row);
+    }
+    table.print();
+
+    std::printf("\nAverage OS speedup of BCPref over Base: %.1f%% "
+                "(paper: %.0f%%)\n",
+                avg_speedup, paper::headlineSpeedup);
+
+    std::printf("\nOS-time decomposition (cycles normalized to Base "
+                "total): Exec / I-Miss / D-Write / D-Read / Pref / "
+                "Sync\n");
+    for (unsigned s = 0; s < 8; ++s) {
+        std::printf("%-10s", toString(systems[s]));
+        unsigned col = 0;
+        for (WorkloadKind kind : allWorkloads) {
+            const SimStats &st = runWorkload(kind, systems[s]).stats;
+            const double b = base_time[col];
+            std::printf("  [%0.2f %0.2f %0.2f %0.2f %0.2f %0.2f]",
+                        double(st.osExec) / b, double(st.osImiss) / b,
+                        double(st.osWriteStall) / b,
+                        double(st.osReadStall) / b,
+                        double(st.osPrefStall) / b,
+                        double(st.osSpin) / b);
+            (void)kind;
+            ++col;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: how fast
+ * the library generates and replays traces.  These are the numbers a
+ * downstream user sizing an experiment campaign cares about.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/blockop/schemes.hh"
+#include "core/hotspot/hotspot.hh"
+#include "mem/memsys.hh"
+#include "sim/system.hh"
+#include "synth/generator.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+const Trace &
+cachedTinyTrace()
+{
+    static const Trace trace = [] {
+        WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Trfd4);
+        p.quanta = 2;
+        return generateTrace(p, CoherenceOptions::none());
+    }();
+    return trace;
+}
+
+void
+BM_MemSystemRead(benchmark::State &state)
+{
+    MachineConfig cfg = MachineConfig::base();
+    MemorySystem mem(cfg);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 64) & 0xfffff;
+        now = mem.read(0, 0x100000 + addr, now, ctx).completeAt;
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemRead);
+
+void
+BM_MemSystemWrite(benchmark::State &state)
+{
+    MachineConfig cfg = MachineConfig::base();
+    MemorySystem mem(cfg);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 64) & 0xfffff;
+        now = mem.write(0, 0x200000 + addr, now, ctx).completeAt;
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemWrite);
+
+void
+BM_DmaPageCopy(benchmark::State &state)
+{
+    MachineConfig cfg = MachineConfig::base();
+    MemorySystem mem(cfg);
+    BlockOp op;
+    op.src = 0x100000;
+    op.dst = 0x200000;
+    op.size = 4096;
+    op.kind = BlockOpKind::Copy;
+    Cycles now = 0;
+    for (auto _ : state) {
+        now = mem.dmaBlockOp(0, op, now);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DmaPageCopy);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Trfd4);
+    p.quanta = unsigned(state.range(0));
+    std::size_t records = 0;
+    for (auto _ : state) {
+        const Trace trace = generateTrace(p, CoherenceOptions::none());
+        records = trace.totalRecords();
+        benchmark::DoNotOptimize(records);
+    }
+    state.SetItemsProcessed(std::int64_t(records) * state.iterations());
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1)->Arg(4);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    const Trace &trace = cachedTinyTrace();
+    const SimOptions opts =
+        WorkloadProfile::forKind(WorkloadKind::Trfd4).simOptions();
+    for (auto _ : state) {
+        SimStats stats;
+        MemorySystem mem(MachineConfig::base());
+        auto exec =
+            makeBlockOpExecutor(BlockScheme::Base, mem, stats, opts);
+        System system(trace, mem, *exec, opts, stats);
+        system.run();
+        benchmark::DoNotOptimize(stats.osMissTotal());
+    }
+    state.SetItemsProcessed(std::int64_t(trace.totalRecords()) *
+                            state.iterations());
+}
+BENCHMARK(BM_TraceReplay);
+
+void
+BM_HotspotRewrite(benchmark::State &state)
+{
+    const Trace &trace = cachedTinyTrace();
+    HotspotPlan plan;
+    plan.hotBlocks = {103, 110, 204};
+    for (auto _ : state) {
+        const Trace rewritten = insertPrefetches(trace, plan);
+        benchmark::DoNotOptimize(rewritten.totalRecords());
+    }
+    state.SetItemsProcessed(std::int64_t(trace.totalRecords()) *
+                            state.iterations());
+}
+BENCHMARK(BM_HotspotRewrite);
+
+} // namespace
+
+BENCHMARK_MAIN();

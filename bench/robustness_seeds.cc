@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Robustness check: the headline ratios across five workload seeds.
+ * The synthetic generator is one stochastic realization of each
+ * workload; the paper's conclusions should not hinge on the seed.
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "report/figures.hh"
+#include "synth/generator.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+RunResult
+runSeed(WorkloadKind kind, SystemKind system, std::uint64_t seed)
+{
+    WorkloadProfile profile = WorkloadProfile::forKind(kind);
+    profile.seed = seed;
+    profile.quanta = 24;
+    const SystemSetup setup = SystemSetup::forKind(system);
+    const Trace trace = generateTrace(profile, setup.coherence);
+    return runOnTrace(trace, MachineConfig::base(), profile.simOptions(),
+                      setup);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Robustness: BCPref/Base ratios across five seeds\n\n");
+    std::printf("%-12s %28s %28s\n", "workload", "OS time ratio",
+                "remaining-miss ratio");
+    std::printf("%-12s %9s %9s %8s %9s %9s %8s\n", "", "min", "max",
+                "spread", "min", "max", "spread");
+
+    for (WorkloadKind kind : allWorkloads) {
+        double tmin = 1e9, tmax = 0, mmin = 1e9, mmax = 0;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const RunResult base = runSeed(kind, SystemKind::Base, seed);
+            const RunResult best = runSeed(kind, SystemKind::BCPref, seed);
+            const double t =
+                double(best.stats.osTime()) / double(base.stats.osTime());
+            const double m = remainingOsMisses(best.stats) /
+                remainingOsMisses(base.stats);
+            tmin = std::min(tmin, t);
+            tmax = std::max(tmax, t);
+            mmin = std::min(mmin, m);
+            mmax = std::max(mmax, m);
+        }
+        std::printf("%-12s %9.3f %9.3f %7.3f %9.3f %9.3f %7.3f\n",
+                    toString(kind), tmin, tmax, tmax - tmin, mmin, mmax,
+                    mmax - mmin);
+    }
+    std::printf("\nExpected shape: narrow spreads — the optimization "
+                "effects dwarf seed-to-seed noise.\n");
+    return 0;
+}

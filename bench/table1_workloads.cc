@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Table 1: characteristics of the workloads studied on
+ * the Base machine — execution-time decomposition (user/idle/OS),
+ * stall time due to OS data accesses, the primary-cache data read
+ * miss rate, and the OS share of data reads and misses.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "report/experiment.hh"
+#include "report/paper.hh"
+#include "report/table.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    TextTable table("Table 1: Characteristics of the workloads studied "
+                    "(measured | paper)",
+                    {"TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"});
+
+    std::vector<double> user, idle, os, stall, miss_rate, os_reads,
+        os_misses;
+    for (WorkloadKind kind : allWorkloads) {
+        const RunResult run = runWorkload(kind, SystemKind::Base);
+        const SimStats &s = run.stats;
+        const double total = double(s.totalTime());
+        user.push_back(100.0 * double(s.userTime()) / total);
+        idle.push_back(100.0 * double(s.idle) / total);
+        os.push_back(100.0 * double(s.osTime()) / total);
+        stall.push_back(100.0 * double(s.osDataStall()) / total);
+        miss_rate.push_back(100.0 * double(s.totalMisses()) /
+                            double(s.totalReads()));
+        os_reads.push_back(100.0 * double(s.osReads) /
+                           double(s.totalReads()));
+        os_misses.push_back(100.0 * double(s.osMissTotal()) /
+                            double(s.totalMisses()));
+    }
+
+    auto add = [&table](const char *label, const std::vector<double> &got,
+                        const paper::Row &want) {
+        std::vector<std::string> cells;
+        for (int i = 0; i < 4; ++i)
+            cells.push_back(formatValue(got[i], 1) + " | " +
+                            formatValue(want[i], 1));
+        table.addRow(label, std::move(cells));
+    };
+
+    add("User Time (%)", user, paper::table1UserTime);
+    add("Idle Time (%)", idle, paper::table1IdleTime);
+    add("OS Time (%)", os, paper::table1OsTime);
+    table.addSeparator();
+    add("OS D-Stall (% total)", stall, paper::table1OsDataStall);
+    add("D-Miss Rate L1 (%)", miss_rate, paper::table1MissRate);
+    add("OS D-Reads/Total (%)", os_reads, paper::table1OsReadShare);
+    add("OS D-Miss/Total (%)", os_misses, paper::table1OsMissShare);
+    table.print();
+    return 0;
+}

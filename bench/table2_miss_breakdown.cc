@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table 2: breakdown of operating-system data read
+ * misses on the Base machine into block-operation misses, coherence
+ * misses, and other (mostly conflict) misses.
+ */
+
+#include <vector>
+
+#include "report/figures.hh"
+#include "report/paper.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    TextTable table("Table 2: Breakdown of OS data misses, % "
+                    "(measured | paper)",
+                    workloadColumns());
+
+    std::vector<std::string> block, coherence, other;
+    unsigned col = 0;
+    for (WorkloadKind kind : allWorkloads) {
+        const SimStats &s = runWorkload(kind, SystemKind::Base).stats;
+        const double total = double(s.osMissTotal());
+        block.push_back(cellVsPaper(100.0 * s.osMissBlock / total,
+                                    paper::table2BlockOp[col], 1));
+        coherence.push_back(
+            cellVsPaper(100.0 * s.osMissCoherenceTotal() / total,
+                        paper::table2Coherence[col], 1));
+        other.push_back(cellVsPaper(100.0 * s.osMissOther / total,
+                                    paper::table2Other[col], 1));
+        ++col;
+    }
+    table.addRow("Block Op. (%)", block);
+    table.addRow("Coherence (%)", coherence);
+    table.addRow("Other (%)", other);
+    table.print();
+    return 0;
+}

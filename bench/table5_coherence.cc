@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Table 5: breakdown of the operating system's coherence
+ * misses into barrier synchronization, infrequently-communicated
+ * variables, frequently-shared variables, locks, and other (false
+ * sharing and the rest).
+ */
+
+#include <vector>
+
+#include "report/figures.hh"
+#include "report/paper.hh"
+
+using namespace oscache;
+
+int
+main()
+{
+    TextTable table("Table 5: Breakdown of OS coherence misses, % "
+                    "(measured | paper)",
+                    workloadColumns());
+
+    std::vector<std::string> rows[5];
+    unsigned col = 0;
+    for (WorkloadKind kind : allWorkloads) {
+        const SimStats &s = runWorkload(kind, SystemKind::Base).stats;
+        const double coh = double(s.osMissCoherenceTotal());
+        auto pct = [&](DataCategory cat) {
+            return coh == 0.0
+                ? 0.0
+                : 100.0 *
+                    double(s.osMissCoherence[static_cast<std::size_t>(cat)]) /
+                    coh;
+        };
+        const double barrier = pct(DataCategory::Barrier);
+        const double infreq = pct(DataCategory::InfreqComm);
+        const double freqsh = pct(DataCategory::FreqShared);
+        const double lock = pct(DataCategory::Lock);
+        const double other = 100.0 - barrier - infreq - freqsh - lock;
+
+        rows[0].push_back(cellVsPaper(barrier, paper::table5Barriers[col],
+                                      1));
+        rows[1].push_back(cellVsPaper(infreq, paper::table5InfreqComm[col],
+                                      1));
+        rows[2].push_back(cellVsPaper(freqsh, paper::table5FreqShared[col],
+                                      1));
+        rows[3].push_back(cellVsPaper(lock, paper::table5Locks[col], 1));
+        rows[4].push_back(cellVsPaper(other, paper::table5Other[col], 1));
+        ++col;
+    }
+
+    table.addRow("Barriers (%)", rows[0]);
+    table.addRow("Infreq. Com. (%)", rows[1]);
+    table.addRow("Freq. Shared (%)", rows[2]);
+    table.addRow("Locks (%)", rows[3]);
+    table.addRow("Other (%)", rows[4]);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * fork_storm: build a hand-written multiprocessor trace with the
+ * library's trace API — a storm of fork-style page-copy chains where
+ * each copy's destination becomes the next copy's source — and
+ * compare every block-operation scheme on it.
+ *
+ * This is the paper's Section 4.1.3 insight in isolation: chained
+ * copies make cache bypassing pathological (every source read
+ * becomes a reuse miss) while the DMA-like engine shrugs, because
+ * the data never needed to visit the processor at all.
+ */
+
+#include <cstdio>
+
+#include "core/blockop/schemes.hh"
+#include "mem/memsys.hh"
+#include "sim/system.hh"
+#include "trace/trace.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+/** Emit a chain of page copies, each reading the previous target. */
+void
+emitForkChain(Trace &trace, CpuId cpu, Addr pool, unsigned links)
+{
+    RecordStream &s = trace.stream(cpu);
+    Addr src = pool;
+    for (unsigned i = 0; i < links; ++i) {
+        const Addr dst = pool + Addr{i + 1} * 4096;
+        BlockOp op;
+        op.src = src;
+        op.dst = dst;
+        op.size = 4096;
+        op.kind = BlockOpKind::Copy;
+        const BlockOpId id = trace.blockOps().add(op);
+
+        s.push_back(TraceRecord::exec(400, 301, true));
+        TraceRecord begin;
+        begin.type = RecordType::BlockOpBegin;
+        begin.aux = id;
+        begin.flags = flagOs;
+        s.push_back(begin);
+        TraceRecord end = begin;
+        end.type = RecordType::BlockOpEnd;
+        s.push_back(end);
+        src = dst;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("fork_storm: 4 CPUs x 24-link fork chains under every "
+                "block-operation scheme\n\n");
+    std::printf("%-12s %10s %12s %12s %10s\n", "scheme", "OS misses",
+                "reuse (in)", "OS time", "vs Base");
+
+    double base_time = 0.0;
+    for (BlockScheme scheme :
+         {BlockScheme::Base, BlockScheme::Pref, BlockScheme::Bypass,
+          BlockScheme::ByPref, BlockScheme::Dma}) {
+        Trace trace(4);
+        for (CpuId cpu = 0; cpu < 4; ++cpu)
+            emitForkChain(trace, cpu, 0x0100'0000 + Addr{cpu} * 0x20'0000,
+                          24);
+
+        SimStats stats;
+        MemorySystem mem(MachineConfig::base());
+        SimOptions opts;
+        auto exec = makeBlockOpExecutor(scheme, mem, stats, opts);
+        System system(trace, mem, *exec, opts, stats);
+        system.run();
+
+        if (scheme == BlockScheme::Base)
+            base_time = double(stats.osTime());
+        std::printf("%-12s %10llu %12llu %12llu %9.2fx\n",
+                    toString(scheme),
+                    (unsigned long long)stats.osMissTotal(),
+                    (unsigned long long)stats.reuseInside,
+                    (unsigned long long)stats.osTime(),
+                    double(stats.osTime()) / base_time);
+    }
+
+    std::printf("\nReading: Blk_Bypass explodes with inside-reuse "
+                "misses because each chained copy re-fetches what the\n"
+                "previous one refused to cache; Blk_Dma never involves "
+                "the processor and wins outright.\n");
+    return 0;
+}

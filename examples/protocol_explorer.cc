@@ -1,0 +1,159 @@
+/**
+ * @file
+ * protocol_explorer: drive the memory system directly (no trace, no
+ * workload) to compare the Illinois invalidate protocol against the
+ * selective Firefly update protocol on the sharing patterns of
+ * Section 5: a spin barrier, a migratory lock, a producer-consumer
+ * flag, and a falsely-shared pair of counters.
+ *
+ * Shows the library's lowest-level API: MemorySystem reads/writes
+ * with explicit processor ids and times.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "mem/memsys.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+struct Pattern
+{
+    const char *name;
+    /** Run the pattern; return the number of L1 read misses. */
+    std::function<std::uint64_t(MemorySystem &)> run;
+};
+
+AccessContext
+ctxOf(DataCategory cat)
+{
+    AccessContext ctx;
+    ctx.os = true;
+    ctx.category = cat;
+    return ctx;
+}
+
+std::uint64_t
+barrierPattern(MemorySystem &mem)
+{
+    // Four processors increment the barrier word and re-read it, 50
+    // episodes: classic ping-pong under invalidate.
+    const Addr barrier = 0x1000;
+    const auto ctx = ctxOf(DataCategory::Barrier);
+    Cycles now = 0;
+    std::uint64_t misses = 0;
+    for (int episode = 0; episode < 50; ++episode) {
+        for (CpuId c = 0; c < 4; ++c) {
+            const auto rd = mem.read(c, barrier, now, ctx);
+            misses += rd.l1Miss;
+            now = mem.write(c, barrier, rd.completeAt, ctx).completeAt;
+        }
+        for (CpuId c = 0; c < 3; ++c) { // Spinners observe release.
+            const auto rd = mem.read(c, barrier, now, ctx);
+            misses += rd.l1Miss;
+            now = rd.completeAt;
+        }
+    }
+    return misses;
+}
+
+std::uint64_t
+migratoryLockPattern(MemorySystem &mem)
+{
+    // A lock word travels processor to processor; each holder does a
+    // read-modify-write on acquire and a write on release.
+    const Addr lock = 0x2000;
+    const auto ctx = ctxOf(DataCategory::Lock);
+    Cycles now = 0;
+    std::uint64_t misses = 0;
+    for (int round = 0; round < 100; ++round) {
+        const CpuId c = CpuId(round % 4);
+        const auto rd = mem.read(c, lock, now, ctx);
+        misses += rd.l1Miss;
+        now = mem.write(c, lock, rd.completeAt, ctx).completeAt;
+        now = mem.write(c, lock, now, ctx).completeAt;
+    }
+    return misses;
+}
+
+std::uint64_t
+producerConsumerPattern(MemorySystem &mem)
+{
+    // CPU 0 produces a flag; CPUs 1-3 poll it.
+    const Addr flag = 0x3000;
+    const auto ctx = ctxOf(DataCategory::FreqShared);
+    Cycles now = 0;
+    std::uint64_t misses = 0;
+    for (int round = 0; round < 100; ++round) {
+        now = mem.write(0, flag, now, ctx).completeAt;
+        for (CpuId c = 1; c < 4; ++c) {
+            const auto rd = mem.read(c, flag, now, ctx);
+            misses += rd.l1Miss;
+            now = rd.completeAt;
+        }
+    }
+    return misses;
+}
+
+std::uint64_t
+falseSharingPattern(MemorySystem &mem)
+{
+    // Two counters in the same line, each private to one processor.
+    const Addr a = 0x4000;
+    const Addr b = 0x4004;
+    const auto ctx = ctxOf(DataCategory::InfreqComm);
+    Cycles now = 0;
+    std::uint64_t misses = 0;
+    for (int round = 0; round < 100; ++round) {
+        const auto rd0 = mem.read(0, a, now, ctx);
+        misses += rd0.l1Miss;
+        now = mem.write(0, a, rd0.completeAt, ctx).completeAt;
+        const auto rd1 = mem.read(1, b, now, ctx);
+        misses += rd1.l1Miss;
+        now = mem.write(1, b, rd1.completeAt, ctx).completeAt;
+    }
+    return misses;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("protocol_explorer: L1 read misses per sharing pattern, "
+                "Illinois invalidate vs Firefly update\n\n");
+    std::printf("%-20s %12s %10s %10s\n", "pattern", "invalidate",
+                "update", "saved");
+
+    const Pattern patterns[] = {
+        {"spin barrier", barrierPattern},
+        {"migratory lock", migratoryLockPattern},
+        {"producer-consumer", producerConsumerPattern},
+        {"false sharing", falseSharingPattern},
+    };
+
+    for (const Pattern &p : patterns) {
+        MemorySystem invalidate(MachineConfig::base());
+        const std::uint64_t inv = p.run(invalidate);
+
+        MemorySystem update(MachineConfig::base());
+        // All four pattern addresses live in page 0x1000-0x4fff:
+        // mark those pages update-protocol.
+        std::unordered_set<Addr> pages{0x1000, 0x2000, 0x3000, 0x4000};
+        update.setUpdatePages(&pages);
+        const std::uint64_t upd = p.run(update);
+
+        std::printf("%-20s %12llu %10llu %9.0f%%\n", p.name,
+                    (unsigned long long)inv, (unsigned long long)upd,
+                    inv == 0 ? 0.0 : 100.0 * double(inv - upd) / inv);
+    }
+
+    std::printf("\nReading: update protocols shine exactly where the "
+                "paper applies them — barriers, hot locks, and\n"
+                "producer-consumer flags — the variables BCoh_RelUp "
+                "packs into its 384-byte update page.\n");
+    return 0;
+}

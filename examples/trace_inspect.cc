@@ -1,0 +1,89 @@
+/**
+ * @file
+ * trace_inspect: generate (or load) a trace and print what is inside
+ * — the record mix, the kernel/user balance, the block-operation
+ * census, and the busiest basic blocks.  The same first look one
+ * would take at a freshly captured monitor trace.
+ *
+ * Usage:
+ *   trace_inspect                 # inspect the TRFD_4 synthetic trace
+ *   trace_inspect file.trace      # inspect a saved trace
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "synth/generator.hh"
+#include "trace/io.hh"
+
+using namespace oscache;
+
+int
+main(int argc, char **argv)
+{
+    Trace trace = argc > 1
+        ? readTraceFile(argv[1])
+        : generateTrace(WorkloadKind::Trfd4, CoherenceOptions::none());
+    std::printf("trace: %u cpus, %zu records, %zu block ops, %zu update "
+                "pages\n\n",
+                trace.numCpus(), trace.totalRecords(),
+                trace.blockOps().size(), trace.updatePages().size());
+
+    // Record mix.
+    std::map<RecordType, std::uint64_t> by_type;
+    std::uint64_t os_refs = 0;
+    std::uint64_t user_refs = 0;
+    std::uint64_t os_instr = 0;
+    std::uint64_t user_instr = 0;
+    std::map<BasicBlockId, std::uint64_t> refs_by_bb;
+    for (CpuId c = 0; c < trace.numCpus(); ++c) {
+        for (const TraceRecord &rec : trace.stream(c)) {
+            by_type[rec.type] += 1;
+            if (rec.isData()) {
+                (rec.isOs() ? os_refs : user_refs) += 1;
+                refs_by_bb[rec.bb] += 1;
+            } else if (rec.type == RecordType::Exec) {
+                (rec.isOs() ? os_instr : user_instr) += rec.aux;
+            }
+        }
+    }
+
+    std::printf("record mix:\n");
+    for (const auto &[type, count] : by_type)
+        std::printf("  %-14s %10llu\n", std::string(toString(type)).c_str(),
+                    (unsigned long long)count);
+
+    std::printf("\ninstructions: os %llu, user %llu\n",
+                (unsigned long long)os_instr,
+                (unsigned long long)user_instr);
+    std::printf("data refs:    os %llu (%.1f%%), user %llu\n",
+                (unsigned long long)os_refs,
+                100.0 * double(os_refs) / double(os_refs + user_refs),
+                (unsigned long long)user_refs);
+
+    // Block-operation census.
+    std::uint64_t copies = 0;
+    std::uint64_t zeros = 0;
+    std::uint64_t bytes = 0;
+    for (const BlockOp &op : trace.blockOps()) {
+        (op.isCopy() ? copies : zeros) += 1;
+        bytes += op.size;
+    }
+    std::printf("\nblock ops:    %llu copies, %llu zeros, %.1f MB "
+                "moved\n",
+                (unsigned long long)copies, (unsigned long long)zeros,
+                double(bytes) / (1024.0 * 1024.0));
+
+    // Busiest basic blocks by reference count.
+    std::vector<std::pair<std::uint64_t, BasicBlockId>> busiest;
+    for (const auto &[bb, n] : refs_by_bb)
+        busiest.emplace_back(n, bb);
+    std::sort(busiest.rbegin(), busiest.rend());
+    std::printf("\nbusiest basic blocks (by data references):\n");
+    for (std::size_t i = 0; i < busiest.size() && i < 8; ++i)
+        std::printf("  bb%-8u %10llu\n", busiest[i].second,
+                    (unsigned long long)busiest[i].first);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — a simulator bug: something that must never happen
+ *            regardless of user input.  Aborts.
+ * fatal()  — a user error (bad configuration, invalid arguments).
+ *            Exits with status 1.
+ * warn()   — functionality that works well enough but deserves a note.
+ */
+
+#ifndef OSCACHE_COMMON_LOG_HH
+#define OSCACHE_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace oscache
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/** Report an unrecoverable user error and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Report a non-fatal condition worth the user's attention. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+} // namespace oscache
+
+#endif // OSCACHE_COMMON_LOG_HH

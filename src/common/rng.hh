@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload generator.
+ *
+ * Two generators are provided: SplitMix64, used for seeding, and
+ * Xoshiro256StarStar, the workhorse.  Both are tiny, fast, and fully
+ * deterministic across platforms, which keeps every experiment
+ * reproducible bit-for-bit from a workload seed.
+ */
+
+#ifndef OSCACHE_COMMON_RNG_HH
+#define OSCACHE_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+/**
+ * SplitMix64: a 64-bit generator whose main role here is expanding a
+ * single user seed into the four state words of Xoshiro256StarStar.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Return the next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman and Vigna: fast, high-quality, and with a
+ * period of 2^256 - 1.  All stochastic decisions in the synthetic
+ * workload generator draw from an instance of this class.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    /** Seed via SplitMix64 expansion, per the authors' recommendation. */
+    explicit Xoshiro256StarStar(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : state)
+            word = sm.next();
+    }
+
+    /** Return the next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+
+        return result;
+    }
+
+    /**
+     * Return a uniformly distributed integer in [0, bound).
+     * Uses Lemire's multiply-shift reduction; the slight modulo bias
+     * is below 2^-32 for the small bounds used here.
+     */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Xoshiro256StarStar::below called with bound 0");
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Return a uniformly distributed integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo > hi)
+            panic("Xoshiro256StarStar::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high-quality bits into the mantissa.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes of repeated
+     * trials with continuation probability @p p, capped at @p cap.
+     */
+    std::uint64_t
+    burst(double p, std::uint64_t cap)
+    {
+        std::uint64_t n = 1;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state{};
+};
+
+/** The project-wide default RNG type. */
+using Rng = Xoshiro256StarStar;
+
+} // namespace oscache
+
+#endif // OSCACHE_COMMON_RNG_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ *
+ * The conventions mirror those of classic trace-driven memory-system
+ * simulators: a byte-granular 64-bit address space, a 64-bit cycle
+ * counter, and small integral identifiers for processors, basic
+ * blocks, and block operations.
+ */
+
+#ifndef OSCACHE_COMMON_TYPES_HH
+#define OSCACHE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace oscache
+{
+
+/** Byte-granular physical/virtual address. */
+using Addr = std::uint64_t;
+
+/** Simulation time in processor clock cycles (200 MHz in Base). */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, for latency arithmetic. */
+using CycleDelta = std::int64_t;
+
+/** Processor identifier; the baseline machine has 4 processors. */
+using CpuId = std::uint8_t;
+
+/** Static basic-block identifier assigned by the trace generator. */
+using BasicBlockId = std::uint32_t;
+
+/** Identifier of a block operation (copy/zero) instance. */
+using BlockOpId = std::uint32_t;
+
+/** An invalid/unset address sentinel. */
+inline constexpr Addr invalidAddr = ~Addr{0};
+
+/** An invalid basic-block sentinel. */
+inline constexpr BasicBlockId invalidBasicBlock = ~BasicBlockId{0};
+
+/**
+ * Return the greatest power-of-two-aligned address not above @p addr.
+ *
+ * @param addr  Address to align.
+ * @param align Power-of-two alignment in bytes.
+ */
+constexpr Addr
+alignDown(Addr addr, Addr align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Return the smallest @p align-aligned address not below @p addr. */
+constexpr Addr
+alignUp(Addr addr, Addr align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True iff @p value is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+} // namespace oscache
+
+#endif // OSCACHE_COMMON_TYPES_HH

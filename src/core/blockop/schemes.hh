@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The five block-operation handling schemes of Section 4.2, plus the
+ * deferred-copy scheme of Section 4.2.1.
+ *
+ * Each scheme expands a BlockOp descriptor into the word/line access
+ * sequence the recoded kernel routine would issue:
+ *
+ *  - BaseExecutor:    word loads and stores through the caches.
+ *  - BlkPrefExecutor: Base plus software-pipelined, loop-unrolled
+ *    prefetching of the source block into both caches.
+ *  - BypassExecutor:  loads and stores bypass both caches through a
+ *    pair of line-wide registers per level; data still moves in
+ *    cache-line-sized chunks for spatial locality; loads block.
+ *  - ByPrefExecutor:  bypass plus an 8-line source prefetch buffer
+ *    the processor reads at primary-cache speed; destination writes
+ *    are cached to keep the write buffer simple.
+ *  - DmaExecutor:     a smart secondary-cache controller performs the
+ *    whole operation on the bus (19-cycle startup, 8 bytes per 2 bus
+ *    cycles) while the originator stalls; caches are bypassed but
+ *    snooped.
+ *  - DeferredCopyExecutor: sub-page copies whose blocks are never
+ *    written afterwards are elided entirely (VMP-style deferred
+ *    copy); everything else falls through to a wrapped scheme.
+ */
+
+#ifndef OSCACHE_CORE_BLOCKOP_SCHEMES_HH
+#define OSCACHE_CORE_BLOCKOP_SCHEMES_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/memsys.hh"
+#include "sim/blockop_executor.hh"
+#include "sim/options.hh"
+#include "sim/stats.hh"
+
+namespace oscache
+{
+
+/** Identifies a block-operation scheme (Figure 2's five systems). */
+enum class BlockScheme : std::uint8_t
+{
+    Base,
+    Pref,
+    Bypass,
+    ByPref,
+    Dma,
+};
+
+/** Human-readable scheme name as used in the paper's figures. */
+const char *toString(BlockScheme scheme);
+
+/**
+ * Common machinery shared by the concrete schemes.
+ */
+class SchemeExecutorBase : public BlockOpExecutor
+{
+  public:
+    SchemeExecutorBase(MemorySystem &mem, SimStats &stats,
+                       const SimOptions &opts)
+        : mem(mem), stats(stats), opts(opts)
+    {}
+
+  protected:
+    /** @name Instruction-cost constants (per Section 4 discussion) @{ */
+    /** Load + store + loop overhead per word copied (Base/Pref). */
+    static constexpr std::uint32_t instrPerCopyWord = 3;
+    /** Store + loop overhead per word zeroed. */
+    static constexpr std::uint32_t instrPerZeroWord = 2;
+    /** One prefetch instruction per line after unrolling. */
+    static constexpr std::uint32_t instrPerPrefetch = 1;
+    /** Line-wide register moves per primary line (Bypass). */
+    static constexpr std::uint32_t instrPerBypassLine = 4;
+    /** Fixed setup of the DMA-like engine. */
+    static constexpr std::uint32_t instrDmaSetup = 30;
+    /** Software prefetch distance in primary lines. */
+    static constexpr std::uint32_t prefetchDistance = 4;
+    /** @} */
+
+    /**
+     * Execute @p instrs block-body instructions starting at @p now.
+     * Block bodies are tight loops, so no instruction-miss stall is
+     * charged.  @return the completion cycle.
+     */
+    Cycles
+    execInstr(Cycles now, std::uint64_t instrs, bool os)
+    {
+        stats.recordExec(os, true, instrs, instrs, 0);
+        return now + instrs;
+    }
+
+    /** Record one block-body read, tagging the op's size class. */
+    void
+    recordBlockRead(bool os, const AccessResult &res,
+                    std::uint32_t op_size)
+    {
+        stats.recordRead(os, true, DataCategory::BlockSrc,
+                         invalidBasicBlock, res);
+        if (os && res.l1Miss) {
+            const std::size_t cls =
+                op_size < 1024 ? 0 : (op_size < 4096 ? 1 : 2);
+            ++stats.osMissBlockBySize[cls];
+        }
+    }
+
+    /** Context for source-block reads. */
+    AccessContext
+    srcCtx(bool os, bool allocate = true) const
+    {
+        AccessContext ctx;
+        ctx.os = os;
+        ctx.blockOpBody = true;
+        ctx.allocate = allocate;
+        ctx.category = DataCategory::BlockSrc;
+        return ctx;
+    }
+
+    /** Context for destination-block writes. */
+    AccessContext
+    dstCtx(bool os, bool allocate = true) const
+    {
+        AccessContext ctx;
+        ctx.os = os;
+        ctx.blockOpBody = true;
+        ctx.allocate = allocate;
+        ctx.category = DataCategory::BlockDst;
+        return ctx;
+    }
+
+    MemorySystem &mem;
+    SimStats &stats;
+    SimOptions opts;
+};
+
+/** Word-by-word copy/zero through the caches (the Base system). */
+class BaseExecutor : public SchemeExecutorBase
+{
+  public:
+    using SchemeExecutorBase::SchemeExecutorBase;
+    Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                   bool os) override;
+};
+
+/** Base plus software-pipelined source prefetching (Blk_Pref). */
+class BlkPrefExecutor : public SchemeExecutorBase
+{
+  public:
+    using SchemeExecutorBase::SchemeExecutorBase;
+    Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                   bool os) override;
+};
+
+/** Cache-bypassing loads and stores (Blk_Bypass). */
+class BypassExecutor : public SchemeExecutorBase
+{
+  public:
+    using SchemeExecutorBase::SchemeExecutorBase;
+    Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                   bool os) override;
+};
+
+/** Bypass with a source prefetch buffer; cached writes (Blk_ByPref). */
+class ByPrefExecutor : public SchemeExecutorBase
+{
+  public:
+    using SchemeExecutorBase::SchemeExecutorBase;
+    Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                   bool os) override;
+};
+
+/** DMA-like bus-level block operation (Blk_Dma). */
+class DmaExecutor : public SchemeExecutorBase
+{
+  public:
+    using SchemeExecutorBase::SchemeExecutorBase;
+    Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                   bool os) override;
+};
+
+/**
+ * Deferred copy (Section 4.2.1): sub-page copies that are read-only
+ * afterwards are never performed; other operations fall through.
+ */
+class DeferredCopyExecutor : public BlockOpExecutor
+{
+  public:
+    DeferredCopyExecutor(std::unique_ptr<BlockOpExecutor> inner,
+                         MemorySystem &mem, SimStats &stats,
+                         const SimOptions &opts)
+        : inner(std::move(inner)), mem(mem), stats(stats), opts(opts)
+    {}
+
+    Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                   bool os) override;
+
+    /** Number of copies elided by deferral. */
+    std::uint64_t elidedCopies() const { return elided; }
+
+    /** Page size below which deferral applies. */
+    static constexpr std::uint32_t pageSize = 4096;
+
+  private:
+    std::unique_ptr<BlockOpExecutor> inner;
+    MemorySystem &mem;
+    SimStats &stats;
+    SimOptions opts;
+    std::uint64_t elided = 0;
+};
+
+/** Build the executor for @p scheme. */
+std::unique_ptr<BlockOpExecutor>
+makeBlockOpExecutor(BlockScheme scheme, MemorySystem &mem, SimStats &stats,
+                    const SimOptions &opts);
+
+} // namespace oscache
+
+#endif // OSCACHE_CORE_BLOCKOP_SCHEMES_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Coherence-miss optimization options (Section 5).
+ *
+ * The paper's coherence optimizations are kernel data-layout and
+ * protocol-selection changes:
+ *
+ *  - privatizeCounters: split each infrequently-communicated counter
+ *    (vmmeter-style event counters) into per-processor sub-counters,
+ *    each on its own cache line; the rare reader sums them all
+ *    (Section 5.1).
+ *  - relocate: co-locate variables accessed in sequence onto shared
+ *    lines and break the most obvious false sharing by giving the
+ *    offending variables (including every lock and barrier) their
+ *    own lines (Section 5.1).
+ *  - selectiveUpdate: allocate the barriers, the ten most active
+ *    locks, and a small core of producer-consumer shared variables
+ *    (384 bytes total) in one page whose lines use the Firefly
+ *    update protocol (Section 5.2).
+ *
+ * The synthetic kernel layout (src/synth/kernel_layout) consumes
+ * these options exactly the way the authors rebuilt Concentrix: same
+ * activity sequence, different addresses and protocol marking.
+ */
+
+#ifndef OSCACHE_CORE_COHOPT_HH
+#define OSCACHE_CORE_COHOPT_HH
+
+namespace oscache
+{
+
+/** Which of the Section 5 optimizations are applied. */
+struct CoherenceOptions
+{
+    bool privatizeCounters = false;
+    bool relocate = false;
+    bool selectiveUpdate = false;
+
+    /** No optimizations (Base through Blk_Dma systems). */
+    static CoherenceOptions none() { return {}; }
+
+    /** Privatization + relocation (the BCoh_Reloc system). */
+    static CoherenceOptions
+    reloc()
+    {
+        return {.privatizeCounters = true, .relocate = true,
+                .selectiveUpdate = false};
+    }
+
+    /** Privatization + relocation + selective update (BCoh_RelUp). */
+    static CoherenceOptions
+    relocUpdate()
+    {
+        return {.privatizeCounters = true, .relocate = true,
+                .selectiveUpdate = true};
+    }
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_CORE_COHOPT_HH

@@ -1,0 +1,84 @@
+#include "core/hotspot/hotspot.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace oscache
+{
+
+HotspotPlan
+selectHotspots(const SimStats &profile, unsigned count)
+{
+    std::vector<std::pair<BasicBlockId, std::uint64_t>> ranked(
+        profile.osOtherMissByBb.begin(), profile.osOtherMissByBb.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first; // Deterministic tie-break.
+              });
+    HotspotPlan plan;
+    for (unsigned i = 0; i < count && i < ranked.size(); ++i)
+        plan.hotBlocks.insert(ranked[i].first);
+    return plan;
+}
+
+double
+hotspotCoverage(const SimStats &profile, const HotspotPlan &plan)
+{
+    std::uint64_t covered = 0;
+    std::uint64_t total = 0;
+    for (const auto &[bb, misses] : profile.osOtherMissByBb) {
+        total += misses;
+        if (plan.hotBlocks.count(bb))
+            covered += misses;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(total);
+}
+
+Trace
+insertPrefetches(const Trace &trace, const HotspotPlan &plan)
+{
+    Trace out(trace.numCpus());
+    out.blockOps() = trace.blockOps();
+    out.updatePages() = trace.updatePages();
+
+    for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu) {
+        const RecordStream &in = trace.stream(cpu);
+
+        // Collect (insert-before-position, prefetch) pairs; positions
+        // are nondecreasing because reads are scanned in order.
+        std::vector<std::pair<std::size_t, TraceRecord>> inserts;
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            const TraceRecord &rec = in[i];
+            if (rec.type != RecordType::Read ||
+                !plan.hotBlocks.count(rec.bb))
+                continue;
+            const std::size_t at =
+                i > plan.lookahead ? i - plan.lookahead : 0;
+            inserts.emplace_back(
+                at, TraceRecord::prefetch(rec.addr, rec.category, rec.bb,
+                                          rec.isOs()));
+        }
+
+        RecordStream &dst = out.stream(cpu);
+        dst.reserve(in.size() + inserts.size());
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            while (next < inserts.size() && inserts[next].first == i) {
+                dst.push_back(inserts[next].second);
+                ++next;
+            }
+            dst.push_back(in[i]);
+        }
+        while (next < inserts.size()) {
+            dst.push_back(inserts[next].second);
+            ++next;
+        }
+    }
+    return out;
+}
+
+} // namespace oscache

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Miss-hot-spot identification and prefetch insertion (Section 6).
+ *
+ * The paper measures the data misses of every kernel basic block,
+ * selects the 12 most active "miss hot spots" (a few loops over page
+ * tables and free lists, plus frequently-executed sequences such as
+ * process resume, timer functions, trap handling, context switching,
+ * and scheduling), and hand-inserts prefetches — software-pipelined
+ * in the loops, hoisted as early as possible in the sequences.
+ *
+ * Here the same methodology is automated: a profiling run yields
+ * per-basic-block counts of the remaining "other" OS misses;
+ * selectHotspots() picks the top N blocks; insertPrefetches() then
+ * rewrites the trace, hoisting one prefetch record a bounded number
+ * of records ahead of each read in a hot block.  The bound models
+ * the paper's observation that operand availability limits how far
+ * back a prefetch can be pushed, so some latency remains only
+ * partially hidden.
+ */
+
+#ifndef OSCACHE_CORE_HOTSPOT_HOTSPOT_HH
+#define OSCACHE_CORE_HOTSPOT_HOTSPOT_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/** A plan for hot-spot prefetch insertion. */
+struct HotspotPlan
+{
+    /** Basic blocks selected as miss hot spots. */
+    std::unordered_set<BasicBlockId> hotBlocks;
+    /**
+     * How many trace records ahead of the consuming read the
+     * prefetch is hoisted (bounded by operand availability).
+     */
+    unsigned lookahead = 12;
+};
+
+/**
+ * Pick the @p count basic blocks with the most remaining OS misses
+ * from a profiling run's statistics (the paper uses 12).
+ */
+HotspotPlan selectHotspots(const SimStats &profile, unsigned count = 12);
+
+/** Fraction of profiled "other" OS misses covered by @p plan. */
+double hotspotCoverage(const SimStats &profile, const HotspotPlan &plan);
+
+/**
+ * Return a copy of @p trace with prefetch records inserted ahead of
+ * every read issued by a hot basic block.
+ */
+Trace insertPrefetches(const Trace &trace, const HotspotPlan &plan);
+
+} // namespace oscache
+
+#endif // OSCACHE_CORE_HOTSPOT_HOTSPOT_HH

@@ -1,0 +1,58 @@
+#include "core/runner.hh"
+
+#include "core/blockop/schemes.hh"
+#include "mem/memsys.hh"
+#include "sim/system.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+/** One plain simulation pass (no hot-spot rewriting). */
+RunResult
+runOnce(const Trace &trace, const MachineConfig &machine,
+        const SimOptions &options, BlockScheme scheme)
+{
+    RunResult result;
+    MemorySystem mem(machine);
+    auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
+    System system(trace, mem, *executor, options, result.stats);
+    system.run();
+
+    const Bus &bus = mem.bus();
+    result.bus.totalBytes = bus.totalBytes();
+    result.bus.totalTransactions = bus.totalTransactions();
+    result.bus.busyCycles = bus.totalBusyCycles();
+    result.bus.fillBytes = bus.bytes(BusTxn::LineFill);
+    result.bus.writebackBytes = bus.bytes(BusTxn::WriteBack);
+    result.bus.invalidateTransactions = bus.transactions(BusTxn::Invalidate);
+    result.bus.updateTransactions = bus.transactions(BusTxn::Update);
+    result.bus.updateBytes = bus.bytes(BusTxn::Update);
+    result.bus.dmaBytes = bus.bytes(BusTxn::Dma);
+    return result;
+}
+
+} // namespace
+
+RunResult
+runOnTrace(const Trace &trace, const MachineConfig &machine,
+           const SimOptions &options, const SystemSetup &setup)
+{
+    if (!setup.hotspotPrefetch)
+        return runOnce(trace, machine, options, setup.blockScheme);
+
+    // Two-phase hot-spot methodology: profile, select, rewrite, rerun.
+    RunResult profile = runOnce(trace, machine, options, setup.blockScheme);
+    HotspotPlan plan = selectHotspots(profile.stats, paperHotspotCount);
+    const double coverage = oscache::hotspotCoverage(profile.stats, plan);
+    Trace rewritten = insertPrefetches(trace, plan);
+    RunResult result = runOnce(rewritten, machine, options,
+                               setup.blockScheme);
+    result.hotspots = std::move(plan);
+    result.hotspotCoverage = coverage;
+    return result;
+}
+
+} // namespace oscache

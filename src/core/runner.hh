@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Convenience runner: assemble a memory system, scheme executor, and
+ * simulation engine for one SystemSetup and run a trace through it.
+ *
+ * Note that a SystemSetup's coherence options act at trace-generation
+ * time (they are kernel-layout changes); the caller must have
+ * generated @p trace with the matching CoherenceOptions.  The runner
+ * applies the block scheme and, when requested, the two-phase
+ * hot-spot prefetch methodology: profile, select the top blocks,
+ * rewrite the trace, re-run.
+ */
+
+#ifndef OSCACHE_CORE_RUNNER_HH
+#define OSCACHE_CORE_RUNNER_HH
+
+#include <cstdint>
+
+#include "core/hotspot/hotspot.hh"
+#include "core/system_config.hh"
+#include "mem/config.hh"
+#include "sim/options.hh"
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/** Bus-level results copied out of the memory system after a run. */
+struct BusSnapshot
+{
+    std::uint64_t totalBytes = 0;
+    std::uint64_t totalTransactions = 0;
+    std::uint64_t busyCycles = 0;
+    std::uint64_t fillBytes = 0;
+    std::uint64_t writebackBytes = 0;
+    std::uint64_t invalidateTransactions = 0;
+    std::uint64_t updateTransactions = 0;
+    std::uint64_t updateBytes = 0;
+    std::uint64_t dmaBytes = 0;
+};
+
+/** Everything one simulation run produces. */
+struct RunResult
+{
+    SimStats stats;
+    BusSnapshot bus;
+    /** The hot-spot plan used, when hotspot prefetching was on. */
+    HotspotPlan hotspots;
+    /** Fraction of profiled other-misses the hot spots covered. */
+    double hotspotCoverage = 0.0;
+};
+
+/**
+ * Run @p trace on the machine described by @p machine under
+ * @p setup's block scheme (and hot-spot pass, if enabled).
+ */
+RunResult runOnTrace(const Trace &trace, const MachineConfig &machine,
+                     const SimOptions &options, const SystemSetup &setup);
+
+/** Number of hot spots the paper selects (Section 6). */
+inline constexpr unsigned paperHotspotCount = 12;
+
+} // namespace oscache
+
+#endif // OSCACHE_CORE_RUNNER_HH

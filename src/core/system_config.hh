@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The named system configurations evaluated in the paper.
+ *
+ * Figure 3 compares eight systems; the later ones stack the earlier
+ * optimizations (BCoh_Reloc = Blk_Dma + privatization/relocation,
+ * BCoh_RelUp adds selective update, BCPref adds hot-spot prefetch).
+ */
+
+#ifndef OSCACHE_CORE_SYSTEM_CONFIG_HH
+#define OSCACHE_CORE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "core/blockop/schemes.hh"
+#include "core/cohopt.hh"
+
+namespace oscache
+{
+
+/** The systems of Figures 2-5. */
+enum class SystemKind : std::uint8_t
+{
+    Base,
+    BlkPref,
+    BlkBypass,
+    BlkByPref,
+    BlkDma,
+    BCohReloc,
+    BCohRelUp,
+    BCPref,
+};
+
+/** Paper-style name of a system. */
+const char *toString(SystemKind kind);
+
+/** Full recipe for assembling one simulated system. */
+struct SystemSetup
+{
+    BlockScheme blockScheme = BlockScheme::Base;
+    CoherenceOptions coherence = CoherenceOptions::none();
+    bool hotspotPrefetch = false;
+
+    /** The canonical stacked configuration for @p kind. */
+    static SystemSetup forKind(SystemKind kind);
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Request/response types of the memory-system API.
+ */
+
+#ifndef OSCACHE_MEM_ACCESS_HH
+#define OSCACHE_MEM_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/record.hh"
+
+namespace oscache
+{
+
+/** Where a read was ultimately serviced. */
+enum class ServiceLevel : std::uint8_t
+{
+    L1,            ///< Primary-cache hit.
+    PrefetchBuffer,///< Hit in the Blk_ByPref source prefetch buffer.
+    InFlight,      ///< Merged with an outstanding (prefetch) fill.
+    L2,            ///< Secondary-cache hit.
+    Memory,        ///< Bus/memory (or cache-to-cache) transfer.
+};
+
+/** Cause classification of a primary-cache read miss. */
+enum class MissCause : std::uint8_t
+{
+    None,         ///< Not a miss.
+    Coherence,    ///< Line was invalidated by another processor.
+    Displacement, ///< Line was last evicted by a block-operation fill.
+    Reuse,        ///< Line was last touched by a cache-bypassed block op.
+    Plain,        ///< Cold or conflict miss.
+};
+
+/** Per-access context supplied by the issuing processor model. */
+struct AccessContext
+{
+    /** Issued by operating-system code. */
+    bool os = false;
+    /** Part of the word-by-word body of a block operation. */
+    bool blockOpBody = false;
+    /** Allocate into the caches on miss (false for bypass schemes). */
+    bool allocate = true;
+    /** Data-structure category of the referenced address. */
+    DataCategory category = DataCategory::User;
+    /** Issuing basic block. */
+    BasicBlockId bb = invalidBasicBlock;
+};
+
+/** Result of a read, write, or prefetch. */
+struct AccessResult
+{
+    /** Cycle at which the processor may proceed. */
+    Cycles completeAt = 0;
+    /** True iff this was a primary-cache read miss. */
+    bool l1Miss = false;
+    /** Where the data came from. */
+    ServiceLevel level = ServiceLevel::L1;
+    /** Why the primary cache missed. */
+    MissCause cause = MissCause::None;
+    /**
+     * True when the miss latency was partially hidden by an earlier
+     * prefetch (the stall is charged to the paper's "Pref" bucket).
+     */
+    bool partiallyHidden = false;
+    /** Cycles the processor stalled beyond the 1-cycle issue slot. */
+    Cycles stall = 0;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_MEM_ACCESS_HH

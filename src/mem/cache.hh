@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Set-associative cache tag arrays.
+ *
+ * Two concrete flavours are provided:
+ *
+ *  - L1Cache: the write-through, write-allocate primary data cache
+ *    (also reused for the primary instruction cache).  Lines are
+ *    merely valid or invalid — data is always clean; the L2 and
+ *    memory are updated through the write buffer.
+ *
+ *  - L2Cache: the write-back secondary cache holding Illinois/MESI
+ *    line states.
+ *
+ * Both are pure tag/state models, as usual for trace-driven
+ * simulation.  The paper's machine is direct-mapped throughout
+ * (ways = 1, the default); higher associativity with LRU replacement
+ * is supported for the conflict-miss ablations.
+ */
+
+#ifndef OSCACHE_MEM_CACHE_HH
+#define OSCACHE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** Illinois (MESI) line states for the secondary cache. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive, ///< Clean and only copy (Illinois' "valid-exclusive").
+    Modified,
+};
+
+namespace detail
+{
+
+/**
+ * Shared guts of the two cache flavours: an N-way set-associative
+ * tag array with LRU replacement.  Way 0 of a set is the MRU
+ * position; fills and touches promote to it.
+ */
+class SetAssocTags
+{
+  public:
+    SetAssocTags(std::uint32_t size, std::uint32_t line_size,
+                 std::uint32_t ways)
+        : lineSize(line_size), numWays(ways),
+          numSets(size / (line_size * ways)), indexMask(numSets - 1),
+          lineShift(floorLog2(line_size)),
+          tags(std::size_t{numSets} * ways, invalidAddr)
+    {
+        if (!isPowerOfTwo(size) || !isPowerOfTwo(line_size) ||
+            !isPowerOfTwo(ways) || numSets == 0 ||
+            !isPowerOfTwo(numSets))
+            panic("cache: size, line size, and ways must be powers of "
+                  "two with at least one set");
+    }
+
+    Addr lineAddr(Addr addr) const { return addr & ~(Addr{lineSize} - 1); }
+
+    /** Way holding @p addr, or numWays when absent. */
+    std::uint32_t
+    find(Addr addr) const
+    {
+        const Addr line = lineAddr(addr);
+        const std::size_t base = setBase(addr);
+        for (std::uint32_t w = 0; w < numWays; ++w)
+            if (tags[base + w] == line)
+                return w;
+        return numWays;
+    }
+
+    bool contains(Addr addr) const { return find(addr) < numWays; }
+
+    /** Promote @p addr's way to MRU.  @return true iff present. */
+    bool
+    touch(Addr addr)
+    {
+        const std::uint32_t way = find(addr);
+        if (way >= numWays)
+            return false;
+        promote(setBase(addr), way);
+        return true;
+    }
+
+    /**
+     * Install @p addr's line at the MRU position.
+     * @return The evicted LRU victim's line address, or invalidAddr.
+     */
+    Addr
+    insert(Addr addr)
+    {
+        const Addr line = lineAddr(addr);
+        const std::size_t base = setBase(addr);
+        std::uint32_t way = find(addr);
+        Addr victim = invalidAddr;
+        if (way >= numWays) {
+            // Prefer an invalid way; otherwise evict the LRU.
+            way = numWays - 1;
+            for (std::uint32_t w = 0; w < numWays; ++w)
+                if (tags[base + w] == invalidAddr) {
+                    way = w;
+                    break;
+                }
+            if (tags[base + way] != invalidAddr)
+                victim = tags[base + way];
+            tags[base + way] = line;
+        }
+        promote(base, way);
+        return victim;
+    }
+
+    /**
+     * The way insert() would evict for @p addr when the line is
+     * absent: the first invalid way if any, else the LRU way.
+     * @return {victim line address or invalidAddr, way index}.
+     */
+    std::pair<Addr, std::uint32_t>
+    peekVictim(Addr addr) const
+    {
+        const std::size_t base = setBase(addr);
+        for (std::uint32_t w = 0; w < numWays; ++w)
+            if (tags[base + w] == invalidAddr)
+                return {invalidAddr, w};
+        return {tags[base + numWays - 1], numWays - 1};
+    }
+
+    /** Remove @p addr's line.  @return the way it held, or numWays. */
+    std::uint32_t
+    remove(Addr addr)
+    {
+        const std::uint32_t way = find(addr);
+        if (way < numWays)
+            tags[setBase(addr) + way] = invalidAddr;
+        return way;
+    }
+
+    void
+    clear()
+    {
+        tags.assign(tags.size(), invalidAddr);
+    }
+
+    std::uint32_t getLineSize() const { return lineSize; }
+    std::uint32_t sets() const { return numSets; }
+    std::uint32_t ways() const { return numWays; }
+
+    /** Index of the (set, way) slot, for side-car state arrays. */
+    std::size_t
+    slot(Addr addr, std::uint32_t way) const
+    {
+        return setBase(addr) + way;
+    }
+
+  protected:
+    std::size_t
+    setBase(Addr addr) const
+    {
+        return std::size_t((addr >> lineShift) & indexMask) * numWays;
+    }
+
+    /**
+     * Move @p way to the MRU position of its set, shifting the
+     * younger entries down.  Derived classes with side-car state
+     * override rotateHook to keep their arrays in step.
+     */
+    void
+    promote(std::size_t base, std::uint32_t way)
+    {
+        if (way == 0)
+            return;
+        const Addr line = tags[base + way];
+        for (std::uint32_t w = way; w > 0; --w)
+            tags[base + w] = tags[base + w - 1];
+        tags[base] = line;
+        rotated(base, way);
+    }
+
+    /** Notification that ways [0, way] of @p base rotated by one. */
+    virtual void rotated(std::size_t base, std::uint32_t way)
+    {
+        (void)base;
+        (void)way;
+    }
+
+    virtual ~SetAssocTags() = default;
+
+  private:
+    std::uint32_t lineSize;
+    std::uint32_t numWays;
+    std::uint32_t numSets;
+    std::uint64_t indexMask;
+    unsigned lineShift;
+    std::vector<Addr> tags;
+};
+
+} // namespace detail
+
+/**
+ * The primary cache: write-through, write-allocate, valid/invalid
+ * lines only (also used for the instruction cache).
+ */
+class L1Cache : public detail::SetAssocTags
+{
+  public:
+    /**
+     * @param size      Capacity in bytes (power of two).
+     * @param line_size Line size in bytes (power of two).
+     * @param ways      Associativity (default direct-mapped).
+     */
+    L1Cache(std::uint32_t size, std::uint32_t line_size,
+            std::uint32_t ways = 1)
+        : SetAssocTags(size, line_size, ways)
+    {}
+
+    /**
+     * Install the line containing @p addr.
+     * @return The evicted victim's line address, or invalidAddr.
+     */
+    Addr fill(Addr addr) { return insert(addr); }
+
+    /** Invalidate the line containing @p addr if present. */
+    void invalidate(Addr addr) { remove(addr); }
+
+    /** Invalidate every line. */
+    void flush() { clear(); }
+};
+
+/**
+ * The secondary cache: write-back, MESI states, LRU replacement.
+ */
+class L2Cache : public detail::SetAssocTags
+{
+  public:
+    L2Cache(std::uint32_t size, std::uint32_t line_size,
+            std::uint32_t ways = 1)
+        : SetAssocTags(size, line_size, ways),
+          states(std::size_t{sets()} * this->ways(), LineState::Invalid)
+    {}
+
+    /** State of the line containing @p addr (Invalid if absent). */
+    LineState
+    state(Addr addr) const
+    {
+        const std::uint32_t way = find(addr);
+        return way < ways() ? states[slot(addr, way)] : LineState::Invalid;
+    }
+
+    bool contains(Addr addr) const
+    {
+        return state(addr) != LineState::Invalid;
+    }
+
+    /**
+     * Install the line containing @p addr in @p new_state.
+     *
+     * @param[out] victim       Line address of the evicted line, or
+     *                          invalidAddr.
+     * @param[out] victim_dirty True iff the victim was Modified.
+     */
+    void
+    fill(Addr addr, LineState new_state, Addr &victim, bool &victim_dirty)
+    {
+        victim = invalidAddr;
+        victim_dirty = false;
+        if (find(addr) >= ways()) {
+            // Capture the would-be victim's state before insertion.
+            const auto [victim_line, victim_way] = peekVictim(addr);
+            victim = victim_line;
+            victim_dirty = victim != invalidAddr &&
+                states[slot(addr, victim_way)] == LineState::Modified;
+        }
+        insert(addr);
+        states[slot(addr, 0)] = new_state;
+    }
+
+    /** Change the state of a resident line. */
+    void
+    setState(Addr addr, LineState new_state)
+    {
+        const std::uint32_t way = find(addr);
+        if (way >= ways())
+            panic("L2Cache::setState on absent line");
+        states[slot(addr, way)] = new_state;
+    }
+
+    /** Invalidate the line containing @p addr if present. */
+    void
+    invalidate(Addr addr)
+    {
+        const std::uint32_t way = find(addr);
+        if (way < ways()) {
+            states[slot(addr, way)] = LineState::Invalid;
+            remove(addr);
+        }
+    }
+
+    void
+    flush()
+    {
+        clear();
+        states.assign(states.size(), LineState::Invalid);
+    }
+
+  private:
+    void
+    rotated(std::size_t base, std::uint32_t way) override
+    {
+        const LineState moved = states[base + way];
+        for (std::uint32_t w = way; w > 0; --w)
+            states[base + w] = states[base + w - 1];
+        states[base] = moved;
+    }
+
+    std::vector<LineState> states;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_MEM_CACHE_HH

@@ -1,0 +1,659 @@
+#include "mem/memsys.hh"
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+MemorySystem::MemorySystem(const MachineConfig &config) : cfg(config)
+{
+    cfg.check();
+    cpus.reserve(cfg.numCpus);
+    for (unsigned i = 0; i < cfg.numCpus; ++i)
+        cpus.emplace_back(cfg);
+}
+
+bool
+MemorySystem::isUpdateAddr(Addr addr) const
+{
+    if (updatePages == nullptr || updatePages->empty())
+        return false;
+    return updatePages->count(alignDown(addr, Addr{4096})) != 0;
+}
+
+bool
+MemorySystem::l1Contains(CpuId cpu, Addr addr) const
+{
+    return cpus[cpu].l1.contains(addr);
+}
+
+LineState
+MemorySystem::l2State(CpuId cpu, Addr addr) const
+{
+    return cpus[cpu].l2.state(addr);
+}
+
+MissCause
+MemorySystem::classifyMiss(CpuMem &mem, Addr line)
+{
+    if (mem.coherenceInvalidated.count(line))
+        return MissCause::Coherence;
+    if (bypassedLines.count(line))
+        return MissCause::Reuse;
+    if (mem.blockOpEvicted.count(line))
+        return MissCause::Displacement;
+    return MissCause::Plain;
+}
+
+void
+MemorySystem::fillL1(CpuMem &mem, Addr addr, bool block_op_fill)
+{
+    const Addr line = mem.l1.lineAddr(addr);
+    const Addr victim = mem.l1.fill(addr);
+    if (victim != invalidAddr) {
+        if (block_op_fill)
+            mem.blockOpEvicted.insert(victim);
+        else
+            mem.blockOpEvicted.erase(victim);
+    }
+    // A fresh residency wipes any stale classification marks.
+    mem.coherenceInvalidated.erase(line);
+    mem.blockOpEvicted.erase(line);
+    bypassedLines.erase(line);
+}
+
+void
+MemorySystem::snoopInvalidate(CpuId requester, Addr l2_line)
+{
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == requester)
+            continue;
+        CpuMem &other = cpus[c];
+        if (other.l2.state(l2_line) == LineState::Invalid)
+            continue;
+        other.l2.invalidate(l2_line);
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize) {
+            const Addr sub = l2_line + off;
+            if (other.l1.contains(sub)) {
+                other.l1.invalidate(sub);
+                other.coherenceInvalidated.insert(sub);
+            }
+        }
+    }
+}
+
+bool
+MemorySystem::snoopUpdate(CpuId requester, Addr l2_line)
+{
+    bool any = false;
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == requester)
+            continue;
+        CpuMem &other = cpus[c];
+        if (other.l2.state(l2_line) == LineState::Invalid)
+            continue;
+        any = true;
+        // Sharers keep their (updated) copies; everyone ends Shared
+        // and memory holds the latest data (Firefly semantics).
+        other.l2.setState(l2_line, LineState::Shared);
+    }
+    return any;
+}
+
+LineState
+MemorySystem::readFillState(CpuId requester, Addr l2_line) const
+{
+    if (sharedElsewhere(requester, l2_line))
+        return LineState::Shared;
+    // Illinois grants clean-exclusive on a private read; plain MSI
+    // loads Shared and pays an upgrade on the first write.
+    return cfg.protocol == CoherenceProtocol::Illinois
+        ? LineState::Exclusive : LineState::Shared;
+}
+
+bool
+MemorySystem::sharedElsewhere(CpuId requester, Addr l2_line) const
+{
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == requester)
+            continue;
+        if (cpus[c].l2.state(l2_line) != LineState::Invalid)
+            return true;
+    }
+    return false;
+}
+
+Cycles
+MemorySystem::busReadLine(CpuId cpu, Addr l2_line, Cycles when,
+                          bool exclusive)
+{
+    const Cycles grant = theBus.acquire(when, cfg.lineTransferOccupancy,
+                                        BusTxn::LineFill, cfg.l2LineSize);
+    bool supplied = false;
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == cpu)
+            continue;
+        CpuMem &other = cpus[c];
+        const LineState st = other.l2.state(l2_line);
+        if (st == LineState::Invalid)
+            continue;
+        if (st == LineState::Modified)
+            supplied = true; // Owner supplies; memory is updated.
+        if (exclusive) {
+            other.l2.invalidate(l2_line);
+            for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                 off += cfg.l1LineSize) {
+                const Addr sub = l2_line + off;
+                if (other.l1.contains(sub)) {
+                    other.l1.invalidate(sub);
+                    other.coherenceInvalidated.insert(sub);
+                }
+            }
+        } else {
+            other.l2.setState(l2_line, LineState::Shared);
+        }
+    }
+    (void)supplied; // Cache-to-cache supply uses the same timing.
+    return grant + cfg.busMemLatency();
+}
+
+void
+MemorySystem::fillL2(CpuId cpu, Addr l2_line, LineState state, Cycles when)
+{
+    CpuMem &mem = cpus[cpu];
+    Addr victim = invalidAddr;
+    bool victim_dirty = false;
+    mem.l2.fill(l2_line, state, victim, victim_dirty);
+    if (victim != invalidAddr) {
+        // Inclusion: primary copies of the victim die with it.
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize)
+            mem.l1.invalidate(victim + off);
+        if (victim_dirty)
+            theBus.acquire(when, cfg.lineTransferOccupancy,
+                           BusTxn::WriteBack, cfg.l2LineSize);
+    }
+}
+
+Cycles
+MemorySystem::scheduleL2WbEntry(CpuMem &mem, Addr l2_line, Cycles ready,
+                                Cycles occupancy, BusTxn kind,
+                                std::uint32_t bytes)
+{
+    const Cycles slot_wait = mem.l2Wb.stallUntilSlot(ready);
+    const Cycles start = mem.l2Wb.nextServiceStart(ready + slot_wait);
+    const Cycles grant = theBus.acquire(start, occupancy, kind, bytes);
+    const Cycles done = grant + occupancy;
+    mem.l2Wb.push(l2_line, done);
+    return done;
+}
+
+AccessResult
+MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
+{
+    CpuMem &mem = cpus[cpu];
+    AccessResult res;
+    const Addr line = l1Line(addr);
+    const Addr l2line = l2Line(addr);
+
+    // Reads bypass buffered writes except to the same line: if the
+    // line is not cached but a write to it is still draining, the
+    // read must wait for the drain.
+    if (!mem.l1.contains(addr)) {
+        const Cycles pend = std::max(mem.l1Wb.pendingLineDrain(line),
+                                     mem.l2Wb.pendingLineDrain(l2line));
+        if (pend > now)
+            now = pend;
+    }
+
+    // Outstanding fill (typically prefetch-initiated)?
+    auto in_flight = mem.inFlight.find(line);
+    if (in_flight != mem.inFlight.end()) {
+        const InFlightFill fill = in_flight->second;
+        mem.inFlight.erase(in_flight);
+        if (fill.readyAt > now) {
+            // Late prefetch: the miss is only partially hidden.
+            res.completeAt = fill.readyAt;
+            res.l1Miss = true;
+            res.level = ServiceLevel::InFlight;
+            res.cause = fill.cause;
+            res.partiallyHidden = fill.byPrefetch;
+            res.stall = res.completeAt - (now + cfg.l1HitLatency);
+            return res;
+        }
+        // Fill completed before the demand access: a full hit.
+    }
+
+    if (mem.l1.touch(addr)) {
+        res.completeAt = now + cfg.l1HitLatency;
+        return res;
+    }
+
+    res.l1Miss = true;
+    res.cause = classifyMiss(mem, line);
+
+    if (mem.l2.touch(addr)) {
+        res.level = ServiceLevel::L2;
+        res.completeAt = now + cfg.l2HitLatency;
+    } else {
+        res.level = ServiceLevel::Memory;
+        const Cycles detect = now + cfg.l2HitLatency;
+        const Cycles arrive = busReadLine(cpu, l2line, detect, false);
+        res.completeAt = arrive;
+        if (ctx.allocate)
+            fillL2(cpu, l2line, readFillState(cpu, l2line), arrive);
+    }
+
+    if (ctx.allocate) {
+        fillL1(mem, addr, ctx.blockOpBody);
+    } else {
+        // Bypassed read: in a processor-driven copy this line would
+        // now be cached; its first future touch is a reuse miss.
+        bypassedLines.insert(line);
+    }
+    res.stall = res.completeAt - (now + cfg.l1HitLatency);
+    return res;
+}
+
+AccessResult
+MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
+                    const AccessContext &ctx)
+{
+    CpuMem &mem = cpus[cpu];
+    AccessResult res;
+    const Addr line = l1Line(addr);
+    const Addr l2line = l2Line(addr);
+
+    // Stall only on a full L1-to-L2 write buffer.
+    const Cycles wb_stall = mem.l1Wb.stallUntilSlot(now);
+    res.stall = wb_stall;
+    now += wb_stall;
+    res.completeAt = now + cfg.l1HitLatency;
+
+    const Cycles service = mem.l1Wb.nextServiceStart(now);
+
+    const LineState st = mem.l2.state(addr);
+    Cycles drained;
+    if (st == LineState::Modified || st == LineState::Exclusive) {
+        // Local write: silently upgrade Exclusive to Modified.
+        mem.l2.touch(addr);
+        mem.l2.setState(addr, LineState::Modified);
+        drained = service + cfg.l2WriteLatency;
+    } else if (isUpdateAddr(addr)) {
+        // Firefly update protocol for this page.
+        Cycles ready = service + cfg.l2WriteLatency;
+        if (st == LineState::Invalid) {
+            // Fetch the line first (sharers keep their copies).
+            const Cycles arrive = busReadLine(cpu, l2line, ready, false);
+            fillL2(cpu, l2line, LineState::Shared, arrive);
+            ready = arrive;
+        }
+        if (sharedElsewhere(cpu, l2line)) {
+            snoopUpdate(cpu, l2line);
+            mem.l2.setState(l2line, LineState::Shared);
+            drained = scheduleL2WbEntry(mem, l2line, ready,
+                                        cfg.updateOccupancy, BusTxn::Update,
+                                        ctx.blockOpBody ? 8 : 4);
+        } else {
+            // No sharers: behave like an ordinary owned write.
+            mem.l2.setState(l2line, LineState::Modified);
+            drained = ready;
+        }
+    } else if (st == LineState::Shared) {
+        // Invalidation-only transaction, then write locally.
+        snoopInvalidate(cpu, l2line);
+        mem.l2.setState(addr, LineState::Modified);
+        drained = scheduleL2WbEntry(mem, l2line, service + cfg.l2WriteLatency,
+                                    cfg.invalOccupancy, BusTxn::Invalidate, 0);
+    } else {
+        // Write miss: read-for-ownership, allocate Modified.  The
+        // buffer slot frees once the bus phase ends; the returning
+        // data overlaps with later drains (the secondary cache is
+        // lockup-free).
+        const Cycles slot_wait = mem.l2Wb.stallUntilSlot(service);
+        const Cycles start =
+            mem.l2Wb.nextServiceStart(service + slot_wait);
+        const Cycles arrive = busReadLine(cpu, l2line, start, true);
+        fillL2(cpu, l2line, LineState::Modified, arrive);
+        drained = arrive - cfg.busMemLatency() + cfg.lineTransferOccupancy;
+        mem.l2Wb.push(l2line, drained);
+    }
+
+    mem.l1Wb.push(line, drained);
+
+    // Write-allocate primary cache: install the line so subsequent
+    // reads of freshly written data hit (the fill itself happens in
+    // the background and does not stall the processor).
+    if (!mem.l1.contains(addr))
+        fillL1(mem, addr, ctx.blockOpBody);
+
+    return res;
+}
+
+void
+MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
+                       const AccessContext &ctx)
+{
+    CpuMem &mem = cpus[cpu];
+    const Addr line = l1Line(addr);
+    const Addr l2line = l2Line(addr);
+
+    if (mem.l1.contains(addr) || mem.inFlight.count(line))
+        return; // Already present or already being fetched.
+
+    // Prune completed fills; drop the prefetch when no outstanding-
+    // miss register is free (lockup-free cache with finite MSHRs).
+    for (auto it = mem.inFlight.begin(); it != mem.inFlight.end();) {
+        if (it->second.readyAt <= now)
+            it = mem.inFlight.erase(it);
+        else
+            ++it;
+    }
+    if (mem.inFlight.size() >= cfg.mshrCount)
+        return;
+
+    InFlightFill fill;
+    fill.byPrefetch = true;
+    fill.cause = classifyMiss(mem, line);
+
+    if (mem.l2.contains(addr)) {
+        fill.readyAt = now + cfg.l2HitLatency;
+    } else {
+        const Cycles detect = now + cfg.l2HitLatency;
+        const Cycles arrive = busReadLine(cpu, l2line, detect, false);
+        fillL2(cpu, l2line, readFillState(cpu, l2line), arrive);
+        fill.readyAt = arrive;
+    }
+
+    fillL1(mem, addr, ctx.blockOpBody);
+    mem.inFlight.emplace(line, fill);
+}
+
+AccessResult
+MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
+                              const AccessContext &ctx)
+{
+    (void)ctx;
+    CpuMem &mem = cpus[cpu];
+    AccessResult res;
+    const Addr l2line = l2Line(addr);
+
+    // The bypass register feeds the L2-to-bus write buffer directly;
+    // the processor stalls when that buffer is full.
+    const Cycles slot_wait = mem.l2Wb.stallUntilSlot(now);
+    res.stall = slot_wait;
+    now += slot_wait;
+    res.completeAt = now + cfg.l1HitLatency;
+
+    // Stale copies elsewhere must die; the full-line write then goes
+    // straight to memory.
+    snoopInvalidate(cpu, l2line);
+    const Cycles start = mem.l2Wb.nextServiceStart(now);
+    const Cycles grant = theBus.acquire(start, cfg.lineTransferOccupancy,
+                                        BusTxn::WriteBack, cfg.l2LineSize);
+    mem.l2Wb.push(l2line, grant + cfg.lineTransferOccupancy);
+
+    // The destination line ends up uncached: future first reuses miss.
+    for (std::uint32_t off = 0; off < cfg.l2LineSize; off += cfg.l1LineSize)
+        bypassedLines.insert(l2line + off);
+    return res;
+}
+
+AccessResult
+MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
+                              const AccessContext &ctx, bool invalidate)
+{
+    (void)ctx;
+    CpuMem &mem = cpus[cpu];
+    AccessResult res;
+    const Addr l2line = l2Line(addr);
+
+    const Cycles slot_wait = mem.l2Wb.stallUntilSlot(now);
+    res.stall = slot_wait;
+    now += slot_wait;
+    res.completeAt = now + cfg.l1HitLatency;
+
+    if (invalidate)
+        snoopInvalidate(cpu, l2line);
+    const Cycles start = mem.l2Wb.nextServiceStart(now);
+    const Cycles grant = theBus.acquire(start, cfg.wordWriteOccupancy,
+                                        BusTxn::WriteBack, 4);
+    mem.l2Wb.push(l2line, grant + cfg.wordWriteOccupancy);
+
+    bypassedLines.insert(l1Line(addr));
+    return res;
+}
+
+void
+MemorySystem::prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now)
+{
+    CpuMem &mem = cpus[cpu];
+    const Addr line = l1Line(addr);
+
+    unsigned pending = 0;
+    for (const auto &entry : mem.prefetchBuffer) {
+        if (entry.lineAddr == line)
+            return; // Already buffered.
+        if (entry.readyAt > now)
+            ++pending;
+    }
+    // The buffer's fetch engine sustains a few outstanding fills;
+    // further prefetches are dropped (and show up as misses the
+    // prefetch could not hide, as in the paper's Blk_ByPref).
+    if (pending >= 4)
+        return;
+
+    if (mem.prefetchBuffer.size() >= cfg.blockPrefetchBufferLines)
+        mem.prefetchBuffer.pop_front();
+
+    BufferLine entry;
+    entry.lineAddr = line;
+    if (mem.l1.contains(addr)) {
+        entry.readyAt = now + cfg.l1HitLatency;
+    } else if (mem.l2.contains(addr)) {
+        entry.readyAt = now + cfg.l2HitLatency;
+    } else {
+        // Fetch at primary-line granularity; occupancy scales with
+        // the fraction of a secondary line moved.
+        const Cycles occ = std::max<Cycles>(
+            cfg.invalOccupancy,
+            cfg.lineTransferOccupancy * cfg.l1LineSize / cfg.l2LineSize);
+        const Cycles grant = theBus.acquire(now, occ, BusTxn::LineFill,
+                                            cfg.l1LineSize);
+        entry.readyAt = grant + cfg.busMemLatency();
+        // Snoop: a Modified owner must supply and demote.
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            if (c == cpu)
+                continue;
+            if (cpus[c].l2.state(l2Line(addr)) == LineState::Modified)
+                cpus[c].l2.setState(l2Line(addr), LineState::Shared);
+        }
+    }
+    mem.prefetchBuffer.push_back(entry);
+}
+
+AccessResult
+MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
+                                    const AccessContext &ctx)
+{
+    CpuMem &mem = cpus[cpu];
+    const Addr line = l1Line(addr);
+
+    // Own caches first (a cache access is performed when the block
+    // data is already resident) — without allocation.
+    if (mem.l1.contains(addr)) {
+        AccessResult res;
+        res.completeAt = now + cfg.l1HitLatency;
+        return res;
+    }
+
+    for (auto it = mem.prefetchBuffer.begin();
+         it != mem.prefetchBuffer.end(); ++it) {
+        if (it->lineAddr != line)
+            continue;
+        AccessResult res;
+        if (it->readyAt > now) {
+            // Prefetch not issued early enough: partial hiding.
+            res.completeAt = it->readyAt;
+            res.l1Miss = true;
+            res.level = ServiceLevel::InFlight;
+            res.cause = classifyMiss(mem, line);
+            res.partiallyHidden = true;
+            res.stall = res.completeAt - (now + cfg.l1HitLatency);
+        } else {
+            res.completeAt = now + cfg.l1HitLatency;
+            res.level = ServiceLevel::PrefetchBuffer;
+        }
+        return res;
+    }
+
+    // Not buffered at all: fetch without allocating (read() marks
+    // the line as a reuse candidate).
+    AccessContext no_alloc = ctx;
+    no_alloc.allocate = false;
+    return read(cpu, addr, now, no_alloc);
+}
+
+void
+MemorySystem::codeFill(CpuId cpu, Addr code_addr, std::uint32_t bytes)
+{
+    // The secondary cache is unified: instruction fills occupy lines
+    // and evict data.  The timing and bus cost of instruction misses
+    // are modeled statistically (SimOptions::osImissCpi); here only
+    // the capacity effect on data is applied.
+    CpuMem &mem = cpus[cpu];
+    const Addr end = alignUp(code_addr + bytes, cfg.l2LineSize);
+    for (Addr a = alignDown(code_addr, cfg.l2LineSize); a < end;
+         a += cfg.l2LineSize) {
+        if (mem.l2.state(a) != LineState::Invalid)
+            continue;
+        Addr victim = invalidAddr;
+        bool victim_dirty = false;
+        mem.l2.fill(a, LineState::Exclusive, victim, victim_dirty);
+        if (victim != invalidAddr) {
+            for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                 off += cfg.l1LineSize)
+                mem.l1.invalidate(victim + off);
+        }
+    }
+}
+
+Cycles
+MemorySystem::instructionFetch(CpuId cpu, Addr code_addr,
+                               std::uint32_t bytes, Cycles now)
+{
+    CpuMem &mem = cpus[cpu];
+    Cycles stall = 0;
+    const Addr end = alignUp(code_addr + bytes, cfg.iCacheLineSize);
+    for (Addr a = alignDown(code_addr, cfg.iCacheLineSize); a < end;
+         a += cfg.iCacheLineSize) {
+        if (mem.icache.contains(a))
+            continue;
+        mem.icache.fill(a);
+        const Addr l2line = l2Line(a);
+        if (mem.l2.state(l2line) != LineState::Invalid) {
+            stall += cfg.l2HitLatency;
+            continue;
+        }
+        // Fetch the code line over the bus into the unified L2.
+        const Cycles grant =
+            theBus.acquire(now + stall + cfg.l2HitLatency,
+                           cfg.lineTransferOccupancy, BusTxn::LineFill,
+                           cfg.l2LineSize);
+        stall = grant + cfg.busMemLatency() - now;
+        fillL2(cpu, l2line, LineState::Exclusive, now + stall);
+    }
+    return stall;
+}
+
+Cycles
+MemorySystem::fence(CpuId cpu, Cycles now)
+{
+    CpuMem &mem = cpus[cpu];
+    Cycles done = now;
+    if (mem.l1Wb.lastCompletion() > done)
+        done = mem.l1Wb.lastCompletion();
+    if (mem.l2Wb.lastCompletion() > done)
+        done = mem.l2Wb.lastCompletion();
+    mem.l1Wb.prune(done);
+    mem.l2Wb.prune(done);
+    return done;
+}
+
+Cycles
+MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
+{
+    CpuMem &mem = cpus[cpu];
+    const Addr src_begin = op.isCopy() ? l2Line(op.src) : invalidAddr;
+    const Addr dst_begin = l2Line(op.dst);
+    const Addr dst_end = alignUp(op.dst + op.size, cfg.l2LineSize);
+
+    // A copy moves each 8 bytes across the bus twice (source read,
+    // destination write); a zero only writes, at twice the rate.
+    const Cycles per8 =
+        op.isCopy() ? cfg.dmaPer8Bytes : (cfg.dmaPer8Bytes + 1) / 2;
+    Cycles occupancy = cfg.dmaStartup + ((op.size + 7) / 8) * per8;
+
+    // Dirty source lines slow the transfer: their owners supply them.
+    if (op.isCopy()) {
+        const Addr src_end = alignUp(op.src + op.size, cfg.l2LineSize);
+        for (Addr a = src_begin; a < src_end; a += cfg.l2LineSize) {
+            for (CpuId c = 0; c < cfg.numCpus; ++c) {
+                if (cpus[c].l2.state(a) == LineState::Modified) {
+                    occupancy += cfg.dmaDirtySupplyPenalty;
+                    cpus[c].l2.setState(a, LineState::Shared);
+                    break;
+                }
+            }
+        }
+    }
+
+    const Cycles grant = theBus.acquire(now, occupancy, BusTxn::Dma,
+                                        op.size);
+    const Cycles done = grant + occupancy;
+
+    // Destination lines: resident copies anywhere are updated in
+    // place (the update propagates to the primary caches, whose
+    // copies simply stay valid); unresident lines stay out of the
+    // caches and become reuse candidates.
+    for (Addr a = dst_begin; a < dst_end; a += cfg.l2LineSize) {
+        bool cached_anywhere = false;
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            if (cpus[c].l2.state(a) != LineState::Invalid) {
+                cached_anywhere = true;
+                cpus[c].l2.setState(a, LineState::Shared);
+                for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                     off += cfg.l1LineSize) {
+                    // Updated data: clear any stale coherence marks.
+                    cpus[c].coherenceInvalidated.erase(a + off);
+                }
+            }
+        }
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize) {
+            if (cached_anywhere)
+                bypassedLines.erase(a + off);
+            else
+                bypassedLines.insert(a + off);
+        }
+    }
+
+    // Source lines the originator does not hold would have been
+    // fetched into its caches by a processor-driven copy; with DMA
+    // they stay out, so their first future touch is a reuse.
+    if (op.isCopy()) {
+        const Addr src_end = alignUp(op.src + op.size, cfg.l2LineSize);
+        for (Addr a = src_begin; a < src_end; a += cfg.l2LineSize) {
+            if (mem.l2.state(a) != LineState::Invalid)
+                continue;
+            for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                 off += cfg.l1LineSize)
+                bypassedLines.insert(a + off);
+        }
+    }
+
+    return done;
+}
+
+} // namespace oscache

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The multiprocessor memory system.
+ *
+ * MemorySystem owns, per processor, the primary and secondary caches,
+ * both write buffers, the in-flight (lockup-free) fill registers, and
+ * the Blk_ByPref source prefetch buffer; and, shared, the
+ * split-transaction bus and the Illinois/Firefly coherence state.
+ * Coherence is snooping: every bus transaction probes the other
+ * processors' secondary caches directly (there are only three).
+ *
+ * The class also carries the bookkeeping needed to reproduce the
+ * paper's miss taxonomy:
+ *
+ *  - per-processor sets of lines invalidated by coherence (a
+ *    subsequent primary-cache miss on such a line is a coherence
+ *    miss),
+ *  - per-processor sets of lines whose last eviction was caused by a
+ *    block-operation fill (a subsequent miss is a block *displacement*
+ *    miss, Section 4.1.3),
+ *  - a global set of lines last touched by a cache-bypassing block
+ *    operation (a subsequent miss is a *reuse* miss, Section 4.1.3).
+ *
+ * Writes to lines in pages registered with setUpdatePages() use the
+ * Firefly update protocol instead of Illinois invalidations
+ * (Section 5.2's selective update).
+ */
+
+#ifndef OSCACHE_MEM_MEMSYS_HH
+#define OSCACHE_MEM_MEMSYS_HH
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/access.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "mem/write_buffer.hh"
+#include "trace/blockop.hh"
+
+namespace oscache
+{
+
+/**
+ * The complete bus-based multiprocessor memory system.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MachineConfig &config);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /** @name Processor-side operations @{ */
+
+    /**
+     * Blocking data read.  With ctx.allocate false the caches are
+     * probed but a missing line is fetched without being installed
+     * (the Blk_Bypass source path).
+     */
+    AccessResult read(CpuId cpu, Addr addr, Cycles now,
+                      const AccessContext &ctx);
+
+    /**
+     * Buffered data write (write-through L1, write-allocate; release
+     * consistency).  The processor stalls only on write-buffer
+     * overflow.
+     */
+    AccessResult write(CpuId cpu, Addr addr, Cycles now,
+                       const AccessContext &ctx);
+
+    /**
+     * Non-binding software prefetch of the line containing @p addr
+     * into both cache levels.  Dropped when all outstanding-miss
+     * registers are busy.
+     */
+    void prefetch(CpuId cpu, Addr addr, Cycles now,
+                  const AccessContext &ctx);
+
+    /**
+     * Full secondary-line bypass write (Blk_Bypass destination path):
+     * the line goes from the bypass register through the L2-to-bus
+     * write buffer to memory without entering this processor's
+     * caches; stale copies elsewhere are invalidated.
+     */
+    AccessResult writeBypassLine(CpuId cpu, Addr addr, Cycles now,
+                                 const AccessContext &ctx);
+
+    /**
+     * Single bypassed word write (Blk_Bypass deposits its destination
+     * words into the L2-to-bus write buffer one by one — the effect
+     * the paper blames for the scheme's write-buffer overflow).
+     * @param invalidate Snoop-invalidate the line (first word only).
+     */
+    AccessResult writeBypassWord(CpuId cpu, Addr addr, Cycles now,
+                                 const AccessContext &ctx,
+                                 bool invalidate);
+
+    /**
+     * Prefetch a primary-cache-sized line into the Blk_ByPref source
+     * prefetch buffer (FIFO of blockPrefetchBufferLines entries).
+     */
+    void prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now);
+
+    /**
+     * Read through the Blk_ByPref prefetch buffer: own caches are
+     * probed first (without allocation on miss), then the buffer,
+     * then the bus.
+     */
+    AccessResult readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
+                                       const AccessContext &ctx);
+
+    /**
+     * Instruction-fetch pressure on the unified secondary cache:
+     * install the code lines of a basic block, evicting data
+     * victims.  Timing is handled by the statistical I-miss model.
+     */
+    void codeFill(CpuId cpu, Addr code_addr, std::uint32_t bytes);
+
+    /**
+     * Detailed instruction-fetch model: probe the 16-KB primary
+     * instruction cache for every code line of the block, filling
+     * misses from the unified L2 (or, beyond it, the bus) and
+     * charging their latency.  Subsumes codeFill's capacity effect.
+     *
+     * @return The instruction-miss stall in cycles.
+     */
+    Cycles instructionFetch(CpuId cpu, Addr code_addr, std::uint32_t bytes,
+                            Cycles now);
+
+    /**
+     * Release-consistency fence: returns the cycle by which both of
+     * this processor's write buffers have drained.
+     */
+    Cycles fence(CpuId cpu, Cycles now);
+
+    /**
+     * Execute a whole block operation with the DMA-like engine
+     * (Blk_Dma): the bus is held for the duration, caches are
+     * bypassed but kept coherent by snooping (resident destination
+     * lines are updated in place, dirty source lines are supplied by
+     * their owners).
+     *
+     * @return The cycle at which the operation (and the stalled
+     *         originating processor) completes.
+     */
+    Cycles dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now);
+
+    /** @} */
+
+    /** @name Configuration and inspection @{ */
+
+    /** Register the set of page-aligned update-protocol pages. */
+    void
+    setUpdatePages(const std::unordered_set<Addr> *pages)
+    {
+        updatePages = pages;
+    }
+
+    const MachineConfig &config() const { return cfg; }
+    Bus &bus() { return theBus; }
+    const Bus &bus() const { return theBus; }
+
+    /** True iff @p cpu's primary cache holds the line of @p addr. */
+    bool l1Contains(CpuId cpu, Addr addr) const;
+    /** State of @p addr's line in @p cpu's secondary cache. */
+    LineState l2State(CpuId cpu, Addr addr) const;
+
+    /** @} */
+
+  private:
+    /** In-flight fill of a primary-cache line (lockup-free L2). */
+    struct InFlightFill
+    {
+        Cycles readyAt = 0;
+        MissCause cause = MissCause::Plain;
+        bool byPrefetch = false;
+    };
+
+    /** One entry of the Blk_ByPref source prefetch buffer. */
+    struct BufferLine
+    {
+        Addr lineAddr = invalidAddr;
+        Cycles readyAt = 0;
+    };
+
+    /** All per-processor state. */
+    struct CpuMem
+    {
+        CpuMem(const MachineConfig &c)
+            : l1(c.l1Size, c.l1LineSize, c.l1Ways),
+              icache(c.iCacheSize, c.iCacheLineSize),
+              l2(c.l2Size, c.l2LineSize, c.l2Ways),
+              l1Wb(c.l1WriteBufferDepth),
+              l2Wb(c.l2WriteBufferDepth)
+        {}
+
+        L1Cache l1;
+        /** Primary instruction cache (valid/invalid lines). */
+        L1Cache icache;
+        L2Cache l2;
+        WriteBuffer l1Wb;
+        WriteBuffer l2Wb;
+        /** Keyed by primary-line address. */
+        std::unordered_map<Addr, InFlightFill> inFlight;
+        /** Primary lines invalidated by another processor. */
+        std::unordered_set<Addr> coherenceInvalidated;
+        /** Primary lines last evicted by a block-operation fill. */
+        std::unordered_set<Addr> blockOpEvicted;
+        /** Blk_ByPref source prefetch buffer (FIFO). */
+        std::deque<BufferLine> prefetchBuffer;
+    };
+
+    /** @name Internal helpers @{ */
+
+    Addr l1Line(Addr addr) const { return alignDown(addr, cfg.l1LineSize); }
+    Addr l2Line(Addr addr) const { return alignDown(addr, cfg.l2LineSize); }
+
+    bool isUpdateAddr(Addr addr) const;
+
+    /** Classify the cause of a primary-cache read miss. */
+    MissCause classifyMiss(CpuMem &mem, Addr line);
+
+    /**
+     * Install a primary line, recording the eviction cause of the
+     * victim and clearing stale classification marks for the line.
+     */
+    void fillL1(CpuMem &mem, Addr addr, bool block_op_fill);
+
+    /**
+     * Invalidate the line of @p addr in every processor except
+     * @p requester, marking coherence-invalidated primary lines.
+     */
+    void snoopInvalidate(CpuId requester, Addr l2_line);
+
+    /**
+     * Firefly update: sharers keep their (now updated) copies.
+     * @return true iff any other processor held the line.
+     */
+    bool snoopUpdate(CpuId requester, Addr l2_line);
+
+    /** True iff any processor other than @p requester holds the line. */
+    bool sharedElsewhere(CpuId requester, Addr l2_line) const;
+
+    /** Fill state a read miss installs (protocol dependent). */
+    LineState readFillState(CpuId requester, Addr l2_line) const;
+
+    /**
+     * Perform the bus read for a missing secondary line, including
+     * snooping (Illinois: a Modified owner supplies the line and
+     * both end Shared; with @p exclusive all other copies die).
+     *
+     * @param when  Cycle the request reaches the bus queue.
+     * @return The cycle the data arrives at the requester.
+     */
+    Cycles busReadLine(CpuId cpu, Addr l2_line, Cycles when, bool exclusive);
+
+    /**
+     * Install a secondary line, handling victim writeback and
+     * inclusion (covered primary lines of the victim die).
+     */
+    void fillL2(CpuId cpu, Addr l2_line, LineState state, Cycles when);
+
+    /**
+     * Schedule a write that needs the bus through the L2-to-bus write
+     * buffer.  @return the cycle the entry finishes draining.
+     */
+    Cycles scheduleL2WbEntry(CpuMem &mem, Addr l2_line, Cycles ready,
+                             Cycles occupancy, BusTxn kind,
+                             std::uint32_t bytes);
+
+    /** @} */
+
+    MachineConfig cfg;
+    Bus theBus;
+    std::vector<CpuMem> cpus;
+    /** Lines last touched by a bypassing block op and left uncached. */
+    std::unordered_set<Addr> bypassedLines;
+    const std::unordered_set<Addr> *updatePages = nullptr;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_MEM_MEMSYS_HH

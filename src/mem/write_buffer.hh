@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Timed FIFO write buffer.
+ *
+ * Entries carry an address (so reads can detect same-line pending
+ * writes) and the cycle at which the entry finishes draining.  The
+ * drain schedule is computed greedily at enqueue time: each entry
+ * starts when both the previous entry has finished and the enqueue
+ * has happened.  The processor stalls only when the buffer is full at
+ * enqueue time, per the paper's write-buffer-overflow accounting.
+ */
+
+#ifndef OSCACHE_MEM_WRITE_BUFFER_HH
+#define OSCACHE_MEM_WRITE_BUFFER_HH
+
+#include <deque>
+
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/**
+ * A bounded write buffer whose drain times are precomputed.
+ */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(unsigned depth) : capacity(depth) {}
+
+    /** Drop entries that have drained by @p now. */
+    void
+    prune(Cycles now)
+    {
+        while (!entries.empty() && entries.front().completeAt <= now)
+            entries.pop_front();
+    }
+
+    /**
+     * Cycles the producer must wait at @p now for a free slot.
+     * Zero when a slot is already free.
+     */
+    Cycles
+    stallUntilSlot(Cycles now)
+    {
+        prune(now);
+        if (entries.size() < capacity)
+            return 0;
+        return entries.front().completeAt - now;
+    }
+
+    /**
+     * Insert an entry whose drain completes at @p complete_at.
+     * The caller must have resolved any full-buffer stall first.
+     */
+    void
+    push(Addr line_addr, Cycles complete_at)
+    {
+        entries.push_back({line_addr, complete_at});
+        lastComplete = complete_at;
+    }
+
+    /**
+     * Earliest cycle a newly enqueued entry may start draining:
+     * after the most recently scheduled entry.
+     */
+    Cycles
+    nextServiceStart(Cycles now) const
+    {
+        return lastComplete > now ? lastComplete : now;
+    }
+
+    /** Completion time of the newest scheduled entry. */
+    Cycles lastCompletion() const { return lastComplete; }
+
+    /**
+     * Completion time of the latest pending write to @p line_addr,
+     * or 0 when none is pending (reads bypass writes except to the
+     * same line).
+     */
+    Cycles
+    pendingLineDrain(Addr line_addr) const
+    {
+        Cycles t = 0;
+        for (const auto &e : entries)
+            if (e.lineAddr == line_addr && e.completeAt > t)
+                t = e.completeAt;
+        return t;
+    }
+
+    /** Number of entries still draining at the last prune. */
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+    unsigned depth() const { return capacity; }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr;
+        Cycles completeAt;
+    };
+
+    unsigned capacity;
+    Cycles lastComplete = 0;
+    std::deque<Entry> entries;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_MEM_WRITE_BUFFER_HH

@@ -1,0 +1,60 @@
+#include "report/experiment.hh"
+
+#include <map>
+#include <tuple>
+
+#include "synth/generator.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+using CacheKey = std::tuple<int, bool, bool, bool>;
+
+std::map<CacheKey, Trace> &
+traceCache()
+{
+    static std::map<CacheKey, Trace> cache;
+    return cache;
+}
+
+const Trace &
+cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
+{
+    const CacheKey key{static_cast<int>(workload),
+                       options.privatizeCounters, options.relocate,
+                       options.selectiveUpdate};
+    auto &cache = traceCache();
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, generateTrace(workload, options)).first;
+    return it->second;
+}
+
+} // namespace
+
+RunResult
+runWorkload(WorkloadKind workload, const SystemSetup &setup,
+            const MachineConfig &machine)
+{
+    const Trace &trace = cachedTrace(workload, setup.coherence);
+    const WorkloadProfile profile = WorkloadProfile::forKind(workload);
+    return runOnTrace(trace, machine, profile.simOptions(), setup);
+}
+
+RunResult
+runWorkload(WorkloadKind workload, SystemKind kind,
+            const MachineConfig &machine)
+{
+    return runWorkload(workload, SystemSetup::forKind(kind), machine);
+}
+
+void
+clearTraceCache()
+{
+    traceCache().clear();
+}
+
+} // namespace oscache

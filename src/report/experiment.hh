@@ -1,0 +1,39 @@
+/**
+ * @file
+ * High-level experiment driver shared by the benchmark binaries:
+ * generate (and cache) the synthetic trace a named system needs,
+ * run it, and return the results.
+ */
+
+#ifndef OSCACHE_REPORT_EXPERIMENT_HH
+#define OSCACHE_REPORT_EXPERIMENT_HH
+
+#include "core/runner.hh"
+#include "core/system_config.hh"
+#include "mem/config.hh"
+#include "synth/profile.hh"
+
+namespace oscache
+{
+
+/**
+ * Run @p workload on system @p kind over machine @p machine.
+ *
+ * The trace is generated with the system's CoherenceOptions (the
+ * layout-level part of the optimization) and replayed under the
+ * system's block scheme and hot-spot pass.  Traces are cached per
+ * (workload, coherence-options) within the process.
+ */
+RunResult runWorkload(WorkloadKind workload, SystemKind kind,
+                      const MachineConfig &machine = MachineConfig::base());
+
+/** As above with an explicit setup (for ablations). */
+RunResult runWorkload(WorkloadKind workload, const SystemSetup &setup,
+                      const MachineConfig &machine = MachineConfig::base());
+
+/** Drop all cached traces (used between parameter sweeps). */
+void clearTraceCache();
+
+} // namespace oscache
+
+#endif // OSCACHE_REPORT_EXPERIMENT_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the figure-regenerating benchmark binaries.
+ */
+
+#ifndef OSCACHE_REPORT_FIGURES_HH
+#define OSCACHE_REPORT_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "report/experiment.hh"
+#include "report/table.hh"
+
+namespace oscache
+{
+
+/**
+ * Misses remaining visible after a run: total OS primary-cache read
+ * misses minus those whose latency a prefetch hid (the paper's
+ * "eliminate or hide" accounting).
+ */
+inline double
+remainingOsMisses(const SimStats &stats)
+{
+    return double(stats.osMissTotal() - stats.osMissPartiallyHidden);
+}
+
+/** "measured | paper" cell. */
+inline std::string
+cellVsPaper(double measured, double paper_value, int decimals = 2)
+{
+    return formatValue(measured, decimals) + " | " +
+           formatValue(paper_value, decimals);
+}
+
+/** Run every workload on @p kind and return the results. */
+inline std::vector<RunResult>
+runAllWorkloads(SystemKind kind,
+                const MachineConfig &machine = MachineConfig::base())
+{
+    std::vector<RunResult> results;
+    for (WorkloadKind w : allWorkloads)
+        results.push_back(runWorkload(w, kind, machine));
+    return results;
+}
+
+/** The standard four workload column headers. */
+inline std::vector<std::string>
+workloadColumns()
+{
+    return {"TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"};
+}
+
+} // namespace oscache
+
+#endif // OSCACHE_REPORT_FIGURES_HH

@@ -1,0 +1,111 @@
+#include "report/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace oscache
+{
+
+TextTable::TextTable(std::string title_, std::vector<std::string> columns_)
+    : title(std::move(title_)), columns(std::move(columns_))
+{
+}
+
+void
+TextTable::addRow(const std::string &label, std::vector<std::string> cells)
+{
+    rows.push_back(Row{false, label, std::move(cells)});
+}
+
+void
+TextTable::addRow(const std::string &label,
+                  const std::vector<double> &values, int decimals)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(formatValue(v, decimals));
+    addRow(label, std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back(Row{true, "", {}});
+}
+
+std::string
+TextTable::str() const
+{
+    std::size_t label_width = 24;
+    for (const auto &row : rows)
+        label_width = std::max(label_width, row.label.size() + 1);
+    std::size_t cell_width = 10;
+    for (const auto &col : columns)
+        cell_width = std::max(cell_width, col.size() + 2);
+    for (const auto &row : rows)
+        for (const auto &cell : row.cells)
+            cell_width = std::max(cell_width, cell.size() + 2);
+
+    std::ostringstream os;
+    const std::size_t total =
+        label_width + cell_width * columns.size();
+
+    os << title << "\n";
+    os << std::string(total, '=') << "\n";
+
+    auto pad = [](const std::string &s, std::size_t w) {
+        return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+    };
+    auto rpad = [](const std::string &s, std::size_t w) {
+        return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+    };
+
+    os << pad("", label_width);
+    for (const auto &col : columns)
+        os << rpad(col, cell_width);
+    os << "\n" << std::string(total, '-') << "\n";
+
+    for (const auto &row : rows) {
+        if (row.separator) {
+            os << std::string(total, '-') << "\n";
+            continue;
+        }
+        os << pad(row.label, label_width);
+        for (std::size_t i = 0; i < columns.size(); ++i)
+            os << rpad(i < row.cells.size() ? row.cells[i] : "", cell_width);
+        os << "\n";
+    }
+    os << std::string(total, '=') << "\n";
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+formatValue(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+bar(double value, double full, unsigned width)
+{
+    if (full <= 0.0)
+        full = 1.0;
+    double frac = value / full;
+    frac = std::clamp(frac, 0.0, 1.0);
+    const unsigned filled = static_cast<unsigned>(frac * width + 0.5);
+    std::string s(filled, '#');
+    s += std::string(width - filled, '.');
+    return s;
+}
+
+} // namespace oscache

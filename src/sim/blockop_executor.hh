@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Interface between the processor model and the block-operation
+ * schemes of Section 4.
+ *
+ * The trace stores only BlockOpBegin/BlockOpEnd brackets; the
+ * word-by-word body is expanded by a scheme-specific executor,
+ * exactly as the paper recodes the kernel's bcopy/bzero per scheme.
+ * Concrete executors live in src/core/blockop.
+ */
+
+#ifndef OSCACHE_SIM_BLOCKOP_EXECUTOR_HH
+#define OSCACHE_SIM_BLOCKOP_EXECUTOR_HH
+
+#include "common/types.hh"
+#include "trace/blockop.hh"
+
+namespace oscache
+{
+
+/**
+ * Executes one block operation on behalf of a processor, advancing
+ * simulated time and recording statistics.
+ */
+class BlockOpExecutor
+{
+  public:
+    virtual ~BlockOpExecutor() = default;
+
+    /**
+     * Perform @p op for processor @p cpu starting at cycle @p now.
+     *
+     * @param os True when the operation runs in OS context (block
+     *           operations in these workloads always do, but the
+     *           interface does not assume it).
+     * @return The cycle at which the processor resumes.
+     */
+    virtual Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
+                           bool os) = 0;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_SIM_BLOCKOP_EXECUTOR_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tunable parameters of the simulation engine that are not hardware
+ * configuration (those live in MachineConfig).
+ */
+
+#ifndef OSCACHE_SIM_OPTIONS_HH
+#define OSCACHE_SIM_OPTIONS_HH
+
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** Behavioural knobs of the trace-driven processor model. */
+struct SimOptions
+{
+    /**
+     * Instruction-miss stall cycles charged per executed OS
+     * instruction.  The paper's instruction side is not simulated in
+     * detail (its companion work covers it); this coarse model keeps
+     * the Exec / I-Miss share of OS time realistic so the relative
+     * gains of the data-side optimizations match Figure 3.
+     */
+    double osImissCpi = 0.35;
+
+    /** Same, for user instructions (applications miss far less). */
+    double userImissCpi = 0.04;
+
+    /**
+     * Simulate the 16-KB primary instruction cache in detail instead
+     * of the statistical per-instruction I-miss charge.  Off by
+     * default: the statistical model is what the workload profiles
+     * were calibrated with; the detailed model is exercised by the
+     * I-cache ablation.
+     */
+    bool modelICache = false;
+
+    /**
+     * Cycles a processor spins locally between re-checks of a held
+     * lock or an incomplete barrier (test-and-test-and-set loop).
+     */
+    Cycles spinQuantum = 25;
+
+    /** Machine word size in bytes (the FX/8 is a 32-bit machine). */
+    std::uint32_t wordSize = 4;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_SIM_OPTIONS_HH

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Simulation statistics.
+ *
+ * The buckets mirror the paper's reporting exactly:
+ *
+ *  - Execution-time decomposition (Table 1, Figure 3): user / idle /
+ *    OS time; the OS side split into instruction execution,
+ *    instruction-miss stall, data-read-miss stall, write-buffer
+ *    stall, and prefetch (partially hidden) stall.
+ *  - Block-operation overheads (Figure 1): read stall, write stall,
+ *    displacement stall, instruction execution.
+ *  - Primary-cache read-miss taxonomy (Tables 2 and 5, Figures 2,
+ *    4, 5): block-operation misses, coherence misses by kernel
+ *    data-structure category, and other (mostly conflict) misses.
+ *  - Displacement/reuse accounting (Table 3, Section 4.1.3), split
+ *    into inside (block-op body) and outside components.
+ *  - Per-basic-block miss counts for the hot-spot analysis
+ *    (Section 6).
+ */
+
+#ifndef OSCACHE_SIM_STATS_HH
+#define OSCACHE_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "mem/access.hh"
+#include "trace/record.hh"
+
+namespace oscache
+{
+
+/** Number of DataCategory values, for per-category arrays. */
+inline constexpr std::size_t numDataCategories = 11;
+
+/**
+ * All counters collected by one simulation run.
+ */
+struct SimStats
+{
+    /** @name Cycle buckets @{ */
+    Cycles userExec = 0;
+    Cycles osExec = 0;
+    Cycles idle = 0;
+    /** Cycles spinning on locks and barriers (OS time). */
+    Cycles osSpin = 0;
+    Cycles userReadStall = 0;
+    Cycles osReadStall = 0;
+    Cycles userWriteStall = 0;
+    Cycles osWriteStall = 0;
+    /** Read stall partially hidden by a prefetch ("Pref"). */
+    Cycles userPrefStall = 0;
+    Cycles osPrefStall = 0;
+    Cycles userImiss = 0;
+    Cycles osImiss = 0;
+    /** @} */
+
+    /** @name Block-operation overheads (subset attribution) @{ */
+    Cycles blockReadStall = 0;
+    Cycles blockWriteStall = 0;
+    Cycles blockDisplStall = 0;
+    Cycles blockInstrExec = 0;
+    /** @} */
+
+    /** @name Reference counts @{ */
+    std::uint64_t userReads = 0;
+    std::uint64_t osReads = 0;
+    std::uint64_t userWrites = 0;
+    std::uint64_t osWrites = 0;
+    std::uint64_t userInstrs = 0;
+    std::uint64_t osInstrs = 0;
+    /** @} */
+
+    /** @name Primary-cache read misses @{ */
+    std::uint64_t userMisses = 0;
+    /** OS misses during block operations (Table 2 "Block Op."). */
+    std::uint64_t osMissBlock = 0;
+    /** Block misses by operation size: <1KB, 1-4KB, 4KB (diagnostic). */
+    std::array<std::uint64_t, 3> osMissBlockBySize{};
+    /** OS coherence misses by data category (Table 5). */
+    std::array<std::uint64_t, numDataCategories> osMissCoherence{};
+    /** OS other (conflict/cold/displacement/reuse) misses. */
+    std::uint64_t osMissOther = 0;
+    /** Subset of OS misses whose latency a prefetch partly hid. */
+    std::uint64_t osMissPartiallyHidden = 0;
+    /** @} */
+
+    /** @name Displacement / reuse accounting (all CPUs) @{ */
+    std::uint64_t displacementInside = 0;
+    std::uint64_t displacementOutside = 0;
+    std::uint64_t reuseInside = 0;
+    std::uint64_t reuseOutside = 0;
+    /** @} */
+
+    /** OS "other" misses per issuing basic block (hot-spot input). */
+    std::unordered_map<BasicBlockId, std::uint64_t> osOtherMissByBb;
+    /** User misses per issuing basic block (diagnostic). */
+    std::unordered_map<BasicBlockId, std::uint64_t> userMissByBb;
+
+    /** @name Recording helpers @{ */
+
+    /** Record a completed read access. */
+    void
+    recordRead(bool os, bool block_body, DataCategory cat, BasicBlockId bb,
+               const AccessResult &res)
+    {
+        if (os)
+            ++osReads;
+        else
+            ++userReads;
+
+        const Cycles stall = res.stall;
+        if (res.partiallyHidden) {
+            (os ? osPrefStall : userPrefStall) += stall;
+        } else {
+            (os ? osReadStall : userReadStall) += stall;
+        }
+        if (block_body && !res.partiallyHidden)
+            blockReadStall += stall;
+
+        if (!res.l1Miss)
+            return;
+
+        if (!os) {
+            ++userMisses;
+            if (bb != invalidBasicBlock)
+                ++userMissByBb[bb];
+        } else if (block_body) {
+            ++osMissBlock;
+        } else if (res.cause == MissCause::Coherence) {
+            ++osMissCoherence[static_cast<std::size_t>(cat)];
+        } else {
+            ++osMissOther;
+            if (bb != invalidBasicBlock)
+                ++osOtherMissByBb[bb];
+        }
+
+        if (os && res.partiallyHidden)
+            ++osMissPartiallyHidden;
+
+        if (res.cause == MissCause::Displacement) {
+            (block_body ? displacementInside : displacementOutside) += 1;
+            if (!block_body)
+                blockDisplStall += stall;
+        } else if (res.cause == MissCause::Reuse) {
+            (block_body ? reuseInside : reuseOutside) += 1;
+        }
+    }
+
+    /** Record a completed write access. */
+    void
+    recordWrite(bool os, bool block_body, const AccessResult &res)
+    {
+        if (os)
+            ++osWrites;
+        else
+            ++userWrites;
+        (os ? osWriteStall : userWriteStall) += res.stall;
+        if (block_body)
+            blockWriteStall += res.stall;
+    }
+
+    /** Record instruction execution plus its I-miss stall. */
+    void
+    recordExec(bool os, bool block_body, std::uint64_t instrs,
+               Cycles exec_cycles, Cycles imiss_cycles)
+    {
+        if (os) {
+            osInstrs += instrs;
+            osExec += exec_cycles;
+            osImiss += imiss_cycles;
+        } else {
+            userInstrs += instrs;
+            userExec += exec_cycles;
+            userImiss += imiss_cycles;
+        }
+        if (block_body)
+            blockInstrExec += exec_cycles + imiss_cycles;
+    }
+
+    /** @} */
+
+    /** @name Derived quantities @{ */
+
+    /** Total OS primary-cache read misses. */
+    std::uint64_t
+    osMissTotal() const
+    {
+        std::uint64_t coh = 0;
+        for (auto c : osMissCoherence)
+            coh += c;
+        return osMissBlock + coh + osMissOther;
+    }
+
+    /** Total OS coherence misses. */
+    std::uint64_t
+    osMissCoherenceTotal() const
+    {
+        std::uint64_t coh = 0;
+        for (auto c : osMissCoherence)
+            coh += c;
+        return coh;
+    }
+
+    /** Total primary-cache read misses, user plus OS. */
+    std::uint64_t totalMisses() const { return userMisses + osMissTotal(); }
+
+    /** Total data reads. */
+    std::uint64_t totalReads() const { return userReads + osReads; }
+
+    /** OS time: execution + spin + all OS stall components. */
+    Cycles
+    osTime() const
+    {
+        return osExec + osSpin + osImiss + osReadStall + osWriteStall +
+               osPrefStall;
+    }
+
+    /** User time: execution + user stall components. */
+    Cycles
+    userTime() const
+    {
+        return userExec + userImiss + userReadStall + userWriteStall +
+               userPrefStall;
+    }
+
+    /** Total machine time across the run (one CPU's worth). */
+    Cycles totalTime() const { return osTime() + userTime() + idle; }
+
+    /** Stall time due to OS accesses to the data memory hierarchy. */
+    Cycles
+    osDataStall() const
+    {
+        return osReadStall + osWriteStall + osPrefStall;
+    }
+
+    /** @} */
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_SIM_STATS_HH

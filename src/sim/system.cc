@@ -1,0 +1,303 @@
+#include "sim/system.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+System::System(const Trace &trace_, MemorySystem &mem_,
+               BlockOpExecutor &executor_, const SimOptions &options,
+               SimStats &stats)
+    : trace(trace_), mem(mem_), executor(executor_), opts(options),
+      simStats(stats), cpus(trace_.numCpus())
+{
+    if (trace.numCpus() != mem.config().numCpus)
+        fatal("System: trace has ", trace.numCpus(), " cpus but machine has ",
+              mem.config().numCpus);
+    mem.setUpdatePages(&trace.updatePages());
+}
+
+void
+System::run()
+{
+    while (true) {
+        CpuId best = 0;
+        bool any = false;
+        Cycles best_time = 0;
+        for (CpuId c = 0; c < trace.numCpus(); ++c) {
+            if (cpus[c].state == CpuRunState::Done)
+                continue;
+            if (!any || cpus[c].time < best_time) {
+                any = true;
+                best = c;
+                best_time = cpus[c].time;
+            }
+        }
+        if (!any)
+            break;
+        step(best);
+    }
+}
+
+Cycles
+System::imissCycles(CpuId cpu, std::uint64_t instrs, bool os)
+{
+    const double cpi = os ? opts.osImissCpi : opts.userImissCpi;
+    double total = cpus[cpu].imissCarry + static_cast<double>(instrs) * cpi;
+    const Cycles whole = static_cast<Cycles>(total);
+    cpus[cpu].imissCarry = total - static_cast<double>(whole);
+    return whole;
+}
+
+void
+System::syncRmw(CpuId cpu, Addr addr, DataCategory cat, bool os)
+{
+    CpuState &cs = cpus[cpu];
+    AccessContext ctx;
+    ctx.os = os;
+    ctx.category = cat;
+    const AccessResult rd = mem.read(cpu, addr, cs.time, ctx);
+    simStats.recordRead(os, false, cat, invalidBasicBlock, rd);
+    cs.time = rd.completeAt;
+    const AccessResult wr = mem.write(cpu, addr, cs.time, ctx);
+    simStats.recordWrite(os, false, wr);
+    cs.time = wr.completeAt;
+}
+
+void
+System::step(CpuId cpu)
+{
+    CpuState &cs = cpus[cpu];
+
+    if (cs.state == CpuRunState::SpinLock) {
+        auto &lock = locks[cs.waitAddr];
+        if (!lock.held) {
+            // Lock became free: the release write invalidated our
+            // copy, so this re-read plus test-and-set misses.
+            syncRmw(cpu, cs.waitAddr, DataCategory::Lock, true);
+            lock.held = true;
+            lock.holder = cpu;
+            cs.state = CpuRunState::Running;
+            cs.pos += 1;
+            consecutiveSpins = 0;
+        } else {
+            cs.time += opts.spinQuantum;
+            simStats.osSpin += opts.spinQuantum;
+            if (++consecutiveSpins > spinLimit)
+                panic("System: lock deadlock at addr ", cs.waitAddr);
+        }
+        return;
+    }
+
+    if (cs.state == CpuRunState::SpinBarrier) {
+        auto &bar = barriers[cs.waitAddr];
+        if (bar.episode > cs.waitEpisode) {
+            if (bar.releaseAt > cs.time) {
+                simStats.osSpin += bar.releaseAt - cs.time;
+                cs.time = bar.releaseAt;
+            }
+            // The releasing write invalidated (or, under the update
+            // protocol, updated in place) the spinners' copies; this
+            // read observes the release.
+            AccessContext ctx;
+            ctx.os = true;
+            ctx.category = DataCategory::Barrier;
+            const AccessResult rd = mem.read(cpu, cs.waitAddr, cs.time, ctx);
+            simStats.recordRead(true, false, DataCategory::Barrier,
+                                invalidBasicBlock, rd);
+            cs.time = rd.completeAt;
+            cs.state = CpuRunState::Running;
+            cs.pos += 1;
+            consecutiveSpins = 0;
+        } else {
+            cs.time += opts.spinQuantum;
+            simStats.osSpin += opts.spinQuantum;
+            if (++consecutiveSpins > spinLimit)
+                panic("System: barrier deadlock at addr ", cs.waitAddr);
+        }
+        return;
+    }
+
+    const RecordStream &stream = trace.stream(cpu);
+    if (cs.pos >= stream.size()) {
+        cs.state = CpuRunState::Done;
+        return;
+    }
+    const TraceRecord &rec = stream[cs.pos];
+    consecutiveSpins = 0;
+
+    switch (rec.type) {
+      case RecordType::Exec:
+        handleExec(cpu, rec);
+        break;
+      case RecordType::Idle:
+        simStats.idle += rec.aux;
+        cs.time += rec.aux;
+        cs.pos += 1;
+        break;
+      case RecordType::Read:
+      case RecordType::Write:
+      case RecordType::Prefetch:
+        handleData(cpu, rec);
+        break;
+      case RecordType::BlockOpBegin:
+        handleBlockOp(cpu, rec);
+        break;
+      case RecordType::BlockOpEnd:
+        cs.pos += 1; // The Begin handler already did the work.
+        break;
+      case RecordType::LockAcquire:
+        handleLockAcquire(cpu, rec);
+        break;
+      case RecordType::LockRelease:
+        handleLockRelease(cpu, rec);
+        break;
+      case RecordType::BarrierArrive:
+        handleBarrier(cpu, rec);
+        break;
+    }
+}
+
+void
+System::handleExec(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    const Cycles exec = rec.aux;
+    // Instruction footprint: each basic block owns a stretch of the
+    // code segment proportional to the instructions executed under
+    // its id (capped at 4 KB).
+    Cycles imiss = 0;
+    if (rec.bb != invalidBasicBlock) {
+        const Addr code_base = 0xc000'0000ULL + Addr{rec.bb} * 4096;
+        const std::uint32_t bytes =
+            std::min<std::uint32_t>(4096, rec.aux * 8);
+        if (opts.modelICache) {
+            // Detailed model: probe the primary I-cache and charge
+            // the real fill latencies.
+            imiss = mem.instructionFetch(cpu, code_base, bytes, cs.time);
+        } else {
+            // Statistical model: capacity effect on the unified L2
+            // plus a calibrated per-instruction charge.
+            mem.codeFill(cpu, code_base, bytes);
+            imiss = imissCycles(cpu, rec.aux, rec.isOs());
+        }
+    } else {
+        imiss = imissCycles(cpu, rec.aux, rec.isOs());
+    }
+    simStats.recordExec(rec.isOs(), rec.isBlockOpBody(), rec.aux, exec,
+                        imiss);
+    cs.time += exec + imiss;
+    cs.pos += 1;
+}
+
+void
+System::handleData(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    AccessContext ctx;
+    ctx.os = rec.isOs();
+    ctx.blockOpBody = rec.isBlockOpBody();
+    ctx.category = rec.category;
+    ctx.bb = rec.bb;
+
+    if (rec.type == RecordType::Read) {
+        const AccessResult res = mem.read(cpu, rec.addr, cs.time, ctx);
+        simStats.recordRead(ctx.os, ctx.blockOpBody, ctx.category, ctx.bb,
+                            res);
+        cs.time = res.completeAt;
+    } else if (rec.type == RecordType::Write) {
+        const AccessResult res = mem.write(cpu, rec.addr, cs.time, ctx);
+        simStats.recordWrite(ctx.os, ctx.blockOpBody, res);
+        cs.time = res.completeAt;
+    } else {
+        mem.prefetch(cpu, rec.addr, cs.time, ctx);
+        simStats.recordExec(ctx.os, false, 1, 1, 0);
+        cs.time += 1;
+    }
+    cs.pos += 1;
+}
+
+void
+System::handleBlockOp(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    const BlockOp &op = trace.blockOps().get(rec.aux);
+    cs.time = executor.execute(cpu, op, cs.time, rec.isOs());
+    cs.pos += 1;
+}
+
+void
+System::handleLockAcquire(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    auto &lock = locks[rec.addr];
+    if (!lock.held) {
+        syncRmw(cpu, rec.addr, DataCategory::Lock, rec.isOs());
+        lock.held = true;
+        lock.holder = cpu;
+        cs.pos += 1;
+        return;
+    }
+    if (lock.holder == cpu)
+        panic("System: cpu ", int(cpu), " re-acquiring held lock ",
+              rec.addr);
+    // Contended: one read observes the held lock, then spin locally.
+    AccessContext ctx;
+    ctx.os = rec.isOs();
+    ctx.category = DataCategory::Lock;
+    const AccessResult rd = mem.read(cpu, rec.addr, cs.time, ctx);
+    simStats.recordRead(ctx.os, false, DataCategory::Lock,
+                        invalidBasicBlock, rd);
+    cs.time = rd.completeAt;
+    cs.state = CpuRunState::SpinLock;
+    cs.waitAddr = rec.addr;
+}
+
+void
+System::handleLockRelease(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    auto it = locks.find(rec.addr);
+    if (it == locks.end() || !it->second.held || it->second.holder != cpu)
+        panic("System: cpu ", int(cpu), " releasing lock ", rec.addr,
+              " it does not hold");
+    // Release consistency: drain buffered writes before the release.
+    cs.time = mem.fence(cpu, cs.time);
+    AccessContext ctx;
+    ctx.os = rec.isOs();
+    ctx.category = DataCategory::Lock;
+    const AccessResult wr = mem.write(cpu, rec.addr, cs.time, ctx);
+    simStats.recordWrite(ctx.os, false, wr);
+    cs.time = wr.completeAt;
+    it->second.held = false;
+    cs.pos += 1;
+}
+
+void
+System::handleBarrier(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    auto &bar = barriers[rec.addr];
+    const std::uint32_t parties = rec.aux;
+
+    // Release semantics, then the arrival read-modify-write.
+    cs.time = mem.fence(cpu, cs.time);
+    syncRmw(cpu, rec.addr, DataCategory::Barrier, rec.isOs());
+
+    bar.arrived += 1;
+    if (bar.arrived >= parties) {
+        // Last arriver releases the episode.
+        bar.arrived = 0;
+        bar.episode += 1;
+        bar.releaseAt = cs.time;
+        cs.pos += 1;
+    } else {
+        cs.state = CpuRunState::SpinBarrier;
+        cs.waitAddr = rec.addr;
+        cs.waitEpisode = bar.episode;
+    }
+}
+
+} // namespace oscache

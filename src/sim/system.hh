@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The whole-machine trace-driven simulation engine.
+ *
+ * System replays a multiprocessor Trace against a MemorySystem,
+ * advancing the processor with the smallest local time one record at
+ * a time (min-time scheduling).  Synchronization records are retimed
+ * rather than replayed verbatim: a LockAcquire spins until the holder
+ * (in simulated time) releases, and a BarrierArrive blocks until all
+ * participants have arrived — so the mutual-exclusion functionality
+ * of the original trace is maintained under the new memory-system
+ * timings, as required by Section 2.2 of the paper.
+ */
+
+#ifndef OSCACHE_SIM_SYSTEM_HH
+#define OSCACHE_SIM_SYSTEM_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memsys.hh"
+#include "sim/blockop_executor.hh"
+#include "sim/options.hh"
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/**
+ * Replays a trace on a memory system and collects statistics.
+ */
+class System
+{
+  public:
+    /**
+     * @param trace    The trace to replay (must outlive the System).
+     * @param mem      The memory system (update pages are taken from
+     *                 the trace automatically).
+     * @param executor Scheme-specific block-operation executor; it
+     *                 must record into the same @p stats object.
+     * @param options  Processor-model knobs.
+     * @param stats    Statistics sink shared with the executor.
+     */
+    System(const Trace &trace, MemorySystem &mem, BlockOpExecutor &executor,
+           const SimOptions &options, SimStats &stats);
+
+    /** Run the trace to completion. */
+    void run();
+
+    /** Statistics collected so far (valid after run()). */
+    const SimStats &stats() const { return simStats; }
+
+  private:
+    enum class CpuRunState : std::uint8_t
+    {
+        Running,
+        SpinLock,
+        SpinBarrier,
+        Done,
+    };
+
+    struct CpuState
+    {
+        std::size_t pos = 0;
+        Cycles time = 0;
+        CpuRunState state = CpuRunState::Running;
+        /** Lock or barrier address being waited on. */
+        Addr waitAddr = invalidAddr;
+        /** Barrier episode this processor is waiting to complete. */
+        std::uint64_t waitEpisode = 0;
+        /** Fractional I-miss cycle accumulator. */
+        double imissCarry = 0.0;
+    };
+
+    struct LockState
+    {
+        bool held = false;
+        CpuId holder = 0;
+    };
+
+    struct BarrierState
+    {
+        std::uint32_t arrived = 0;
+        std::uint64_t episode = 0;
+        Cycles releaseAt = 0;
+    };
+
+    /** Process one record (or one spin quantum) on @p cpu. */
+    void step(CpuId cpu);
+
+    void handleExec(CpuId cpu, const TraceRecord &rec);
+    void handleData(CpuId cpu, const TraceRecord &rec);
+    void handleBlockOp(CpuId cpu, const TraceRecord &rec);
+    void handleLockAcquire(CpuId cpu, const TraceRecord &rec);
+    void handleLockRelease(CpuId cpu, const TraceRecord &rec);
+    void handleBarrier(CpuId cpu, const TraceRecord &rec);
+
+    /** Charge I-miss stall for @p instrs instructions on @p cpu. */
+    Cycles imissCycles(CpuId cpu, std::uint64_t instrs, bool os);
+
+    /** Perform the read-modify-write of a synchronization variable. */
+    void syncRmw(CpuId cpu, Addr addr, DataCategory cat, bool os);
+
+    const Trace &trace;
+    MemorySystem &mem;
+    BlockOpExecutor &executor;
+    SimOptions opts;
+    SimStats &simStats;
+
+    std::vector<CpuState> cpus;
+    std::unordered_map<Addr, LockState> locks;
+    std::unordered_map<Addr, BarrierState> barriers;
+
+    /** Safety valve against malformed (deadlocking) traces. */
+    std::uint64_t consecutiveSpins = 0;
+    static constexpr std::uint64_t spinLimit = 200'000'000;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_SIM_SYSTEM_HH

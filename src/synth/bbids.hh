@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Stable basic-block identifiers for the synthetic kernel.
+ *
+ * The real study instruments every basic block of Concentrix with
+ * escape references so each data access can be attributed to the
+ * instruction (and thus the source statement) that issued it.  The
+ * synthetic kernel gets the same power for free: every emission site
+ * carries one of these identifiers, and the Section 6 hot-spot
+ * analysis ranks them by miss count.
+ *
+ * The names mirror the hot spots the paper reports: loops over page
+ * table entries, the free-page list walk, and the sequences for
+ * process resume, timer/accounting functions, the trap system call,
+ * context switching, and process scheduling.
+ */
+
+#ifndef OSCACHE_SYNTH_BBIDS_HH
+#define OSCACHE_SYNTH_BBIDS_HH
+
+#include "common/types.hh"
+
+namespace oscache
+{
+namespace bb
+{
+
+enum : BasicBlockId
+{
+    // --- Loops (page-table and free-list walkers) ---
+    pteInitLoop = 100,       ///< Initialize page-table entries.
+    pteCopyLoop = 101,       ///< Copy page-table entries on fork.
+    pteProtLoop = 102,       ///< Change protections over a PTE range.
+    pteScanLoop = 103,       ///< Scan PTEs for reference bits.
+    freelistWalk = 110,      ///< Traverse the free-page linked list.
+
+    // --- Sequences ---
+    resumeProc = 200,        ///< Resume a process.
+    timerFuncs = 201,        ///< Timer functions / system accounting.
+    trapSyscall = 202,       ///< The trap system call sequence.
+    contextSwitch = 203,     ///< Context switch.
+    scheduleProc = 204,      ///< Choose and dispatch a process.
+    syscallDispatch = 205,   ///< Syscall-table indexed dispatch.
+    interruptEntry = 206,    ///< Cross-processor interrupt entry.
+
+    // --- Other kernel code (not expected to become hot spots) ---
+    pageFaultEntry = 300,
+    forkEntry = 301,
+    execEntry = 302,
+    fileIo = 303,
+    bufferCacheLookup = 304,
+    inodeOps = 305,
+    pagerRun = 306,
+    counterUpdate = 307,
+    networkStack = 308,
+    processExit = 309,
+
+    // --- User-level code regions ---
+    userNumeric = 400,       ///< TRFD/ARC2D numeric kernels.
+    userCompiler = 401,      ///< Compiler phase 2 (Make).
+    userShellCmd = 402,      ///< Shell command mix.
+};
+
+} // namespace bb
+} // namespace oscache
+
+#endif // OSCACHE_SYNTH_BBIDS_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Record emission helper used by the activity generators.
+ *
+ * An Emitter wraps one processor's record stream plus the shared
+ * block-operation table, providing terse, correctly-annotated
+ * append operations.
+ */
+
+#ifndef OSCACHE_SYNTH_EMITTER_HH
+#define OSCACHE_SYNTH_EMITTER_HH
+
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/**
+ * Appends annotated records to one processor's stream.
+ */
+class Emitter
+{
+  public:
+    /**
+     * @param os_exec_scale Multiplier applied to OS instruction
+     *        counts: the activity bodies state their data footprint
+     *        precisely but only sketch their instruction counts, and
+     *        real kernel paths run long (the paper's OS time is
+     *        dominated by instruction execution).
+     */
+    Emitter(RecordStream &stream, BlockOpTable &block_ops,
+            double os_exec_scale = 1.0)
+        : stream(stream), blockOps(block_ops), execScale(os_exec_scale)
+    {}
+
+    /** Execute @p count (scaled) OS instructions in block @p bb. */
+    void
+    exec(std::uint32_t count, BasicBlockId bb)
+    {
+        const auto scaled =
+            std::uint32_t(double(count) * execScale + 0.5);
+        instrCount += scaled;
+        stream.push_back(TraceRecord::exec(scaled, bb, true));
+    }
+
+    /** Execute @p count user instructions in basic block @p bb. */
+    void
+    userExec(std::uint32_t count, BasicBlockId bb)
+    {
+        instrCount += count;
+        stream.push_back(TraceRecord::exec(count, bb, false));
+    }
+
+    /** Sit idle for @p cycles cycles. */
+    void idle(std::uint32_t cycles)
+    {
+        stream.push_back(TraceRecord::idle(cycles));
+    }
+
+    /** OS data read. */
+    void
+    read(Addr addr, DataCategory cat, BasicBlockId bb)
+    {
+        refCount += 1;
+        stream.push_back(TraceRecord::read(addr, cat, bb, true));
+    }
+
+    /** OS data write. */
+    void
+    write(Addr addr, DataCategory cat, BasicBlockId bb)
+    {
+        refCount += 1;
+        stream.push_back(TraceRecord::write(addr, cat, bb, true));
+    }
+
+    /** User data read. */
+    void
+    userRead(Addr addr, BasicBlockId bb)
+    {
+        refCount += 1;
+        stream.push_back(
+            TraceRecord::read(addr, DataCategory::User, bb, false));
+    }
+
+    /** User data write. */
+    void
+    userWrite(Addr addr, BasicBlockId bb)
+    {
+        refCount += 1;
+        stream.push_back(
+            TraceRecord::write(addr, DataCategory::User, bb, false));
+    }
+
+    /**
+     * Emit a block operation bracket; the simulator's scheme-specific
+     * executor expands the body.  @return the operation's id so the
+     * caller can back-patch readOnlyAfter.
+     */
+    BlockOpId
+    blockOp(Addr src, Addr dst, std::uint32_t size, BlockOpKind kind)
+    {
+        BlockOp op;
+        op.src = src;
+        op.dst = dst;
+        op.size = size;
+        op.kind = kind;
+        const BlockOpId id = blockOps.add(op);
+        blockWords += size / 4;
+
+        TraceRecord begin;
+        begin.type = RecordType::BlockOpBegin;
+        begin.aux = id;
+        begin.flags = flagOs;
+        stream.push_back(begin);
+
+        TraceRecord end;
+        end.type = RecordType::BlockOpEnd;
+        end.aux = id;
+        end.flags = flagOs;
+        stream.push_back(end);
+        return id;
+    }
+
+    /** Acquire a kernel lock. */
+    void
+    lockAcquire(Addr addr)
+    {
+        TraceRecord r;
+        r.type = RecordType::LockAcquire;
+        r.addr = addr;
+        r.category = DataCategory::Lock;
+        r.flags = flagOs;
+        stream.push_back(r);
+    }
+
+    /** Release a kernel lock. */
+    void
+    lockRelease(Addr addr)
+    {
+        TraceRecord r;
+        r.type = RecordType::LockRelease;
+        r.addr = addr;
+        r.category = DataCategory::Lock;
+        r.flags = flagOs;
+        stream.push_back(r);
+    }
+
+    /** Arrive at a gang-scheduling barrier of @p parties processors. */
+    void
+    barrierArrive(Addr addr, std::uint32_t parties)
+    {
+        TraceRecord r;
+        r.type = RecordType::BarrierArrive;
+        r.addr = addr;
+        r.aux = parties;
+        r.category = DataCategory::Barrier;
+        r.flags = flagOs;
+        stream.push_back(r);
+    }
+
+    BlockOpTable &blockOpTable() { return blockOps; }
+
+    /**
+     * Rough cycle estimate of everything emitted so far, used by the
+     * generator to size idle periods: instructions at ~1.4 CPI
+     * (including I-side stall), one cycle per buffered data
+     * reference, and ~5 cycles per block-operation word.
+     */
+    std::uint64_t
+    cycleEstimate() const
+    {
+        return instrCount * 14 / 10 + refCount + blockWords * 5;
+    }
+
+  private:
+    RecordStream &stream;
+    BlockOpTable &blockOps;
+    double execScale = 1.0;
+    std::uint64_t instrCount = 0;
+    std::uint64_t refCount = 0;
+    std::uint64_t blockWords = 0;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_SYNTH_EMITTER_HH

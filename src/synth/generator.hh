@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The synthetic multiprocessor trace generator.
+ *
+ * Generation proceeds in scheduling quanta.  Each quantum plans,
+ * from one master random stream, the machine-wide events (gang-
+ * scheduling barrier episodes, cross-processor interrupt pairs,
+ * pager invocations) and per-processor task lists (user compute
+ * slices interleaved with sampled OS activities), then emits the
+ * resulting reference sequences into the per-processor streams.
+ *
+ * Determinism: for a given profile the random draws are independent
+ * of the CoherenceOptions, so the Base and optimized layouts replay
+ * the *same* logical activity sequence with different addresses —
+ * exactly how the paper's authors rebuilt the kernel and re-ran the
+ * same traces.
+ */
+
+#ifndef OSCACHE_SYNTH_GENERATOR_HH
+#define OSCACHE_SYNTH_GENERATOR_HH
+
+#include "core/cohopt.hh"
+#include "synth/profile.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/** Generate the trace of @p profile under @p options. */
+Trace generateTrace(const WorkloadProfile &profile,
+                    const CoherenceOptions &options,
+                    unsigned num_cpus = 4);
+
+/** Convenience overload using the calibrated profile for @p kind. */
+Trace generateTrace(WorkloadKind kind, const CoherenceOptions &options,
+                    unsigned num_cpus = 4);
+
+} // namespace oscache
+
+#endif // OSCACHE_SYNTH_GENERATOR_HH

@@ -1,0 +1,155 @@
+#include "synth/profile.hh"
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+const char *
+toString(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Trfd4:     return "TRFD_4";
+      case WorkloadKind::TrfdMake:  return "TRFD+Make";
+      case WorkloadKind::Arc2dFsck: return "ARC2D+Fsck";
+      case WorkloadKind::Shell:     return "Shell";
+    }
+    panic("unknown WorkloadKind");
+}
+
+WorkloadProfile
+WorkloadProfile::forKind(WorkloadKind kind)
+{
+    WorkloadProfile p;
+    p.kind = kind;
+    p.name = toString(kind);
+
+    switch (kind) {
+      case WorkloadKind::Trfd4:
+        // Four parallel TRFD runs: page faults, scheduling,
+        // cross-processor interrupts, heavy gang scheduling; almost
+        // all block operations are full pages.
+        p.seed = 0x7452'4644'0004ULL;
+        p.numProcs = 16;
+        p.barrierEpisodes = 12.0;
+        p.pageFaults = 2.4;
+        p.forks = 0.15;
+        p.execs = 0.05;
+        p.syscalls = 2.0;
+        p.fileIos = 0.15;
+        p.cpis = 10.0;
+        p.networkOps = 0.0;
+        p.dirScans = 0.1;
+        p.pagerRuns = 0.3;
+        p.copyinChance = 0.08;
+        p.smallBlockFrac = 0.066;
+        p.mediumBlockFrac = 0.019;
+        p.readOnlySmallCopyFrac = 0.14;
+        p.pageTouchFrac = 0.68;
+        p.freshCopyFrac = 0.35;
+        p.pageReuseFrac = 0.4;
+        p.bufferFrames = 16;
+        p.userStyle = UserStyle::Numeric;
+        p.userSlices = 14;
+        p.userInstrPerSlice = 2400;
+        p.idleFraction = 0.12;
+        break;
+
+      case WorkloadKind::TrfdMake:
+        // One TRFD plus four compilations: regime changes, paging,
+        // small copyin/copyout blocks from the compiler's file
+        // traffic.
+        p.seed = 0x7452'4644'4d4bULL;
+        p.numProcs = 20;
+        p.barrierEpisodes = 8.0;
+        p.pageFaults = 0.75;
+        p.forks = 0.15;
+        p.execs = 0.1;
+        p.syscalls = 6.0;
+        p.fileIos = 0.3;
+        p.cpis = 8.0;
+        p.networkOps = 0.0;
+        p.dirScans = 2.6;
+        p.pagerRuns = 0.8;
+        p.copyinChance = 0.12;
+        p.procStickiness = 0.8;
+        p.smallBlockFrac = 0.245;
+        p.mediumBlockFrac = 0.052;
+        p.readOnlySmallCopyFrac = 0.44;
+        p.pageTouchFrac = 0.76;
+        p.freshCopyFrac = 0.8;
+        p.pageReuseFrac = 0.4;
+        p.bufferFrames = 10;
+        p.userStyle = UserStyle::Compiler;
+        p.userSlices = 14;
+        p.userInstrPerSlice = 2000;
+        p.idleFraction = 0.12;
+        break;
+
+      case WorkloadKind::Arc2dFsck:
+        // Four ARC2D copies plus fsck: TRFD-like multiprocessor
+        // management with a wide variety of I/O; block sizes spread
+        // across the whole range, and destinations are often dirty
+        // buffers.
+        p.seed = 0x4152'4332'4644ULL;
+        p.numProcs = 17;
+        p.barrierEpisodes = 11.0;
+        p.pageFaults = 0.7;
+        p.forks = 0.2;
+        p.execs = 0.1;
+        p.syscalls = 4.0;
+        p.fileIos = 1.0;
+        p.cpis = 9.0;
+        p.networkOps = 0.0;
+        p.dirScans = 3.0;
+        p.pagerRuns = 0.6;
+        p.copyinChance = 0.2;
+        p.smallBlockFrac = 0.448;
+        p.mediumBlockFrac = 0.244;
+        p.readOnlySmallCopyFrac = 0.25;
+        p.pageTouchFrac = 0.64;
+        p.freshCopyFrac = 0.6;
+        p.pageReuseFrac = 0.55;
+        p.bufferFrames = 6;
+        p.userStyle = UserStyle::Numeric;
+        p.userSlices = 16;
+        p.userInstrPerSlice = 2200;
+        p.idleFraction = 0.17;
+        break;
+
+      case WorkloadKind::Shell:
+        // 21 background shell commands: serial, fork/exec and
+        // syscall heavy, network activity, high idle time, almost
+        // no barrier synchronization.
+        p.seed = 0x5348'454c'4c00ULL;
+        p.numProcs = 42;
+        p.barrierEpisodes = 0.4;
+        p.pageFaults = 0.3;
+        p.forks = 0.05;
+        p.execs = 0.12;
+        p.syscalls = 10.0;
+        p.fileIos = 0.45;
+        p.cpis = 3.0;
+        p.networkOps = 1.0;
+        p.dirScans = 10.0;
+        p.pagerRuns = 0.5;
+        p.copyinChance = 0.35;
+        p.cowChance = 0.4;
+        p.smallBlockFrac = 0.673;
+        p.mediumBlockFrac = 0.036;
+        p.readOnlySmallCopyFrac = 0.087;
+        p.pageTouchFrac = 0.42;
+        p.freshCopyFrac = 0.12;
+        p.pageReuseFrac = 0.02;
+        p.bufferFrames = 48;
+        p.doubleCounterBumps = false;
+        p.userStyle = UserStyle::ShellMix;
+        p.userSlices = 18;
+        p.userInstrPerSlice = 2200;
+        p.idleFraction = 0.33;
+        break;
+    }
+    return p;
+}
+
+} // namespace oscache

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Block-operation descriptors.
+ *
+ * A block operation is a kernel bulk copy or clear (bcopy/bzero):
+ * page copies on fork, page zeroing on demand-zero faults, buffer
+ * moves on file I/O, and so on.  The trace brackets each instance
+ * with BlockOpBegin/BlockOpEnd records whose `aux` indexes into a
+ * BlockOpTable.  The word-by-word body is *not* stored in the trace;
+ * the simulator's scheme-specific BlockOpExecutor expands the
+ * descriptor, exactly as the paper recodes the kernel's block
+ * routines per scheme (Section 4.2).
+ */
+
+#ifndef OSCACHE_TRACE_BLOCKOP_HH
+#define OSCACHE_TRACE_BLOCKOP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** The kind of bulk operation. */
+enum class BlockOpKind : std::uint8_t
+{
+    /** Copy `size` bytes from `src` to `dst`. */
+    Copy,
+    /** Zero `size` bytes at `dst` (src unused). */
+    Zero,
+};
+
+/** One block operation instance. */
+struct BlockOp
+{
+    Addr src = invalidAddr;
+    Addr dst = invalidAddr;
+    std::uint32_t size = 0;
+    BlockOpKind kind = BlockOpKind::Copy;
+    /**
+     * True when, in the workload's future, neither src nor dst is
+     * written again before the blocks die.  Used by the deferred-copy
+     * (sub-page copy-on-write) evaluation of Section 4.2.1: for these
+     * copies a deferred scheme never performs the copy at all.
+     */
+    bool readOnlyAfter = false;
+
+    bool isCopy() const { return kind == BlockOpKind::Copy; }
+};
+
+/**
+ * Table of all block operations in a trace, indexed by BlockOpId.
+ * Shared by the per-CPU streams (ids are globally unique).
+ */
+class BlockOpTable
+{
+  public:
+    /** Register a new block operation; returns its id. */
+    BlockOpId
+    add(const BlockOp &op)
+    {
+        ops.push_back(op);
+        return static_cast<BlockOpId>(ops.size() - 1);
+    }
+
+    /** Look up a block operation by id. */
+    const BlockOp &
+    get(BlockOpId id) const
+    {
+        if (id >= ops.size())
+            panic("BlockOpTable::get: bad id ", id);
+        return ops[id];
+    }
+
+    /** Mutable lookup (the generator back-patches readOnlyAfter). */
+    BlockOp &
+    getMutable(BlockOpId id)
+    {
+        if (id >= ops.size())
+            panic("BlockOpTable::getMutable: bad id ", id);
+        return ops[id];
+    }
+
+    std::size_t size() const { return ops.size(); }
+    bool empty() const { return ops.empty(); }
+
+    auto begin() const { return ops.begin(); }
+    auto end() const { return ops.end(); }
+
+  private:
+    std::vector<BlockOp> ops;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_TRACE_BLOCKOP_HH

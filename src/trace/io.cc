@@ -1,0 +1,245 @@
+#include "trace/io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+const char *
+categoryCode(DataCategory cat)
+{
+    switch (cat) {
+      case DataCategory::User:          return "user";
+      case DataCategory::KernelPrivate: return "kpriv";
+      case DataCategory::BlockSrc:      return "bsrc";
+      case DataCategory::BlockDst:      return "bdst";
+      case DataCategory::Barrier:       return "barrier";
+      case DataCategory::InfreqComm:    return "infreq";
+      case DataCategory::FreqShared:    return "freqsh";
+      case DataCategory::Lock:          return "lock";
+      case DataCategory::OtherShared:   return "oshared";
+      case DataCategory::PageTable:     return "pte";
+      case DataCategory::KernelOther:   return "kother";
+    }
+    panic("bad DataCategory");
+}
+
+DataCategory
+parseCategory(const std::string &code)
+{
+    if (code == "user")    return DataCategory::User;
+    if (code == "kpriv")   return DataCategory::KernelPrivate;
+    if (code == "bsrc")    return DataCategory::BlockSrc;
+    if (code == "bdst")    return DataCategory::BlockDst;
+    if (code == "barrier") return DataCategory::Barrier;
+    if (code == "infreq")  return DataCategory::InfreqComm;
+    if (code == "freqsh")  return DataCategory::FreqShared;
+    if (code == "lock")    return DataCategory::Lock;
+    if (code == "oshared") return DataCategory::OtherShared;
+    if (code == "pte")     return DataCategory::PageTable;
+    if (code == "kother")  return DataCategory::KernelOther;
+    fatal("trace: unknown data category '", code, "'");
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << "oscache-trace 1\n";
+    os << "cpus " << trace.numCpus() << "\n";
+    for (const Addr page : trace.updatePages())
+        os << "updatepage " << std::hex << page << std::dec << "\n";
+    for (std::size_t i = 0; i < trace.blockOps().size(); ++i) {
+        const BlockOp &op = trace.blockOps().get(BlockOpId(i));
+        os << "blockop " << i << " "
+           << (op.isCopy() ? "copy" : "zero") << " " << std::hex << op.src
+           << " " << op.dst << std::dec << " " << op.size << " "
+           << (op.readOnlyAfter ? "ro" : "rw") << "\n";
+    }
+    for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu) {
+        os << "stream " << unsigned(cpu) << "\n";
+        for (const TraceRecord &rec : trace.stream(cpu)) {
+            switch (rec.type) {
+              case RecordType::Exec:
+                os << "x " << rec.aux << " " << rec.bb << " "
+                   << (rec.isOs() ? 1 : 0) << "\n";
+                break;
+              case RecordType::Idle:
+                os << "i " << rec.aux << "\n";
+                break;
+              case RecordType::Read:
+              case RecordType::Write:
+                os << (rec.type == RecordType::Read ? "r " : "w ")
+                   << std::hex << rec.addr << std::dec << " "
+                   << categoryCode(rec.category) << " " << rec.bb << " "
+                   << (rec.isOs() ? 1 : 0) << " " << unsigned(rec.size)
+                   << "\n";
+                break;
+              case RecordType::Prefetch:
+                os << "p " << std::hex << rec.addr << std::dec << " "
+                   << categoryCode(rec.category) << " " << rec.bb << " "
+                   << (rec.isOs() ? 1 : 0) << "\n";
+                break;
+              case RecordType::BlockOpBegin:
+                os << "B " << rec.aux << "\n";
+                break;
+              case RecordType::BlockOpEnd:
+                os << "E " << rec.aux << "\n";
+                break;
+              case RecordType::LockAcquire:
+                os << "L " << std::hex << rec.addr << std::dec << "\n";
+                break;
+              case RecordType::LockRelease:
+                os << "U " << std::hex << rec.addr << std::dec << "\n";
+                break;
+              case RecordType::BarrierArrive:
+                os << "A " << std::hex << rec.addr << std::dec << " "
+                   << rec.aux << "\n";
+                break;
+            }
+        }
+    }
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != "oscache-trace 1")
+        fatal("trace: missing or unsupported header");
+
+    unsigned cpus = 0;
+    {
+        std::getline(is, line);
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw >> cpus;
+        if (kw != "cpus" || cpus == 0 || cpus > 64)
+            fatal("trace: bad cpus line '", line, "'");
+    }
+    Trace trace(cpus);
+    RecordStream *stream = nullptr;
+
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+
+        if (kw == "updatepage") {
+            Addr page = 0;
+            ls >> std::hex >> page;
+            trace.updatePages().insert(page);
+        } else if (kw == "blockop") {
+            std::size_t id;
+            std::string kind, ro;
+            BlockOp op;
+            ls >> id >> kind >> std::hex >> op.src >> op.dst >> std::dec >>
+                op.size >> ro;
+            if (ls.fail() || (kind != "copy" && kind != "zero"))
+                fatal("trace: bad blockop line '", line, "'");
+            op.kind =
+                kind == "copy" ? BlockOpKind::Copy : BlockOpKind::Zero;
+            op.readOnlyAfter = (ro == "ro");
+            const BlockOpId got = trace.blockOps().add(op);
+            if (got != id)
+                fatal("trace: blockop ids must be dense and in order");
+        } else if (kw == "stream") {
+            unsigned cpu;
+            ls >> cpu;
+            if (ls.fail() || cpu >= cpus)
+                fatal("trace: bad stream line '", line, "'");
+            stream = &trace.stream(CpuId(cpu));
+        } else {
+            if (stream == nullptr)
+                fatal("trace: record before any stream directive");
+            TraceRecord rec;
+            if (kw == "x") {
+                unsigned os_flag;
+                ls >> rec.aux >> rec.bb >> os_flag;
+                rec.type = RecordType::Exec;
+                rec.flags = os_flag ? flagOs : 0;
+            } else if (kw == "i") {
+                ls >> rec.aux;
+                rec.type = RecordType::Idle;
+            } else if (kw == "r" || kw == "w" || kw == "p") {
+                std::string cat;
+                unsigned os_flag;
+                ls >> std::hex >> rec.addr >> std::dec >> cat >> rec.bb >>
+                    os_flag;
+                rec.category = parseCategory(cat);
+                rec.flags = os_flag ? flagOs : 0;
+                if (kw == "p") {
+                    rec.type = RecordType::Prefetch;
+                } else {
+                    unsigned size;
+                    ls >> size;
+                    rec.size = std::uint8_t(size);
+                    rec.type = kw == "r" ? RecordType::Read
+                                         : RecordType::Write;
+                }
+            } else if (kw == "B" || kw == "E") {
+                ls >> rec.aux;
+                rec.type = kw == "B" ? RecordType::BlockOpBegin
+                                     : RecordType::BlockOpEnd;
+                rec.flags = flagOs;
+            } else if (kw == "L" || kw == "U") {
+                ls >> std::hex >> rec.addr >> std::dec;
+                rec.type = kw == "L" ? RecordType::LockAcquire
+                                     : RecordType::LockRelease;
+                rec.category = DataCategory::Lock;
+                rec.flags = flagOs;
+            } else if (kw == "A") {
+                ls >> std::hex >> rec.addr >> std::dec >> rec.aux;
+                rec.type = RecordType::BarrierArrive;
+                rec.category = DataCategory::Barrier;
+                rec.flags = flagOs;
+            } else {
+                fatal("trace: unknown directive '", kw, "'");
+            }
+            if (ls.fail())
+                fatal("trace: malformed record '", line, "'");
+            stream->push_back(rec);
+        }
+    }
+
+    // Validate block-op references.
+    for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu)
+        for (const TraceRecord &rec : trace.stream(cpu))
+            if ((rec.type == RecordType::BlockOpBegin ||
+                 rec.type == RecordType::BlockOpEnd) &&
+                rec.aux >= trace.blockOps().size())
+                fatal("trace: record references unknown block op ",
+                      rec.aux);
+    return trace;
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeTrace(os, trace);
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return readTrace(is);
+}
+
+} // namespace oscache

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * The paper's performance monitor dumps its trace buffers to disk
+ * through a workstation; this module plays the same role for the
+ * synthetic traces: a line-oriented text format that round-trips a
+ * complete Trace (streams, block-operation table, update pages), so
+ * expensive generations can be saved, inspected with ordinary text
+ * tools, and replayed later.
+ *
+ * Format (one directive per line, '#' comments allowed):
+ *
+ *   oscache-trace 1
+ *   cpus <n>
+ *   updatepage <hex-addr>
+ *   blockop <id> copy|zero <hex-src> <hex-dst> <size> ro|rw
+ *   stream <cpu>
+ *   x <count> <bb> <os>          # Exec
+ *   i <cycles>                   # Idle
+ *   r <hex-addr> <cat> <bb> <os> <size>   # Read
+ *   w <hex-addr> <cat> <bb> <os> <size>   # Write
+ *   p <hex-addr> <cat> <bb> <os>          # Prefetch
+ *   B <op-id>                    # BlockOpBegin
+ *   E <op-id>                    # BlockOpEnd
+ *   L <hex-addr>                 # LockAcquire
+ *   U <hex-addr>                 # LockRelease
+ *   A <hex-addr> <parties>       # BarrierArrive
+ */
+
+#ifndef OSCACHE_TRACE_IO_HH
+#define OSCACHE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/** Serialize @p trace to @p os in the text format above. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/**
+ * Parse a trace from @p is.
+ * Calls fatal() on malformed input (a user error).
+ */
+Trace readTrace(std::istream &is);
+
+/** Convenience: write to / read from a file path. */
+void writeTraceFile(const std::string &path, const Trace &trace);
+Trace readTraceFile(const std::string &path);
+
+} // namespace oscache
+
+#endif // OSCACHE_TRACE_IO_HH

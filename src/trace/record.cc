@@ -1,0 +1,45 @@
+#include "trace/record.hh"
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+std::string_view
+toString(DataCategory category)
+{
+    switch (category) {
+      case DataCategory::User:          return "User";
+      case DataCategory::KernelPrivate: return "KernelPrivate";
+      case DataCategory::BlockSrc:      return "BlockSrc";
+      case DataCategory::BlockDst:      return "BlockDst";
+      case DataCategory::Barrier:       return "Barrier";
+      case DataCategory::InfreqComm:    return "InfreqComm";
+      case DataCategory::FreqShared:    return "FreqShared";
+      case DataCategory::Lock:          return "Lock";
+      case DataCategory::OtherShared:   return "OtherShared";
+      case DataCategory::PageTable:     return "PageTable";
+      case DataCategory::KernelOther:   return "KernelOther";
+    }
+    panic("unknown DataCategory ", static_cast<int>(category));
+}
+
+std::string_view
+toString(RecordType type)
+{
+    switch (type) {
+      case RecordType::Exec:          return "Exec";
+      case RecordType::Idle:          return "Idle";
+      case RecordType::Read:          return "Read";
+      case RecordType::Write:         return "Write";
+      case RecordType::Prefetch:      return "Prefetch";
+      case RecordType::BlockOpBegin:  return "BlockOpBegin";
+      case RecordType::BlockOpEnd:    return "BlockOpEnd";
+      case RecordType::LockAcquire:   return "LockAcquire";
+      case RecordType::LockRelease:   return "LockRelease";
+      case RecordType::BarrierArrive: return "BarrierArrive";
+    }
+    panic("unknown RecordType ", static_cast<int>(type));
+}
+
+} // namespace oscache

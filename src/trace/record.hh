@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Trace record format.
+ *
+ * The synthetic workload generator produces one stream of TraceRecord
+ * per processor, mirroring the per-probe trace buffers of the Alliant
+ * FX/8 hardware performance monitor used in the paper.  Each record is
+ * a typed event: instruction execution, a data read or write, a
+ * software prefetch, the begin/end bracket of a block operation, a
+ * lock acquire/release, a barrier arrival, or an idle period.
+ *
+ * Data references carry the annotations the paper's analysis needs:
+ * whether the reference was issued by the operating system, which
+ * kernel data-structure category it touches (for the Table 5
+ * coherence-miss breakdown), the basic block that issued it (for the
+ * Section 6 hot-spot analysis), and the enclosing block operation if
+ * any (for the Section 4 block-operation analysis).
+ */
+
+#ifndef OSCACHE_TRACE_RECORD_HH
+#define OSCACHE_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** The kind of event a TraceRecord describes. */
+enum class RecordType : std::uint8_t
+{
+    /** Execute `aux` instructions, one cycle each. */
+    Exec,
+    /** Sit idle for `aux` cycles (idle loop / no runnable process). */
+    Idle,
+    /** Data read of `size` bytes at `addr`. */
+    Read,
+    /** Data write of `size` bytes at `addr`. */
+    Write,
+    /** Non-binding software prefetch of the line containing `addr`. */
+    Prefetch,
+    /** Begin block operation `aux` (index into the BlockOp table). */
+    BlockOpBegin,
+    /** End block operation `aux`. */
+    BlockOpEnd,
+    /** Acquire the lock at `addr` (spins until free). */
+    LockAcquire,
+    /** Release the lock at `addr`. */
+    LockRelease,
+    /**
+     * Arrive at the barrier at `addr`; `aux` is the number of
+     * participants.  The processor blocks until all have arrived.
+     */
+    BarrierArrive,
+};
+
+/**
+ * Kernel/user data-structure category of a reference.
+ *
+ * The categories fold together the paper's two taxonomies: Table 2's
+ * block-op / coherence / other split falls out of the block-op
+ * bracketing plus the miss classifier, while Table 5's coherence
+ * breakdown (barriers, infrequently-communicated, frequently-shared,
+ * locks, other) is read directly off these tags.
+ */
+enum class DataCategory : std::uint8_t
+{
+    /** Application (user-level) data. */
+    User,
+    /** Per-processor private kernel data (stacks, u-areas). */
+    KernelPrivate,
+    /** Source block of a block operation. */
+    BlockSrc,
+    /** Destination block of a block operation. */
+    BlockDst,
+    /** Barrier synchronization variable. */
+    Barrier,
+    /**
+     * Infrequently-communicated variable: written often by many
+     * processors, read rarely (event counters like vmmeter.v_intr).
+     */
+    InfreqComm,
+    /**
+     * Frequently-shared variable with partial producer-consumer
+     * behaviour (resource-table pointers, freelist.size, cpievents).
+     */
+    FreqShared,
+    /** Lock word. */
+    Lock,
+    /** Other shared kernel data, including falsely-shared lines. */
+    OtherShared,
+    /** Page table entries (hot-spot loops walk these). */
+    PageTable,
+    /** Miscellaneous kernel structures (callout, proc, inodes...). */
+    KernelOther,
+};
+
+/** Human-readable name of a DataCategory, for reports. */
+std::string_view toString(DataCategory category);
+
+/** Human-readable name of a RecordType. */
+std::string_view toString(RecordType type);
+
+/** Per-record flag bits. */
+enum RecordFlags : std::uint8_t
+{
+    /** Reference issued while executing operating-system code. */
+    flagOs = 1u << 0,
+    /**
+     * Reference belongs to the word-by-word body of a block
+     * operation (as opposed to ordinary code that happens to run
+     * between BlockOpBegin/End markers).
+     */
+    flagBlockOpBody = 1u << 1,
+};
+
+/**
+ * One trace event.  24 bytes; traces hold millions of these, so the
+ * layout is kept compact and trivially copyable.
+ */
+struct TraceRecord
+{
+    /** Referenced address (data, lock, and barrier records). */
+    Addr addr = 0;
+    /**
+     * Type-dependent payload: instruction count for Exec, idle cycles
+     * for Idle, block-op id for BlockOp*, participant count for
+     * BarrierArrive.
+     */
+    std::uint32_t aux = 0;
+    /** Issuing basic block, for hot-spot attribution. */
+    BasicBlockId bb = invalidBasicBlock;
+    RecordType type = RecordType::Exec;
+    DataCategory category = DataCategory::User;
+    /** Access size in bytes for Read/Write. */
+    std::uint8_t size = 4;
+    std::uint8_t flags = 0;
+
+    /** True iff issued by operating-system code. */
+    bool isOs() const { return flags & flagOs; }
+    /** True iff part of a block-operation body. */
+    bool isBlockOpBody() const { return flags & flagBlockOpBody; }
+    /** True for Read/Write/Prefetch records. */
+    bool
+    isData() const
+    {
+        return type == RecordType::Read || type == RecordType::Write ||
+               type == RecordType::Prefetch;
+    }
+
+    /** Convenience factory: an instruction-execution record. */
+    static TraceRecord
+    exec(std::uint32_t count, BasicBlockId bb_id, bool os)
+    {
+        TraceRecord r;
+        r.type = RecordType::Exec;
+        r.aux = count;
+        r.bb = bb_id;
+        r.flags = os ? flagOs : 0;
+        return r;
+    }
+
+    /** Convenience factory: an idle period. */
+    static TraceRecord
+    idle(std::uint32_t cycles)
+    {
+        TraceRecord r;
+        r.type = RecordType::Idle;
+        r.aux = cycles;
+        return r;
+    }
+
+    /** Convenience factory: a data read. */
+    static TraceRecord
+    read(Addr addr, DataCategory cat, BasicBlockId bb_id, bool os,
+         std::uint8_t size = 4)
+    {
+        TraceRecord r;
+        r.type = RecordType::Read;
+        r.addr = addr;
+        r.category = cat;
+        r.bb = bb_id;
+        r.size = size;
+        r.flags = os ? flagOs : 0;
+        return r;
+    }
+
+    /** Convenience factory: a data write. */
+    static TraceRecord
+    write(Addr addr, DataCategory cat, BasicBlockId bb_id, bool os,
+          std::uint8_t size = 4)
+    {
+        TraceRecord r;
+        r.type = RecordType::Write;
+        r.addr = addr;
+        r.category = cat;
+        r.bb = bb_id;
+        r.size = size;
+        r.flags = os ? flagOs : 0;
+        return r;
+    }
+
+    /** Convenience factory: a software prefetch. */
+    static TraceRecord
+    prefetch(Addr addr, DataCategory cat, BasicBlockId bb_id, bool os)
+    {
+        TraceRecord r;
+        r.type = RecordType::Prefetch;
+        r.addr = addr;
+        r.category = cat;
+        r.bb = bb_id;
+        r.flags = os ? flagOs : 0;
+        return r;
+    }
+};
+
+static_assert(sizeof(TraceRecord) <= 24, "TraceRecord must stay compact");
+
+} // namespace oscache
+
+#endif // OSCACHE_TRACE_RECORD_HH

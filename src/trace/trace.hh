@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The in-memory trace: one record stream per processor plus the
+ * shared block-operation table and the set of pages marked for the
+ * selective-update protocol.
+ *
+ * This is the hand-off point between the synthetic workload generator
+ * (src/synth) and the timing simulator (src/sim), and the unit that
+ * trace-transformation passes (src/core) rewrite.
+ */
+
+#ifndef OSCACHE_TRACE_TRACE_HH
+#define OSCACHE_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "trace/blockop.hh"
+#include "trace/record.hh"
+
+namespace oscache
+{
+
+/** Record stream of a single processor. */
+using RecordStream = std::vector<TraceRecord>;
+
+/**
+ * A complete multiprocessor trace.
+ */
+class Trace
+{
+  public:
+    /** Construct a trace for @p num_cpus processors. */
+    explicit Trace(unsigned num_cpus) : streams(num_cpus) {}
+
+    unsigned numCpus() const { return static_cast<unsigned>(streams.size()); }
+
+    /** Access a processor's record stream. */
+    RecordStream &
+    stream(CpuId cpu)
+    {
+        if (cpu >= streams.size())
+            panic("Trace::stream: bad cpu ", int(cpu));
+        return streams[cpu];
+    }
+
+    const RecordStream &
+    stream(CpuId cpu) const
+    {
+        if (cpu >= streams.size())
+            panic("Trace::stream: bad cpu ", int(cpu));
+        return streams[cpu];
+    }
+
+    /** The shared block-operation table. */
+    BlockOpTable &blockOps() { return blockOpTable; }
+    const BlockOpTable &blockOps() const { return blockOpTable; }
+
+    /**
+     * Pages whose lines use the Firefly update protocol instead of
+     * Illinois invalidate (Section 5.2's selective update).  Keys are
+     * page-aligned addresses.
+     */
+    std::unordered_set<Addr> &updatePages() { return updatePageSet; }
+    const std::unordered_set<Addr> &updatePages() const
+    {
+        return updatePageSet;
+    }
+
+    /** Page size used for update-page lookup (4 KB as in the paper). */
+    static constexpr Addr pageSize = 4096;
+
+    /** True iff @p addr lies in an update-protocol page. */
+    bool
+    isUpdateAddr(Addr addr) const
+    {
+        if (updatePageSet.empty())
+            return false;
+        return updatePageSet.count(alignDown(addr, pageSize)) != 0;
+    }
+
+    /** Total number of records across all streams. */
+    std::size_t
+    totalRecords() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : streams)
+            n += s.size();
+        return n;
+    }
+
+  private:
+    std::vector<RecordStream> streams;
+    BlockOpTable blockOpTable;
+    std::unordered_set<Addr> updatePageSet;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_TRACE_TRACE_HH

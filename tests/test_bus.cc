@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the split-transaction bus model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+namespace oscache
+{
+namespace
+{
+
+TEST(BusTest, FirstGrantImmediate)
+{
+    Bus bus;
+    EXPECT_EQ(bus.acquire(100, 20, BusTxn::LineFill, 32), 100u);
+    EXPECT_EQ(bus.nextFree(), 120u);
+}
+
+TEST(BusTest, ContentionSerializes)
+{
+    Bus bus;
+    bus.acquire(100, 20, BusTxn::LineFill, 32);
+    // A request while the bus is busy waits.
+    EXPECT_EQ(bus.acquire(105, 20, BusTxn::LineFill, 32), 120u);
+    EXPECT_EQ(bus.nextFree(), 140u);
+}
+
+TEST(BusTest, IdleGapNoWait)
+{
+    Bus bus;
+    bus.acquire(0, 20, BusTxn::LineFill, 32);
+    EXPECT_EQ(bus.acquire(1000, 20, BusTxn::WriteBack, 32), 1000u);
+}
+
+TEST(BusTest, TrafficAccounting)
+{
+    Bus bus;
+    bus.acquire(0, 20, BusTxn::LineFill, 32);
+    bus.acquire(0, 20, BusTxn::LineFill, 32);
+    bus.acquire(0, 5, BusTxn::Invalidate, 0);
+    bus.acquire(0, 10, BusTxn::Update, 4);
+    EXPECT_EQ(bus.transactions(BusTxn::LineFill), 2u);
+    EXPECT_EQ(bus.bytes(BusTxn::LineFill), 64u);
+    EXPECT_EQ(bus.transactions(BusTxn::Invalidate), 1u);
+    EXPECT_EQ(bus.bytes(BusTxn::Update), 4u);
+    EXPECT_EQ(bus.totalTransactions(), 4u);
+    EXPECT_EQ(bus.totalBytes(), 68u);
+}
+
+TEST(BusTest, BusyCyclesAccumulate)
+{
+    Bus bus;
+    bus.acquire(0, 20, BusTxn::LineFill, 32);
+    bus.acquire(50, 5, BusTxn::Invalidate, 0);
+    EXPECT_EQ(bus.totalBusyCycles(), 25u);
+}
+
+TEST(BusTest, DmaHoldsLong)
+{
+    Bus bus;
+    const Cycles grant = bus.acquire(10, 5139, BusTxn::Dma, 4096);
+    EXPECT_EQ(grant, 10u);
+    // Nothing else gets in before the DMA completes.
+    EXPECT_EQ(bus.acquire(20, 20, BusTxn::LineFill, 32), 5149u);
+}
+
+/** Property: grants never overlap and never precede the request. */
+TEST(BusTest, GrantMonotonicityProperty)
+{
+    Bus bus;
+    Cycles prev_end = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Cycles req = i * 7;
+        const Cycles occ = 5 + (i % 3) * 5;
+        const Cycles grant = bus.acquire(req, occ, BusTxn::LineFill, 32);
+        EXPECT_GE(grant, req);
+        EXPECT_GE(grant, prev_end);
+        prev_end = grant + occ;
+        EXPECT_EQ(bus.nextFree(), prev_end);
+    }
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the direct-mapped cache tag arrays.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace oscache
+{
+namespace
+{
+
+TEST(L1CacheTest, EmptyMissesEverywhere)
+{
+    L1Cache cache(32 * 1024, 16);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(0x1234));
+    EXPECT_EQ(cache.sets(), 2048u);
+}
+
+TEST(L1CacheTest, FillThenHit)
+{
+    L1Cache cache(32 * 1024, 16);
+    EXPECT_EQ(cache.fill(0x1000), invalidAddr);
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_TRUE(cache.contains(0x100f)); // Same 16-byte line.
+    EXPECT_FALSE(cache.contains(0x1010)); // Next line.
+}
+
+TEST(L1CacheTest, LineAddrMasksOffset)
+{
+    L1Cache cache(32 * 1024, 16);
+    EXPECT_EQ(cache.lineAddr(0x1234), 0x1230u);
+    EXPECT_EQ(cache.lineAddr(0x1230), 0x1230u);
+}
+
+TEST(L1CacheTest, ConflictEvictsVictim)
+{
+    L1Cache cache(32 * 1024, 16);
+    // Addresses 32 KB apart map to the same set.
+    cache.fill(0x1000);
+    const Addr victim = cache.fill(0x1000 + 32 * 1024);
+    EXPECT_EQ(victim, 0x1000u);
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_TRUE(cache.contains(0x1000 + 32 * 1024));
+}
+
+TEST(L1CacheTest, RefillSameLineNoVictim)
+{
+    L1Cache cache(32 * 1024, 16);
+    cache.fill(0x2000);
+    EXPECT_EQ(cache.fill(0x2004), invalidAddr); // Same line.
+}
+
+TEST(L1CacheTest, InvalidateRemovesLine)
+{
+    L1Cache cache(32 * 1024, 16);
+    cache.fill(0x3000);
+    cache.invalidate(0x3008);
+    EXPECT_FALSE(cache.contains(0x3000));
+}
+
+TEST(L1CacheTest, InvalidateOtherLineIsNoop)
+{
+    L1Cache cache(32 * 1024, 16);
+    cache.fill(0x3000);
+    cache.invalidate(0x3000 + 32 * 1024); // Same set, different tag.
+    EXPECT_TRUE(cache.contains(0x3000));
+}
+
+TEST(L1CacheTest, FlushEmptiesCache)
+{
+    L1Cache cache(32 * 1024, 16);
+    for (Addr a = 0; a < 64 * 1024; a += 16)
+        cache.fill(a);
+    cache.flush();
+    for (Addr a = 0; a < 64 * 1024; a += 16)
+        EXPECT_FALSE(cache.contains(a));
+}
+
+TEST(L2CacheTest, StateTransitions)
+{
+    L2Cache cache(256 * 1024, 32);
+    EXPECT_EQ(cache.state(0x4000), LineState::Invalid);
+
+    Addr victim;
+    bool dirty;
+    cache.fill(0x4000, LineState::Exclusive, victim, dirty);
+    EXPECT_EQ(victim, invalidAddr);
+    EXPECT_FALSE(dirty);
+    EXPECT_EQ(cache.state(0x4000), LineState::Exclusive);
+
+    cache.setState(0x4000, LineState::Modified);
+    EXPECT_EQ(cache.state(0x4010), LineState::Modified); // Same line.
+}
+
+TEST(L2CacheTest, DirtyVictimReported)
+{
+    L2Cache cache(256 * 1024, 32);
+    Addr victim;
+    bool dirty;
+    cache.fill(0x4000, LineState::Modified, victim, dirty);
+    cache.fill(0x4000 + 256 * 1024, LineState::Shared, victim, dirty);
+    EXPECT_EQ(victim, 0x4000u);
+    EXPECT_TRUE(dirty);
+}
+
+TEST(L2CacheTest, CleanVictimNotDirty)
+{
+    L2Cache cache(256 * 1024, 32);
+    Addr victim;
+    bool dirty;
+    cache.fill(0x8000, LineState::Shared, victim, dirty);
+    cache.fill(0x8000 + 256 * 1024, LineState::Exclusive, victim, dirty);
+    EXPECT_EQ(victim, 0x8000u);
+    EXPECT_FALSE(dirty);
+}
+
+TEST(L2CacheTest, InvalidateResidentLine)
+{
+    L2Cache cache(256 * 1024, 32);
+    Addr victim;
+    bool dirty;
+    cache.fill(0x5000, LineState::Shared, victim, dirty);
+    cache.invalidate(0x5000);
+    EXPECT_EQ(cache.state(0x5000), LineState::Invalid);
+}
+
+TEST(L2CacheTest, ContainsMatchesState)
+{
+    L2Cache cache(256 * 1024, 32);
+    EXPECT_FALSE(cache.contains(0x9000));
+    Addr victim;
+    bool dirty;
+    cache.fill(0x9000, LineState::Shared, victim, dirty);
+    EXPECT_TRUE(cache.contains(0x9000));
+}
+
+/** Parameterized sweep: geometry invariants across configurations. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, FillAllSetsDistinct)
+{
+    const auto [size, line] = GetParam();
+    L1Cache cache(size, line);
+    // Fill every set with a distinct line; nothing should evict.
+    for (Addr a = 0; a < size; a += line)
+        EXPECT_EQ(cache.fill(a), invalidAddr);
+    // Everything is resident.
+    for (Addr a = 0; a < size; a += line)
+        EXPECT_TRUE(cache.contains(a));
+    // The next wraparound evicts exactly the aliasing line.
+    for (Addr a = 0; a < size; a += line)
+        EXPECT_EQ(cache.fill(a + size), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::pair<unsigned, unsigned>{16 * 1024, 16},
+                      std::pair<unsigned, unsigned>{32 * 1024, 16},
+                      std::pair<unsigned, unsigned>{64 * 1024, 16},
+                      std::pair<unsigned, unsigned>{32 * 1024, 32},
+                      std::pair<unsigned, unsigned>{32 * 1024, 64},
+                      std::pair<unsigned, unsigned>{256 * 1024, 32}));
+
+} // namespace
+} // namespace oscache

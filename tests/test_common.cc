@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for src/common: address helpers and the deterministic
+ * random number generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace oscache
+{
+namespace
+{
+
+TEST(AlignTest, AlignDownBasics)
+{
+    EXPECT_EQ(alignDown(0, 16), 0u);
+    EXPECT_EQ(alignDown(15, 16), 0u);
+    EXPECT_EQ(alignDown(16, 16), 16u);
+    EXPECT_EQ(alignDown(17, 16), 16u);
+    EXPECT_EQ(alignDown(0xffff, 4096), 0xf000u);
+}
+
+TEST(AlignTest, AlignUpBasics)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(alignUp(17, 16), 32u);
+}
+
+TEST(AlignTest, AlignRoundTripInvariant)
+{
+    for (Addr a = 0; a < 4096; a += 7) {
+        for (Addr g : {2u, 4u, 16u, 32u, 4096u}) {
+            EXPECT_LE(alignDown(a, g), a);
+            EXPECT_GE(alignUp(a, g), a);
+            EXPECT_EQ(alignDown(a, g) % g, 0u);
+            EXPECT_EQ(alignUp(a, g) % g, 0u);
+            EXPECT_LT(a - alignDown(a, g), g);
+        }
+    }
+}
+
+TEST(AlignTest, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(AlignTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(16), 4u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BelowIsInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; with n=10000 the error is tiny.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BurstBounds)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        const auto b = rng.burst(0.5, 6);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, 6u);
+    }
+}
+
+TEST(RngTest, SplitMixDeterministic)
+{
+    SplitMix64 a(99);
+    SplitMix64 b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests of the trace emission helper: annotations, counters, the
+ * OS-instruction scale, and the cycle estimate the generator sizes
+ * idle periods with.
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/emitter.hh"
+
+namespace oscache
+{
+namespace
+{
+
+struct EmitterFixture : ::testing::Test
+{
+    Trace trace{1};
+    Emitter em{trace.stream(0), trace.blockOps()};
+};
+
+TEST_F(EmitterFixture, ExecRecordsAnnotated)
+{
+    em.exec(10, 42);
+    em.userExec(20, 7);
+    const auto &s = trace.stream(0);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s[0].isOs());
+    EXPECT_EQ(s[0].aux, 10u);
+    EXPECT_EQ(s[0].bb, 42u);
+    EXPECT_FALSE(s[1].isOs());
+}
+
+TEST_F(EmitterFixture, DataRecordsAnnotated)
+{
+    em.read(0x1000, DataCategory::PageTable, 3);
+    em.write(0x2000, DataCategory::InfreqComm, 4);
+    em.userRead(0x3000, 5);
+    em.userWrite(0x4000, 6);
+    const auto &s = trace.stream(0);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0].category, DataCategory::PageTable);
+    EXPECT_TRUE(s[0].isOs());
+    EXPECT_EQ(s[1].type, RecordType::Write);
+    EXPECT_EQ(s[2].category, DataCategory::User);
+    EXPECT_FALSE(s[3].isOs());
+}
+
+TEST_F(EmitterFixture, BlockOpEmitsBracket)
+{
+    const BlockOpId id =
+        em.blockOp(0x1000, 0x2000, 4096, BlockOpKind::Copy);
+    const auto &s = trace.stream(0);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0].type, RecordType::BlockOpBegin);
+    EXPECT_EQ(s[0].aux, id);
+    EXPECT_EQ(s[1].type, RecordType::BlockOpEnd);
+    EXPECT_EQ(trace.blockOps().get(id).size, 4096u);
+}
+
+TEST_F(EmitterFixture, SyncRecords)
+{
+    em.lockAcquire(0x5000);
+    em.lockRelease(0x5000);
+    em.barrierArrive(0x6000, 4);
+    const auto &s = trace.stream(0);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0].type, RecordType::LockAcquire);
+    EXPECT_EQ(s[1].type, RecordType::LockRelease);
+    EXPECT_EQ(s[2].type, RecordType::BarrierArrive);
+    EXPECT_EQ(s[2].aux, 4u);
+}
+
+TEST_F(EmitterFixture, CycleEstimateGrows)
+{
+    const auto start = em.cycleEstimate();
+    em.exec(100, 1);
+    const auto after_exec = em.cycleEstimate();
+    EXPECT_GT(after_exec, start);
+    em.blockOp(0x1000, 0x2000, 4096, BlockOpKind::Copy);
+    EXPECT_GT(em.cycleEstimate(), after_exec);
+}
+
+TEST(EmitterScaleTest, OsExecScaled)
+{
+    Trace trace(1);
+    Emitter em(trace.stream(0), trace.blockOps(), 3.0);
+    em.exec(10, 1);
+    em.userExec(10, 2);
+    EXPECT_EQ(trace.stream(0)[0].aux, 30u); // OS instructions scale.
+    EXPECT_EQ(trace.stream(0)[1].aux, 10u); // User instructions don't.
+}
+
+TEST(EmitterScaleTest, RoundsToNearest)
+{
+    Trace trace(1);
+    Emitter em(trace.stream(0), trace.blockOps(), 2.5);
+    em.exec(3, 1); // 7.5 -> 8.
+    EXPECT_EQ(trace.stream(0)[0].aux, 8u);
+}
+
+} // namespace
+} // namespace oscache

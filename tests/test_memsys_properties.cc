@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Property-based tests of the memory system: random multiprocessor
+ * access sequences driven across several machine geometries, with
+ * global invariants checked after every access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/memsys.hh"
+
+namespace oscache
+{
+namespace
+{
+
+struct Geometry
+{
+    std::uint32_t l1Size;
+    std::uint32_t l1Line;
+    std::uint32_t l2Line;
+};
+
+class MemSysProperty : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    MachineConfig
+    config() const
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.l1Size = GetParam().l1Size;
+        cfg.l1LineSize = GetParam().l1Line;
+        cfg.l2LineSize = GetParam().l2Line;
+        if (cfg.l1LineSize > cfg.l2LineSize)
+            cfg.l2LineSize = cfg.l1LineSize;
+        return cfg;
+    }
+};
+
+TEST_P(MemSysProperty, InclusionHolds)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    Rng rng(1234);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    std::vector<Addr> touched;
+    for (int i = 0; i < 3000; ++i) {
+        const CpuId cpu = CpuId(rng.below(cfg.numCpus));
+        const Addr addr = 0x10000 + 64 * rng.below(4096);
+        touched.push_back(addr);
+        if (rng.chance(0.5))
+            now = mem.read(cpu, addr, now, ctx).completeAt;
+        else
+            now = mem.write(cpu, addr, now, ctx).completeAt;
+        // Inclusion: every L1-resident line is also in L2.
+        if ((i & 63) == 0) {
+            for (const Addr a : touched)
+                for (CpuId c = 0; c < cfg.numCpus; ++c)
+                    if (mem.l1Contains(c, a)) {
+                        EXPECT_NE(mem.l2State(c, a), LineState::Invalid)
+                            << "L1 line " << a << " missing from L2";
+                    }
+        }
+    }
+}
+
+TEST_P(MemSysProperty, SingleWriterInvariant)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    Rng rng(99);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const CpuId cpu = CpuId(rng.below(cfg.numCpus));
+        const Addr addr = 0x20000 + 64 * rng.below(512);
+        if (rng.chance(0.4))
+            now = mem.write(cpu, addr, now, ctx).completeAt;
+        else
+            now = mem.read(cpu, addr, now, ctx).completeAt;
+        // At most one Modified/Exclusive copy machine-wide.
+        unsigned owners = 0;
+        unsigned sharers = 0;
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            const LineState st = mem.l2State(c, addr);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                ++owners;
+            else if (st == LineState::Shared)
+                ++sharers;
+        }
+        EXPECT_LE(owners, 1u);
+        if (owners == 1) {
+            EXPECT_EQ(sharers, 0u)
+                << "owner coexists with sharers at " << addr;
+        }
+    }
+}
+
+TEST_P(MemSysProperty, ReadAfterWriteHits)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    Rng rng(7);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const CpuId cpu = CpuId(rng.below(cfg.numCpus));
+        const Addr addr = 0x30000 + 64 * rng.below(256);
+        now = mem.write(cpu, addr, now, ctx).completeAt;
+        const auto res = mem.read(cpu, addr, now, ctx);
+        EXPECT_FALSE(res.l1Miss)
+            << "read after own write missed at " << addr;
+        now = res.completeAt;
+    }
+}
+
+TEST_P(MemSysProperty, NoCoherenceMissesOnOneCpu)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    Rng rng(5);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const Addr addr = 0x40000 + 16 * rng.below(8192);
+        const auto res = rng.chance(0.5)
+            ? mem.read(0, addr, now, ctx)
+            : mem.write(0, addr, now, ctx);
+        if (res.l1Miss) {
+            EXPECT_NE(res.cause, MissCause::Coherence)
+                << "coherence miss without a second processor";
+        }
+        now = res.completeAt;
+    }
+}
+
+TEST_P(MemSysProperty, TimeNeverRunsBackward)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    Rng rng(11);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const CpuId cpu = CpuId(rng.below(cfg.numCpus));
+        const Addr addr = 64 * rng.below(1u << 20);
+        const auto res = rng.chance(0.5)
+            ? mem.read(cpu, addr, now, ctx)
+            : mem.write(cpu, addr, now, ctx);
+        EXPECT_GE(res.completeAt, now);
+        now = res.completeAt;
+        const Cycles fence_done = mem.fence(cpu, now);
+        EXPECT_GE(fence_done, now);
+    }
+}
+
+TEST_P(MemSysProperty, UpdatePagesNeverLoseSharers)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    std::unordered_set<Addr> pages{0x50000};
+    mem.setUpdatePages(&pages);
+    Rng rng(13);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    // All processors read the update-page lines the writes will hit.
+    for (CpuId c = 0; c < cfg.numCpus; ++c)
+        for (unsigned i = 0; i < 16; ++i)
+            now = mem.read(c, 0x50000 + Addr{i} * cfg.l1LineSize, now,
+                           ctx).completeAt;
+    // Random writes must never invalidate anyone.
+    for (int i = 0; i < 500; ++i) {
+        const CpuId cpu = CpuId(rng.below(cfg.numCpus));
+        const Addr addr = 0x50000 + cfg.l1LineSize * rng.below(16);
+        now = mem.write(cpu, addr, now, ctx).completeAt;
+        for (CpuId c = 0; c < cfg.numCpus; ++c)
+            EXPECT_NE(mem.l2State(c, addr), LineState::Invalid)
+                << "sharer lost its copy under the update protocol";
+    }
+}
+
+TEST_P(MemSysProperty, DmaPreservesInvariants)
+{
+    const MachineConfig cfg = config();
+    MemorySystem mem(cfg);
+    Rng rng(17);
+    AccessContext ctx;
+    ctx.os = true;
+    Cycles now = 0;
+    for (int i = 0; i < 100; ++i) {
+        // Mix demand traffic and DMA operations.
+        for (int j = 0; j < 20; ++j) {
+            const CpuId cpu = CpuId(rng.below(cfg.numCpus));
+            const Addr addr = 0x100000 + 64 * rng.below(2048);
+            now = mem.read(cpu, addr, now, ctx).completeAt;
+        }
+        BlockOp op;
+        op.src = 0x100000 + 4096 * rng.below(16);
+        op.dst = 0x200000 + 4096 * rng.below(16);
+        op.size = 4096;
+        op.kind = rng.chance(0.5) ? BlockOpKind::Copy : BlockOpKind::Zero;
+        const Cycles done =
+            mem.dmaBlockOp(CpuId(rng.below(cfg.numCpus)), op, now);
+        EXPECT_GE(done, now);
+        now = done;
+        // Single-owner invariant on a sample of destination lines.
+        unsigned owners = 0;
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            const LineState st = mem.l2State(c, op.dst);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                ++owners;
+        }
+        EXPECT_LE(owners, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MemSysProperty,
+    ::testing::Values(Geometry{32 * 1024, 16, 32},
+                      Geometry{16 * 1024, 16, 32},
+                      Geometry{64 * 1024, 16, 32},
+                      Geometry{32 * 1024, 32, 64},
+                      Geometry{32 * 1024, 64, 64}));
+
+} // namespace
+} // namespace oscache

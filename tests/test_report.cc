@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the reporting helpers: tables, bars, and the experiment
+ * driver's cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/figures.hh"
+#include "report/table.hh"
+
+namespace oscache
+{
+namespace
+{
+
+TEST(TableTest, RendersTitleAndColumns)
+{
+    TextTable t("My Title", {"A", "B"});
+    t.addRow("row1", std::vector<double>{1.0, 2.5});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("My Title"), std::string::npos);
+    EXPECT_NE(s.find("A"), std::string::npos);
+    EXPECT_NE(s.find("row1"), std::string::npos);
+    EXPECT_NE(s.find("1.0"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRendered)
+{
+    TextTable t("T", {"A"});
+    t.addRow("r1", std::vector<double>{1.0});
+    t.addSeparator();
+    t.addRow("r2", std::vector<double>{2.0});
+    const std::string s = t.str();
+    // Header rule + separator + footer: at least 3 dashed/equals rows.
+    int rules = 0;
+    for (std::size_t pos = 0; (pos = s.find("---", pos)) != std::string::npos;
+         pos += 3)
+        ++rules;
+    EXPECT_GE(rules, 2);
+}
+
+TEST(TableTest, StringCells)
+{
+    TextTable t("T", {"A"});
+    t.addRow("r", {std::string("0.88 | 1.00")});
+    EXPECT_NE(t.str().find("0.88 | 1.00"), std::string::npos);
+}
+
+TEST(TableTest, WideLabelsExpand)
+{
+    TextTable t("T", {"A"});
+    const std::string label(40, 'x');
+    t.addRow(label, std::vector<double>{1.0});
+    EXPECT_NE(t.str().find(label), std::string::npos);
+}
+
+TEST(FormatTest, Decimals)
+{
+    EXPECT_EQ(formatValue(3.14159, 2), "3.14");
+    EXPECT_EQ(formatValue(3.14159, 0), "3");
+    EXPECT_EQ(formatValue(-1.5, 1), "-1.5");
+}
+
+TEST(BarTest, FullAndEmpty)
+{
+    EXPECT_EQ(bar(1.0, 1.0, 10), "##########");
+    EXPECT_EQ(bar(0.0, 1.0, 10), "..........");
+    EXPECT_EQ(bar(0.5, 1.0, 10), "#####.....");
+}
+
+TEST(BarTest, ClampsOutOfRange)
+{
+    EXPECT_EQ(bar(2.0, 1.0, 4), "####");
+    EXPECT_EQ(bar(-1.0, 1.0, 4), "....");
+    EXPECT_EQ(bar(1.0, 0.0, 4), "####"); // Degenerate full scale.
+}
+
+TEST(FiguresTest, CellVsPaperFormat)
+{
+    EXPECT_EQ(cellVsPaper(0.876, 0.9), "0.88 | 0.90");
+    EXPECT_EQ(cellVsPaper(42.15, 43.7, 1), "42.1 | 43.7");
+}
+
+TEST(FiguresTest, RemainingMissesSubtractsHidden)
+{
+    SimStats s;
+    s.osMissBlock = 100;
+    s.osMissOther = 50;
+    s.osMissPartiallyHidden = 30;
+    EXPECT_DOUBLE_EQ(remainingOsMisses(s), 120.0);
+}
+
+TEST(FiguresTest, WorkloadColumnsMatchPaperOrder)
+{
+    const auto cols = workloadColumns();
+    ASSERT_EQ(cols.size(), 4u);
+    EXPECT_EQ(cols[0], "TRFD_4");
+    EXPECT_EQ(cols[3], "Shell");
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the statistics collection: classification paths,
+ * bucket attribution, and derived quantities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace oscache
+{
+namespace
+{
+
+AccessResult
+miss(MissCause cause, Cycles stall = 50, bool hidden = false)
+{
+    AccessResult res;
+    res.l1Miss = true;
+    res.cause = cause;
+    res.stall = stall;
+    res.partiallyHidden = hidden;
+    return res;
+}
+
+AccessResult
+hit()
+{
+    AccessResult res;
+    res.completeAt = 1;
+    return res;
+}
+
+TEST(StatsTest, HitCountsReadOnly)
+{
+    SimStats s;
+    s.recordRead(true, false, DataCategory::KernelOther, 1, hit());
+    EXPECT_EQ(s.osReads, 1u);
+    EXPECT_EQ(s.osMissTotal(), 0u);
+}
+
+TEST(StatsTest, BlockBodyMissGoesToBlockBucket)
+{
+    SimStats s;
+    s.recordRead(true, true, DataCategory::BlockSrc, invalidBasicBlock,
+                 miss(MissCause::Plain));
+    EXPECT_EQ(s.osMissBlock, 1u);
+    EXPECT_EQ(s.osMissOther, 0u);
+}
+
+TEST(StatsTest, CoherenceMissCategorized)
+{
+    SimStats s;
+    s.recordRead(true, false, DataCategory::Barrier, invalidBasicBlock,
+                 miss(MissCause::Coherence));
+    s.recordRead(true, false, DataCategory::Lock, invalidBasicBlock,
+                 miss(MissCause::Coherence));
+    EXPECT_EQ(s.osMissCoherenceTotal(), 2u);
+    EXPECT_EQ(
+        s.osMissCoherence[static_cast<std::size_t>(DataCategory::Barrier)],
+        1u);
+    EXPECT_EQ(
+        s.osMissCoherence[static_cast<std::size_t>(DataCategory::Lock)],
+        1u);
+}
+
+TEST(StatsTest, PlainOsMissIsOtherAndTracked)
+{
+    SimStats s;
+    s.recordRead(true, false, DataCategory::PageTable, 42,
+                 miss(MissCause::Plain));
+    EXPECT_EQ(s.osMissOther, 1u);
+    EXPECT_EQ(s.osOtherMissByBb.at(42), 1u);
+}
+
+TEST(StatsTest, UserMissSeparate)
+{
+    SimStats s;
+    s.recordRead(false, false, DataCategory::User, 7,
+                 miss(MissCause::Plain));
+    EXPECT_EQ(s.userMisses, 1u);
+    EXPECT_EQ(s.osMissTotal(), 0u);
+    EXPECT_EQ(s.userMissByBb.at(7), 1u);
+}
+
+TEST(StatsTest, DisplacementSplitsInsideOutside)
+{
+    SimStats s;
+    s.recordRead(true, true, DataCategory::BlockSrc, invalidBasicBlock,
+                 miss(MissCause::Displacement));
+    s.recordRead(true, false, DataCategory::KernelOther, invalidBasicBlock,
+                 miss(MissCause::Displacement));
+    EXPECT_EQ(s.displacementInside, 1u);
+    EXPECT_EQ(s.displacementOutside, 1u);
+    // Only outside displacement stall is blamed on block ops.
+    EXPECT_EQ(s.blockDisplStall, 50u);
+}
+
+TEST(StatsTest, ReuseSplitsInsideOutside)
+{
+    SimStats s;
+    s.recordRead(true, true, DataCategory::BlockSrc, invalidBasicBlock,
+                 miss(MissCause::Reuse));
+    s.recordRead(false, false, DataCategory::User, invalidBasicBlock,
+                 miss(MissCause::Reuse));
+    EXPECT_EQ(s.reuseInside, 1u);
+    EXPECT_EQ(s.reuseOutside, 1u);
+}
+
+TEST(StatsTest, PartiallyHiddenGoesToPrefBucket)
+{
+    SimStats s;
+    s.recordRead(true, false, DataCategory::PageTable, 1,
+                 miss(MissCause::Plain, 30, true));
+    EXPECT_EQ(s.osPrefStall, 30u);
+    EXPECT_EQ(s.osReadStall, 0u);
+    EXPECT_EQ(s.osMissPartiallyHidden, 1u);
+}
+
+TEST(StatsTest, WriteStallBuckets)
+{
+    SimStats s;
+    AccessResult res;
+    res.stall = 12;
+    s.recordWrite(true, true, res);
+    EXPECT_EQ(s.osWriteStall, 12u);
+    EXPECT_EQ(s.blockWriteStall, 12u);
+    s.recordWrite(false, false, res);
+    EXPECT_EQ(s.userWriteStall, 12u);
+}
+
+TEST(StatsTest, ExecBuckets)
+{
+    SimStats s;
+    s.recordExec(true, false, 100, 100, 35);
+    s.recordExec(false, false, 50, 50, 2);
+    s.recordExec(true, true, 10, 10, 0);
+    EXPECT_EQ(s.osInstrs, 110u);
+    EXPECT_EQ(s.osExec, 110u);
+    EXPECT_EQ(s.osImiss, 35u);
+    EXPECT_EQ(s.userExec, 50u);
+    EXPECT_EQ(s.blockInstrExec, 10u);
+}
+
+TEST(StatsTest, DerivedTimes)
+{
+    SimStats s;
+    s.osExec = 100;
+    s.osSpin = 10;
+    s.osImiss = 20;
+    s.osReadStall = 30;
+    s.osWriteStall = 5;
+    s.osPrefStall = 5;
+    s.userExec = 200;
+    s.userImiss = 8;
+    s.userReadStall = 2;
+    s.idle = 30;
+    EXPECT_EQ(s.osTime(), 170u);
+    EXPECT_EQ(s.userTime(), 210u);
+    EXPECT_EQ(s.totalTime(), 410u);
+    EXPECT_EQ(s.osDataStall(), 40u);
+}
+
+TEST(StatsTest, MissTotalsAdd)
+{
+    SimStats s;
+    s.recordRead(true, true, DataCategory::BlockSrc, invalidBasicBlock,
+                 miss(MissCause::Plain));
+    s.recordRead(true, false, DataCategory::Barrier, invalidBasicBlock,
+                 miss(MissCause::Coherence));
+    s.recordRead(true, false, DataCategory::PageTable, 1,
+                 miss(MissCause::Plain));
+    s.recordRead(false, false, DataCategory::User, 2,
+                 miss(MissCause::Plain));
+    EXPECT_EQ(s.osMissTotal(), 3u);
+    EXPECT_EQ(s.totalMisses(), 4u);
+    EXPECT_EQ(s.totalReads(), 4u);
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the trace record format and container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/blockop.hh"
+#include "trace/record.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+namespace
+{
+
+TEST(RecordTest, ExecFactory)
+{
+    const auto r = TraceRecord::exec(10, 42, true);
+    EXPECT_EQ(r.type, RecordType::Exec);
+    EXPECT_EQ(r.aux, 10u);
+    EXPECT_EQ(r.bb, 42u);
+    EXPECT_TRUE(r.isOs());
+    EXPECT_FALSE(r.isData());
+}
+
+TEST(RecordTest, ReadFactory)
+{
+    const auto r =
+        TraceRecord::read(0x1000, DataCategory::PageTable, 7, true);
+    EXPECT_EQ(r.type, RecordType::Read);
+    EXPECT_EQ(r.addr, 0x1000u);
+    EXPECT_EQ(r.category, DataCategory::PageTable);
+    EXPECT_TRUE(r.isOs());
+    EXPECT_TRUE(r.isData());
+}
+
+TEST(RecordTest, WriteFactoryUserSide)
+{
+    const auto r = TraceRecord::write(0x2000, DataCategory::User, 9, false);
+    EXPECT_EQ(r.type, RecordType::Write);
+    EXPECT_FALSE(r.isOs());
+    EXPECT_TRUE(r.isData());
+}
+
+TEST(RecordTest, PrefetchIsData)
+{
+    const auto r =
+        TraceRecord::prefetch(0x3000, DataCategory::KernelOther, 1, true);
+    EXPECT_EQ(r.type, RecordType::Prefetch);
+    EXPECT_TRUE(r.isData());
+}
+
+TEST(RecordTest, IdleFactory)
+{
+    const auto r = TraceRecord::idle(500);
+    EXPECT_EQ(r.type, RecordType::Idle);
+    EXPECT_EQ(r.aux, 500u);
+    EXPECT_FALSE(r.isOs());
+}
+
+TEST(RecordTest, CompactLayout)
+{
+    EXPECT_LE(sizeof(TraceRecord), 24u);
+}
+
+TEST(RecordTest, CategoryNames)
+{
+    EXPECT_EQ(toString(DataCategory::Barrier), "Barrier");
+    EXPECT_EQ(toString(DataCategory::InfreqComm), "InfreqComm");
+    EXPECT_EQ(toString(DataCategory::Lock), "Lock");
+    EXPECT_EQ(toString(RecordType::BarrierArrive), "BarrierArrive");
+}
+
+TEST(BlockOpTableTest, AddAndGet)
+{
+    BlockOpTable table;
+    BlockOp op;
+    op.src = 0x1000;
+    op.dst = 0x2000;
+    op.size = 4096;
+    op.kind = BlockOpKind::Copy;
+    const BlockOpId id = table.add(op);
+    EXPECT_EQ(id, 0u);
+    EXPECT_EQ(table.get(id).src, 0x1000u);
+    EXPECT_TRUE(table.get(id).isCopy());
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(BlockOpTableTest, MutableBackPatch)
+{
+    BlockOpTable table;
+    const BlockOpId id = table.add(BlockOp{});
+    EXPECT_FALSE(table.get(id).readOnlyAfter);
+    table.getMutable(id).readOnlyAfter = true;
+    EXPECT_TRUE(table.get(id).readOnlyAfter);
+}
+
+TEST(BlockOpTableTest, SequentialIds)
+{
+    BlockOpTable table;
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(table.add(BlockOp{}), i);
+}
+
+TEST(TraceTest, StreamsPerCpu)
+{
+    Trace trace(4);
+    EXPECT_EQ(trace.numCpus(), 4u);
+    trace.stream(0).push_back(TraceRecord::exec(1, 0, true));
+    trace.stream(3).push_back(TraceRecord::exec(2, 0, true));
+    EXPECT_EQ(trace.stream(0).size(), 1u);
+    EXPECT_EQ(trace.stream(1).size(), 0u);
+    EXPECT_EQ(trace.totalRecords(), 2u);
+}
+
+TEST(TraceTest, UpdatePageLookup)
+{
+    Trace trace(1);
+    EXPECT_FALSE(trace.isUpdateAddr(0x5000));
+    trace.updatePages().insert(0x5000);
+    EXPECT_TRUE(trace.isUpdateAddr(0x5000));
+    EXPECT_TRUE(trace.isUpdateAddr(0x5abc)); // Same page.
+    EXPECT_FALSE(trace.isUpdateAddr(0x6000));
+}
+
+TEST(TraceTest, EmptyUpdateSetFastPath)
+{
+    Trace trace(1);
+    for (Addr a = 0; a < 0x10000; a += 0x1000)
+        EXPECT_FALSE(trace.isUpdateAddr(a));
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for trace serialization: round trips, format details, and
+ * rejection of malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/generator.hh"
+#include "trace/io.hh"
+
+namespace oscache
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace(2);
+    trace.updatePages().insert(0x8000'0000);
+
+    BlockOp op;
+    op.src = 0x1000;
+    op.dst = 0x2000;
+    op.size = 4096;
+    op.kind = BlockOpKind::Copy;
+    op.readOnlyAfter = true;
+    const BlockOpId id = trace.blockOps().add(op);
+    BlockOp zero;
+    zero.dst = 0x3000;
+    zero.size = 512;
+    zero.kind = BlockOpKind::Zero;
+    trace.blockOps().add(zero);
+
+    auto &s0 = trace.stream(0);
+    s0.push_back(TraceRecord::exec(100, 7, true));
+    s0.push_back(TraceRecord::read(0xdeadbeef, DataCategory::PageTable, 7,
+                                   true));
+    s0.push_back(TraceRecord::write(0x1234, DataCategory::User, 8, false,
+                                    8));
+    s0.push_back(
+        TraceRecord::prefetch(0x4000, DataCategory::KernelOther, 9, true));
+    TraceRecord begin;
+    begin.type = RecordType::BlockOpBegin;
+    begin.aux = id;
+    begin.flags = flagOs;
+    s0.push_back(begin);
+    TraceRecord end = begin;
+    end.type = RecordType::BlockOpEnd;
+    s0.push_back(end);
+
+    auto &s1 = trace.stream(1);
+    s1.push_back(TraceRecord::idle(900));
+    TraceRecord lock;
+    lock.type = RecordType::LockAcquire;
+    lock.addr = 0x5000;
+    lock.category = DataCategory::Lock;
+    lock.flags = flagOs;
+    s1.push_back(lock);
+    TraceRecord unlock = lock;
+    unlock.type = RecordType::LockRelease;
+    s1.push_back(unlock);
+    TraceRecord arrive;
+    arrive.type = RecordType::BarrierArrive;
+    arrive.addr = 0x6000;
+    arrive.aux = 2;
+    arrive.category = DataCategory::Barrier;
+    arrive.flags = flagOs;
+    s1.push_back(arrive);
+    return trace;
+}
+
+void
+expectTracesEqual(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.numCpus(), b.numCpus());
+    EXPECT_EQ(a.updatePages(), b.updatePages());
+    ASSERT_EQ(a.blockOps().size(), b.blockOps().size());
+    for (std::size_t i = 0; i < a.blockOps().size(); ++i) {
+        const BlockOp &x = a.blockOps().get(BlockOpId(i));
+        const BlockOp &y = b.blockOps().get(BlockOpId(i));
+        EXPECT_EQ(x.src, y.src);
+        EXPECT_EQ(x.dst, y.dst);
+        EXPECT_EQ(x.size, y.size);
+        EXPECT_EQ(x.kind, y.kind);
+        EXPECT_EQ(x.readOnlyAfter, y.readOnlyAfter);
+    }
+    for (CpuId c = 0; c < a.numCpus(); ++c) {
+        const auto &sa = a.stream(c);
+        const auto &sb = b.stream(c);
+        ASSERT_EQ(sa.size(), sb.size()) << "cpu " << int(c);
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            EXPECT_EQ(sa[i].type, sb[i].type) << i;
+            EXPECT_EQ(sa[i].addr, sb[i].addr) << i;
+            EXPECT_EQ(sa[i].aux, sb[i].aux) << i;
+            EXPECT_EQ(sa[i].bb, sb[i].bb) << i;
+            EXPECT_EQ(sa[i].category, sb[i].category) << i;
+            EXPECT_EQ(sa[i].isOs(), sb[i].isOs()) << i;
+        }
+    }
+}
+
+TEST(TraceIoTest, RoundTripsSampleTrace)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const Trace restored = readTrace(buffer);
+    expectTracesEqual(original, restored);
+}
+
+TEST(TraceIoTest, RoundTripsSyntheticWorkload)
+{
+    WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Shell);
+    p.quanta = 2;
+    const Trace original =
+        generateTrace(p, CoherenceOptions::relocUpdate());
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const Trace restored = readTrace(buffer);
+    expectTracesEqual(original, restored);
+}
+
+TEST(TraceIoTest, HeaderPresent)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, Trace(1));
+    std::string first;
+    std::getline(buffer, first);
+    EXPECT_EQ(first, "oscache-trace 1");
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream in(
+        "oscache-trace 1\n"
+        "cpus 1\n"
+        "# a comment\n"
+        "\n"
+        "stream 0\n"
+        "x 10 5 1\n");
+    const Trace t = readTrace(in);
+    ASSERT_EQ(t.stream(0).size(), 1u);
+    EXPECT_EQ(t.stream(0)[0].aux, 10u);
+}
+
+TEST(TraceIoTest, RejectsBadHeader)
+{
+    std::stringstream in("not-a-trace\n");
+    EXPECT_DEATH(readTrace(in), "header");
+}
+
+TEST(TraceIoTest, RejectsUnknownDirective)
+{
+    std::stringstream in("oscache-trace 1\ncpus 1\nstream 0\nz 1 2 3\n");
+    EXPECT_DEATH(readTrace(in), "unknown directive");
+}
+
+TEST(TraceIoTest, RejectsRecordBeforeStream)
+{
+    std::stringstream in("oscache-trace 1\ncpus 1\nx 1 2 1\n");
+    EXPECT_DEATH(readTrace(in), "before any stream");
+}
+
+TEST(TraceIoTest, RejectsDanglingBlockOpReference)
+{
+    std::stringstream in("oscache-trace 1\ncpus 1\nstream 0\nB 3\n");
+    EXPECT_DEATH(readTrace(in), "unknown block op");
+}
+
+TEST(TraceIoTest, RejectsBadCategory)
+{
+    std::stringstream in(
+        "oscache-trace 1\ncpus 1\nstream 0\nr ff wat 1 1 4\n");
+    EXPECT_DEATH(readTrace(in), "unknown data category");
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    const Trace original = sampleTrace();
+    const std::string path = "/tmp/oscache_trace_io_test.trace";
+    writeTraceFile(path, original);
+    const Trace restored = readTraceFile(path);
+    expectTracesEqual(original, restored);
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the timed FIFO write buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/write_buffer.hh"
+
+namespace oscache
+{
+namespace
+{
+
+TEST(WriteBufferTest, StartsEmpty)
+{
+    WriteBuffer wb(4);
+    EXPECT_TRUE(wb.empty());
+    EXPECT_EQ(wb.depth(), 4u);
+    EXPECT_EQ(wb.stallUntilSlot(0), 0u);
+}
+
+TEST(WriteBufferTest, NoStallWhileSlotsFree)
+{
+    WriteBuffer wb(4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(wb.stallUntilSlot(0), 0u) << "entry " << i;
+        wb.push(0x100 * i, 100 + 10 * i);
+    }
+    EXPECT_EQ(wb.size(), 4u);
+}
+
+TEST(WriteBufferTest, FullBufferStallsUntilHeadDrains)
+{
+    WriteBuffer wb(2);
+    wb.push(0x100, 50);
+    wb.push(0x200, 80);
+    // At time 10 both entries are still draining: wait for the head.
+    EXPECT_EQ(wb.stallUntilSlot(10), 40u);
+    // At time 60 the head has drained.
+    EXPECT_EQ(wb.stallUntilSlot(60), 0u);
+    EXPECT_EQ(wb.size(), 1u);
+}
+
+TEST(WriteBufferTest, PruneDropsCompleted)
+{
+    WriteBuffer wb(4);
+    wb.push(0x100, 10);
+    wb.push(0x200, 20);
+    wb.push(0x300, 30);
+    wb.prune(20);
+    EXPECT_EQ(wb.size(), 1u);
+    wb.prune(30);
+    EXPECT_TRUE(wb.empty());
+}
+
+TEST(WriteBufferTest, ServiceStartChainsAfterLastEntry)
+{
+    WriteBuffer wb(4);
+    EXPECT_EQ(wb.nextServiceStart(100), 100u);
+    wb.push(0x100, 150);
+    EXPECT_EQ(wb.nextServiceStart(100), 150u);
+    EXPECT_EQ(wb.nextServiceStart(200), 200u);
+}
+
+TEST(WriteBufferTest, PendingLineDrainFindsLatest)
+{
+    WriteBuffer wb(4);
+    wb.push(0x100, 50);
+    wb.push(0x200, 60);
+    wb.push(0x100, 90);
+    EXPECT_EQ(wb.pendingLineDrain(0x100), 90u);
+    EXPECT_EQ(wb.pendingLineDrain(0x200), 60u);
+    EXPECT_EQ(wb.pendingLineDrain(0x300), 0u);
+}
+
+TEST(WriteBufferTest, LastCompletionTracksNewest)
+{
+    WriteBuffer wb(4);
+    EXPECT_EQ(wb.lastCompletion(), 0u);
+    wb.push(0x100, 70);
+    EXPECT_EQ(wb.lastCompletion(), 70u);
+    wb.push(0x200, 120);
+    EXPECT_EQ(wb.lastCompletion(), 120u);
+}
+
+TEST(WriteBufferTest, DepthOneBackpressure)
+{
+    WriteBuffer wb(1);
+    wb.push(0x100, 100);
+    EXPECT_EQ(wb.stallUntilSlot(0), 100u);
+    wb.prune(100);
+    wb.push(0x200, 200);
+    EXPECT_EQ(wb.stallUntilSlot(150), 50u);
+}
+
+/** Property: entries drain in FIFO order under any schedule. */
+TEST(WriteBufferTest, FifoDrainOrderProperty)
+{
+    WriteBuffer wb(8);
+    Cycles last = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Cycles enqueue = i * 3;
+        const Cycles stall = wb.stallUntilSlot(enqueue);
+        const Cycles start = wb.nextServiceStart(enqueue + stall);
+        const Cycles done = start + 6;
+        EXPECT_GE(done, last) << "drain completion must be monotone";
+        last = done;
+        wb.push(0x40 * i, done);
+    }
+}
+
+} // namespace
+} // namespace oscache

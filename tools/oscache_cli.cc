@@ -1,0 +1,269 @@
+/**
+ * @file
+ * oscache — command-line driver for the simulator.
+ *
+ * Examples:
+ *   oscache run --workload trfd4 --system bcpref
+ *   oscache run --workload shell --system base --l1-size 16384
+ *   oscache generate --workload arc2d+fsck --out shell.trace
+ *   oscache replay --trace shell.trace --system blk_dma
+ *   oscache list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/blockop/schemes.hh"
+#include "report/experiment.hh"
+#include "sim/system.hh"
+#include "synth/generator.hh"
+#include "trace/io.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+const std::map<std::string, WorkloadKind> workloadNames = {
+    {"trfd4", WorkloadKind::Trfd4},
+    {"trfd_4", WorkloadKind::Trfd4},
+    {"trfd+make", WorkloadKind::TrfdMake},
+    {"trfdmake", WorkloadKind::TrfdMake},
+    {"arc2d+fsck", WorkloadKind::Arc2dFsck},
+    {"arc2dfsck", WorkloadKind::Arc2dFsck},
+    {"shell", WorkloadKind::Shell},
+};
+
+const std::map<std::string, SystemKind> systemNames = {
+    {"base", SystemKind::Base},
+    {"blk_pref", SystemKind::BlkPref},
+    {"blk_bypass", SystemKind::BlkBypass},
+    {"blk_bypref", SystemKind::BlkByPref},
+    {"blk_dma", SystemKind::BlkDma},
+    {"bcoh_reloc", SystemKind::BCohReloc},
+    {"bcoh_relup", SystemKind::BCohRelUp},
+    {"bcpref", SystemKind::BCPref},
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: oscache <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run       synthesize a workload and simulate one system\n"
+        "  generate  synthesize a workload and write the trace to disk\n"
+        "  replay    simulate a saved trace\n"
+        "  list      list workloads and systems\n"
+        "\n"
+        "options:\n"
+        "  --workload <name>    trfd4 | trfd+make | arc2d+fsck | shell\n"
+        "  --system <name>      base | blk_pref | blk_bypass | blk_bypref\n"
+        "                       | blk_dma | bcoh_reloc | bcoh_relup |"
+        " bcpref\n"
+        "  --l1-size <bytes>    primary data cache size (default 32768)\n"
+        "  --l1-line <bytes>    primary line size (default 16)\n"
+        "  --l2-size <bytes>    secondary cache size (default 262144)\n"
+        "  --l2-line <bytes>    secondary line size (default 32)\n"
+        "  --quanta <n>         scheduling quanta to synthesize\n"
+        "  --seed <n>           workload random seed\n"
+        "  --icache             model the instruction cache in detail\n"
+        "  --trace <file>       trace file (replay)\n"
+        "  --out <file>         output trace file (generate)\n");
+}
+
+struct Args
+{
+    std::string command;
+    std::optional<WorkloadKind> workload;
+    SystemKind system = SystemKind::Base;
+    MachineConfig machine = MachineConfig::base();
+    std::optional<unsigned> quanta;
+    std::optional<std::uint64_t> seed;
+    bool icache = false;
+    std::string traceFile;
+    std::string outFile;
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        fatal("missing command; try 'oscache list'");
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag ", flag, " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--workload") {
+            const std::string name = value();
+            const auto it = workloadNames.find(name);
+            if (it == workloadNames.end())
+                fatal("unknown workload '", name, "'");
+            args.workload = it->second;
+        } else if (flag == "--system") {
+            const std::string name = value();
+            const auto it = systemNames.find(name);
+            if (it == systemNames.end())
+                fatal("unknown system '", name, "'");
+            args.system = it->second;
+        } else if (flag == "--l1-size") {
+            args.machine.l1Size = std::stoul(value());
+        } else if (flag == "--l1-line") {
+            args.machine.l1LineSize = std::stoul(value());
+        } else if (flag == "--l2-size") {
+            args.machine.l2Size = std::stoul(value());
+        } else if (flag == "--l2-line") {
+            args.machine.l2LineSize = std::stoul(value());
+        } else if (flag == "--quanta") {
+            args.quanta = unsigned(std::stoul(value()));
+        } else if (flag == "--seed") {
+            args.seed = std::stoull(value());
+        } else if (flag == "--icache") {
+            args.icache = true;
+        } else if (flag == "--trace") {
+            args.traceFile = value();
+        } else if (flag == "--out") {
+            args.outFile = value();
+        } else if (flag == "--help" || flag == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            fatal("unknown flag '", flag, "'");
+        }
+    }
+    return args;
+}
+
+WorkloadProfile
+profileFor(const Args &args)
+{
+    if (!args.workload)
+        fatal("--workload is required");
+    WorkloadProfile p = WorkloadProfile::forKind(*args.workload);
+    if (args.quanta)
+        p.quanta = *args.quanta;
+    if (args.seed)
+        p.seed = *args.seed;
+    return p;
+}
+
+void
+report(const SimStats &s, const BusSnapshot *bus)
+{
+    const double total = double(s.totalTime());
+    std::printf("time:   user %.1f%%  idle %.1f%%  os %.1f%%\n",
+                100.0 * s.userTime() / total, 100.0 * s.idle / total,
+                100.0 * s.osTime() / total);
+    std::printf("os:     exec %llu  imiss %llu  dread %llu  dwrite %llu  "
+                "pref %llu  sync %llu cycles\n",
+                (unsigned long long)s.osExec,
+                (unsigned long long)s.osImiss,
+                (unsigned long long)s.osReadStall,
+                (unsigned long long)s.osWriteStall,
+                (unsigned long long)s.osPrefStall,
+                (unsigned long long)s.osSpin);
+    const double osm = double(s.osMissTotal());
+    std::printf("misses: os %llu (block %.1f%%, coherence %.1f%%, other "
+                "%.1f%%), user %llu\n",
+                (unsigned long long)s.osMissTotal(),
+                osm ? 100.0 * s.osMissBlock / osm : 0.0,
+                osm ? 100.0 * s.osMissCoherenceTotal() / osm : 0.0,
+                osm ? 100.0 * s.osMissOther / osm : 0.0,
+                (unsigned long long)s.userMisses);
+    std::printf("rate:   %.2f%% of %llu data reads\n",
+                100.0 * s.totalMisses() / double(s.totalReads()),
+                (unsigned long long)s.totalReads());
+    if (bus != nullptr)
+        std::printf("bus:    %llu transactions, %llu bytes, busy %llu "
+                    "cycles\n",
+                    (unsigned long long)bus->totalTransactions,
+                    (unsigned long long)bus->totalBytes,
+                    (unsigned long long)bus->busyCycles);
+}
+
+int
+cmdRun(const Args &args)
+{
+    const WorkloadProfile profile = profileFor(args);
+    const SystemSetup setup = SystemSetup::forKind(args.system);
+    const Trace trace = generateTrace(profile, setup.coherence);
+    SimOptions opts = profile.simOptions();
+    opts.modelICache = args.icache;
+    const RunResult result =
+        runOnTrace(trace, args.machine, opts, setup);
+    std::printf("== %s on %s ==\n", profile.name, toString(args.system));
+    report(result.stats, &result.bus);
+    return 0;
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    if (args.outFile.empty())
+        fatal("generate needs --out <file>");
+    const WorkloadProfile profile = profileFor(args);
+    const SystemSetup setup = SystemSetup::forKind(args.system);
+    const Trace trace = generateTrace(profile, setup.coherence);
+    writeTraceFile(args.outFile, trace);
+    std::printf("wrote %zu records (%zu block ops) to %s\n",
+                trace.totalRecords(), trace.blockOps().size(),
+                args.outFile.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    if (args.traceFile.empty())
+        fatal("replay needs --trace <file>");
+    const Trace trace = readTraceFile(args.traceFile);
+    MachineConfig machine = args.machine;
+    machine.numCpus = trace.numCpus();
+    SimOptions opts;
+    opts.modelICache = args.icache;
+    const SystemSetup setup = SystemSetup::forKind(args.system);
+    const RunResult result = runOnTrace(trace, machine, opts, setup);
+    std::printf("== %s on %s ==\n", args.traceFile.c_str(),
+                toString(args.system));
+    report(result.stats, &result.bus);
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::printf("workloads:\n");
+    for (WorkloadKind kind : allWorkloads)
+        std::printf("  %s\n", toString(kind));
+    std::printf("systems:\n");
+    for (const auto &[name, kind] : systemNames)
+        std::printf("  %-12s (%s)\n", name.c_str(), toString(kind));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    if (args.command == "run")
+        return cmdRun(args);
+    if (args.command == "generate")
+        return cmdGenerate(args);
+    if (args.command == "replay")
+        return cmdReplay(args);
+    if (args.command == "list")
+        return cmdList();
+    usage();
+    fatal("unknown command '", args.command, "'");
+}
