@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dma_cost.dir/ablation_dma_cost.cc.o"
+  "CMakeFiles/ablation_dma_cost.dir/ablation_dma_cost.cc.o.d"
+  "ablation_dma_cost"
+  "ablation_dma_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dma_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

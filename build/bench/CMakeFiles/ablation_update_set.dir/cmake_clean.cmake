@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_set.dir/ablation_update_set.cc.o"
+  "CMakeFiles/ablation_update_set.dir/ablation_update_set.cc.o.d"
+  "ablation_update_set"
+  "ablation_update_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

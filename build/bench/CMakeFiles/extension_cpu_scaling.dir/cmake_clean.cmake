@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_cpu_scaling.dir/extension_cpu_scaling.cc.o"
+  "CMakeFiles/extension_cpu_scaling.dir/extension_cpu_scaling.cc.o.d"
+  "extension_cpu_scaling"
+  "extension_cpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

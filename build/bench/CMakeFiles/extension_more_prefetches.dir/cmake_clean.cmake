@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_more_prefetches.dir/extension_more_prefetches.cc.o"
+  "CMakeFiles/extension_more_prefetches.dir/extension_more_prefetches.cc.o.d"
+  "extension_more_prefetches"
+  "extension_more_prefetches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_more_prefetches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

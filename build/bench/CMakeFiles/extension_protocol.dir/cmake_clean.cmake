@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_protocol.dir/extension_protocol.cc.o"
+  "CMakeFiles/extension_protocol.dir/extension_protocol.cc.o.d"
+  "extension_protocol"
+  "extension_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

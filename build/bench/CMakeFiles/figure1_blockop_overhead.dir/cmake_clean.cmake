@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_blockop_overhead.dir/figure1_blockop_overhead.cc.o"
+  "CMakeFiles/figure1_blockop_overhead.dir/figure1_blockop_overhead.cc.o.d"
+  "figure1_blockop_overhead"
+  "figure1_blockop_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_blockop_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

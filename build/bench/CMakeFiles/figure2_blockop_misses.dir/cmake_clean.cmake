@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_blockop_misses.dir/figure2_blockop_misses.cc.o"
+  "CMakeFiles/figure2_blockop_misses.dir/figure2_blockop_misses.cc.o.d"
+  "figure2_blockop_misses"
+  "figure2_blockop_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_blockop_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

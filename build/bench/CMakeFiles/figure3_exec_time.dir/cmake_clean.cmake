@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_exec_time.dir/figure3_exec_time.cc.o"
+  "CMakeFiles/figure3_exec_time.dir/figure3_exec_time.cc.o.d"
+  "figure3_exec_time"
+  "figure3_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_coherence_misses.dir/figure4_coherence_misses.cc.o"
+  "CMakeFiles/figure4_coherence_misses.dir/figure4_coherence_misses.cc.o.d"
+  "figure4_coherence_misses"
+  "figure4_coherence_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_coherence_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

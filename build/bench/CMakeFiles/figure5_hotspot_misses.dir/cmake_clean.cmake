@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_hotspot_misses.dir/figure5_hotspot_misses.cc.o"
+  "CMakeFiles/figure5_hotspot_misses.dir/figure5_hotspot_misses.cc.o.d"
+  "figure5_hotspot_misses"
+  "figure5_hotspot_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_hotspot_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

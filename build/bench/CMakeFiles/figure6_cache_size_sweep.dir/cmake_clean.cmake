@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_cache_size_sweep.dir/figure6_cache_size_sweep.cc.o"
+  "CMakeFiles/figure6_cache_size_sweep.dir/figure6_cache_size_sweep.cc.o.d"
+  "figure6_cache_size_sweep"
+  "figure6_cache_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_cache_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

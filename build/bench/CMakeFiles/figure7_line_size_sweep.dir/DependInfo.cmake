@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure7_line_size_sweep.cc" "bench/CMakeFiles/figure7_line_size_sweep.dir/figure7_line_size_sweep.cc.o" "gcc" "bench/CMakeFiles/figure7_line_size_sweep.dir/figure7_line_size_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/oscache_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/oscache_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oscache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oscache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/oscache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oscache_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_line_size_sweep.dir/figure7_line_size_sweep.cc.o"
+  "CMakeFiles/figure7_line_size_sweep.dir/figure7_line_size_sweep.cc.o.d"
+  "figure7_line_size_sweep"
+  "figure7_line_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_line_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

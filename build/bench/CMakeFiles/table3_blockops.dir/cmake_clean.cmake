@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_blockops.dir/table3_blockops.cc.o"
+  "CMakeFiles/table3_blockops.dir/table3_blockops.cc.o.d"
+  "table3_blockops"
+  "table3_blockops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_blockops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_deferred_copy.dir/table4_deferred_copy.cc.o"
+  "CMakeFiles/table4_deferred_copy.dir/table4_deferred_copy.cc.o.d"
+  "table4_deferred_copy"
+  "table4_deferred_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_deferred_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

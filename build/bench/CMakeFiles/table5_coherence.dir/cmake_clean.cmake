@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_coherence.dir/table5_coherence.cc.o"
+  "CMakeFiles/table5_coherence.dir/table5_coherence.cc.o.d"
+  "table5_coherence"
+  "table5_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_storm.dir/fork_storm.cc.o"
+  "CMakeFiles/fork_storm.dir/fork_storm.cc.o.d"
+  "fork_storm"
+  "fork_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fork_storm.
+# This may be replaced when dependencies are built.

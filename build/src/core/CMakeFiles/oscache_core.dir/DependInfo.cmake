@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blockop/schemes.cc" "src/core/CMakeFiles/oscache_core.dir/blockop/schemes.cc.o" "gcc" "src/core/CMakeFiles/oscache_core.dir/blockop/schemes.cc.o.d"
+  "/root/repo/src/core/hotspot/hotspot.cc" "src/core/CMakeFiles/oscache_core.dir/hotspot/hotspot.cc.o" "gcc" "src/core/CMakeFiles/oscache_core.dir/hotspot/hotspot.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/oscache_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/oscache_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/core/CMakeFiles/oscache_core.dir/system_config.cc.o" "gcc" "src/core/CMakeFiles/oscache_core.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/oscache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/oscache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oscache_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

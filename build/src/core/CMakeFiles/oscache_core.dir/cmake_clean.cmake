@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_core.dir/blockop/schemes.cc.o"
+  "CMakeFiles/oscache_core.dir/blockop/schemes.cc.o.d"
+  "CMakeFiles/oscache_core.dir/hotspot/hotspot.cc.o"
+  "CMakeFiles/oscache_core.dir/hotspot/hotspot.cc.o.d"
+  "CMakeFiles/oscache_core.dir/runner.cc.o"
+  "CMakeFiles/oscache_core.dir/runner.cc.o.d"
+  "CMakeFiles/oscache_core.dir/system_config.cc.o"
+  "CMakeFiles/oscache_core.dir/system_config.cc.o.d"
+  "liboscache_core.a"
+  "liboscache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

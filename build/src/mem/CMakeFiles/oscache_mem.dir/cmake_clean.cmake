@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_mem.dir/memsys.cc.o"
+  "CMakeFiles/oscache_mem.dir/memsys.cc.o.d"
+  "liboscache_mem.a"
+  "liboscache_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_report.dir/experiment.cc.o"
+  "CMakeFiles/oscache_report.dir/experiment.cc.o.d"
+  "CMakeFiles/oscache_report.dir/table.cc.o"
+  "CMakeFiles/oscache_report.dir/table.cc.o.d"
+  "liboscache_report.a"
+  "liboscache_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

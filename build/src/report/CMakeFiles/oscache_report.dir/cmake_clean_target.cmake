@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboscache_report.a"
+)

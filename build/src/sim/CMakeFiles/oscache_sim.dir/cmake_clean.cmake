@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_sim.dir/system.cc.o"
+  "CMakeFiles/oscache_sim.dir/system.cc.o.d"
+  "liboscache_sim.a"
+  "liboscache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

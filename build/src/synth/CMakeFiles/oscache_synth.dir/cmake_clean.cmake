@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_synth.dir/activities.cc.o"
+  "CMakeFiles/oscache_synth.dir/activities.cc.o.d"
+  "CMakeFiles/oscache_synth.dir/generator.cc.o"
+  "CMakeFiles/oscache_synth.dir/generator.cc.o.d"
+  "CMakeFiles/oscache_synth.dir/kernel_layout.cc.o"
+  "CMakeFiles/oscache_synth.dir/kernel_layout.cc.o.d"
+  "CMakeFiles/oscache_synth.dir/profile.cc.o"
+  "CMakeFiles/oscache_synth.dir/profile.cc.o.d"
+  "liboscache_synth.a"
+  "liboscache_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

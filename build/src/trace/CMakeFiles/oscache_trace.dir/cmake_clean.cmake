@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_trace.dir/io.cc.o"
+  "CMakeFiles/oscache_trace.dir/io.cc.o.d"
+  "CMakeFiles/oscache_trace.dir/record.cc.o"
+  "CMakeFiles/oscache_trace.dir/record.cc.o.d"
+  "liboscache_trace.a"
+  "liboscache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_associativity.dir/test_associativity.cc.o"
+  "CMakeFiles/test_associativity.dir/test_associativity.cc.o.d"
+  "test_associativity"
+  "test_associativity.pdb"
+  "test_associativity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

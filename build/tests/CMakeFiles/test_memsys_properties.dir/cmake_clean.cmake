@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys_properties.dir/test_memsys_properties.cc.o"
+  "CMakeFiles/test_memsys_properties.dir/test_memsys_properties.cc.o.d"
+  "test_memsys_properties"
+  "test_memsys_properties.pdb"
+  "test_memsys_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

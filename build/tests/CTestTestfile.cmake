@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_write_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_memsys[1]_include.cmake")
+include("/root/repo/build/tests/test_memsys_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_schemes[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_hotspot[1]_include.cmake")
+include("/root/repo/build/tests/test_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_icache[1]_include.cmake")
+include("/root/repo/build/tests/test_emitter[1]_include.cmake")
+include("/root/repo/build/tests/test_associativity[1]_include.cmake")
+include("/root/repo/build/tests/test_activities[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")

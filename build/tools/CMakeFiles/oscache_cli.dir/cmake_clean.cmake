@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscache_cli.dir/oscache_cli.cc.o"
+  "CMakeFiles/oscache_cli.dir/oscache_cli.cc.o.d"
+  "oscache"
+  "oscache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
