@@ -1,0 +1,74 @@
+#include "check/finding.hh"
+
+#include <sstream>
+
+namespace oscache
+{
+
+std::string_view
+toString(CheckCode code)
+{
+    switch (code) {
+      case CheckCode::SwmrViolation:
+        return "swmr-violation";
+      case CheckCode::InclusionViolation:
+        return "inclusion-violation";
+      case CheckCode::IllegalTransition:
+        return "illegal-transition";
+      case CheckCode::ShadowMismatch:
+        return "shadow-mismatch";
+      case CheckCode::OwnershipViolation:
+        return "ownership-violation";
+      case CheckCode::WriteBufferInconsistency:
+        return "write-buffer-inconsistency";
+      case CheckCode::UnbalancedBlockOp:
+        return "unbalanced-block-op";
+      case CheckCode::MismatchedBlockOpEnd:
+        return "mismatched-block-op-end";
+      case CheckCode::UnknownBlockOp:
+        return "unknown-block-op";
+      case CheckCode::UnpairedLockRelease:
+        return "unpaired-lock-release";
+      case CheckCode::RecursiveLockAcquire:
+        return "recursive-lock-acquire";
+      case CheckCode::UnreleasedLock:
+        return "unreleased-lock";
+      case CheckCode::BarrierCountMismatch:
+        return "barrier-count-mismatch";
+      case CheckCode::BarrierPartiesChanged:
+        return "barrier-parties-changed";
+      case CheckCode::CategoryRegionMismatch:
+        return "category-region-mismatch";
+      case CheckCode::NoProgress:
+        return "no-progress";
+      case CheckCode::UnlockedSharedWrite:
+        return "unlocked-shared-write";
+    }
+    return "unknown";
+}
+
+std::string
+format(const CheckFinding &finding)
+{
+    std::ostringstream os;
+    os << (finding.severity == Severity::Error ? "error" : "warning")
+       << ": " << toString(finding.code) << ": cpu " << int(finding.cpu)
+       << " addr 0x" << std::hex << finding.addr << std::dec;
+    if (finding.index != 0)
+        os << " record " << finding.index;
+    if (!finding.message.empty())
+        os << ": " << finding.message;
+    return os.str();
+}
+
+std::size_t
+countErrors(const std::vector<CheckFinding> &findings)
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        if (f.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+} // namespace oscache

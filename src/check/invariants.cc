@@ -1,0 +1,254 @@
+#include "check/invariants.hh"
+
+#include <sstream>
+
+#include "mem/memsys.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+const char *
+stateName(LineState st)
+{
+    switch (st) {
+      case LineState::Invalid:
+        return "I";
+      case LineState::Shared:
+        return "S";
+      case LineState::Exclusive:
+        return "E";
+      case LineState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+} // namespace
+
+CoherenceChecker::CoherenceChecker(const MachineConfig &config)
+    : cfg(config), shadowL2(config.numCpus), shadowL1(config.numCpus),
+      lastL1WbHorizon(config.numCpus, 0), lastL2WbHorizon(config.numCpus, 0)
+{
+    cfg.check();
+}
+
+void
+CoherenceChecker::report(CheckCode code, CpuId cpu, Addr addr,
+                         std::string message)
+{
+    if (found.size() >= maxFindings) {
+        ++suppressed;
+        return;
+    }
+    CheckFinding f;
+    f.code = code;
+    f.severity = Severity::Error;
+    f.cpu = cpu;
+    f.addr = addr;
+    f.message = std::move(message);
+    found.push_back(std::move(f));
+}
+
+bool
+CoherenceChecker::legalEdge(LineState from, LineState to) const
+{
+    if (from == to || to == LineState::Invalid)
+        return true; // Self-loops and invalidations/evictions.
+    if (to == LineState::Exclusive &&
+        cfg.protocol != CoherenceProtocol::Illinois)
+        return false; // Plain MSI has no Exclusive state at all.
+    switch (from) {
+      case LineState::Invalid:
+        return true; // A fill may install any state.
+      case LineState::Shared:
+        // Upgrade to Modified rides an invalidation; exclusivity is
+        // never gained silently.
+        return to == LineState::Modified;
+      case LineState::Exclusive:
+        return to == LineState::Modified || to == LineState::Shared;
+      case LineState::Modified:
+        // Demotion to Shared supplies the data; a clean downgrade to
+        // Exclusive would silently drop the dirty copy.
+        return to == LineState::Shared;
+    }
+    return false;
+}
+
+void
+CoherenceChecker::onL2Transition(CpuId cpu, Addr l2_line, LineState from,
+                                 LineState to)
+{
+    ++transitionCount;
+    auto &shadow = shadowL2[cpu];
+    const auto it = shadow.find(l2_line);
+    const LineState recorded =
+        it == shadow.end() ? LineState::Invalid : it->second;
+    if (recorded != from) {
+        std::ostringstream os;
+        os << "transition reports from=" << stateName(from)
+           << " but the shadow recorded " << stateName(recorded);
+        report(CheckCode::ShadowMismatch, cpu, l2_line, os.str());
+    }
+    if (!legalEdge(from, to)) {
+        std::ostringstream os;
+        os << "illegal MESI edge " << stateName(from) << "->"
+           << stateName(to);
+        report(CheckCode::IllegalTransition, cpu, l2_line, os.str());
+    }
+    if (to == LineState::Invalid)
+        shadow.erase(l2_line);
+    else
+        shadow[l2_line] = to;
+    touched.insert(l2_line);
+    if (to == LineState::Modified) {
+        std::uint32_t &mask = writerMask[l2_line];
+        mask |= 1u << cpu;
+        if ((mask & (mask - 1)) != 0)
+            multiWriter.insert(l2_line);
+    }
+}
+
+void
+CoherenceChecker::onL1Fill(CpuId cpu, Addr l1_line)
+{
+    shadowL1[cpu].insert(l1_line);
+    touched.insert(alignDown(l1_line, Addr{cfg.l2LineSize}));
+}
+
+void
+CoherenceChecker::onL1Drop(CpuId cpu, Addr l1_line)
+{
+    shadowL1[cpu].erase(l1_line);
+}
+
+void
+CoherenceChecker::checkLine(const MemorySystem &mem, Addr l2_line)
+{
+    unsigned owners = 0;
+    unsigned sharers = 0;
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        const LineState st = mem.l2State(c, l2_line);
+        if (st == LineState::Modified || st == LineState::Exclusive)
+            ++owners;
+        else if (st == LineState::Shared)
+            ++sharers;
+        if (st == LineState::Invalid) {
+            // Inclusion: no covered primary line may survive.
+            for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                 off += cfg.l1LineSize) {
+                if (mem.l1Contains(c, l2_line + off))
+                    report(CheckCode::InclusionViolation, c, l2_line + off,
+                           "primary-resident line has no secondary copy");
+            }
+        }
+    }
+    if (owners > 1)
+        report(CheckCode::SwmrViolation, 0, l2_line,
+               "more than one Modified/Exclusive copy machine-wide");
+    else if (owners == 1 && sharers > 0)
+        report(CheckCode::SwmrViolation, 0, l2_line,
+               "an exclusive owner coexists with sharers");
+}
+
+void
+CoherenceChecker::onOperationEnd(const MemorySystem &mem, MemOpKind op,
+                                 CpuId cpu, Addr addr)
+{
+    for (const Addr line : touched)
+        checkLine(mem, line);
+    touched.clear();
+
+    if (op == MemOpKind::Write) {
+        const LineState st = mem.l2State(cpu, addr);
+        const bool owned = st == LineState::Modified;
+        const bool updated =
+            st == LineState::Shared && mem.isUpdateAddr(addr);
+        if (!owned && !updated) {
+            std::ostringstream os;
+            os << "write completed with line " << stateName(st)
+               << " instead of Modified (or Shared on an update page)";
+            report(CheckCode::OwnershipViolation, cpu, addr, os.str());
+        }
+    }
+
+    const WriteBuffer &wb1 = mem.l1WriteBuffer(cpu);
+    const WriteBuffer &wb2 = mem.l2WriteBuffer(cpu);
+    if (!wb1.drainOrderConsistent())
+        report(CheckCode::WriteBufferInconsistency, cpu, addr,
+               "L1-to-L2 write buffer drains out of FIFO order");
+    if (!wb2.drainOrderConsistent())
+        report(CheckCode::WriteBufferInconsistency, cpu, addr,
+               "L2-to-bus write buffer drains out of FIFO order");
+    if (wb1.lastCompletion() < lastL1WbHorizon[cpu])
+        report(CheckCode::WriteBufferInconsistency, cpu, addr,
+               "L1-to-L2 write buffer completion horizon moved backwards");
+    if (wb2.lastCompletion() < lastL2WbHorizon[cpu])
+        report(CheckCode::WriteBufferInconsistency, cpu, addr,
+               "L2-to-bus write buffer completion horizon moved backwards");
+    lastL1WbHorizon[cpu] = wb1.lastCompletion();
+    lastL2WbHorizon[cpu] = wb2.lastCompletion();
+}
+
+void
+CoherenceChecker::auditFull(const MemorySystem &mem)
+{
+    touched.clear();
+    std::unordered_set<Addr> all_lines;
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        const auto &shadow = shadowL2[c];
+        // Actual -> shadow: every resident line must be shadowed with
+        // the same state.
+        for (const Addr line : mem.l2Cache(c).residentLines()) {
+            all_lines.insert(line);
+            const LineState actual = mem.l2State(c, line);
+            const auto it = shadow.find(line);
+            if (it == shadow.end()) {
+                report(CheckCode::ShadowMismatch, c, line,
+                       "resident secondary line was never reported to "
+                       "the observer");
+            } else if (it->second != actual) {
+                std::ostringstream os;
+                os << "secondary line is " << stateName(actual)
+                   << " but the shadow recorded " << stateName(it->second);
+                report(CheckCode::ShadowMismatch, c, line, os.str());
+            }
+        }
+        // Shadow -> actual: no phantom entries.
+        for (const auto &[line, st] : shadow) {
+            const LineState actual = mem.l2State(c, line);
+            if (actual == LineState::Invalid) {
+                std::ostringstream os;
+                os << "shadow holds " << stateName(st)
+                   << " for a line the secondary cache lost";
+                report(CheckCode::ShadowMismatch, c, line, os.str());
+            }
+        }
+
+        // Primary shadow cross-check and direct inclusion: a primary
+        // line whose covering secondary line is resident nowhere
+        // would escape the union walk below.
+        std::unordered_set<Addr> actual_l1;
+        for (const Addr line : mem.l1Cache(c).residentLines()) {
+            actual_l1.insert(line);
+            if (!shadowL1[c].count(line))
+                report(CheckCode::ShadowMismatch, c, line,
+                       "resident primary line was never reported to "
+                       "the observer");
+            if (mem.l2State(c, line) == LineState::Invalid)
+                report(CheckCode::InclusionViolation, c, line,
+                       "primary-resident line has no secondary copy");
+        }
+        for (const Addr line : shadowL1[c]) {
+            if (!actual_l1.count(line))
+                report(CheckCode::ShadowMismatch, c, line,
+                       "shadow holds a primary line the cache lost");
+        }
+    }
+    for (const Addr line : all_lines)
+        checkLine(mem, line);
+}
+
+} // namespace oscache

@@ -1,0 +1,243 @@
+#include "check/tracelint.hh"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace oscache
+{
+
+namespace
+{
+
+/** Categories that only ever name kernel-region data. */
+bool
+kernelOnlyCategory(DataCategory cat)
+{
+    switch (cat) {
+      case DataCategory::KernelPrivate:
+      case DataCategory::Barrier:
+      case DataCategory::InfreqComm:
+      case DataCategory::FreqShared:
+      case DataCategory::Lock:
+      case DataCategory::OtherShared:
+      case DataCategory::PageTable:
+      case DataCategory::KernelOther:
+        return true;
+      case DataCategory::User:
+      case DataCategory::BlockSrc:
+      case DataCategory::BlockDst:
+        // The kernel legitimately touches user pages and the page
+        // pool on a process's behalf; these are unconstrained.
+        return false;
+    }
+    return false;
+}
+
+/** Per-barrier usage gathered across all streams. */
+struct BarrierUse
+{
+    std::uint32_t parties = 0;
+    bool partiesChanged = false;
+    /** Arrival count per processor. */
+    std::map<CpuId, std::uint64_t> arrivals;
+    CpuId firstCpu = 0;
+    std::size_t firstIndex = 0;
+};
+
+class Linter
+{
+  public:
+    Linter(const Trace &trace, const LintLimits &limits)
+        : trace(trace), limits(limits)
+    {}
+
+    std::vector<CheckFinding>
+    run()
+    {
+        for (CpuId c = 0; c < trace.numCpus(); ++c)
+            lintStream(c);
+        lintBarriers();
+        return std::move(found);
+    }
+
+  private:
+    void
+    report(CheckCode code, Severity severity, CpuId cpu, Addr addr,
+           std::size_t index, std::string message)
+    {
+        CheckFinding f;
+        f.code = code;
+        f.severity = severity;
+        f.cpu = cpu;
+        f.addr = addr;
+        f.index = index;
+        f.message = std::move(message);
+        found.push_back(std::move(f));
+    }
+
+    bool
+    inKernelRegion(Addr addr) const
+    {
+        return addr >= limits.kernelBase && addr < limits.kernelEnd;
+    }
+
+    void
+    lintStream(CpuId cpu)
+    {
+        const RecordStream &stream = trace.stream(cpu);
+        std::vector<BlockOpId> openOps;
+        std::unordered_set<Addr> heldLocks;
+
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            const TraceRecord &rec = stream[i];
+            switch (rec.type) {
+              case RecordType::Exec:
+              case RecordType::Idle:
+                if (rec.aux == 0)
+                    report(CheckCode::NoProgress, Severity::Warning, cpu,
+                           0, i, "record advances simulated time by zero");
+                break;
+              case RecordType::Read:
+              case RecordType::Write:
+              case RecordType::Prefetch:
+                if (rec.type != RecordType::Prefetch && rec.size == 0)
+                    report(CheckCode::NoProgress, Severity::Warning, cpu,
+                           rec.addr, i, "zero-byte data reference");
+                if (kernelOnlyCategory(rec.category) &&
+                    !inKernelRegion(rec.addr)) {
+                    std::ostringstream os;
+                    os << "category " << toString(rec.category)
+                       << " outside the kernel data region";
+                    report(CheckCode::CategoryRegionMismatch,
+                           Severity::Error, cpu, rec.addr, i, os.str());
+                }
+                break;
+              case RecordType::BlockOpBegin:
+                if (rec.aux >= trace.blockOps().size())
+                    report(CheckCode::UnknownBlockOp, Severity::Error, cpu,
+                           0, i, "block-op id has no table entry");
+                openOps.push_back(rec.aux);
+                break;
+              case RecordType::BlockOpEnd:
+                if (openOps.empty()) {
+                    report(CheckCode::UnbalancedBlockOp, Severity::Error,
+                           cpu, 0, i, "BlockOpEnd without an open Begin");
+                } else {
+                    if (openOps.back() != rec.aux) {
+                        std::ostringstream os;
+                        os << "BlockOpEnd " << rec.aux
+                           << " closes open operation " << openOps.back();
+                        report(CheckCode::MismatchedBlockOpEnd,
+                               Severity::Error, cpu, 0, i, os.str());
+                    }
+                    openOps.pop_back();
+                }
+                break;
+              case RecordType::LockAcquire:
+                if (!inKernelRegion(rec.addr))
+                    report(CheckCode::CategoryRegionMismatch,
+                           Severity::Error, cpu, rec.addr, i,
+                           "lock word outside the kernel data region");
+                if (!heldLocks.insert(rec.addr).second)
+                    report(CheckCode::RecursiveLockAcquire, Severity::Error,
+                           cpu, rec.addr, i,
+                           "acquiring a lock this processor already holds");
+                break;
+              case RecordType::LockRelease:
+                if (heldLocks.erase(rec.addr) == 0)
+                    report(CheckCode::UnpairedLockRelease, Severity::Error,
+                           cpu, rec.addr, i,
+                           "releasing a lock this processor does not hold");
+                break;
+              case RecordType::BarrierArrive: {
+                if (!inKernelRegion(rec.addr))
+                    report(CheckCode::CategoryRegionMismatch,
+                           Severity::Error, cpu, rec.addr, i,
+                           "barrier word outside the kernel data region");
+                BarrierUse &use = barriers[rec.addr];
+                if (use.arrivals.empty()) {
+                    use.parties = rec.aux;
+                    use.firstCpu = cpu;
+                    use.firstIndex = i;
+                } else if (use.parties != rec.aux) {
+                    use.partiesChanged = true;
+                }
+                use.arrivals[cpu] += 1;
+                break;
+              }
+            }
+        }
+
+        for (const BlockOpId id : openOps) {
+            std::ostringstream os;
+            os << "block operation " << id << " still open at stream end";
+            report(CheckCode::UnbalancedBlockOp, Severity::Error, cpu, 0,
+                   stream.size(), os.str());
+        }
+        for (const Addr lock : heldLocks) {
+            report(CheckCode::UnreleasedLock, Severity::Error, cpu, lock,
+                   stream.size(), "lock still held at stream end");
+        }
+    }
+
+    void
+    lintBarriers()
+    {
+        for (const auto &[addr, use] : barriers) {
+            if (use.partiesChanged) {
+                report(CheckCode::BarrierPartiesChanged, Severity::Error,
+                       use.firstCpu, addr, use.firstIndex,
+                       "barrier used with differing participant counts");
+                continue; // The count checks below would be noise.
+            }
+            if (use.parties == 0 || use.parties > trace.numCpus()) {
+                std::ostringstream os;
+                os << use.parties << " participants on a "
+                   << trace.numCpus() << "-processor trace";
+                report(CheckCode::BarrierCountMismatch, Severity::Error,
+                       use.firstCpu, addr, use.firstIndex, os.str());
+                continue;
+            }
+            if (use.arrivals.size() != use.parties) {
+                std::ostringstream os;
+                os << use.arrivals.size() << " processors arrive at a "
+                   << use.parties << "-party barrier";
+                report(CheckCode::BarrierCountMismatch, Severity::Error,
+                       use.firstCpu, addr, use.firstIndex, os.str());
+                continue;
+            }
+            // Unequal arrival counts leave some processor waiting for
+            // an episode that never completes.
+            const std::uint64_t expected = use.arrivals.begin()->second;
+            for (const auto &[cpu, count] : use.arrivals) {
+                if (count != expected) {
+                    std::ostringstream os;
+                    os << "cpu " << int(cpu) << " arrives " << count
+                       << " times but cpu " << int(use.arrivals.begin()->first)
+                       << " arrives " << expected << " times";
+                    report(CheckCode::BarrierCountMismatch, Severity::Error,
+                           cpu, addr, use.firstIndex, os.str());
+                    break;
+                }
+            }
+        }
+    }
+
+    const Trace &trace;
+    LintLimits limits;
+    std::unordered_map<Addr, BarrierUse> barriers;
+    std::vector<CheckFinding> found;
+};
+
+} // namespace
+
+std::vector<CheckFinding>
+lintTrace(const Trace &trace, const LintLimits &limits)
+{
+    Linter linter(trace, limits);
+    return linter.run();
+}
+
+} // namespace oscache

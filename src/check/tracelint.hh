@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static trace linter.
+ *
+ * lintTrace() validates the well-formedness of a Trace without
+ * simulating it: properties the replay engine assumes and would
+ * otherwise only discover as a mid-run panic (or worse, silently
+ * misattribute misses over).
+ *
+ * Checked per processor stream:
+ *  - block-operation brackets are balanced, properly nested, and
+ *    reference table entries that exist;
+ *  - lock acquire/release pairs match (no recursive acquire, no
+ *    release of an unheld lock, nothing held at stream end);
+ *  - every record can advance simulated time (no zero-instruction
+ *    Exec, zero-cycle Idle, or zero-byte data reference).
+ *
+ * Checked across streams:
+ *  - each barrier is used with one participant count, the count is
+ *    satisfiable by the machine, the set of arriving processors
+ *    matches it, and arrival counts are equal (anything else
+ *    deadlocks the replay);
+ *  - kernel data categories carry kernel-region addresses, and lock
+ *    and barrier words live in the kernel region (the
+ *    kernel_layout address map places them there).
+ *
+ * User-category references are deliberately unconstrained: the
+ * kernel legitimately touches user pages and the page pool on behalf
+ * of a process (copy-in/out, freshly mapped frames).
+ */
+
+#ifndef OSCACHE_CHECK_TRACELINT_HH
+#define OSCACHE_CHECK_TRACELINT_HH
+
+#include <vector>
+
+#include "check/finding.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/** Address-region bounds the category checks lint against. */
+struct LintLimits
+{
+    /** Kernel data region: [kernelBase, kernelEnd). */
+    Addr kernelBase = kernelSpaceBase;
+    Addr kernelEnd = codeSpaceBase;
+};
+
+/**
+ * Statically validate @p trace.  Returns all findings (Errors and
+ * Warnings); an empty vector means the trace is well-formed.
+ */
+std::vector<CheckFinding> lintTrace(const Trace &trace,
+                                    const LintLimits &limits = {});
+
+} // namespace oscache
+
+#endif // OSCACHE_CHECK_TRACELINT_HH

@@ -37,6 +37,21 @@ using BlockOpId = std::uint32_t;
 /** An invalid/unset address sentinel. */
 inline constexpr Addr invalidAddr = ~Addr{0};
 
+/**
+ * @name Address-space regions
+ * The synthetic kernel maps its data high (Concentrix-style) and the
+ * trace generator places basic-block code above it; user data regions
+ * live low.  The trace linter relies on these boundaries to check
+ * DataCategory / address-region consistency, so they are shared here
+ * rather than buried in the layout and simulator.
+ * @{
+ */
+/** Base of the kernel data segment. */
+inline constexpr Addr kernelSpaceBase = 0x8000'0000;
+/** Base of the synthetic code segment (one 4-KB page per block). */
+inline constexpr Addr codeSpaceBase = 0xc000'0000;
+/** @} */
+
 /** An invalid basic-block sentinel. */
 inline constexpr BasicBlockId invalidBasicBlock = ~BasicBlockId{0};
 

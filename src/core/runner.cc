@@ -1,5 +1,9 @@
 #include "core/runner.hh"
 
+#include <memory>
+
+#include "check/invariants.hh"
+#include "common/log.hh"
 #include "core/blockop/schemes.hh"
 #include "mem/memsys.hh"
 #include "sim/system.hh"
@@ -17,9 +21,21 @@ runOnce(const Trace &trace, const MachineConfig &machine,
 {
     RunResult result;
     MemorySystem mem(machine);
+    std::unique_ptr<CoherenceChecker> checker;
+    if (options.checkCoherence) {
+        checker = std::make_unique<CoherenceChecker>(machine);
+        mem.setObserver(checker.get());
+    }
     auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
     System system(trace, mem, *executor, options, result.stats);
     system.run();
+
+    if (checker) {
+        checker->auditFull(mem);
+        if (!checker->clean())
+            panic("coherence invariant violated: ",
+                  format(checker->findings().front()));
+    }
 
     const Bus &bus = mem.bus();
     result.bus.totalBytes = bus.totalBytes();

@@ -154,6 +154,17 @@ class SetAssocTags
     std::uint32_t sets() const { return numSets; }
     std::uint32_t ways() const { return numWays; }
 
+    /** Line addresses of every resident line (audit walks). */
+    std::vector<Addr>
+    residentLines() const
+    {
+        std::vector<Addr> lines;
+        for (const Addr tag : tags)
+            if (tag != invalidAddr)
+                lines.push_back(tag);
+        return lines;
+    }
+
     /** Index of the (set, way) slot, for side-car state arrays. */
     std::size_t
     slot(Addr addr, std::uint32_t way) const

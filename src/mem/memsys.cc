@@ -46,11 +46,14 @@ MemorySystem::classifyMiss(CpuMem &mem, Addr line)
 }
 
 void
-MemorySystem::fillL1(CpuMem &mem, Addr addr, bool block_op_fill)
+MemorySystem::fillL1(CpuId cpu, Addr addr, bool block_op_fill)
 {
+    CpuMem &mem = cpus[cpu];
     const Addr line = mem.l1.lineAddr(addr);
     const Addr victim = mem.l1.fill(addr);
     if (victim != invalidAddr) {
+        if (observer != nullptr)
+            observer->onL1Drop(cpu, victim);
         if (block_op_fill)
             mem.blockOpEvicted.insert(victim);
         else
@@ -60,6 +63,85 @@ MemorySystem::fillL1(CpuMem &mem, Addr addr, bool block_op_fill)
     mem.coherenceInvalidated.erase(line);
     mem.blockOpEvicted.erase(line);
     bypassedLines.erase(line);
+    if (observer != nullptr)
+        observer->onL1Fill(cpu, line);
+}
+
+void
+MemorySystem::dropL1(CpuId cpu, Addr l1_line)
+{
+    CpuMem &mem = cpus[cpu];
+    if (!mem.l1.contains(l1_line))
+        return;
+    mem.l1.invalidate(l1_line);
+    if (observer != nullptr)
+        observer->onL1Drop(cpu, mem.l1.lineAddr(l1_line));
+}
+
+void
+MemorySystem::setL2State(CpuId cpu, Addr addr, LineState state)
+{
+    CpuMem &mem = cpus[cpu];
+    const LineState prior = mem.l2.state(addr);
+    if (prior == state)
+        return;
+    mem.l2.setState(addr, state);
+    notifyL2(cpu, addr, prior, state);
+}
+
+void
+MemorySystem::invalidateL2(CpuId cpu, Addr l2_line)
+{
+    CpuMem &mem = cpus[cpu];
+    const LineState prior = mem.l2.state(l2_line);
+    if (prior == LineState::Invalid)
+        return;
+    mem.l2.invalidate(l2_line);
+    notifyL2(cpu, l2_line, prior, LineState::Invalid);
+}
+
+std::pair<Addr, bool>
+MemorySystem::installL2(CpuId cpu, Addr l2_line, LineState state)
+{
+    CpuMem &mem = cpus[cpu];
+    const LineState prior = mem.l2.state(l2_line);
+    // Capture the would-be victim's state for the observer before
+    // the fill overwrites it.
+    LineState victim_state = LineState::Invalid;
+    if (prior == LineState::Invalid) {
+        const auto [vline, vway] = mem.l2.peekVictim(l2_line);
+        (void)vway;
+        if (vline != invalidAddr)
+            victim_state = mem.l2.state(vline);
+    }
+    Addr victim = invalidAddr;
+    bool victim_dirty = false;
+    mem.l2.fill(l2_line, state, victim, victim_dirty);
+    if (victim != invalidAddr) {
+        // Inclusion: primary copies of the victim die with it.
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize)
+            dropL1(cpu, victim + off);
+        notifyL2(cpu, victim, victim_state, LineState::Invalid);
+    }
+    notifyL2(cpu, l2_line, prior, state);
+    return {victim, victim_dirty};
+}
+
+void
+MemorySystem::debugSetL2State(CpuId cpu, Addr addr, LineState state)
+{
+    const Addr line = l2Line(addr);
+    if (state == LineState::Invalid) {
+        invalidateL2(cpu, line);
+        return;
+    }
+    const LineState prior = cpus[cpu].l2.state(line);
+    if (prior == LineState::Invalid) {
+        installL2(cpu, line, state);
+        return;
+    }
+    setL2State(cpu, line, state);
 }
 
 void
@@ -71,12 +153,12 @@ MemorySystem::snoopInvalidate(CpuId requester, Addr l2_line)
         CpuMem &other = cpus[c];
         if (other.l2.state(l2_line) == LineState::Invalid)
             continue;
-        other.l2.invalidate(l2_line);
+        invalidateL2(c, l2_line);
         for (std::uint32_t off = 0; off < cfg.l2LineSize;
              off += cfg.l1LineSize) {
             const Addr sub = l2_line + off;
             if (other.l1.contains(sub)) {
-                other.l1.invalidate(sub);
+                dropL1(c, sub);
                 other.coherenceInvalidated.insert(sub);
             }
         }
@@ -96,7 +178,7 @@ MemorySystem::snoopUpdate(CpuId requester, Addr l2_line)
         any = true;
         // Sharers keep their (updated) copies; everyone ends Shared
         // and memory holds the latest data (Firefly semantics).
-        other.l2.setState(l2_line, LineState::Shared);
+        setL2State(c, l2_line, LineState::Shared);
     }
     return any;
 }
@@ -141,17 +223,17 @@ MemorySystem::busReadLine(CpuId cpu, Addr l2_line, Cycles when,
         if (st == LineState::Modified)
             supplied = true; // Owner supplies; memory is updated.
         if (exclusive) {
-            other.l2.invalidate(l2_line);
+            invalidateL2(c, l2_line);
             for (std::uint32_t off = 0; off < cfg.l2LineSize;
                  off += cfg.l1LineSize) {
                 const Addr sub = l2_line + off;
                 if (other.l1.contains(sub)) {
-                    other.l1.invalidate(sub);
+                    dropL1(c, sub);
                     other.coherenceInvalidated.insert(sub);
                 }
             }
         } else {
-            other.l2.setState(l2_line, LineState::Shared);
+            setL2State(c, l2_line, LineState::Shared);
         }
     }
     (void)supplied; // Cache-to-cache supply uses the same timing.
@@ -161,19 +243,10 @@ MemorySystem::busReadLine(CpuId cpu, Addr l2_line, Cycles when,
 void
 MemorySystem::fillL2(CpuId cpu, Addr l2_line, LineState state, Cycles when)
 {
-    CpuMem &mem = cpus[cpu];
-    Addr victim = invalidAddr;
-    bool victim_dirty = false;
-    mem.l2.fill(l2_line, state, victim, victim_dirty);
-    if (victim != invalidAddr) {
-        // Inclusion: primary copies of the victim die with it.
-        for (std::uint32_t off = 0; off < cfg.l2LineSize;
-             off += cfg.l1LineSize)
-            mem.l1.invalidate(victim + off);
-        if (victim_dirty)
-            theBus.acquire(when, cfg.lineTransferOccupancy,
-                           BusTxn::WriteBack, cfg.l2LineSize);
-    }
+    const auto [victim, victim_dirty] = installL2(cpu, l2_line, state);
+    if (victim != invalidAddr && victim_dirty)
+        theBus.acquire(when, cfg.lineTransferOccupancy,
+                       BusTxn::WriteBack, cfg.l2LineSize);
 }
 
 Cycles
@@ -246,13 +319,14 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
     }
 
     if (ctx.allocate) {
-        fillL1(mem, addr, ctx.blockOpBody);
+        fillL1(cpu, addr, ctx.blockOpBody);
     } else {
         // Bypassed read: in a processor-driven copy this line would
         // now be cached; its first future touch is a reuse miss.
         bypassedLines.insert(line);
     }
     res.stall = res.completeAt - (now + cfg.l1HitLatency);
+    opEnd(MemOpKind::Read, cpu, addr);
     return res;
 }
 
@@ -278,7 +352,7 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
     if (st == LineState::Modified || st == LineState::Exclusive) {
         // Local write: silently upgrade Exclusive to Modified.
         mem.l2.touch(addr);
-        mem.l2.setState(addr, LineState::Modified);
+        setL2State(cpu, addr, LineState::Modified);
         drained = service + cfg.l2WriteLatency;
     } else if (isUpdateAddr(addr)) {
         // Firefly update protocol for this page.
@@ -291,19 +365,19 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
         }
         if (sharedElsewhere(cpu, l2line)) {
             snoopUpdate(cpu, l2line);
-            mem.l2.setState(l2line, LineState::Shared);
+            setL2State(cpu, l2line, LineState::Shared);
             drained = scheduleL2WbEntry(mem, l2line, ready,
                                         cfg.updateOccupancy, BusTxn::Update,
                                         ctx.blockOpBody ? 8 : 4);
         } else {
             // No sharers: behave like an ordinary owned write.
-            mem.l2.setState(l2line, LineState::Modified);
+            setL2State(cpu, l2line, LineState::Modified);
             drained = ready;
         }
     } else if (st == LineState::Shared) {
         // Invalidation-only transaction, then write locally.
         snoopInvalidate(cpu, l2line);
-        mem.l2.setState(addr, LineState::Modified);
+        setL2State(cpu, addr, LineState::Modified);
         drained = scheduleL2WbEntry(mem, l2line, service + cfg.l2WriteLatency,
                                     cfg.invalOccupancy, BusTxn::Invalidate, 0);
     } else {
@@ -326,8 +400,9 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
     // reads of freshly written data hit (the fill itself happens in
     // the background and does not stall the processor).
     if (!mem.l1.contains(addr))
-        fillL1(mem, addr, ctx.blockOpBody);
+        fillL1(cpu, addr, ctx.blockOpBody);
 
+    opEnd(MemOpKind::Write, cpu, addr);
     return res;
 }
 
@@ -366,8 +441,9 @@ MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
         fill.readyAt = arrive;
     }
 
-    fillL1(mem, addr, ctx.blockOpBody);
+    fillL1(cpu, addr, ctx.blockOpBody);
     mem.inFlight.emplace(line, fill);
+    opEnd(MemOpKind::Prefetch, cpu, addr);
 }
 
 AccessResult
@@ -397,6 +473,7 @@ MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
     // The destination line ends up uncached: future first reuses miss.
     for (std::uint32_t off = 0; off < cfg.l2LineSize; off += cfg.l1LineSize)
         bypassedLines.insert(l2line + off);
+    opEnd(MemOpKind::BypassWrite, cpu, addr);
     return res;
 }
 
@@ -422,6 +499,7 @@ MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
     mem.l2Wb.push(l2line, grant + cfg.wordWriteOccupancy);
 
     bypassedLines.insert(l1Line(addr));
+    opEnd(MemOpKind::BypassWrite, cpu, addr);
     return res;
 }
 
@@ -467,10 +545,11 @@ MemorySystem::prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now)
             if (c == cpu)
                 continue;
             if (cpus[c].l2.state(l2Line(addr)) == LineState::Modified)
-                cpus[c].l2.setState(l2Line(addr), LineState::Shared);
+                setL2State(c, l2Line(addr), LineState::Shared);
         }
     }
     mem.prefetchBuffer.push_back(entry);
+    opEnd(MemOpKind::Prefetch, cpu, addr);
 }
 
 AccessResult
@@ -528,15 +607,20 @@ MemorySystem::codeFill(CpuId cpu, Addr code_addr, std::uint32_t bytes)
          a += cfg.l2LineSize) {
         if (mem.l2.state(a) != LineState::Invalid)
             continue;
-        Addr victim = invalidAddr;
-        bool victim_dirty = false;
-        mem.l2.fill(a, LineState::Exclusive, victim, victim_dirty);
-        if (victim != invalidAddr) {
-            for (std::uint32_t off = 0; off < cfg.l2LineSize;
-                 off += cfg.l1LineSize)
-                mem.l1.invalidate(victim + off);
+        // The fetch snoops like any bus read: a remote owner demotes
+        // to Shared and the requester installs Shared when copies
+        // exist elsewhere — two processors running the same code must
+        // not both hold the line Exclusive.
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            if (c == cpu)
+                continue;
+            const LineState st = cpus[c].l2.state(a);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                setL2State(c, a, LineState::Shared);
         }
+        installL2(cpu, a, readFillState(cpu, a));
     }
+    opEnd(MemOpKind::CodeFill, cpu, code_addr);
 }
 
 Cycles
@@ -556,14 +640,24 @@ MemorySystem::instructionFetch(CpuId cpu, Addr code_addr,
             stall += cfg.l2HitLatency;
             continue;
         }
-        // Fetch the code line over the bus into the unified L2.
+        // Fetch the code line over the bus into the unified L2.  The
+        // read snoops: remote owners demote and the fill state obeys
+        // the protocol (Shared when copies exist elsewhere).
         const Cycles grant =
             theBus.acquire(now + stall + cfg.l2HitLatency,
                            cfg.lineTransferOccupancy, BusTxn::LineFill,
                            cfg.l2LineSize);
         stall = grant + cfg.busMemLatency() - now;
-        fillL2(cpu, l2line, LineState::Exclusive, now + stall);
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            if (c == cpu)
+                continue;
+            const LineState st = cpus[c].l2.state(l2line);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                setL2State(c, l2line, LineState::Shared);
+        }
+        fillL2(cpu, l2line, readFillState(cpu, l2line), now + stall);
     }
+    opEnd(MemOpKind::InstructionFetch, cpu, code_addr);
     return stall;
 }
 
@@ -602,7 +696,7 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
             for (CpuId c = 0; c < cfg.numCpus; ++c) {
                 if (cpus[c].l2.state(a) == LineState::Modified) {
                     occupancy += cfg.dmaDirtySupplyPenalty;
-                    cpus[c].l2.setState(a, LineState::Shared);
+                    setL2State(c, a, LineState::Shared);
                     break;
                 }
             }
@@ -622,7 +716,7 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
         for (CpuId c = 0; c < cfg.numCpus; ++c) {
             if (cpus[c].l2.state(a) != LineState::Invalid) {
                 cached_anywhere = true;
-                cpus[c].l2.setState(a, LineState::Shared);
+                setL2State(c, a, LineState::Shared);
                 for (std::uint32_t off = 0; off < cfg.l2LineSize;
                      off += cfg.l1LineSize) {
                     // Updated data: clear any stale coherence marks.
@@ -653,6 +747,7 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
         }
     }
 
+    opEnd(MemOpKind::Dma, cpu, op.dst);
     return done;
 }
 

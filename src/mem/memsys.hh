@@ -39,6 +39,7 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/config.hh"
+#include "mem/observer.hh"
 #include "mem/write_buffer.hh"
 #include "trace/blockop.hh"
 
@@ -171,6 +172,37 @@ class MemorySystem
     /** State of @p addr's line in @p cpu's secondary cache. */
     LineState l2State(CpuId cpu, Addr addr) const;
 
+    /** True iff @p addr lies in a registered update-protocol page. */
+    bool isUpdateAddr(Addr addr) const;
+
+    /** @} */
+
+    /** @name Verification hooks @{ */
+
+    /** Attach (or, with nullptr, detach) the coherence observer. */
+    void setObserver(MemEventObserver *obs) { observer = obs; }
+
+    /** Read-only views for invariant audits. */
+    const L1Cache &l1Cache(CpuId cpu) const { return cpus[cpu].l1; }
+    const L2Cache &l2Cache(CpuId cpu) const { return cpus[cpu].l2; }
+    const WriteBuffer &l1WriteBuffer(CpuId cpu) const
+    {
+        return cpus[cpu].l1Wb;
+    }
+    const WriteBuffer &l2WriteBuffer(CpuId cpu) const
+    {
+        return cpus[cpu].l2Wb;
+    }
+
+    /**
+     * Test-only fault injection: force the state of @p addr's
+     * secondary line on @p cpu, installing or evicting it as needed
+     * and notifying the observer of the transition.  This lets the
+     * checker tests seed SWMR, inclusion, and illegal-edge defects
+     * the production protocol can never produce.
+     */
+    void debugSetL2State(CpuId cpu, Addr addr, LineState state);
+
     /** @} */
 
   private:
@@ -221,16 +253,56 @@ class MemorySystem
     Addr l1Line(Addr addr) const { return alignDown(addr, cfg.l1LineSize); }
     Addr l2Line(Addr addr) const { return alignDown(addr, cfg.l2LineSize); }
 
-    bool isUpdateAddr(Addr addr) const;
-
     /** Classify the cause of a primary-cache read miss. */
     MissCause classifyMiss(CpuMem &mem, Addr line);
+
+    /** @name Observer notification helpers @{ */
+
+    /** Report a secondary-line transition (self-loops elided). */
+    void
+    notifyL2(CpuId cpu, Addr l2_line, LineState from, LineState to)
+    {
+        if (observer != nullptr && from != to)
+            observer->onL2Transition(cpu, l2Line(l2_line), from, to);
+    }
+
+    /** Report the completion of a processor-side operation. */
+    void
+    opEnd(MemOpKind op, CpuId cpu, Addr addr)
+    {
+        if (observer != nullptr)
+            observer->onOperationEnd(*this, op, cpu, addr);
+    }
+
+    /** @} */
+
+    /** @name Instrumented state mutators @{ */
+
+    /** Change the state of @p cpu's resident secondary line. */
+    void setL2State(CpuId cpu, Addr addr, LineState state);
+
+    /** Invalidate @p cpu's secondary line if present. */
+    void invalidateL2(CpuId cpu, Addr l2_line);
+
+    /** Invalidate @p cpu's primary line if present. */
+    void dropL1(CpuId cpu, Addr l1_line);
+
+    /**
+     * Tag-array part of a secondary fill: install @p l2_line in
+     * @p state, invalidate the victim's covered primary lines, and
+     * notify the observer.  Bus costs are the caller's business.
+     * @return {victim line address or invalidAddr, victim was dirty}.
+     */
+    std::pair<Addr, bool> installL2(CpuId cpu, Addr l2_line,
+                                    LineState state);
+
+    /** @} */
 
     /**
      * Install a primary line, recording the eviction cause of the
      * victim and clearing stale classification marks for the line.
      */
-    void fillL1(CpuMem &mem, Addr addr, bool block_op_fill);
+    void fillL1(CpuId cpu, Addr addr, bool block_op_fill);
 
     /**
      * Invalidate the line of @p addr in every processor except
@@ -279,6 +351,8 @@ class MemorySystem
     MachineConfig cfg;
     Bus theBus;
     std::vector<CpuMem> cpus;
+    /** Passive coherence observer (the invariant checker), or null. */
+    MemEventObserver *observer = nullptr;
     /** Lines last touched by a bypassing block op and left uncached. */
     std::unordered_set<Addr> bypassedLines;
     const std::unordered_set<Addr> *updatePages = nullptr;

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Coherence-event observation interface.
+ *
+ * MemorySystem can be fitted with a MemEventObserver that is notified
+ * of every secondary-cache state transition, every primary-cache fill
+ * and invalidation, and the completion of every processor-side
+ * operation.  The production observer is the coherence invariant
+ * checker in src/check, which shadows the protocol state and asserts
+ * SWMR, inclusion, and edge legality; keeping the interface abstract
+ * here avoids a dependency cycle (mem must not link against check).
+ *
+ * All hooks default to no-ops so the observer costs a null-pointer
+ * test per event when disabled.
+ */
+
+#ifndef OSCACHE_MEM_OBSERVER_HH
+#define OSCACHE_MEM_OBSERVER_HH
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace oscache
+{
+
+class MemorySystem;
+
+/** Processor-side operation classes reported to the observer. */
+enum class MemOpKind : std::uint8_t
+{
+    Read,
+    Write,
+    Prefetch,
+    BypassWrite,
+    CodeFill,
+    InstructionFetch,
+    Dma,
+};
+
+/**
+ * Passive observer of memory-system coherence events.
+ */
+struct MemEventObserver
+{
+    virtual ~MemEventObserver() = default;
+
+    /**
+     * A secondary-cache line of @p cpu moved from @p from to @p to.
+     * Fired for fills (from Invalid), state changes, invalidations
+     * (to Invalid), and replacements (the victim's to-Invalid edge).
+     */
+    virtual void
+    onL2Transition(CpuId cpu, Addr l2_line, LineState from, LineState to)
+    {
+        (void)cpu;
+        (void)l2_line;
+        (void)from;
+        (void)to;
+    }
+
+    /** A primary data-cache line of @p cpu was installed. */
+    virtual void
+    onL1Fill(CpuId cpu, Addr l1_line)
+    {
+        (void)cpu;
+        (void)l1_line;
+    }
+
+    /** A primary data-cache line of @p cpu was dropped. */
+    virtual void
+    onL1Drop(CpuId cpu, Addr l1_line)
+    {
+        (void)cpu;
+        (void)l1_line;
+    }
+
+    /**
+     * A processor-side operation finished.  Deferred whole-system
+     * invariants (SWMR, inclusion) are checked here rather than per
+     * transition: mid-operation the protocol legitimately passes
+     * through states where an L1 line's covering L2 line is already
+     * gone (snoop invalidation runs L2-first).
+     */
+    virtual void
+    onOperationEnd(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                   Addr addr)
+    {
+        (void)mem;
+        (void)op;
+        (void)cpu;
+        (void)addr;
+    }
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_MEM_OBSERVER_HH

@@ -93,6 +93,25 @@ class WriteBuffer
     bool empty() const { return entries.empty(); }
     unsigned depth() const { return capacity; }
 
+    /**
+     * Consistency probe for the invariant checker: entries drain in
+     * FIFO order (completion times non-decreasing front to back) and
+     * lastCompletion() bounds them all.  The greedy drain schedule
+     * guarantees this; a violation means entries were scheduled out
+     * of order.
+     */
+    bool
+    drainOrderConsistent() const
+    {
+        Cycles prev = 0;
+        for (const auto &e : entries) {
+            if (e.completeAt < prev)
+                return false;
+            prev = e.completeAt;
+        }
+        return entries.empty() || prev <= lastComplete;
+    }
+
   private:
     struct Entry
     {

@@ -44,6 +44,14 @@ struct SimOptions
 
     /** Machine word size in bytes (the FX/8 is a 32-bit machine). */
     std::uint32_t wordSize = 4;
+
+    /**
+     * Attach the coherence invariant checker (src/check) to the
+     * memory system and panic on any violation.  On by default: the
+     * shadow state is cheap relative to simulation and turns a subtle
+     * protocol bug into an immediate, attributed failure.
+     */
+    bool checkCoherence = true;
 };
 
 } // namespace oscache

@@ -170,7 +170,7 @@ System::handleExec(CpuId cpu, const TraceRecord &rec)
     // its id (capped at 4 KB).
     Cycles imiss = 0;
     if (rec.bb != invalidBasicBlock) {
-        const Addr code_base = 0xc000'0000ULL + Addr{rec.bb} * 4096;
+        const Addr code_base = codeSpaceBase + Addr{rec.bb} * 4096;
         const std::uint32_t bytes =
             std::min<std::uint32_t>(4096, rec.aux * 8);
         if (opts.modelICache) {

@@ -9,7 +9,7 @@ namespace
 {
 
 /** Kernel virtual base (Concentrix maps the kernel high). */
-constexpr Addr kernelBase = 0x8000'0000;
+constexpr Addr kernelBase = kernelSpaceBase;
 /** User data regions live low. */
 constexpr Addr userLow = 0x0010'0000;
 

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Tests of the verification subsystem (src/check): the coherence
+ * invariant checker must catch seeded protocol defects and stay
+ * silent on real traffic; the trace linter must catch each corrupted
+ * stream; the lockset race detector must flag unlocked multi-writer
+ * data and nothing else; and every seed workload must come out clean
+ * under all three passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hh"
+#include "check/racedetect.hh"
+#include "check/tracelint.hh"
+#include "core/runner.hh"
+#include "mem/memsys.hh"
+#include "synth/generator.hh"
+
+namespace oscache
+{
+namespace
+{
+
+bool
+hasCode(const std::vector<CheckFinding> &findings, CheckCode code)
+{
+    for (const auto &f : findings)
+        if (f.code == code)
+            return true;
+    return false;
+}
+
+AccessContext
+osCtx(DataCategory cat = DataCategory::KernelOther)
+{
+    AccessContext ctx;
+    ctx.os = true;
+    ctx.category = cat;
+    return ctx;
+}
+
+// ---------------------------------------------------------------------
+// Coherence invariant checker.
+// ---------------------------------------------------------------------
+
+class CoherenceCheckerTest : public ::testing::Test
+{
+  protected:
+    CoherenceCheckerTest()
+        : machine(MachineConfig::base()), mem(machine), checker(machine)
+    {
+        mem.setObserver(&checker);
+    }
+
+    MachineConfig machine;
+    MemorySystem mem;
+    CoherenceChecker checker;
+};
+
+TEST_F(CoherenceCheckerTest, CleanOnSimpleSharing)
+{
+    mem.read(0, 0x1000, 0, osCtx());
+    mem.read(1, 0x1000, 100, osCtx());
+    mem.write(0, 0x1000, 200, osCtx());
+    mem.read(1, 0x1000, 300, osCtx());
+    checker.auditFull(mem);
+    EXPECT_TRUE(checker.clean())
+        << format(checker.findings().front());
+    EXPECT_GT(checker.transitions(), 0u);
+}
+
+TEST_F(CoherenceCheckerTest, CleanOnMixedTraffic)
+{
+    // Reads, writes, prefetches, and code pressure from all four
+    // processors over a working set that forces evictions.
+    Cycles now = 0;
+    for (int round = 0; round < 64; ++round) {
+        for (CpuId c = 0; c < machine.numCpus; ++c) {
+            const Addr a = 0x1000 + Addr(round % 16) * 32;
+            now += 40;
+            mem.read(c, a, now, osCtx());
+            if (round % 3 == 0)
+                mem.write(c, a, now + 10, osCtx());
+            if (round % 5 == 0)
+                mem.prefetch(c, a + 0x4000, now + 15, osCtx());
+            if (round % 7 == 0)
+                mem.codeFill(c, codeSpaceBase + Addr(round) * 64, 128);
+        }
+    }
+    checker.auditFull(mem);
+    EXPECT_TRUE(checker.clean())
+        << format(checker.findings().front());
+}
+
+TEST_F(CoherenceCheckerTest, IllegalTransitionCaught)
+{
+    mem.read(0, 0x1000, 0, osCtx());
+    mem.read(1, 0x1000, 100, osCtx());
+    ASSERT_EQ(mem.l2State(0, 0x1000), LineState::Shared);
+    // Silent S->E: exclusivity gained without a bus transaction.
+    mem.debugSetL2State(0, 0x1000, LineState::Exclusive);
+    EXPECT_TRUE(hasCode(checker.findings(), CheckCode::IllegalTransition));
+}
+
+TEST_F(CoherenceCheckerTest, SwmrViolationCaught)
+{
+    mem.read(0, 0x1000, 0, osCtx());
+    mem.read(1, 0x1000, 100, osCtx());
+    mem.debugSetL2State(0, 0x1000, LineState::Modified);
+    mem.debugSetL2State(1, 0x1000, LineState::Modified);
+    checker.auditFull(mem);
+    EXPECT_TRUE(hasCode(checker.findings(), CheckCode::SwmrViolation));
+}
+
+TEST_F(CoherenceCheckerTest, InclusionViolationCaught)
+{
+    mem.read(0, 0x1000, 0, osCtx());
+    ASSERT_TRUE(mem.l1Contains(0, 0x1000));
+    // Kill the secondary copy behind the primary cache's back.
+    mem.debugSetL2State(0, 0x1000, LineState::Invalid);
+    checker.auditFull(mem);
+    EXPECT_TRUE(hasCode(checker.findings(), CheckCode::InclusionViolation));
+}
+
+TEST_F(CoherenceCheckerTest, MultiWriterLinesTracked)
+{
+    mem.read(0, 0x1000, 0, osCtx());
+    mem.write(0, 0x1000, 100, osCtx());
+    mem.write(1, 0x1000, 200, osCtx());
+    EXPECT_EQ(checker.multiWriterLines().count(0x1000), 1u);
+    mem.write(0, 0x2000, 300, osCtx());
+    EXPECT_EQ(checker.multiWriterLines().count(0x2000), 0u);
+}
+
+TEST_F(CoherenceCheckerTest, CodeLinesNeverDoublyExclusive)
+{
+    // Both processors execute the same basic block; neither may end
+    // up with a duplicate Exclusive copy of the code lines.
+    mem.codeFill(0, codeSpaceBase, 256);
+    mem.codeFill(1, codeSpaceBase, 256);
+    for (Addr a = codeSpaceBase; a < codeSpaceBase + 256; a += 32) {
+        const bool e0 = mem.l2State(0, a) == LineState::Exclusive ||
+                        mem.l2State(0, a) == LineState::Modified;
+        const bool e1 = mem.l2State(1, a) == LineState::Exclusive ||
+                        mem.l2State(1, a) == LineState::Modified;
+        EXPECT_FALSE(e0 && e1) << "line 0x" << std::hex << a;
+    }
+    checker.auditFull(mem);
+    EXPECT_TRUE(checker.clean())
+        << format(checker.findings().front());
+}
+
+// ---------------------------------------------------------------------
+// Trace linter.
+// ---------------------------------------------------------------------
+
+TraceRecord
+lockRecord(RecordType type, Addr addr)
+{
+    TraceRecord r;
+    r.type = type;
+    r.addr = addr;
+    r.category = DataCategory::Lock;
+    return r;
+}
+
+TraceRecord
+barrierRecord(Addr addr, std::uint32_t parties)
+{
+    TraceRecord r;
+    r.type = RecordType::BarrierArrive;
+    r.addr = addr;
+    r.aux = parties;
+    r.category = DataCategory::Barrier;
+    return r;
+}
+
+TraceRecord
+blockOpRecord(RecordType type, BlockOpId id)
+{
+    TraceRecord r;
+    r.type = type;
+    r.aux = id;
+    return r;
+}
+
+BlockOpId
+addZeroOp(Trace &t)
+{
+    BlockOp op;
+    op.dst = kernelSpaceBase + 0x10000;
+    op.size = 4096;
+    op.kind = BlockOpKind::Zero;
+    return t.blockOps().add(op);
+}
+
+TEST(TraceLintTest, CleanMinimalTrace)
+{
+    Trace t(2);
+    const Addr lock = kernelSpaceBase + 0x100;
+    const BlockOpId id = addZeroOp(t);
+    for (CpuId c = 0; c < 2; ++c) {
+        auto &s = t.stream(c);
+        s.push_back(TraceRecord::exec(10, 0, true));
+        s.push_back(lockRecord(RecordType::LockAcquire, lock));
+        s.push_back(TraceRecord::write(kernelSpaceBase + 0x200,
+                                       DataCategory::OtherShared, 0, true));
+        s.push_back(lockRecord(RecordType::LockRelease, lock));
+        s.push_back(barrierRecord(kernelSpaceBase + 0x300, 2));
+    }
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpBegin, id));
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpEnd, id));
+    EXPECT_TRUE(lintTrace(t).empty());
+}
+
+TEST(TraceLintTest, UnbalancedBlockOpCaught)
+{
+    Trace t(1);
+    const BlockOpId id = addZeroOp(t);
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpBegin, id));
+    EXPECT_TRUE(hasCode(lintTrace(t), CheckCode::UnbalancedBlockOp));
+
+    Trace u(1);
+    const BlockOpId uid = addZeroOp(u);
+    u.stream(0).push_back(blockOpRecord(RecordType::BlockOpEnd, uid));
+    EXPECT_TRUE(hasCode(lintTrace(u), CheckCode::UnbalancedBlockOp));
+}
+
+TEST(TraceLintTest, MismatchedBlockOpEndCaught)
+{
+    Trace t(1);
+    const BlockOpId a = addZeroOp(t);
+    const BlockOpId b = addZeroOp(t);
+    auto &s = t.stream(0);
+    s.push_back(blockOpRecord(RecordType::BlockOpBegin, a));
+    s.push_back(blockOpRecord(RecordType::BlockOpBegin, b));
+    s.push_back(blockOpRecord(RecordType::BlockOpEnd, a));
+    s.push_back(blockOpRecord(RecordType::BlockOpEnd, b));
+    EXPECT_TRUE(hasCode(lintTrace(t), CheckCode::MismatchedBlockOpEnd));
+}
+
+TEST(TraceLintTest, UnknownBlockOpCaught)
+{
+    Trace t(1);
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpBegin, 7));
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpEnd, 7));
+    EXPECT_TRUE(hasCode(lintTrace(t), CheckCode::UnknownBlockOp));
+}
+
+TEST(TraceLintTest, LockPairingDefectsCaught)
+{
+    const Addr lock = kernelSpaceBase + 0x100;
+
+    Trace recursive(1);
+    recursive.stream(0).push_back(lockRecord(RecordType::LockAcquire, lock));
+    recursive.stream(0).push_back(lockRecord(RecordType::LockAcquire, lock));
+    recursive.stream(0).push_back(lockRecord(RecordType::LockRelease, lock));
+    EXPECT_TRUE(
+        hasCode(lintTrace(recursive), CheckCode::RecursiveLockAcquire));
+
+    Trace unpaired(1);
+    unpaired.stream(0).push_back(lockRecord(RecordType::LockRelease, lock));
+    EXPECT_TRUE(
+        hasCode(lintTrace(unpaired), CheckCode::UnpairedLockRelease));
+
+    Trace unreleased(1);
+    unreleased.stream(0).push_back(
+        lockRecord(RecordType::LockAcquire, lock));
+    EXPECT_TRUE(hasCode(lintTrace(unreleased), CheckCode::UnreleasedLock));
+}
+
+TEST(TraceLintTest, BarrierDefectsCaught)
+{
+    const Addr bar = kernelSpaceBase + 0x300;
+
+    // A 2-party barrier only one processor ever reaches.
+    Trace missing(2);
+    missing.stream(0).push_back(barrierRecord(bar, 2));
+    EXPECT_TRUE(
+        hasCode(lintTrace(missing), CheckCode::BarrierCountMismatch));
+
+    // Unequal arrival counts deadlock the second episode.
+    Trace unequal(2);
+    unequal.stream(0).push_back(barrierRecord(bar, 2));
+    unequal.stream(0).push_back(barrierRecord(bar, 2));
+    unequal.stream(1).push_back(barrierRecord(bar, 2));
+    EXPECT_TRUE(
+        hasCode(lintTrace(unequal), CheckCode::BarrierCountMismatch));
+
+    // More participants than the machine has processors.
+    Trace oversub(2);
+    oversub.stream(0).push_back(barrierRecord(bar, 3));
+    oversub.stream(1).push_back(barrierRecord(bar, 3));
+    EXPECT_TRUE(
+        hasCode(lintTrace(oversub), CheckCode::BarrierCountMismatch));
+
+    // The same barrier used with two different participant counts.
+    Trace changed(2);
+    changed.stream(0).push_back(barrierRecord(bar, 2));
+    changed.stream(1).push_back(barrierRecord(bar, 1));
+    EXPECT_TRUE(
+        hasCode(lintTrace(changed), CheckCode::BarrierPartiesChanged));
+}
+
+TEST(TraceLintTest, CategoryRegionMismatchCaught)
+{
+    Trace t(1);
+    // Shared kernel data cannot live at a user address.
+    t.stream(0).push_back(TraceRecord::write(
+        0x1000, DataCategory::OtherShared, 0, true));
+    const auto findings = lintTrace(t);
+    EXPECT_TRUE(hasCode(findings, CheckCode::CategoryRegionMismatch));
+    EXPECT_EQ(countErrors(findings), 1u);
+
+    Trace ok(1);
+    // User data at a user address is fine.
+    ok.stream(0).push_back(
+        TraceRecord::write(0x1000, DataCategory::User, 0, false));
+    EXPECT_TRUE(lintTrace(ok).empty());
+}
+
+TEST(TraceLintTest, NoProgressIsWarningOnly)
+{
+    Trace t(1);
+    t.stream(0).push_back(TraceRecord::exec(0, 0, true));
+    const auto findings = lintTrace(t);
+    EXPECT_TRUE(hasCode(findings, CheckCode::NoProgress));
+    EXPECT_EQ(countErrors(findings), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Lockset race detector.
+// ---------------------------------------------------------------------
+
+TEST(RaceDetectTest, UnlockedSharedWriteFlagged)
+{
+    Trace t(2);
+    const Addr shared = kernelSpaceBase + 0x400;
+    for (CpuId c = 0; c < 2; ++c)
+        t.stream(c).push_back(TraceRecord::write(
+            shared, DataCategory::OtherShared, 0, true));
+    const auto findings = detectRaces(t);
+    ASSERT_TRUE(hasCode(findings, CheckCode::UnlockedSharedWrite));
+    EXPECT_EQ(countErrors(findings), 1u);
+}
+
+TEST(RaceDetectTest, ConsistentLockNotFlagged)
+{
+    Trace t(2);
+    const Addr lock = kernelSpaceBase + 0x100;
+    const Addr shared = kernelSpaceBase + 0x400;
+    for (CpuId c = 0; c < 2; ++c) {
+        auto &s = t.stream(c);
+        s.push_back(lockRecord(RecordType::LockAcquire, lock));
+        s.push_back(TraceRecord::write(shared, DataCategory::OtherShared,
+                                       0, true));
+        s.push_back(lockRecord(RecordType::LockRelease, lock));
+    }
+    EXPECT_TRUE(detectRaces(t).empty());
+}
+
+TEST(RaceDetectTest, InconsistentLocksetsFlagged)
+{
+    // Each writer holds *a* lock, just never the same one.
+    Trace t(2);
+    const Addr shared = kernelSpaceBase + 0x400;
+    for (CpuId c = 0; c < 2; ++c) {
+        const Addr lock = kernelSpaceBase + 0x100 + Addr(c) * 64;
+        auto &s = t.stream(c);
+        s.push_back(lockRecord(RecordType::LockAcquire, lock));
+        s.push_back(TraceRecord::write(shared, DataCategory::OtherShared,
+                                       0, true));
+        s.push_back(lockRecord(RecordType::LockRelease, lock));
+    }
+    EXPECT_TRUE(hasCode(detectRaces(t), CheckCode::UnlockedSharedWrite));
+}
+
+TEST(RaceDetectTest, SingleWriterNotFlagged)
+{
+    Trace t(2);
+    const Addr shared = kernelSpaceBase + 0x400;
+    t.stream(0).push_back(TraceRecord::write(
+        shared, DataCategory::OtherShared, 0, true));
+    t.stream(0).push_back(TraceRecord::write(
+        shared, DataCategory::OtherShared, 0, true));
+    EXPECT_TRUE(detectRaces(t).empty());
+}
+
+TEST(RaceDetectTest, FreqSharedIsWarningOnly)
+{
+    // Unlocked producer-consumer traffic on FreqShared data is part
+    // of the workload model; it must be reported but not fail a run.
+    Trace t(2);
+    const Addr shared = kernelSpaceBase + 0x400;
+    for (CpuId c = 0; c < 2; ++c)
+        t.stream(c).push_back(TraceRecord::write(
+            shared, DataCategory::FreqShared, 0, true));
+    const auto findings = detectRaces(t);
+    ASSERT_TRUE(hasCode(findings, CheckCode::UnlockedSharedWrite));
+    EXPECT_EQ(countErrors(findings), 0u);
+}
+
+TEST(RaceDetectTest, CrossCheckAnnotatesFindings)
+{
+    Trace t(2);
+    const Addr shared = kernelSpaceBase + 0x400;
+    for (CpuId c = 0; c < 2; ++c)
+        t.stream(c).push_back(TraceRecord::write(
+            shared, DataCategory::OtherShared, 0, true));
+    std::unordered_set<Addr> lines{alignDown(shared, 32)};
+    RaceCrossCheck cross;
+    cross.multiWriterLines = &lines;
+    cross.lineSize = 32;
+    const auto findings = detectRaces(t, cross);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings.front().message.find("multiple"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Seed workloads: every profile must come out clean.
+// ---------------------------------------------------------------------
+
+TEST(SeedWorkloadTest, AllProfilesLintCleanAndRaceFree)
+{
+    for (WorkloadKind kind : allWorkloads) {
+        WorkloadProfile p = WorkloadProfile::forKind(kind);
+        p.quanta = 4;
+        const SystemSetup setup = SystemSetup::forKind(SystemKind::Base);
+        const Trace trace = generateTrace(p, setup.coherence);
+
+        const auto lint = lintTrace(trace);
+        EXPECT_EQ(countErrors(lint), 0u)
+            << toString(kind) << ": " << format(lint.front());
+
+        const auto races = detectRaces(trace);
+        EXPECT_EQ(countErrors(races), 0u)
+            << toString(kind) << ": " << format(races.front());
+    }
+}
+
+TEST(SeedWorkloadTest, InvariantCheckerCleanEndToEnd)
+{
+    // runOnTrace attaches the coherence checker by default
+    // (SimOptions::checkCoherence) and panics on any violation, so
+    // completing these runs is the assertion.
+    for (SystemKind system : {SystemKind::Base, SystemKind::BCohRelUp,
+                              SystemKind::BlkDma}) {
+        WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Trfd4);
+        p.quanta = 4;
+        const SystemSetup setup = SystemSetup::forKind(system);
+        const Trace trace = generateTrace(p, setup.coherence);
+        SimOptions opts = p.simOptions();
+        ASSERT_TRUE(opts.checkCoherence);
+        const RunResult r = runOnTrace(trace, MachineConfig::base(), opts,
+                                       setup);
+        EXPECT_GT(r.stats.osTime(), 0u) << toString(system);
+    }
+}
+
+} // namespace
+} // namespace oscache

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Full verification sweep: build with ASan+UBSan, run the test suite,
+# run the lint selftest, then generate and lint (and re-simulate with
+# the invariant checker) a trace for every seed workload.
+#
+# Usage: tools/run_checks.sh [build-dir]
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-checks"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure ($build) =="
+cmake -B "$build" -S "$repo" -DOSCACHE_SANITIZE=address,undefined
+
+echo "== build =="
+cmake --build "$build" -j "$jobs"
+
+echo "== ctest =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== lint selftest =="
+"$build/tools/oscache-lint" selftest
+
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+for workload in trfd4 trfd+make arc2d+fsck shell; do
+    echo "== lint $workload =="
+    trace="$tracedir/$(echo "$workload" | tr -d '+').trace"
+    "$build/tools/oscache" generate --workload "$workload" --quanta 4 \
+        --out "$trace"
+    "$build/tools/oscache-lint" trace --trace "$trace" --simulate
+done
+
+echo "all checks passed"
