@@ -7,14 +7,21 @@
  *
  * Usage:
  *   trace_inspect                 # inspect the TRFD_4 synthetic trace
- *   trace_inspect file.trace      # inspect a saved trace
+ *   trace_inspect file.trace      # inspect a saved trace (either format)
+ *   trace_inspect file.trace --convert out.otb --binary
+ *                                 # re-encode as compact binary (v2)
+ *   trace_inspect file.otb --convert out.trace --text
+ *                                 # back to the greppable text format
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "synth/generator.hh"
 #include "trace/io.hh"
 
@@ -23,9 +30,37 @@ using namespace oscache;
 int
 main(int argc, char **argv)
 {
-    Trace trace = argc > 1
-        ? readTraceFile(argv[1])
+    std::string input;
+    std::string convert_out;
+    TraceFormat convert_format = TraceFormat::Text;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--convert") == 0) {
+            if (i + 1 >= argc)
+                fatal("--convert needs an output path");
+            convert_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--binary") == 0) {
+            convert_format = TraceFormat::Binary;
+        } else if (std::strcmp(argv[i], "--text") == 0) {
+            convert_format = TraceFormat::Text;
+        } else if (argv[i][0] == '-') {
+            fatal("unknown flag '", argv[i], "'");
+        } else {
+            input = argv[i];
+        }
+    }
+
+    Trace trace = !input.empty()
+        ? readTraceFile(input)
         : generateTrace(WorkloadKind::Trfd4, CoherenceOptions::none());
+
+    if (!convert_out.empty()) {
+        writeTraceFile(convert_out, trace, convert_format);
+        std::printf("wrote %zu records to %s (%s format)\n",
+                    trace.totalRecords(), convert_out.c_str(),
+                    convert_format == TraceFormat::Binary ? "binary"
+                                                          : "text");
+        return 0;
+    }
     std::printf("trace: %u cpus, %zu records, %zu block ops, %zu update "
                 "pages\n\n",
                 trace.numCpus(), trace.totalRecords(),

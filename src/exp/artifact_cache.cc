@@ -1,0 +1,104 @@
+#include "exp/artifact_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/log.hh"
+#include "exp/hash.hh"
+#include "trace/io.hh"
+
+namespace oscache
+{
+
+namespace fs = std::filesystem;
+
+TraceStore::TraceStore(std::string directory) : root(std::move(directory))
+{
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec)
+        fatal("artifact cache: cannot create '", root, "': ",
+              ec.message());
+}
+
+std::string
+TraceStore::keyFor(const WorkloadProfile &profile,
+                   const CoherenceOptions &options, unsigned num_cpus)
+{
+    ContentHash h;
+    h.mix(traceBinaryVersion);
+    h.mix(num_cpus);
+    mixProfile(h, profile);
+    mixCoherence(h, options);
+    return h.hex();
+}
+
+std::string
+TraceStore::pathFor(const std::string &key) const
+{
+    return root + "/trace_" + key + ".otb";
+}
+
+std::optional<Trace>
+TraceStore::load(const std::string &key)
+{
+    const std::string path = pathFor(key);
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    if (!is) {
+        missCount.fetch_add(1);
+        return std::nullopt;
+    }
+    Trace trace(1);
+    std::string why;
+    if (!tryReadTraceBinary(is, trace, &why)) {
+        warn("artifact cache: rejecting corrupt '", path, "' (", why,
+             "); will regenerate");
+        is.close();
+        std::error_code ec;
+        fs::remove(path, ec);
+        rejectCount.fetch_add(1);
+        missCount.fetch_add(1);
+        return std::nullopt;
+    }
+    hitCount.fetch_add(1);
+    return trace;
+}
+
+void
+TraceStore::store(const std::string &key, const Trace &trace)
+{
+    const std::string path = pathFor(key);
+    // Unique temp name per thread so concurrent stores of different
+    // keys (or even a racing store of the same key) never collide;
+    // the final rename is atomic within the directory.
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream os(tmp, std::ios::out | std::ios::binary |
+                                  std::ios::trunc);
+        if (!os) {
+            warn("artifact cache: cannot write '", tmp, "'");
+            return;
+        }
+        writeTraceBinary(os, trace);
+        if (!os) {
+            warn("artifact cache: error writing '", tmp, "'");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("artifact cache: cannot rename '", tmp, "': ", ec.message());
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace oscache

@@ -1,0 +1,210 @@
+#include "exp/pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+/**
+ * Which pool (if any) the current thread is a worker of, so submit()
+ * can route continuations onto the submitting worker's own deque.
+ */
+thread_local WorkStealingPool *currentPool = nullptr;
+thread_local std::size_t currentWorker = 0;
+
+} // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned threads)
+    : states(std::max(1u, threads))
+{
+    workers.reserve(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        idle.wait(lock, [this] { return pending == 0; });
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+WorkStealingPool::submit(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++pending;
+        const std::size_t target = currentPool == this
+                                       ? currentWorker
+                                       : nextVictim++ % states.size();
+        states[target].deque.push_back(std::move(job));
+    }
+    workAvailable.notify_one();
+}
+
+void
+WorkStealingPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return pending == 0; });
+    if (firstError) {
+        const std::exception_ptr error = std::exchange(firstError, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+bool
+WorkStealingPool::popLocal(std::size_t index, Job &job)
+{
+    auto &deque = states[index].deque;
+    if (deque.empty())
+        return false;
+    job = std::move(deque.back());
+    deque.pop_back();
+    return true;
+}
+
+bool
+WorkStealingPool::steal(std::size_t thief, Job &job)
+{
+    for (std::size_t i = 1; i < states.size(); ++i) {
+        auto &deque = states[(thief + i) % states.size()].deque;
+        if (!deque.empty()) {
+            job = std::move(deque.front());
+            deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(std::size_t index)
+{
+    currentPool = this;
+    currentWorker = index;
+
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        Job job;
+        if (popLocal(index, job) || steal(index, job)) {
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                job();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            job = nullptr; // release captures before reacquiring.
+            lock.lock();
+            if (error && !firstError)
+                firstError = error;
+            if (--pending == 0)
+                idle.notify_all();
+            continue;
+        }
+        if (stopping)
+            return;
+        workAvailable.wait(lock);
+    }
+}
+
+JobGraph::NodeId
+JobGraph::add(std::string name, Job job, std::vector<NodeId> deps)
+{
+    const NodeId id = nodes.size();
+    for (const NodeId dep : deps) {
+        if (dep >= id)
+            panic("JobGraph: dependency ", dep,
+                  " of node ", id, " not added yet");
+        nodes[dep].dependents.push_back(id);
+    }
+    Node node;
+    node.name = std::move(name);
+    node.job = std::move(job);
+    node.deps = std::move(deps);
+    nodes.push_back(std::move(node));
+    return id;
+}
+
+void
+JobGraph::run(unsigned threads,
+              std::function<void(const std::string &)> on_done)
+{
+    if (nodes.empty())
+        return;
+
+    WorkStealingPool pool(threads);
+    std::mutex graph_mutex; // guards blockers/skipped during the run.
+
+    std::function<void(NodeId)> enqueue = [&](NodeId id) {
+        pool.submit([&, id] {
+            Node &node = nodes[id];
+            bool skip;
+            {
+                std::lock_guard<std::mutex> lock(graph_mutex);
+                skip = node.skipped;
+            }
+            std::exception_ptr error;
+            if (!skip) {
+                try {
+                    node.job();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+            }
+            const bool succeeded = !skip && !error;
+
+            std::vector<NodeId> ready;
+            {
+                std::lock_guard<std::mutex> lock(graph_mutex);
+                for (const NodeId dep : node.dependents) {
+                    Node &dependent = nodes[dep];
+                    if (!succeeded)
+                        dependent.skipped = true;
+                    if (--dependent.blockers == 0)
+                        ready.push_back(dep);
+                }
+            }
+            // Newly unblocked work lands on this worker's own deque
+            // (LIFO): the continuation of what just ran stays local,
+            // idle workers steal the rest.
+            for (const NodeId r : ready)
+                enqueue(r);
+
+            if (succeeded && on_done)
+                on_done(node.name);
+            if (error)
+                std::rethrow_exception(error);
+        });
+    };
+
+    std::vector<NodeId> roots;
+    {
+        std::lock_guard<std::mutex> lock(graph_mutex);
+        for (NodeId id = 0; id < nodes.size(); ++id) {
+            nodes[id].skipped = false;
+            nodes[id].blockers = nodes[id].deps.size();
+            if (nodes[id].blockers == 0)
+                roots.push_back(id);
+        }
+    }
+    for (const NodeId root : roots)
+        enqueue(root);
+    pool.drain();
+}
+
+} // namespace oscache

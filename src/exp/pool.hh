@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Work-stealing thread pool and dependency-aware job graph for the
+ * experiment scheduler.
+ *
+ * The evaluation grid is a few hundred independent simulation cells
+ * plus a render step per experiment that needs all of its cells.
+ * That shape — wide fan-out, shallow dependencies, jobs lasting
+ * from milliseconds to tens of seconds — wants per-worker deques
+ * with stealing: a worker that finishes a cell first drains work it
+ * unlocked itself (the continuation stays hot in its own deque,
+ * LIFO), and only when its deque is dry does it steal the oldest
+ * entry from a victim (FIFO, so stolen work is the least likely to
+ * conflict with the victim's locality).
+ *
+ * The deques are mutex-guarded rather than lock-free Chase-Lev:
+ * every job here runs a trace simulation or at minimum a table
+ * render, so queue-operation cost is noise and the simple locking
+ * discipline is trivially TSan-clean.
+ */
+
+#ifndef OSCACHE_EXP_POOL_HH
+#define OSCACHE_EXP_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace oscache
+{
+
+/** A unit of work. */
+using Job = std::function<void()>;
+
+/**
+ * Fixed-size pool of workers with per-worker deques and stealing.
+ *
+ * submit() may be called from any thread, including from inside a
+ * running job (the usual case: a finished job submits the jobs it
+ * unblocked).  The pool runs until drain() observes every submitted
+ * job finished.  The first exception a job throws is captured and
+ * rethrown from drain(); remaining queued jobs still run.
+ */
+class WorkStealingPool
+{
+  public:
+    /** Spin up @p threads workers (at least one). */
+    explicit WorkStealingPool(unsigned threads);
+
+    /** Waits for all submitted work, then joins the workers. */
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /**
+     * Queue @p job.  Called from a worker, it lands on that worker's
+     * own deque (LIFO end); from outside, on a round-robin victim.
+     */
+    void submit(Job job);
+
+    /**
+     * Block until every job submitted so far (and every job those
+     * jobs submit, transitively) has finished.  Rethrows the first
+     * job exception, if any.  Not reentrant from inside a job.
+     */
+    void drain();
+
+    unsigned threadCount() const { return unsigned(workers.size()); }
+
+  private:
+    struct WorkerState
+    {
+        std::deque<Job> deque; // back = LIFO end for the owner.
+    };
+
+    void workerLoop(std::size_t index);
+    bool popLocal(std::size_t index, Job &job);
+    bool steal(std::size_t thief, Job &job);
+
+    std::vector<std::thread> workers;
+    std::vector<WorkerState> states;
+
+    std::mutex mutex; // guards all deques and counters below.
+    std::condition_variable workAvailable;
+    std::condition_variable idle;
+    std::size_t pending = 0; // queued + running jobs.
+    std::size_t nextVictim = 0;
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+/**
+ * A dependency-aware job graph executed on a WorkStealingPool.
+ *
+ * Nodes are added with their dependencies (which must already have
+ * been added — the graph is built in topological order, so cycles
+ * cannot be expressed).  run() executes every node, respecting
+ * dependencies, with ready nodes scheduled concurrently.  A node
+ * whose dependency failed is skipped; run() rethrows the first
+ * failure after the graph settles.
+ */
+class JobGraph
+{
+  public:
+    using NodeId = std::size_t;
+
+    /** Add a node; @p deps are NodeIds returned by earlier add()s. */
+    NodeId add(std::string name, Job job, std::vector<NodeId> deps = {});
+
+    /**
+     * Execute the graph on @p threads workers.  @p on_done, when
+     * set, is called after each node finishes (from the finishing
+     * worker; serialize inside if needed) with the node's name —
+     * the hook behind the CLI's live progress line.
+     */
+    void run(unsigned threads,
+             std::function<void(const std::string &)> on_done = {});
+
+    std::size_t size() const { return nodes.size(); }
+
+  private:
+    struct Node
+    {
+        std::string name;
+        Job job;
+        std::vector<NodeId> deps;
+        std::vector<NodeId> dependents;
+        std::size_t blockers = 0; // remaining deps during a run().
+        bool skipped = false;
+    };
+
+    std::vector<Node> nodes;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_EXP_POOL_HH

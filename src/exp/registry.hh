@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The experiment registry: every paper figure, table, and ablation
+ * expressed as data the scheduler can consume.
+ *
+ * Historically each bench binary ran its slice of the evaluation
+ * grid serially.  Here an Experiment is split into:
+ *
+ *  - cells: the independent (workload × system × machine) simulation
+ *    units, each a closed function returning a CellOutcome.  Most
+ *    are plain runWorkload() calls described declaratively; a few
+ *    (Table 3's census, the update-set ablation, ...) carry custom
+ *    bodies.  Cells with equal `sharedKey` are identical work — the
+ *    driver runs one and shares the outcome, so e.g. the Base runs
+ *    that five different figures need happen once per sweep.
+ *  - render: turns the completed cells into the experiment's text
+ *    output (same tables and bar charts the standalone binaries
+ *    print).  Renders are graph nodes depending on their cells, so
+ *    one experiment can be rendering while another still simulates.
+ */
+
+#ifndef OSCACHE_EXP_REGISTRY_HH
+#define OSCACHE_EXP_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "core/system_config.hh"
+#include "mem/config.hh"
+#include "synth/profile.hh"
+
+namespace oscache
+{
+
+/** Everything one experiment cell produces. */
+struct CellOutcome
+{
+    /** The simulation result (primary cell product). */
+    RunResult run;
+    /** Named scalar side-products of custom cells. */
+    std::map<std::string, double> extra;
+};
+
+/** Read-only view of an experiment's completed cells, for render. */
+class CellLookup
+{
+  public:
+    explicit CellLookup(const std::map<std::string, CellOutcome> &cells)
+        : cells(cells)
+    {}
+
+    /** The outcome of cell @p id; panics if absent (a registry bug). */
+    const CellOutcome &at(const std::string &id) const;
+
+    /** Shorthand for at(id).run.stats. */
+    const SimStats &stats(const std::string &id) const;
+
+  private:
+    const std::map<std::string, CellOutcome> &cells;
+};
+
+/** One schedulable simulation unit. */
+struct CellSpec
+{
+    /** Unique id within the experiment (e.g. "base/trfd4"). */
+    std::string id;
+    /** Metadata for the results sink. */
+    WorkloadKind workload = WorkloadKind::Trfd4;
+    SystemKind system = SystemKind::Base;
+    MachineConfig machine = MachineConfig::base();
+    /**
+     * The cell body.  Empty means the standard cell:
+     * runWorkload(workload, system, machine).
+     */
+    std::function<CellOutcome()> body;
+    /**
+     * Cells with the same non-empty key compute the same thing; the
+     * driver runs one representative and shares the outcome.  Empty
+     * for custom cells, which always run.
+     */
+    std::string sharedKey;
+};
+
+/** A registered figure/table/ablation. */
+struct Experiment
+{
+    std::string name;  ///< CLI name, e.g. "figure3".
+    std::string title; ///< One-line description for --list.
+    std::vector<CellSpec> cells;
+    /** Produce the experiment's report from its completed cells. */
+    std::function<void(const CellLookup &, std::ostream &)> render;
+    /** Cell to run under --smoke (one small cell per experiment). */
+    std::string smokeCell;
+};
+
+/** All registered experiments, in presentation order. */
+const std::vector<Experiment> &experimentRegistry();
+
+/** Find one by name; nullptr when unknown. */
+const Experiment *findExperiment(const std::string &name);
+
+/**
+ * Expand user-supplied names into registry entries.  Accepts
+ * experiment names plus the groups "figures", "tables", "ablations",
+ * and "all"; preserves registry order and drops duplicates.
+ * fatal()s on an unknown name.
+ */
+std::vector<const Experiment *>
+resolveExperiments(const std::vector<std::string> &names);
+
+} // namespace oscache
+
+#endif // OSCACHE_EXP_REGISTRY_HH

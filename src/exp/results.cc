@@ -1,0 +1,131 @@
+#include "exp/results.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (keys here are identifiers anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    return os.str();
+}
+
+} // namespace
+
+const CellOutcome &
+CellLookup::at(const std::string &id) const
+{
+    const auto it = cells.find(id);
+    if (it == cells.end())
+        panic("experiment render references unknown cell '", id, "'");
+    return it->second;
+}
+
+const SimStats &
+CellLookup::stats(const std::string &id) const
+{
+    return at(id).run.stats;
+}
+
+ResultsSink::ResultsSink(const std::string &basePath) : base(basePath)
+{
+    jsonl.open(jsonlPath(), std::ios::out | std::ios::trunc);
+    csv.open(csvPath(), std::ios::out | std::ios::trunc);
+    if (!jsonl || !csv)
+        fatal("results sink: cannot open '", base, ".jsonl/.csv'");
+    csv << "experiment,cell,workload,system,machine,wall_ms,shared,"
+           "os_time,user_time,idle,total_time,os_misses,os_miss_block,"
+           "os_miss_coherence,os_miss_other,os_miss_hidden,user_misses,"
+           "bus_bytes,bus_txns\n";
+}
+
+void
+ResultsSink::record(const ResultRow &row)
+{
+    if (row.outcome == nullptr)
+        panic("results sink: row without outcome");
+    const SimStats &s = row.outcome->run.stats;
+    const BusSnapshot &bus = row.outcome->run.bus;
+
+    std::ostringstream js;
+    js << "{\"experiment\":\"" << jsonEscape(row.experiment) << "\""
+       << ",\"cell\":\"" << jsonEscape(row.cell) << "\""
+       << ",\"workload\":\"" << jsonEscape(row.workload) << "\""
+       << ",\"system\":\"" << jsonEscape(row.system) << "\""
+       << ",\"machine\":\"" << jsonEscape(row.machineHash) << "\""
+       << ",\"wall_ms\":" << formatDouble(row.wallMs)
+       << ",\"shared\":" << (row.shared ? "true" : "false")
+       << ",\"stats\":{"
+       << "\"os_time\":" << s.osTime()
+       << ",\"user_time\":" << s.userTime()
+       << ",\"idle\":" << s.idle
+       << ",\"total_time\":" << s.totalTime()
+       << ",\"os_misses\":" << s.osMissTotal()
+       << ",\"os_miss_block\":" << s.osMissBlock
+       << ",\"os_miss_coherence\":" << s.osMissCoherenceTotal()
+       << ",\"os_miss_other\":" << s.osMissOther
+       << ",\"os_miss_hidden\":" << s.osMissPartiallyHidden
+       << ",\"user_misses\":" << s.userMisses
+       << ",\"os_read_stall\":" << s.osReadStall
+       << ",\"os_write_stall\":" << s.osWriteStall
+       << ",\"os_spin\":" << s.osSpin
+       << ",\"bus_bytes\":" << bus.totalBytes
+       << ",\"bus_txns\":" << bus.totalTransactions
+       << ",\"hotspot_coverage\":"
+       << formatDouble(row.outcome->run.hotspotCoverage) << "}";
+    if (!row.outcome->extra.empty()) {
+        js << ",\"extra\":{";
+        bool first = true;
+        for (const auto &[key, value] : row.outcome->extra) {
+            js << (first ? "" : ",") << "\"" << jsonEscape(key)
+               << "\":" << formatDouble(value);
+            first = false;
+        }
+        js << "}";
+    }
+    js << "}";
+
+    std::ostringstream cs;
+    cs << row.experiment << ',' << row.cell << ',' << row.workload << ','
+       << row.system << ',' << row.machineHash << ','
+       << formatDouble(row.wallMs) << ',' << (row.shared ? 1 : 0) << ','
+       << s.osTime() << ',' << s.userTime() << ',' << s.idle << ','
+       << s.totalTime() << ',' << s.osMissTotal() << ','
+       << s.osMissBlock << ',' << s.osMissCoherenceTotal() << ','
+       << s.osMissOther << ',' << s.osMissPartiallyHidden << ','
+       << s.userMisses << ',' << bus.totalBytes << ','
+       << bus.totalTransactions;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    jsonl << js.str() << '\n';
+    csv << cs.str() << '\n';
+}
+
+} // namespace oscache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structured results sink.
+ *
+ * Every cell the scheduler completes is appended as one JSONL object
+ * (and one CSV row) carrying the cell's identity, its configuration
+ * metadata, the wall-clock cost of computing it, and the simulator
+ * statistics the paper's analyses read.  Downstream tooling — perf
+ * trajectories (BENCH_*.json), regression diffing between PRs,
+ * plotting — consumes these files instead of scraping the rendered
+ * tables.
+ */
+
+#ifndef OSCACHE_EXP_RESULTS_HH
+#define OSCACHE_EXP_RESULTS_HH
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "exp/registry.hh"
+
+namespace oscache
+{
+
+/** One completed cell, as reported to the sink. */
+struct ResultRow
+{
+    std::string experiment;
+    std::string cell;
+    std::string workload;
+    std::string system;
+    /** Content hash of the machine configuration. */
+    std::string machineHash;
+    /** Wall-clock of the computing run (0 for shared outcomes). */
+    double wallMs = 0.0;
+    /** True when the outcome was computed by another cell's run. */
+    bool shared = false;
+    const CellOutcome *outcome = nullptr;
+};
+
+/**
+ * Thread-safe append-only writer of results.jsonl / results.csv.
+ * Rows arrive in completion order; consumers sort by the identity
+ * columns.
+ */
+class ResultsSink
+{
+  public:
+    /**
+     * Open @p basePath + ".jsonl" and ".csv" for writing (truncating
+     * previous contents).  fatal()s if either cannot be opened.
+     */
+    explicit ResultsSink(const std::string &basePath);
+
+    /** Append one row to both files. */
+    void record(const ResultRow &row);
+
+    std::string jsonlPath() const { return base + ".jsonl"; }
+    std::string csvPath() const { return base + ".csv"; }
+
+  private:
+    std::string base;
+    std::mutex mutex;
+    std::ofstream jsonl;
+    std::ofstream csv;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_EXP_RESULTS_HH

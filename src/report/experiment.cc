@@ -1,7 +1,11 @@
 #include "report/experiment.hh"
 
+#include <exception>
+#include <future>
 #include <map>
+#include <mutex>
 #include <tuple>
+#include <utility>
 
 #include "synth/generator.hh"
 
@@ -12,36 +16,116 @@ namespace
 {
 
 using CacheKey = std::tuple<int, bool, bool, bool>;
+using TracePtr = std::shared_ptr<const Trace>;
 
-std::map<CacheKey, Trace> &
-traceCache()
+/**
+ * All mutable cache state behind one mutex.  Each entry is a shared
+ * future acting as the per-key generation latch: the first requester
+ * inserts the future and generates outside the lock; concurrent
+ * requesters for the same key block on the future instead of
+ * regenerating.  Entries hold shared_ptrs, so clearTraceCache() only
+ * detaches them from the map — threads still running on a trace keep
+ * it alive.
+ */
+/** One cache entry: the generation latch for a key. */
+struct Entry
 {
-    static std::map<CacheKey, Trace> cache;
-    return cache;
+    std::shared_future<TracePtr> future;
+};
+
+struct CacheState
+{
+    std::mutex mutex;
+    std::map<CacheKey, std::shared_ptr<Entry>> entries;
+    TraceCacheStats stats;
+    TraceLoadHook load;
+    TraceStoreHook store;
+};
+
+CacheState &
+cacheState()
+{
+    static CacheState state;
+    return state;
 }
 
-const Trace &
+TracePtr
 cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
 {
     const CacheKey key{static_cast<int>(workload),
                        options.privatizeCounters, options.relocate,
                        options.selectiveUpdate};
-    auto &cache = traceCache();
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, generateTrace(workload, options)).first;
-    return it->second;
+    CacheState &state = cacheState();
+
+    std::promise<TracePtr> promise;
+    std::shared_ptr<Entry> entry;
+    bool creator = false;
+    TraceLoadHook load;
+    TraceStoreHook store;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        const auto it = state.entries.find(key);
+        if (it != state.entries.end()) {
+            ++state.stats.memoryHits;
+            entry = it->second;
+        } else {
+            creator = true;
+            entry = std::make_shared<Entry>();
+            entry->future = promise.get_future().share();
+            state.entries.emplace(key, entry);
+            load = state.load;
+            store = state.store;
+        }
+    }
+
+    if (creator) {
+        try {
+            std::optional<Trace> loaded;
+            if (load)
+                loaded = load(workload, options);
+            const bool fresh = !loaded.has_value();
+            TracePtr ptr = std::make_shared<const Trace>(
+                fresh ? generateTrace(workload, options)
+                      : std::move(*loaded));
+            {
+                std::lock_guard<std::mutex> lock(state.mutex);
+                ++(fresh ? state.stats.generated
+                         : state.stats.persistentHits);
+            }
+            if (fresh && store)
+                store(workload, options, *ptr);
+            promise.set_value(std::move(ptr));
+        } catch (...) {
+            // Drop the failed latch (if a clear hasn't already) so a
+            // later request retries instead of inheriting the error
+            // forever; everyone already waiting sees the exception.
+            {
+                std::lock_guard<std::mutex> lock(state.mutex);
+                const auto it = state.entries.find(key);
+                if (it != state.entries.end() && it->second == entry)
+                    state.entries.erase(it);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry->future.get();
 }
 
 } // namespace
+
+std::shared_ptr<const Trace>
+cachedWorkloadTrace(WorkloadKind workload, const CoherenceOptions &options)
+{
+    return cachedTrace(workload, options);
+}
 
 RunResult
 runWorkload(WorkloadKind workload, const SystemSetup &setup,
             const MachineConfig &machine)
 {
-    const Trace &trace = cachedTrace(workload, setup.coherence);
+    const TracePtr trace = cachedWorkloadTrace(workload, setup.coherence);
     const WorkloadProfile profile = WorkloadProfile::forKind(workload);
-    return runOnTrace(trace, machine, profile.simOptions(), setup);
+    return runOnTrace(*trace, machine, profile.simOptions(), setup);
 }
 
 RunResult
@@ -54,7 +138,40 @@ runWorkload(WorkloadKind workload, SystemKind kind,
 void
 clearTraceCache()
 {
-    traceCache().clear();
+    CacheState &state = cacheState();
+    std::map<CacheKey, std::shared_ptr<Entry>> detached;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        detached.swap(state.entries);
+    }
+    // The detached entries (and any traces only they referenced) are
+    // destroyed here, outside the lock.  In-flight generations hold
+    // their own Entry reference and complete normally.
+}
+
+TraceCacheStats
+traceCacheStats()
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.stats;
+}
+
+void
+resetTraceCacheStats()
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.stats = TraceCacheStats{};
+}
+
+void
+setTraceCacheHooks(TraceLoadHook load, TraceStoreHook store)
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.load = std::move(load);
+    state.store = std::move(store);
 }
 
 } // namespace oscache

@@ -3,10 +3,23 @@
  * High-level experiment driver shared by the benchmark binaries:
  * generate (and cache) the synthetic trace a named system needs,
  * run it, and return the results.
+ *
+ * The in-process trace cache is concurrency-safe: any number of
+ * threads may call runWorkload() at once (the parallel experiment
+ * scheduler in src/exp does exactly that) and each distinct
+ * (workload, coherence-options) trace is generated exactly once —
+ * later requesters block on a per-key generation latch instead of
+ * duplicating the work.  An optional persistence hook lets a
+ * disk-backed artifact cache sit underneath the in-memory one.
  */
 
 #ifndef OSCACHE_REPORT_EXPERIMENT_HH
 #define OSCACHE_REPORT_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
 
 #include "core/runner.hh"
 #include "core/system_config.hh"
@@ -22,7 +35,7 @@ namespace oscache
  * The trace is generated with the system's CoherenceOptions (the
  * layout-level part of the optimization) and replayed under the
  * system's block scheme and hot-spot pass.  Traces are cached per
- * (workload, coherence-options) within the process.
+ * (workload, coherence-options) within the process.  Thread-safe.
  */
 RunResult runWorkload(WorkloadKind workload, SystemKind kind,
                       const MachineConfig &machine = MachineConfig::base());
@@ -31,8 +44,61 @@ RunResult runWorkload(WorkloadKind workload, SystemKind kind,
 RunResult runWorkload(WorkloadKind workload, const SystemSetup &setup,
                       const MachineConfig &machine = MachineConfig::base());
 
-/** Drop all cached traces (used between parameter sweeps). */
+/**
+ * The cached trace for (@p workload, @p options), generating it (or
+ * loading it through the persistence hook) on first use.  The
+ * returned pointer stays valid across clearTraceCache(); holders keep
+ * the trace alive.  Thread-safe.
+ */
+std::shared_ptr<const Trace> cachedWorkloadTrace(
+    WorkloadKind workload, const CoherenceOptions &options);
+
+/**
+ * Drop all cached traces (used between parameter sweeps).
+ *
+ * Safe against concurrent runWorkload() calls: in-flight runs keep a
+ * reference to their trace, and a generation that is still in
+ * progress when the clear happens completes normally for everyone
+ * already waiting on it.  No thread can observe a half-cleared map.
+ */
 void clearTraceCache();
+
+/** @name Trace-cache observability and persistence @{ */
+
+/** Counters describing where cached traces came from. */
+struct TraceCacheStats
+{
+    /** Requests satisfied by the in-memory map (or its latches). */
+    std::uint64_t memoryHits = 0;
+    /** Traces loaded through the persistence hook. */
+    std::uint64_t persistentHits = 0;
+    /** Traces generated from scratch. */
+    std::uint64_t generated = 0;
+};
+
+/** Current process-wide trace-cache counters. */
+TraceCacheStats traceCacheStats();
+
+/** Reset the counters (cached traces themselves are kept). */
+void resetTraceCacheStats();
+
+/** Loads a previously stored trace; nullopt means "not available". */
+using TraceLoadHook =
+    std::function<std::optional<Trace>(WorkloadKind,
+                                       const CoherenceOptions &)>;
+/** Offers a freshly generated trace for storage. */
+using TraceStoreHook = std::function<void(
+    WorkloadKind, const CoherenceOptions &, const Trace &)>;
+
+/**
+ * Install (or, with empty functions, remove) the persistence layer
+ * consulted below the in-memory cache.  Not intended to be swapped
+ * while runs are in flight; the experiment driver installs it once
+ * at startup.
+ */
+void setTraceCacheHooks(TraceLoadHook load, TraceStoreHook store);
+
+/** @} */
 
 } // namespace oscache
 

@@ -1,9 +1,13 @@
 #include "trace/io.hh"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
+#include <vector>
 
 #include "common/log.hh"
 
@@ -224,22 +228,273 @@ readTrace(std::istream &is)
     return trace;
 }
 
-void
-writeTraceFile(const std::string &path, const Trace &trace)
+namespace
 {
-    std::ofstream os(path);
+
+/** Leading bytes of a binary trace file. */
+constexpr char binaryMagic[4] = {'O', 'S', 'T', 'R'};
+
+/**
+ * Streaming FNV-1a checksum accumulated over every byte written
+ * after (or read after) the magic, so truncation and bit rot are
+ * both caught on reload.
+ */
+class ChecksumStream
+{
+  public:
+    void
+    mix(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state ^= bytes[i];
+            state *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = 0xcbf29ce484222325ull;
+};
+
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(std::ostream &os) : os(os) {}
+
+    template <typename T>
+    void
+    put(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        char buf[sizeof(T)];
+        std::memcpy(buf, &value, sizeof(T));
+        os.write(buf, sizeof(T));
+        sum.mix(buf, sizeof(T));
+    }
+
+    std::uint64_t checksum() const { return sum.value(); }
+
+  private:
+    std::ostream &os;
+    ChecksumStream sum;
+};
+
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::istream &is) : is(is) {}
+
+    template <typename T>
+    bool
+    get(T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        char buf[sizeof(T)];
+        is.read(buf, sizeof(T));
+        if (is.gcount() != std::streamsize(sizeof(T)))
+            return false;
+        std::memcpy(&value, buf, sizeof(T));
+        sum.mix(buf, sizeof(T));
+        return true;
+    }
+
+    std::uint64_t checksum() const { return sum.value(); }
+
+  private:
+    std::istream &is;
+    ChecksumStream sum;
+};
+
+} // namespace
+
+void
+writeTraceBinary(std::ostream &os, const Trace &trace)
+{
+    os.write(binaryMagic, sizeof(binaryMagic));
+    BinaryWriter w(os);
+    w.put(traceBinaryVersion);
+    w.put(std::uint32_t(trace.numCpus()));
+
+    // Sort the update pages so equal traces produce equal bytes
+    // (the in-memory set iterates in hash order).
+    std::vector<Addr> pages(trace.updatePages().begin(),
+                            trace.updatePages().end());
+    std::sort(pages.begin(), pages.end());
+    w.put(std::uint64_t(pages.size()));
+    for (const Addr page : pages)
+        w.put(page);
+
+    w.put(std::uint64_t(trace.blockOps().size()));
+    for (const BlockOp &op : trace.blockOps()) {
+        w.put(op.src);
+        w.put(op.dst);
+        w.put(op.size);
+        w.put(std::uint8_t(op.kind));
+        w.put(std::uint8_t(op.readOnlyAfter ? 1 : 0));
+    }
+
+    for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu) {
+        const RecordStream &stream = trace.stream(cpu);
+        w.put(std::uint64_t(stream.size()));
+        for (const TraceRecord &rec : stream) {
+            w.put(rec.addr);
+            w.put(rec.aux);
+            w.put(rec.bb);
+            w.put(std::uint8_t(rec.type));
+            w.put(std::uint8_t(rec.category));
+            w.put(rec.size);
+            w.put(rec.flags);
+        }
+    }
+
+    // The checksum itself is excluded from the checksummed range.
+    const std::uint64_t sum = w.checksum();
+    char buf[sizeof(sum)];
+    std::memcpy(buf, &sum, sizeof(sum));
+    os.write(buf, sizeof(sum));
+}
+
+bool
+tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
+{
+    const auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    char magic[sizeof(binaryMagic)];
+    is.read(magic, sizeof(magic));
+    if (is.gcount() != std::streamsize(sizeof(magic)) ||
+        std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
+        return fail("bad magic");
+
+    BinaryReader r(is);
+    std::uint32_t version = 0;
+    std::uint32_t cpus = 0;
+    if (!r.get(version) || version != traceBinaryVersion)
+        return fail("unsupported version");
+    if (!r.get(cpus) || cpus == 0 || cpus > 64)
+        return fail("bad cpu count");
+
+    Trace trace(cpus);
+
+    std::uint64_t page_count = 0;
+    if (!r.get(page_count) || page_count > (1u << 20))
+        return fail("bad update-page count");
+    for (std::uint64_t i = 0; i < page_count; ++i) {
+        Addr page = 0;
+        if (!r.get(page))
+            return fail("truncated update pages");
+        trace.updatePages().insert(page);
+    }
+
+    std::uint64_t op_count = 0;
+    if (!r.get(op_count) || op_count > (1ull << 32))
+        return fail("bad block-op count");
+    for (std::uint64_t i = 0; i < op_count; ++i) {
+        BlockOp op;
+        std::uint8_t kind = 0;
+        std::uint8_t ro = 0;
+        if (!r.get(op.src) || !r.get(op.dst) || !r.get(op.size) ||
+            !r.get(kind) || !r.get(ro))
+            return fail("truncated block-op table");
+        if (kind > std::uint8_t(BlockOpKind::Zero) || ro > 1)
+            return fail("bad block-op encoding");
+        op.kind = BlockOpKind(kind);
+        op.readOnlyAfter = ro != 0;
+        trace.blockOps().add(op);
+    }
+
+    for (CpuId cpu = 0; cpu < cpus; ++cpu) {
+        std::uint64_t count = 0;
+        if (!r.get(count))
+            return fail("truncated stream header");
+        RecordStream &stream = trace.stream(cpu);
+        stream.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            TraceRecord rec;
+            std::uint8_t type = 0;
+            std::uint8_t category = 0;
+            if (!r.get(rec.addr) || !r.get(rec.aux) || !r.get(rec.bb) ||
+                !r.get(type) || !r.get(category) || !r.get(rec.size) ||
+                !r.get(rec.flags))
+                return fail("truncated record stream");
+            if (type > std::uint8_t(RecordType::BarrierArrive))
+                return fail("bad record type");
+            if (category >= 11)
+                return fail("bad data category");
+            rec.type = RecordType(type);
+            rec.category = DataCategory(category);
+            if ((rec.type == RecordType::BlockOpBegin ||
+                 rec.type == RecordType::BlockOpEnd) &&
+                rec.aux >= trace.blockOps().size())
+                return fail("record references unknown block op");
+            stream.push_back(rec);
+        }
+    }
+
+    const std::uint64_t expected = r.checksum();
+    std::uint64_t stored = 0;
+    {
+        char buf[sizeof(stored)];
+        is.read(buf, sizeof(buf));
+        if (is.gcount() != std::streamsize(sizeof(buf)))
+            return fail("missing checksum");
+        std::memcpy(&stored, buf, sizeof(stored));
+    }
+    if (stored != expected)
+        return fail("checksum mismatch");
+    if (is.peek() != std::istream::traits_type::eof())
+        return fail("trailing garbage");
+
+    out = std::move(trace);
+    return true;
+}
+
+Trace
+readTraceBinary(std::istream &is)
+{
+    Trace trace(1);
+    std::string why;
+    if (!tryReadTraceBinary(is, trace, &why))
+        fatal("trace: malformed binary trace (", why, ")");
+    return trace;
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace,
+               TraceFormat format)
+{
+    std::ofstream os(path, format == TraceFormat::Binary
+                               ? std::ios::out | std::ios::binary
+                               : std::ios::out);
     if (!os)
         fatal("cannot open '", path, "' for writing");
-    writeTrace(os, trace);
+    if (format == TraceFormat::Binary)
+        writeTraceBinary(os, trace);
+    else
+        writeTrace(os, trace);
+    if (!os)
+        fatal("error writing trace to '", path, "'");
 }
 
 Trace
 readTraceFile(const std::string &path)
 {
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::in | std::ios::binary);
     if (!is)
         fatal("cannot open '", path, "' for reading");
-    return readTrace(is);
+    char magic[sizeof(binaryMagic)];
+    is.read(magic, sizeof(magic));
+    const bool binary =
+        is.gcount() == std::streamsize(sizeof(magic)) &&
+        std::memcmp(magic, binaryMagic, sizeof(magic)) == 0;
+    is.clear();
+    is.seekg(0);
+    return binary ? readTraceBinary(is) : readTrace(is);
 }
 
 } // namespace oscache

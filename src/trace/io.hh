@@ -26,6 +26,14 @@
  *   L <hex-addr>                 # LockAcquire
  *   U <hex-addr>                 # LockRelease
  *   A <hex-addr> <parties>       # BarrierArrive
+ *
+ * Version 2 is a compact binary encoding of the same data for fast
+ * reload by the experiment harness's artifact cache: the magic
+ * "OSTR" + a version word, the cpu count, the update pages (sorted,
+ * so identical traces serialize to identical bytes), the block-op
+ * table, the per-cpu record streams as packed fixed-width records,
+ * and a trailing FNV-1a checksum of everything after the magic.
+ * readTraceFile() auto-detects the format from the leading bytes.
  */
 
 #ifndef OSCACHE_TRACE_IO_HH
@@ -39,6 +47,20 @@
 namespace oscache
 {
 
+/** On-disk trace encodings. */
+enum class TraceFormat
+{
+    Text,   ///< Line-oriented, greppable (format version 1).
+    Binary, ///< Packed records + checksum (format version 2).
+};
+
+/**
+ * Current binary format version.  Bump whenever the record layout or
+ * any serialized structure changes; the artifact cache mixes this
+ * into its content keys so stale files are never misread.
+ */
+inline constexpr std::uint32_t traceBinaryVersion = 2;
+
 /** Serialize @p trace to @p os in the text format above. */
 void writeTrace(std::ostream &os, const Trace &trace);
 
@@ -48,8 +70,27 @@ void writeTrace(std::ostream &os, const Trace &trace);
  */
 Trace readTrace(std::istream &is);
 
+/** Serialize @p trace to @p os in the binary v2 format. */
+void writeTraceBinary(std::ostream &os, const Trace &trace);
+
+/**
+ * Parse a binary-format trace from @p is into @p out.
+ *
+ * Unlike readTrace() this never exits: a truncated, corrupt, or
+ * wrong-version stream returns false (with the reason in @p error
+ * when non-null), so callers like the artifact cache can discard the
+ * file and regenerate.
+ */
+bool tryReadTraceBinary(std::istream &is, Trace &out,
+                        std::string *error = nullptr);
+
+/** As tryReadTraceBinary(), but fatal() on malformed input. */
+Trace readTraceBinary(std::istream &is);
+
 /** Convenience: write to / read from a file path. */
-void writeTraceFile(const std::string &path, const Trace &trace);
+void writeTraceFile(const std::string &path, const Trace &trace,
+                    TraceFormat format = TraceFormat::Text);
+/** Read a trace file in either format (detected from its magic). */
 Trace readTraceFile(const std::string &path);
 
 } // namespace oscache

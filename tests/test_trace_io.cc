@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "synth/generator.hh"
@@ -185,6 +187,116 @@ TEST(TraceIoTest, FileRoundTrip)
     writeTraceFile(path, original);
     const Trace restored = readTraceFile(path);
     expectTracesEqual(original, restored);
+}
+
+// ------------------------------------------------- binary format (v2)
+
+TEST(TraceIoBinaryTest, RoundTripsSampleTrace)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTraceBinary(buffer, original);
+    const Trace restored = readTraceBinary(buffer);
+    expectTracesEqual(original, restored);
+}
+
+TEST(TraceIoBinaryTest, RoundTripsSyntheticWorkload)
+{
+    WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Shell);
+    p.quanta = 2;
+    const Trace original =
+        generateTrace(p, CoherenceOptions::relocUpdate());
+    std::stringstream buffer;
+    writeTraceBinary(buffer, original);
+    const Trace restored = readTraceBinary(buffer);
+    expectTracesEqual(original, restored);
+}
+
+TEST(TraceIoBinaryTest, MatchesTextSemantics)
+{
+    const Trace original = sampleTrace();
+    std::stringstream text, binary;
+    writeTrace(text, original);
+    writeTraceBinary(binary, original);
+    expectTracesEqual(readTrace(text), readTraceBinary(binary));
+}
+
+TEST(TraceIoBinaryTest, StartsWithMagicAndVersion)
+{
+    std::stringstream buffer;
+    writeTraceBinary(buffer, Trace(1));
+    const std::string bytes = buffer.str();
+    ASSERT_GE(bytes.size(), 8u);
+    EXPECT_EQ(bytes.substr(0, 4), "OSTR");
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + 4, sizeof(version));
+    EXPECT_EQ(version, traceBinaryVersion);
+}
+
+TEST(TraceIoBinaryTest, TryReadRejectsBadMagic)
+{
+    std::stringstream in("NOPE....garbage");
+    Trace trace(1);
+    std::string why;
+    EXPECT_FALSE(tryReadTraceBinary(in, trace, &why));
+    EXPECT_NE(why.find("magic"), std::string::npos);
+}
+
+TEST(TraceIoBinaryTest, TryReadRejectsTruncation)
+{
+    std::stringstream buffer;
+    writeTraceBinary(buffer, sampleTrace());
+    const std::string bytes = buffer.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    Trace trace(1);
+    std::string why;
+    EXPECT_FALSE(tryReadTraceBinary(truncated, trace, &why));
+}
+
+TEST(TraceIoBinaryTest, TryReadRejectsBitFlip)
+{
+    std::stringstream buffer;
+    writeTraceBinary(buffer, sampleTrace());
+    std::string bytes = buffer.str();
+    // Flip a payload byte past the header; the checksum must notice.
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::stringstream corrupt(bytes);
+    Trace trace(1);
+    std::string why;
+    EXPECT_FALSE(tryReadTraceBinary(corrupt, trace, &why));
+}
+
+TEST(TraceIoBinaryTest, TryReadRejectsTrailingGarbage)
+{
+    std::stringstream buffer;
+    writeTraceBinary(buffer, sampleTrace());
+    std::string bytes = buffer.str() + "x";
+    std::stringstream in(bytes);
+    Trace trace(1);
+    EXPECT_FALSE(tryReadTraceBinary(in, trace, nullptr));
+}
+
+TEST(TraceIoBinaryTest, DeterministicBytes)
+{
+    // The same trace must serialize to the same bytes (the artifact
+    // cache hashes rely on it), including the unordered update pages.
+    Trace trace = sampleTrace();
+    trace.updatePages().insert(0x1000);
+    trace.updatePages().insert(0x7000);
+    std::stringstream a, b;
+    writeTraceBinary(a, trace);
+    writeTraceBinary(b, trace);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(TraceIoBinaryTest, FileRoundTripAutodetects)
+{
+    const Trace original = sampleTrace();
+    const std::string bin_path = "/tmp/oscache_trace_io_test.otb";
+    const std::string txt_path = "/tmp/oscache_trace_io_test2.trace";
+    writeTraceFile(bin_path, original, TraceFormat::Binary);
+    writeTraceFile(txt_path, original, TraceFormat::Text);
+    expectTracesEqual(readTraceFile(bin_path), readTraceFile(txt_path));
 }
 
 } // namespace

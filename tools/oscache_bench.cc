@@ -1,0 +1,178 @@
+/**
+ * @file
+ * oscache-bench: the unified experiment driver.
+ *
+ * Runs any subset of the paper's figures, tables, and ablations
+ * through the parallel scheduler in src/exp, sharing identical cells
+ * across experiments, persisting generated traces in an on-disk
+ * artifact cache, and streaming every completed cell into a
+ * JSONL/CSV results sink.
+ *
+ *   oscache-bench --jobs 8 figure3 table2
+ *   oscache-bench all
+ *   oscache-bench --smoke --jobs 2 all
+ *   oscache-bench --list
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "exp/artifact_cache.hh"
+#include "exp/driver.hh"
+#include "exp/registry.hh"
+
+using namespace oscache;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: oscache-bench [options] <experiment|group>...\n"
+        "\n"
+        "Experiments are registry names (figure1..figure7, "
+        "table1..table5,\n"
+        "ablation_*) or the groups: figures, tables, ablations, all.\n"
+        "\n"
+        "options:\n"
+        "  --jobs N        worker threads (default 1)\n"
+        "  --smoke         run one representative cell per experiment\n"
+        "  --cache-dir D   trace artifact cache directory\n"
+        "                  (default .oscache-artifacts)\n"
+        "  --no-cache      disable the persistent trace cache\n"
+        "  --results BASE  write BASE.jsonl and BASE.csv\n"
+        "                  (default oscache_results; - disables)\n"
+        "  --quiet         no per-cell progress lines\n"
+        "  --list          list the registered experiments and exit\n");
+}
+
+void
+listExperiments()
+{
+    std::printf("%-28s %-5s  %s\n", "name", "cells", "title");
+    for (const Experiment &e : experimentRegistry())
+        std::printf("%-28s %5zu  %s\n", e.name.c_str(), e.cells.size(),
+                    e.title.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 1;
+    bool smoke = false;
+    bool quiet = false;
+    std::string cache_dir = ".oscache-artifacts";
+    std::string results_base = "oscache_results";
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            jobs = unsigned(std::strtoul(value().c_str(), nullptr, 10));
+            if (jobs == 0)
+                fatal("--jobs must be >= 1");
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--no-cache") {
+            cache_dir.clear();
+        } else if (arg == "--results") {
+            results_base = value();
+            if (results_base == "-")
+                results_base.clear();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            listExperiments();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            fatal("unknown option ", arg);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    if (names.empty()) {
+        usage();
+        return 1;
+    }
+
+    const std::vector<const Experiment *> selected =
+        resolveExperiments(names);
+
+    std::size_t total_cells = 0;
+    for (const Experiment *e : selected)
+        total_cells += smoke ? 1 : e->cells.size();
+    std::printf("oscache-bench: %zu experiment%s, %zu cell%s, %u job%s%s\n",
+                selected.size(), selected.size() == 1 ? "" : "s",
+                total_cells, total_cells == 1 ? "" : "s", jobs,
+                jobs == 1 ? "" : "s", smoke ? " (smoke)" : "");
+
+    std::unique_ptr<TraceStore> store;
+    if (!cache_dir.empty())
+        store = std::make_unique<TraceStore>(cache_dir);
+
+    DriverOptions options;
+    options.jobs = jobs;
+    options.smoke = smoke;
+    options.store = store.get();
+    options.resultsBase = results_base;
+    std::atomic<unsigned> done{0};
+    if (!quiet)
+        options.progress = [&done](const std::string &label) {
+            std::printf("  [%u] %s\n", done.fetch_add(1) + 1,
+                        label.c_str());
+            std::fflush(stdout);
+        };
+
+    const DriverReport report = runExperiments(selected, options);
+
+    for (const ExperimentReport &er : report.experiments) {
+        if (er.rendered.empty())
+            continue;
+        std::printf("\n### %s: %s\n\n", er.experiment->name.c_str(),
+                    er.experiment->title.c_str());
+        std::fputs(er.rendered.c_str(), stdout);
+    }
+
+    std::printf("\n--- summary ---\n");
+    std::printf("cells simulated: %u (+%u shared)\n", report.cellsRun,
+                report.cellsShared);
+    std::printf("cell cpu time:   %.1f s\n", report.totalCellMs / 1000.0);
+    std::printf("traces:          %llu generated, %llu loaded from disk, "
+                "%llu in-memory hits\n",
+                (unsigned long long)report.traceStats.generated,
+                (unsigned long long)report.traceStats.persistentHits,
+                (unsigned long long)report.traceStats.memoryHits);
+    if (store)
+        std::printf("artifact cache:  %s (%llu hits, %llu misses, "
+                    "%llu rejected)\n",
+                    store->directory().c_str(),
+                    (unsigned long long)store->hits(),
+                    (unsigned long long)store->misses(),
+                    (unsigned long long)store->rejected());
+    if (!results_base.empty())
+        std::printf("results:         %s.jsonl / %s.csv\n",
+                    results_base.c_str(), results_base.c_str());
+    return 0;
+}

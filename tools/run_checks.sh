@@ -22,6 +22,24 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs"
 echo "== lint selftest =="
 "$build/tools/oscache-lint" selftest
 
+# The parallel experiment scheduler is the one concurrent subsystem;
+# build it (and the thread-safe trace cache under it) with TSan and
+# run the Exp* suites plus the end-to-end bench smoke.
+tsan_build="$build-tsan"
+echo "== configure tsan ($tsan_build) =="
+cmake -B "$tsan_build" -S "$repo" -DOSCACHE_SANITIZE=thread
+
+echo "== build tsan =="
+cmake --build "$tsan_build" -j "$jobs" --target test_exp oscache_bench
+
+echo "== ctest tsan (Exp*) =="
+ctest --test-dir "$tsan_build" --output-on-failure -j "$jobs" -R '^Exp'
+
+echo "== bench smoke (tsan) =="
+"$tsan_build/tools/oscache-bench" --smoke --jobs 4 --quiet \
+    --cache-dir "$tsan_build/bench_smoke_cache" \
+    --results "$tsan_build/bench_smoke_results" all
+
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT
 for workload in trfd4 trfd+make arc2d+fsck shell; do
