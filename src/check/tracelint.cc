@@ -31,6 +31,8 @@ kernelOnlyCategory(DataCategory cat)
         // The kernel legitimately touches user pages and the page
         // pool on a process's behalf; these are unconstrained.
         return false;
+      case DataCategory::NumCategories:
+        break;
     }
     return false;
 }

@@ -1,0 +1,20 @@
+#include "common/version.hh"
+
+namespace oscache
+{
+
+#ifndef OSCACHE_GIT_DESCRIBE
+#define OSCACHE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef OSCACHE_BUILD_FLAVOR
+#define OSCACHE_BUILD_FLAVOR "unknown"
+#endif
+
+std::string
+versionString()
+{
+    return std::string("oscache ") + OSCACHE_GIT_DESCRIBE + " (" +
+           OSCACHE_BUILD_FLAVOR + ")";
+}
+
+} // namespace oscache

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Build identification shared by every CLI's `--version` flag.
+ */
+
+#ifndef OSCACHE_COMMON_VERSION_HH
+#define OSCACHE_COMMON_VERSION_HH
+
+#include <string>
+
+namespace oscache
+{
+
+/**
+ * One-line build identifier: "oscache <git describe> (<build type>)",
+ * e.g. "oscache 375a6e9-dirty (RelWithDebInfo+address)".
+ */
+std::string versionString();
+
+} // namespace oscache
+
+#endif // OSCACHE_COMMON_VERSION_HH

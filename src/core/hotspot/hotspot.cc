@@ -1,16 +1,19 @@
 #include "core/hotspot/hotspot.hh"
 
 #include <algorithm>
+#include <ostream>
 #include <utility>
 
 namespace oscache
 {
 
 HotspotPlan
-selectHotspots(const SimStats &profile, unsigned count)
+selectHotspotsFromCounts(
+    const std::unordered_map<BasicBlockId, std::uint64_t> &counts,
+    unsigned count)
 {
     std::vector<std::pair<BasicBlockId, std::uint64_t>> ranked(
-        profile.osOtherMissByBb.begin(), profile.osOtherMissByBb.end());
+        counts.begin(), counts.end());
     std::sort(ranked.begin(), ranked.end(),
               [](const auto &a, const auto &b) {
                   if (a.second != b.second)
@@ -21,6 +24,40 @@ selectHotspots(const SimStats &profile, unsigned count)
     for (unsigned i = 0; i < count && i < ranked.size(); ++i)
         plan.hotBlocks.insert(ranked[i].first);
     return plan;
+}
+
+HotspotPlan
+selectHotspots(const SimStats &profile, unsigned count)
+{
+    return selectHotspotsFromCounts(profile.osOtherMissByBb, count);
+}
+
+bool
+hotspotCrossCheck(
+    const SimStats &stats,
+    const std::unordered_map<BasicBlockId, std::uint64_t> &profiled,
+    unsigned count, std::ostream *os)
+{
+    const HotspotPlan fromStats = selectHotspotsFromCounts(
+        stats.osOtherMissByBb, count);
+    const HotspotPlan fromProfiler =
+        selectHotspotsFromCounts(profiled, count);
+    const bool agree = fromStats.hotBlocks == fromProfiler.hotBlocks;
+    if (os != nullptr) {
+        if (agree) {
+            *os << "hot-spot cross-check: AGREE (" << count
+                << " blocks, engine == profiler)\n";
+        } else {
+            *os << "hot-spot cross-check: DISAGREE\n";
+            for (const BasicBlockId bb : fromStats.hotBlocks)
+                if (!fromProfiler.hotBlocks.count(bb))
+                    *os << "  engine only: bb " << bb << "\n";
+            for (const BasicBlockId bb : fromProfiler.hotBlocks)
+                if (!fromStats.hotBlocks.count(bb))
+                    *os << "  profiler only: bb " << bb << "\n";
+        }
+    }
+    return agree;
 }
 
 double

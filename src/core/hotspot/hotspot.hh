@@ -22,6 +22,8 @@
 #ifndef OSCACHE_CORE_HOTSPOT_HOTSPOT_HH
 #define OSCACHE_CORE_HOTSPOT_HOTSPOT_HH
 
+#include <iosfwd>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -48,6 +50,30 @@ struct HotspotPlan
  * from a profiling run's statistics (the paper uses 12).
  */
 HotspotPlan selectHotspots(const SimStats &profile, unsigned count = 12);
+
+/**
+ * The same selection from a raw per-block miss-count table.  Shared
+ * by selectHotspots (fed from SimStats) and the observability
+ * profiler's cross-check (fed from MissProfiler::otherMissByBb), so
+ * the two pipelines rank identically by construction.
+ */
+HotspotPlan
+selectHotspotsFromCounts(
+    const std::unordered_map<BasicBlockId, std::uint64_t> &counts,
+    unsigned count = 12);
+
+/**
+ * Compare the engine's hot-spot selection (from @p stats) with an
+ * independently profiled per-block miss table (@p profiled).  When
+ * @p os is non-null a one-line "hot-spot cross-check: AGREE" (or a
+ * diagnostic DISAGREE listing the symmetric difference) is printed.
+ *
+ * @return true iff both selections contain the same blocks.
+ */
+bool hotspotCrossCheck(
+    const SimStats &stats,
+    const std::unordered_map<BasicBlockId, std::uint64_t> &profiled,
+    unsigned count, std::ostream *os);
 
 /** Fraction of profiled "other" OS misses covered by @p plan. */
 double hotspotCoverage(const SimStats &profile, const HotspotPlan &plan);

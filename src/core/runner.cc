@@ -22,13 +22,36 @@ runOnce(const Trace &trace, const MachineConfig &machine,
     RunResult result;
     MemorySystem mem(machine);
     std::unique_ptr<CoherenceChecker> checker;
-    if (options.checkCoherence) {
+    if (options.checkCoherence)
         checker = std::make_unique<CoherenceChecker>(machine);
-        mem.setObserver(checker.get());
+
+    // Observability: the run-level opt-ins merged with the
+    // process-wide default (oscache-bench --metrics).
+    const ObsOptions obs_opts = effectiveObsOptions(options.obs);
+    std::unique_ptr<ObsHub> hub;
+    if (obs_opts.any()) {
+        hub = std::make_unique<ObsHub>(obs_opts);
+        hub->setMemorySystem(&mem);
+        mem.bus().setProbe(hub.get());
     }
+
+    // Checker and hub share the single observer slot through the mux.
+    MemEventObserverMux mux;
+    mux.add(checker.get());
+    mux.add(hub.get());
+    if (checker && !hub)
+        mem.setObserver(checker.get());
+    else if (hub && !checker)
+        mem.setObserver(hub.get());
+    else if (!mux.empty())
+        mem.setObserver(&mux);
+
     auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
     System system(trace, mem, *executor, options, result.stats);
     system.run();
+
+    if (hub)
+        result.obs = hub->finish();
 
     if (checker) {
         checker->auditFull(mem);

@@ -15,10 +15,12 @@
 #define OSCACHE_CORE_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "core/hotspot/hotspot.hh"
 #include "core/system_config.hh"
 #include "mem/config.hh"
+#include "obs/hub.hh"
 #include "sim/options.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
@@ -49,6 +51,13 @@ struct RunResult
     HotspotPlan hotspots;
     /** Fraction of profiled other-misses the hot spots covered. */
     double hotspotCoverage = 0.0;
+    /**
+     * Observability report; null unless the effective ObsOptions
+     * (run-level merged with the process-wide default) enabled
+     * something.  For two-phase hot-spot runs this is the report of
+     * the final (prefetching) pass.
+     */
+    std::shared_ptr<const ObsReport> obs;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/log.hh"
@@ -12,6 +13,7 @@
 #include "exp/hash.hh"
 #include "exp/pool.hh"
 #include "exp/results.hh"
+#include "obs/timeline.hh"
 
 namespace oscache
 {
@@ -90,7 +92,10 @@ runExperiments(const std::vector<const Experiment *> &experiments,
         }
     }
 
-    std::mutex mutex; // Guards the report and the sink handoff.
+    std::mutex mutex; // Guards the report, the sink, and the timeline.
+    const auto run_start = std::chrono::steady_clock::now();
+    /** Worker-thread ids mapped to small timeline lanes. */
+    std::map<std::thread::id, std::uint32_t> lanes;
     JobGraph graph;
     std::vector<std::vector<JobGraph::NodeId>> feeds(experiments.size());
 
@@ -103,8 +108,9 @@ runExperiments(const std::vector<const Experiment *> &experiments,
             label += " (x" + std::to_string(unit.cells.size()) + ")";
 
         const JobGraph::NodeId node = graph.add(
-            std::move(label),
-            [&unit, &rep, &mutex, &report, &sink, &experiments] {
+            label,
+            [&unit, &rep, &mutex, &report, &sink, &experiments, &options,
+             &run_start, &lanes, label] {
                 const auto start = std::chrono::steady_clock::now();
                 CellOutcome outcome;
                 if (rep.body)
@@ -118,6 +124,22 @@ runExperiments(const std::vector<const Experiment *> &experiments,
                         .count();
 
                 std::lock_guard<std::mutex> lock(mutex);
+                if (options.timeline != nullptr) {
+                    const auto us = [&run_start](const auto &tp) {
+                        return std::uint64_t(
+                            std::chrono::duration_cast<
+                                std::chrono::microseconds>(tp - run_start)
+                                .count());
+                    };
+                    const auto lane =
+                        lanes.emplace(std::this_thread::get_id(),
+                                      std::uint32_t(lanes.size()))
+                            .first->second;
+                    options.timeline->span(
+                        options.timeline->intern(label), "cell",
+                        us(start), us(std::chrono::steady_clock::now()),
+                        lane);
+                }
                 report.cellsRun += 1;
                 report.cellsShared += unsigned(unit.cells.size()) - 1;
                 report.totalCellMs += wall_ms;

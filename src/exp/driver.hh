@@ -28,6 +28,7 @@ namespace oscache
 {
 
 class TraceStore;
+class Timeline;
 
 /** Knobs for one driver invocation. */
 struct DriverOptions
@@ -46,6 +47,13 @@ struct DriverOptions
      * thread-safe.  Empty = silent.
      */
     std::function<void(const std::string &)> progress;
+    /**
+     * Optional scheduler timeline: each finished cell is recorded as
+     * a wall-clock span (microseconds since the driver started, one
+     * lane per worker thread).  The driver serializes its record()
+     * calls; the caller owns the object and exports it afterwards.
+     */
+    Timeline *timeline = nullptr;
 };
 
 /** One experiment's results. */

@@ -1,5 +1,10 @@
 #include "exp/results.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -54,16 +59,51 @@ CellLookup::stats(const std::string &id) const
     return at(id).run.stats;
 }
 
+DurableLineFile::~DurableLineFile()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+DurableLineFile::open(const std::string &path)
+{
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    return fd >= 0;
+}
+
+void
+DurableLineFile::writeLine(const std::string &line)
+{
+    std::string buf = line;
+    buf += '\n';
+    const char *p = buf.data();
+    std::size_t left = buf.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("results sink: write failed: ", std::strerror(errno));
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // Push the line to stable storage before reporting the cell done:
+    // a crash can then lose at most the row being written.
+    if (::fdatasync(fd) != 0 && errno != EINVAL && errno != ENOSYS)
+        fatal("results sink: fdatasync failed: ", std::strerror(errno));
+}
+
 ResultsSink::ResultsSink(const std::string &basePath) : base(basePath)
 {
-    jsonl.open(jsonlPath(), std::ios::out | std::ios::trunc);
-    csv.open(csvPath(), std::ios::out | std::ios::trunc);
-    if (!jsonl || !csv)
+    if (!jsonl.open(jsonlPath()) || !csv.open(csvPath()))
         fatal("results sink: cannot open '", base, ".jsonl/.csv'");
-    csv << "experiment,cell,workload,system,machine,wall_ms,shared,"
-           "os_time,user_time,idle,total_time,os_misses,os_miss_block,"
-           "os_miss_coherence,os_miss_other,os_miss_hidden,user_misses,"
-           "bus_bytes,bus_txns\n";
+    csv.writeLine(
+        "experiment,cell,workload,system,machine,wall_ms,shared,"
+        "os_time,user_time,idle,total_time,os_misses,os_miss_block,"
+        "os_miss_coherence,os_miss_other,os_miss_hidden,user_misses,"
+        "bus_bytes,bus_txns");
 }
 
 void
@@ -110,6 +150,29 @@ ResultsSink::record(const ResultRow &row)
         }
         js << "}";
     }
+    // Per-cell observability: fold the metrics snapshot in when the
+    // run carried one (oscache-bench --metrics).
+    const std::shared_ptr<const ObsReport> &obs = row.outcome->run.obs;
+    if (obs != nullptr && obs->options.metrics) {
+        js << ",\"metrics\":{\"counters\":{";
+        bool first = true;
+        for (const CounterSnapshot &c : obs->metrics.counters) {
+            js << (first ? "" : ",") << "\"" << jsonEscape(c.name)
+               << "\":" << c.value;
+            first = false;
+        }
+        js << "},\"histograms\":{";
+        first = true;
+        for (const HistogramSnapshot &h : obs->metrics.histograms) {
+            js << (first ? "" : ",") << "\"" << jsonEscape(h.name)
+               << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+               << ",\"p50\":" << formatDouble(h.percentile(50))
+               << ",\"p90\":" << formatDouble(h.percentile(90))
+               << ",\"p99\":" << formatDouble(h.percentile(99)) << "}";
+            first = false;
+        }
+        js << "}}";
+    }
     js << "}";
 
     std::ostringstream cs;
@@ -124,8 +187,8 @@ ResultsSink::record(const ResultRow &row)
        << bus.totalTransactions;
 
     std::lock_guard<std::mutex> lock(mutex);
-    jsonl << js.str() << '\n';
-    csv << cs.str() << '\n';
+    jsonl.writeLine(js.str());
+    csv.writeLine(cs.str());
 }
 
 } // namespace oscache

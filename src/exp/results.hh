@@ -14,7 +14,6 @@
 #ifndef OSCACHE_EXP_RESULTS_HH
 #define OSCACHE_EXP_RESULTS_HH
 
-#include <fstream>
 #include <mutex>
 #include <string>
 
@@ -40,9 +39,34 @@ struct ResultRow
 };
 
 /**
+ * Line-durable file: every line is written with a full write() loop
+ * and followed by fdatasync(), so a crash mid-sweep can lose at most
+ * the line being written — never tear or drop already-reported rows.
+ */
+class DurableLineFile
+{
+  public:
+    DurableLineFile() = default;
+    ~DurableLineFile();
+
+    DurableLineFile(const DurableLineFile &) = delete;
+    DurableLineFile &operator=(const DurableLineFile &) = delete;
+
+    /** Open @p path for writing, truncating. False on failure. */
+    bool open(const std::string &path);
+
+    /** Write @p line plus '\n' fully, then fdatasync. */
+    void writeLine(const std::string &line);
+
+  private:
+    int fd = -1;
+};
+
+/**
  * Thread-safe append-only writer of results.jsonl / results.csv.
  * Rows arrive in completion order; consumers sort by the identity
- * columns.
+ * columns.  Each row is synced to disk before record() returns (see
+ * DurableLineFile), so partial sweeps are salvageable after a crash.
  */
 class ResultsSink
 {
@@ -62,8 +86,8 @@ class ResultsSink
   private:
     std::string base;
     std::mutex mutex;
-    std::ofstream jsonl;
-    std::ofstream csv;
+    DurableLineFile jsonl;
+    DurableLineFile csv;
 };
 
 } // namespace oscache

@@ -34,6 +34,23 @@ enum class BusTxn : std::uint8_t
 };
 
 /**
+ * Passive probe notified of every bus grant.  Attached by the
+ * observability hub for occupancy time series and transaction-level
+ * timeline events; costs one null-pointer test per acquire when off.
+ */
+struct BusProbe
+{
+    virtual ~BusProbe() = default;
+
+    /**
+     * A transaction of @p kind was granted at @p grant (after waiting
+     * since @p requested) and occupies the bus for @p occupancy.
+     */
+    virtual void onBusAcquire(BusTxn kind, Cycles requested, Cycles grant,
+                              Cycles occupancy, std::uint32_t bytes) = 0;
+};
+
+/**
  * The shared split-transaction bus.
  */
 class Bus
@@ -58,8 +75,13 @@ class Bus
         txnCount[idx] += 1;
         txnBytes[idx] += bytes;
         txnCycles[idx] += occupancy;
+        if (probe != nullptr)
+            probe->onBusAcquire(kind, when, grant, occupancy, bytes);
         return grant;
     }
+
+    /** Attach (or, with nullptr, detach) the observability probe. */
+    void setProbe(BusProbe *p) { probe = p; }
 
     /** Cycle at which the bus next becomes free. */
     Cycles nextFree() const { return freeAt; }
@@ -111,6 +133,7 @@ class Bus
   private:
     Cycles freeAt = 0;
     Cycles busyCycles = 0;
+    BusProbe *probe = nullptr;
     static constexpr std::size_t numKinds =
         static_cast<std::size_t>(BusTxn::NumKinds);
     std::array<std::uint64_t, numKinds> txnCount{};

@@ -267,6 +267,7 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
 {
     CpuMem &mem = cpus[cpu];
     AccessResult res;
+    const Cycles issued = now;
     const Addr line = l1Line(addr);
     const Addr l2line = l2Line(addr);
 
@@ -293,6 +294,7 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
             res.cause = fill.cause;
             res.partiallyHidden = fill.byPrefetch;
             res.stall = res.completeAt - (now + cfg.l1HitLatency);
+            notifyAccess(MemOpKind::Read, cpu, addr, issued, ctx, res);
             return res;
         }
         // Fill completed before the demand access: a full hit.
@@ -300,6 +302,7 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
 
     if (mem.l1.touch(addr)) {
         res.completeAt = now + cfg.l1HitLatency;
+        notifyAccess(MemOpKind::Read, cpu, addr, issued, ctx, res);
         return res;
     }
 
@@ -327,6 +330,7 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
     }
     res.stall = res.completeAt - (now + cfg.l1HitLatency);
     opEnd(MemOpKind::Read, cpu, addr);
+    notifyAccess(MemOpKind::Read, cpu, addr, issued, ctx, res);
     return res;
 }
 
@@ -336,6 +340,7 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
 {
     CpuMem &mem = cpus[cpu];
     AccessResult res;
+    const Cycles issued = now;
     const Addr line = l1Line(addr);
     const Addr l2line = l2Line(addr);
 
@@ -403,6 +408,7 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
         fillL1(cpu, addr, ctx.blockOpBody);
 
     opEnd(MemOpKind::Write, cpu, addr);
+    notifyAccess(MemOpKind::Write, cpu, addr, issued, ctx, res);
     return res;
 }
 
@@ -414,8 +420,13 @@ MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
     const Addr line = l1Line(addr);
     const Addr l2line = l2Line(addr);
 
-    if (mem.l1.contains(addr) || mem.inFlight.count(line))
-        return; // Already present or already being fetched.
+    if (mem.l1.contains(addr) || mem.inFlight.count(line)) {
+        // Already present or already being fetched: a trivial hit.
+        AccessResult res;
+        res.completeAt = now;
+        notifyAccess(MemOpKind::Prefetch, cpu, addr, now, ctx, res);
+        return;
+    }
 
     // Prune completed fills; drop the prefetch when no outstanding-
     // miss register is free (lockup-free cache with finite MSHRs).
@@ -425,8 +436,13 @@ MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
         else
             ++it;
     }
-    if (mem.inFlight.size() >= cfg.mshrCount)
+    if (mem.inFlight.size() >= cfg.mshrCount) {
+        AccessResult res;
+        res.completeAt = now;
+        notifyAccess(MemOpKind::Prefetch, cpu, addr, now, ctx, res,
+                     /*dropped=*/true);
         return;
+    }
 
     InFlightFill fill;
     fill.byPrefetch = true;
@@ -444,6 +460,14 @@ MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
     fillL1(cpu, addr, ctx.blockOpBody);
     mem.inFlight.emplace(line, fill);
     opEnd(MemOpKind::Prefetch, cpu, addr);
+    if (wantsAccess) {
+        AccessResult res;
+        res.completeAt = now;
+        res.l1Miss = true;
+        res.cause = fill.cause;
+        res.level = ServiceLevel::Memory;
+        notifyAccess(MemOpKind::Prefetch, cpu, addr, now, ctx, res);
+    }
 }
 
 AccessResult
@@ -474,6 +498,8 @@ MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
     for (std::uint32_t off = 0; off < cfg.l2LineSize; off += cfg.l1LineSize)
         bypassedLines.insert(l2line + off);
     opEnd(MemOpKind::BypassWrite, cpu, addr);
+    notifyAccess(MemOpKind::BypassWrite, cpu, addr, now - res.stall, ctx,
+                 res);
     return res;
 }
 
@@ -500,6 +526,8 @@ MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
 
     bypassedLines.insert(l1Line(addr));
     opEnd(MemOpKind::BypassWrite, cpu, addr);
+    notifyAccess(MemOpKind::BypassWrite, cpu, addr, now - res.stall, ctx,
+                 res);
     return res;
 }
 
@@ -564,6 +592,7 @@ MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
     if (mem.l1.contains(addr)) {
         AccessResult res;
         res.completeAt = now + cfg.l1HitLatency;
+        notifyAccess(MemOpKind::Read, cpu, addr, now, ctx, res);
         return res;
     }
 
@@ -584,6 +613,7 @@ MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
             res.completeAt = now + cfg.l1HitLatency;
             res.level = ServiceLevel::PrefetchBuffer;
         }
+        notifyAccess(MemOpKind::Read, cpu, addr, now, ctx, res);
         return res;
     }
 

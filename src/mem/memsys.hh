@@ -179,8 +179,16 @@ class MemorySystem
 
     /** @name Verification hooks @{ */
 
-    /** Attach (or, with nullptr, detach) the coherence observer. */
-    void setObserver(MemEventObserver *obs) { observer = obs; }
+    /** Attach (or, with nullptr, detach) the event observer. */
+    void
+    setObserver(MemEventObserver *obs)
+    {
+        observer = obs;
+        wantsAccess = obs != nullptr && obs->wantsAccessEvents();
+    }
+
+    /** The attached observer, or nullptr (for engine-level events). */
+    MemEventObserver *eventObserver() const { return observer; }
 
     /** Read-only views for invariant audits. */
     const L1Cache &l1Cache(CpuId cpu) const { return cpus[cpu].l1; }
@@ -274,6 +282,31 @@ class MemorySystem
             observer->onOperationEnd(*this, op, cpu, addr);
     }
 
+    /**
+     * Report a completed data access to an observer that asked for
+     * per-access events.  Unlike opEnd (miss paths only, feeding the
+     * invariant checker), this fires for every outcome — the event
+     * record is built only behind the wantsAccess gate, so the
+     * default configuration pays a single flag test.
+     */
+    void
+    notifyAccess(MemOpKind op, CpuId cpu, Addr addr, Cycles issued,
+                 const AccessContext &ctx, const AccessResult &res,
+                 bool dropped = false)
+    {
+        if (!wantsAccess)
+            return;
+        MemAccessEvent event;
+        event.kind = op;
+        event.cpu = cpu;
+        event.addr = addr;
+        event.issued = issued;
+        event.ctx = ctx;
+        event.result = res;
+        event.dropped = dropped;
+        observer->onAccess(event);
+    }
+
     /** @} */
 
     /** @name Instrumented state mutators @{ */
@@ -353,6 +386,8 @@ class MemorySystem
     std::vector<CpuMem> cpus;
     /** Passive coherence observer (the invariant checker), or null. */
     MemEventObserver *observer = nullptr;
+    /** Cached observer->wantsAccessEvents() (hot-path gate). */
+    bool wantsAccess = false;
     /** Lines last touched by a bypassing block op and left uncached. */
     std::unordered_set<Addr> bypassedLines;
     const std::unordered_set<Addr> *updatePages = nullptr;

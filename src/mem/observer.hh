@@ -17,13 +17,17 @@
 #ifndef OSCACHE_MEM_OBSERVER_HH
 #define OSCACHE_MEM_OBSERVER_HH
 
+#include <vector>
+
 #include "common/types.hh"
+#include "mem/access.hh"
 #include "mem/cache.hh"
 
 namespace oscache
 {
 
 class MemorySystem;
+struct BlockOp;
 
 /** Processor-side operation classes reported to the observer. */
 enum class MemOpKind : std::uint8_t
@@ -38,11 +42,63 @@ enum class MemOpKind : std::uint8_t
 };
 
 /**
+ * Everything known about one completed processor-side data operation,
+ * reported through MemEventObserver::onAccess.  Unlike the coherence
+ * hooks below, access events fire on *every* completion — hits, merged
+ * in-flight fills, and dropped prefetches included — so a profiler can
+ * attribute misses and latency per issuing site.
+ */
+struct MemAccessEvent
+{
+    MemOpKind kind = MemOpKind::Read;
+    CpuId cpu = 0;
+    Addr addr = invalidAddr;
+    /** Cycle the operation was issued (before any stalls). */
+    Cycles issued = 0;
+    /** The issuing context (os/blockOpBody/category/basic block). */
+    AccessContext ctx;
+    /** The operation's result (defaulted for void operations). */
+    AccessResult result;
+    /** True when a prefetch was dropped (MSHRs or buffer busy). */
+    bool dropped = false;
+};
+
+/**
  * Passive observer of memory-system coherence events.
  */
 struct MemEventObserver
 {
     virtual ~MemEventObserver() = default;
+
+    /**
+     * Per-access reporting is gated: the memory system queries this
+     * once at setObserver() time and builds MemAccessEvent records
+     * only when the observer wants them, so the default (coherence
+     * checking only) costs one flag test per access.
+     */
+    virtual bool wantsAccessEvents() const { return false; }
+
+    /** A processor-side data operation completed (all outcomes). */
+    virtual void
+    onAccess(const MemAccessEvent &event)
+    {
+        (void)event;
+    }
+
+    /**
+     * A whole block operation (copy/zero) executed on @p cpu from
+     * @p start to @p end simulated cycles.  Reported by the simulation
+     * engine around the scheme executor, so it brackets every per-word
+     * access and bus transaction the operation caused.
+     */
+    virtual void
+    onBlockOp(CpuId cpu, const BlockOp &op, Cycles start, Cycles end)
+    {
+        (void)cpu;
+        (void)op;
+        (void)start;
+        (void)end;
+    }
 
     /**
      * A secondary-cache line of @p cpu moved from @p from to @p to.
@@ -90,6 +146,82 @@ struct MemEventObserver
         (void)cpu;
         (void)addr;
     }
+};
+
+/**
+ * Fan-out observer: forwards every event to each attached observer in
+ * attachment order.  Used when a run wants both the coherence checker
+ * and the observability hub on the same memory system.
+ */
+class MemEventObserverMux : public MemEventObserver
+{
+  public:
+    /** Attach @p observer (ignored when null). */
+    void
+    add(MemEventObserver *observer)
+    {
+        if (observer != nullptr)
+            list.push_back(observer);
+    }
+
+    bool empty() const { return list.empty(); }
+
+    bool
+    wantsAccessEvents() const override
+    {
+        for (MemEventObserver *o : list)
+            if (o->wantsAccessEvents())
+                return true;
+        return false;
+    }
+
+    void
+    onAccess(const MemAccessEvent &event) override
+    {
+        for (MemEventObserver *o : list)
+            o->onAccess(event);
+    }
+
+    void
+    onBlockOp(CpuId cpu, const BlockOp &op, Cycles start,
+              Cycles end) override
+    {
+        for (MemEventObserver *o : list)
+            o->onBlockOp(cpu, op, start, end);
+    }
+
+    void
+    onL2Transition(CpuId cpu, Addr l2_line, LineState from,
+                   LineState to) override
+    {
+        for (MemEventObserver *o : list)
+            o->onL2Transition(cpu, l2_line, from, to);
+    }
+
+    void
+    onL1Fill(CpuId cpu, Addr l1_line) override
+    {
+        for (MemEventObserver *o : list)
+            o->onL1Fill(cpu, l1_line);
+    }
+
+    void
+    onL1Drop(CpuId cpu, Addr l1_line) override
+    {
+        for (MemEventObserver *o : list)
+            o->onL1Drop(cpu, l1_line);
+    }
+
+    void
+    onOperationEnd(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                   Addr addr) override
+    {
+        for (MemEventObserver *o : list)
+            o->onOperationEnd(mem, op, cpu, addr);
+    }
+
+  private:
+    std::vector<MemEventObserver *> list;
 };
 
 } // namespace oscache

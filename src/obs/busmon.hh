@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Windowed utilization time series.
+ *
+ * WindowedSeries chops simulated time into fixed-width windows and
+ * accumulates either span overlap (bus occupancy: a transaction
+ * holding the bus for N cycles contributes N cycles, split across the
+ * windows it straddles) or point samples (write-buffer depth at each
+ * operation completion).  The result is a dense per-window table the
+ * hub exports for plotting bus saturation and buffer pressure over
+ * the course of a run.
+ */
+
+#ifndef OSCACHE_OBS_BUSMON_HH
+#define OSCACHE_OBS_BUSMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** Fixed-width-window accumulator over simulated time. */
+class WindowedSeries
+{
+  public:
+    /** One window's accumulated state. */
+    struct Window
+    {
+        /** Sum of span-cycles (occupancy) or of sampled values. */
+        std::uint64_t sum = 0;
+        /** Spans touching / samples landing in the window. */
+        std::uint64_t samples = 0;
+    };
+
+    explicit WindowedSeries(Cycles window_cycles)
+        : window(window_cycles != 0 ? window_cycles : 1)
+    {}
+
+    /**
+     * Accumulate a span [start, start+duration): each overlapped
+     * window gains the overlap length and one sample.
+     */
+    void
+    addSpan(Cycles start, Cycles duration)
+    {
+        if (duration == 0) {
+            Window &w = at(start / window);
+            w.samples += 1;
+            return;
+        }
+        const Cycles end = start + duration;
+        Cycles pos = start;
+        while (pos < end) {
+            const std::size_t index = pos / window;
+            const Cycles window_end = (Cycles{index} + 1) * window;
+            const Cycles upto = end < window_end ? end : window_end;
+            Window &w = at(index);
+            w.sum += upto - pos;
+            w.samples += 1;
+            pos = upto;
+        }
+    }
+
+    /** Record a point sample of @p value at cycle @p when. */
+    void
+    sample(Cycles when, std::uint64_t value)
+    {
+        Window &w = at(when / window);
+        w.sum += value;
+        w.samples += 1;
+    }
+
+    Cycles windowCycles() const { return window; }
+    std::size_t numWindows() const { return windows.size(); }
+    const std::vector<Window> &data() const { return windows; }
+
+    /** Mean sampled value in window @p index (0 when empty). */
+    double
+    meanAt(std::size_t index) const
+    {
+        const Window &w = windows[index];
+        return w.samples == 0 ? 0.0
+                              : static_cast<double>(w.sum) /
+                                    static_cast<double>(w.samples);
+    }
+
+    /** Fraction of window @p index covered by spans (occupancy). */
+    double
+    utilizationAt(std::size_t index) const
+    {
+        return static_cast<double>(windows[index].sum) /
+               static_cast<double>(window);
+    }
+
+  private:
+    Window &
+    at(std::size_t index)
+    {
+        if (index >= windows.size())
+            windows.resize(index + 1);
+        return windows[index];
+    }
+
+    Cycles window;
+    std::vector<Window> windows;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_OBS_BUSMON_HH

@@ -1,0 +1,251 @@
+#include "obs/hub.hh"
+
+#include "mem/memsys.hh"
+#include "trace/blockop.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+/** Timeline lane for bus events (above any plausible cpu id). */
+constexpr std::uint32_t busLane = 64;
+
+const char *
+busTxnName(BusTxn kind)
+{
+    switch (kind) {
+      case BusTxn::LineFill:   return "bus.fill";
+      case BusTxn::WriteBack:  return "bus.writeback";
+      case BusTxn::Invalidate: return "bus.invalidate";
+      case BusTxn::Update:     return "bus.update";
+      case BusTxn::Dma:        return "bus.dma";
+      default:                 return "bus.txn";
+    }
+}
+
+} // namespace
+
+ObsHub::ObsHub(const ObsOptions &options)
+    : opts(options), timeline(opts.timeline ? opts.timelineCapacity : 0),
+      busOccupancy(opts.windowCycles), writeBufferDepth(opts.windowCycles)
+{
+    if (!opts.metrics)
+        return;
+    // Register everything up front: the registry freezes its layout
+    // at the first record.
+    cReads = metrics.counter("mem.reads");
+    cWrites = metrics.counter("mem.writes");
+    cPrefetchIssued = metrics.counter("mem.prefetch.issued");
+    cPrefetchDropped = metrics.counter("mem.prefetch.dropped");
+    cL1Miss = metrics.counter("mem.l1.read_miss");
+    cMissCoherence = metrics.counter("mem.miss.coherence");
+    cMissOther = metrics.counter("mem.miss.other");
+    cPartiallyHidden = metrics.counter("mem.miss.partially_hidden");
+    cL1Fills = metrics.counter("mem.l1.fills");
+    cL1Drops = metrics.counter("mem.l1.drops");
+    cL2Invalidations = metrics.counter("mem.l2.invalidations");
+    cBlockOps = metrics.counter("blockop.count");
+    cBusTxns = metrics.counter("bus.txns");
+    cBusBytes = metrics.counter("bus.bytes");
+    cBusBusyCycles = metrics.counter("bus.busy_cycles");
+    cBusWaitCycles = metrics.counter("bus.wait_cycles");
+    hReadStall = metrics.histogram("mem.read.stall_cycles");
+    hBusWait = metrics.histogram("bus.wait");
+    hBlockOpCycles = metrics.histogram("blockop.cycles");
+    hWbDepth = metrics.histogram("wb.l2.depth");
+    gLastCycle = metrics.gauge("sim.last_cycle");
+}
+
+bool
+ObsHub::wantsAccessEvents() const
+{
+    // busWindows needs per-access completions too: write-buffer depth
+    // is sampled at each operation end.
+    return opts.metrics || opts.timeline || opts.profiler ||
+           opts.busWindows;
+}
+
+bool
+ObsHub::sampleTick()
+{
+    if (opts.samplePeriod <= 1)
+        return true;
+    return sampleSeq++ % opts.samplePeriod == 0;
+}
+
+void
+ObsHub::onAccess(const MemAccessEvent &event)
+{
+    const bool tick = sampleTick();
+
+    if (opts.profiler)
+        profiler.record(event);
+
+    if (opts.metrics) {
+        switch (event.kind) {
+          case MemOpKind::Read:
+            cReads.add();
+            break;
+          case MemOpKind::Write:
+          case MemOpKind::BypassWrite:
+            cWrites.add();
+            break;
+          case MemOpKind::Prefetch:
+            if (event.dropped)
+                cPrefetchDropped.add();
+            else
+                cPrefetchIssued.add();
+            break;
+          default:
+            break;
+        }
+        if (event.result.l1Miss && event.kind == MemOpKind::Read) {
+            cL1Miss.add();
+            if (event.result.cause == MissCause::Coherence)
+                cMissCoherence.add();
+            else
+                cMissOther.add();
+            if (event.result.partiallyHidden)
+                cPartiallyHidden.add();
+            hReadStall.record(event.result.stall);
+        }
+        if (tick)
+            gLastCycle.set(
+                static_cast<double>(event.result.completeAt));
+    }
+
+    const std::size_t wb_depth =
+        opts.busWindows || opts.metrics
+            ? (memsys != nullptr
+                   ? memsys->l2WriteBuffer(event.cpu).size()
+                   : 0)
+            : 0;
+    if (memsys != nullptr) {
+        if (opts.busWindows)
+            writeBufferDepth.sample(event.result.completeAt, wb_depth);
+        if (opts.metrics)
+            hWbDepth.record(wb_depth);
+    }
+
+    if (opts.timeline && tick) {
+        if (event.kind == MemOpKind::Prefetch && event.dropped) {
+            timeline.instant("prefetch.drop", "mem", event.result.completeAt,
+                             event.cpu, "addr", event.addr);
+        } else if (event.kind == MemOpKind::Prefetch) {
+            timeline.instant("prefetch.issue", "mem",
+                             event.result.completeAt, event.cpu, "addr",
+                             event.addr);
+        } else if (event.result.l1Miss) {
+            timeline.span(event.result.cause == MissCause::Coherence
+                              ? "miss.coherence"
+                              : "miss.other",
+                          "mem", event.issued, event.result.completeAt,
+                          event.cpu, "addr", event.addr);
+        }
+        if (memsys != nullptr && (opts.busWindows || opts.metrics))
+            timeline.counter("wb.l2.depth", "mem", event.result.completeAt,
+                             event.cpu, wb_depth);
+    }
+}
+
+void
+ObsHub::onBlockOp(CpuId cpu, const BlockOp &op, Cycles start, Cycles end)
+{
+    if (opts.metrics) {
+        cBlockOps.add();
+        hBlockOpCycles.record(end - start);
+        gLastCycle.set(static_cast<double>(end));
+    }
+    // Block operations are rare and long: always traced, never
+    // decimated.
+    if (opts.timeline)
+        timeline.span(op.isCopy() ? "blockop.copy" : "blockop.zero",
+                      "blockop", start, end, cpu, "bytes", op.size);
+}
+
+void
+ObsHub::onL2Transition(CpuId cpu, Addr l2_line, LineState from,
+                       LineState to)
+{
+    if (to != LineState::Invalid || from == LineState::Invalid)
+        return;
+    if (opts.metrics)
+        cL2Invalidations.add();
+    // The transition callback carries no cycle; the grant time of the
+    // bus transaction that caused it (tracked in onBusAcquire) is the
+    // best available timestamp.
+    if (opts.timeline && sampleTick())
+        timeline.instant("l2.invalidate", "coh", approxNow, cpu, "line",
+                         l2_line);
+}
+
+void
+ObsHub::onL1Fill(CpuId cpu, Addr l1_line)
+{
+    (void)cpu;
+    (void)l1_line;
+    if (opts.metrics)
+        cL1Fills.add();
+}
+
+void
+ObsHub::onL1Drop(CpuId cpu, Addr l1_line)
+{
+    (void)cpu;
+    (void)l1_line;
+    if (opts.metrics)
+        cL1Drops.add();
+}
+
+void
+ObsHub::onOperationEnd(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                       Addr addr)
+{
+    (void)mem;
+    (void)op;
+    (void)cpu;
+    (void)addr;
+}
+
+void
+ObsHub::onBusAcquire(BusTxn kind, Cycles requested, Cycles grant,
+                     Cycles occupancy, std::uint32_t bytes)
+{
+    const Cycles wait = grant - requested;
+    approxNow = grant;
+    if (opts.metrics) {
+        cBusTxns.add();
+        cBusBytes.add(bytes);
+        cBusBusyCycles.add(occupancy);
+        cBusWaitCycles.add(wait);
+        hBusWait.record(wait);
+    }
+    if (opts.busWindows)
+        busOccupancy.addSpan(grant, occupancy);
+    if (opts.timeline && sampleTick())
+        timeline.span(busTxnName(kind), "bus", grant, grant + occupancy,
+                      busLane, "bytes", bytes);
+}
+
+std::shared_ptr<const ObsReport>
+ObsHub::finish()
+{
+    auto report = std::make_shared<ObsReport>();
+    report->options = opts;
+    if (opts.metrics)
+        report->metrics = metrics.snapshot();
+    if (opts.profiler)
+        report->profiler = profiler;
+    if (opts.busWindows) {
+        report->windowCycles = opts.windowCycles;
+        report->busOccupancy = busOccupancy.data();
+        report->writeBufferDepth = writeBufferDepth.data();
+    }
+    if (opts.timeline)
+        report->timeline = std::move(timeline);
+    return report;
+}
+
+} // namespace oscache

@@ -1,0 +1,50 @@
+#include "obs/options.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+ObsOptions &
+globalSlot()
+{
+    static ObsOptions options;
+    return options;
+}
+
+} // namespace
+
+void
+setGlobalObsOptions(const ObsOptions &options)
+{
+    globalSlot() = options;
+}
+
+const ObsOptions &
+globalObsOptions()
+{
+    return globalSlot();
+}
+
+ObsOptions
+effectiveObsOptions(const ObsOptions &run)
+{
+    const ObsOptions &def = globalObsOptions();
+    ObsOptions out = run;
+    out.metrics = run.metrics || def.metrics;
+    out.timeline = run.timeline || def.timeline;
+    out.profiler = run.profiler || def.profiler;
+    out.busWindows = run.busWindows || def.busWindows;
+
+    const ObsOptions fresh;
+    if (run.samplePeriod == fresh.samplePeriod)
+        out.samplePeriod = def.samplePeriod;
+    if (run.timelineCapacity == fresh.timelineCapacity)
+        out.timelineCapacity = def.timelineCapacity;
+    if (run.windowCycles == fresh.windowCycles)
+        out.windowCycles = def.windowCycles;
+    return out;
+}
+
+} // namespace oscache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Observability configuration.
+ *
+ * ObsOptions is a dependency-free POD embedded in SimOptions so any
+ * caller of the runner can opt into observation without the sim layer
+ * linking against src/obs.  Everything defaults to off: a run with
+ * the default options attaches no hub, and the memory system pays
+ * only a null-pointer/flag test per event.
+ *
+ * A process-wide default can be installed (setGlobalObsOptions) for
+ * call paths that cannot thread options through — the experiment
+ * registry's cells call runWorkload() with no options parameter, so
+ * `oscache-bench --metrics` enables per-cell metric snapshots this
+ * way.  The runner merges the global default into the per-run options
+ * field-by-field (logical OR of the enables; the per-run value wins
+ * for rates and capacities when it differs from the default).
+ */
+
+#ifndef OSCACHE_OBS_OPTIONS_HH
+#define OSCACHE_OBS_OPTIONS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** Opt-in switches and rates for the observability subsystem. */
+struct ObsOptions
+{
+    /** Collect named counters/gauges/histograms into a registry. */
+    bool metrics = false;
+    /** Record ring-buffered trace events (Chrome trace_event). */
+    bool timeline = false;
+    /** Build per-PC / per-category miss-attribution profiles. */
+    bool profiler = false;
+    /** Track windowed bus occupancy and write-buffer depth. */
+    bool busWindows = false;
+
+    /**
+     * Record every Nth eligible timeline event (1 = all).  Misses,
+     * invalidations, and prefetches are sampled; block-op and bus
+     * spans are always recorded (they are rare and cheap).
+     */
+    std::uint32_t samplePeriod = 1;
+    /** Ring capacity of the event timeline (oldest events drop). */
+    std::size_t timelineCapacity = 1u << 16;
+    /** Window length of the bus/write-buffer time series. */
+    Cycles windowCycles = 10'000;
+
+    /** True when any collector is enabled. */
+    bool
+    any() const
+    {
+        return metrics || timeline || profiler || busWindows;
+    }
+};
+
+/**
+ * Install the process-wide default consulted by the runner.  Not
+ * thread-safe against in-flight runs; set it once at startup (the
+ * bench CLI does) before any simulation starts.
+ */
+void setGlobalObsOptions(const ObsOptions &options);
+
+/** The installed process-wide default (all-off initially). */
+const ObsOptions &globalObsOptions();
+
+/** @p run merged with the process-wide default (enables OR'd). */
+ObsOptions effectiveObsOptions(const ObsOptions &run);
+
+} // namespace oscache
+
+#endif // OSCACHE_OBS_OPTIONS_HH

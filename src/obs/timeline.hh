@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Low-overhead event timeline.
+ *
+ * A fixed-capacity ring of small POD events: instants (a coherence
+ * invalidation, a prefetch drop), complete spans (a bus transaction,
+ * a block operation, a scheduler job), and counter samples (bus
+ * occupancy, write-buffer depth).  When the ring fills, the oldest
+ * events are overwritten and a drop count is kept, so tracing a long
+ * run keeps the *end* of the story — usually where the interesting
+ * saturation lives — at bounded memory.
+ *
+ * Export is Chrome trace_event JSON (the "traceEvents" array format)
+ * loadable in chrome://tracing or Perfetto.  Timestamps are simulated
+ * cycles reported as microseconds (1 cycle = 1 us), or, for wall-
+ * clock producers like the experiment scheduler, real microseconds.
+ *
+ * Event names are `const char *` so the hot path never allocates;
+ * dynamic labels (scheduler job names) go through intern(), which
+ * stores the string for the timeline's lifetime.
+ */
+
+#ifndef OSCACHE_OBS_TIMELINE_HH
+#define OSCACHE_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oscache
+{
+
+/** Chrome trace_event phases we emit. */
+enum class TimelinePhase : std::uint8_t
+{
+    Instant,  ///< "i": a point event.
+    Complete, ///< "X": a span with a duration.
+    Counter,  ///< "C": a sampled value.
+};
+
+/** One timeline event (kept POD-small; the ring holds many). */
+struct TimelineEvent
+{
+    const char *name = "";
+    const char *category = "";
+    TimelinePhase phase = TimelinePhase::Instant;
+    /** Timestamp (cycles or wall microseconds, producer-defined). */
+    std::uint64_t ts = 0;
+    /** Duration for Complete events. */
+    std::uint64_t dur = 0;
+    /** Track: cpu id, or a producer-chosen lane. */
+    std::uint32_t tid = 0;
+    /** Optional single argument (value for Counter events). */
+    std::uint64_t arg = 0;
+    /** Name of @c arg; nullptr = no args object. */
+    const char *argName = nullptr;
+};
+
+/**
+ * The ring buffer.  Not thread-safe: each simulation run owns one;
+ * concurrent producers (the experiment scheduler) serialize their
+ * record() calls externally.
+ */
+class Timeline
+{
+  public:
+    explicit Timeline(std::size_t capacity);
+
+    /** Append one event, overwriting the oldest when full. */
+    void record(const TimelineEvent &event);
+
+    /** @name Convenience emitters @{ */
+    void
+    instant(const char *name, const char *cat, std::uint64_t ts,
+            std::uint32_t tid, const char *arg_name = nullptr,
+            std::uint64_t arg = 0)
+    {
+        record({name, cat, TimelinePhase::Instant, ts, 0, tid, arg,
+                arg_name});
+    }
+
+    void
+    span(const char *name, const char *cat, std::uint64_t start,
+         std::uint64_t end, std::uint32_t tid,
+         const char *arg_name = nullptr, std::uint64_t arg = 0)
+    {
+        record({name, cat, TimelinePhase::Complete, start,
+                end >= start ? end - start : 0, tid, arg, arg_name});
+    }
+
+    void
+    counter(const char *name, const char *cat, std::uint64_t ts,
+            std::uint32_t tid, std::uint64_t value)
+    {
+        record({name, cat, TimelinePhase::Counter, ts, 0, tid, value,
+                "value"});
+    }
+    /** @} */
+
+    /** Copy @p label into timeline-lifetime storage. */
+    const char *intern(const std::string &label);
+
+    /** Events in chronological (ts-sorted, stable) order. */
+    std::vector<TimelineEvent> sorted() const;
+
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return ring.size(); }
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return droppedEvents; }
+
+    /**
+     * Write the Chrome trace_event JSON document.  @p process names
+     * the single emitted pid row (shown as the process in the UI).
+     */
+    void writeChromeTrace(std::ostream &os,
+                          const char *process = "oscache") const;
+
+  private:
+    std::vector<TimelineEvent> ring;
+    std::size_t head = 0;  ///< Next write position.
+    std::size_t count = 0; ///< Valid events (<= capacity).
+    std::uint64_t droppedEvents = 0;
+    /** Stable storage for interned names (deque: no reallocation). */
+    std::deque<std::string> interned;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_OBS_TIMELINE_HH

@@ -8,6 +8,7 @@
 #define OSCACHE_SIM_OPTIONS_HH
 
 #include "common/types.hh"
+#include "obs/options.hh"
 
 namespace oscache
 {
@@ -52,6 +53,14 @@ struct SimOptions
      * protocol bug into an immediate, attributed failure.
      */
     bool checkCoherence = true;
+
+    /**
+     * Observability opt-ins (src/obs).  All off by default — the
+     * memory system then pays only a flag test per event.  The runner
+     * merges these with the process-wide default installed by
+     * setGlobalObsOptions() (used by `oscache-bench --metrics`).
+     */
+    ObsOptions obs;
 };
 
 } // namespace oscache

@@ -34,7 +34,12 @@ namespace oscache
 {
 
 /** Number of DataCategory values, for per-category arrays. */
-inline constexpr std::size_t numDataCategories = 11;
+inline constexpr std::size_t numDataCategories =
+    static_cast<std::size_t>(DataCategory::NumCategories);
+static_assert(numDataCategories == 11,
+              "DataCategory changed: update the binary trace format's "
+              "category bound in trace/io.cc and the paper-table "
+              "renderers before bumping this");
 
 /**
  * All counters collected by one simulation run.

@@ -224,7 +224,10 @@ System::handleBlockOp(CpuId cpu, const TraceRecord &rec)
 {
     CpuState &cs = cpus[cpu];
     const BlockOp &op = trace.blockOps().get(rec.aux);
+    const Cycles start = cs.time;
     cs.time = executor.execute(cpu, op, cs.time, rec.isOs());
+    if (MemEventObserver *obs = mem.eventObserver())
+        obs->onBlockOp(cpu, op, start, cs.time);
     cs.pos += 1;
 }
 

@@ -32,6 +32,7 @@ categoryCode(DataCategory cat)
       case DataCategory::OtherShared:   return "oshared";
       case DataCategory::PageTable:     return "pte";
       case DataCategory::KernelOther:   return "kother";
+      case DataCategory::NumCategories: break;
     }
     panic("bad DataCategory");
 }
@@ -424,7 +425,8 @@ tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
                 return fail("truncated record stream");
             if (type > std::uint8_t(RecordType::BarrierArrive))
                 return fail("bad record type");
-            if (category >= 11)
+            if (category >=
+                static_cast<unsigned>(DataCategory::NumCategories))
                 return fail("bad data category");
             rec.type = RecordType(type);
             rec.category = DataCategory(category);

@@ -20,6 +20,7 @@ toString(DataCategory category)
       case DataCategory::OtherShared:   return "OtherShared";
       case DataCategory::PageTable:     return "PageTable";
       case DataCategory::KernelOther:   return "KernelOther";
+      case DataCategory::NumCategories: break;
     }
     panic("unknown DataCategory ", static_cast<int>(category));
 }

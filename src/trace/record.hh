@@ -95,6 +95,9 @@ enum class DataCategory : std::uint8_t
     PageTable,
     /** Miscellaneous kernel structures (callout, proc, inodes...). */
     KernelOther,
+
+    /** Sentinel: number of categories (keep last; not a category). */
+    NumCategories,
 };
 
 /** Human-readable name of a DataCategory, for reports. */

@@ -18,14 +18,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
+#include "common/version.hh"
 #include "exp/artifact_cache.hh"
 #include "exp/driver.hh"
 #include "exp/registry.hh"
+#include "obs/options.hh"
+#include "obs/timeline.hh"
 
 using namespace oscache;
 
@@ -51,7 +55,12 @@ usage()
         "  --results BASE  write BASE.jsonl and BASE.csv\n"
         "                  (default oscache_results; - disables)\n"
         "  --quiet         no per-cell progress lines\n"
-        "  --list          list the registered experiments and exit\n");
+        "  --metrics       collect per-cell metrics (src/obs) and fold\n"
+        "                  them into the JSONL results\n"
+        "  --timeline F    write a Chrome trace of the scheduler's\n"
+        "                  cell spans to F\n"
+        "  --list          list the registered experiments and exit\n"
+        "  --version       print build identification and exit\n");
 }
 
 void
@@ -71,6 +80,8 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     bool smoke = false;
     bool quiet = false;
+    bool metrics = false;
+    std::string timeline_file;
     std::string cache_dir = ".oscache-artifacts";
     std::string results_base = "oscache_results";
     std::vector<std::string> names;
@@ -98,8 +109,15 @@ main(int argc, char **argv)
                 results_base.clear();
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
+        } else if (arg == "--timeline") {
+            timeline_file = value();
         } else if (arg == "--list") {
             listExperiments();
+            return 0;
+        } else if (arg == "--version") {
+            std::printf("%s\n", versionString().c_str());
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -132,11 +150,23 @@ main(int argc, char **argv)
     if (!cache_dir.empty())
         store = std::make_unique<TraceStore>(cache_dir);
 
+    if (metrics) {
+        // Cells call runWorkload() with stock options; the runner
+        // merges in this process-wide default.
+        ObsOptions obs;
+        obs.metrics = true;
+        setGlobalObsOptions(obs);
+    }
+    std::unique_ptr<Timeline> timeline;
+    if (!timeline_file.empty())
+        timeline = std::make_unique<Timeline>(std::size_t{1} << 16);
+
     DriverOptions options;
     options.jobs = jobs;
     options.smoke = smoke;
     options.store = store.get();
     options.resultsBase = results_base;
+    options.timeline = timeline.get();
     std::atomic<unsigned> done{0};
     if (!quiet)
         options.progress = [&done](const std::string &label) {
@@ -174,5 +204,13 @@ main(int argc, char **argv)
     if (!results_base.empty())
         std::printf("results:         %s.jsonl / %s.csv\n",
                     results_base.c_str(), results_base.c_str());
+    if (timeline) {
+        std::ofstream os(timeline_file);
+        if (!os)
+            fatal("cannot open '", timeline_file, "' for writing");
+        timeline->writeChromeTrace(os, "oscache-bench");
+        std::printf("timeline:        %zu cell spans -> %s\n",
+                    timeline->size(), timeline_file.c_str());
+    }
     return 0;
 }

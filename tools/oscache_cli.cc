@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "common/version.hh"
 #include "core/blockop/schemes.hh"
 #include "report/experiment.hh"
 #include "sim/system.hh"
@@ -133,6 +134,9 @@ parse(int argc, char **argv)
             args.traceFile = value();
         } else if (flag == "--out") {
             args.outFile = value();
+        } else if (flag == "--version") {
+            std::printf("%s\n", versionString().c_str());
+            std::exit(0);
         } else if (flag == "--help" || flag == "-h") {
             usage();
             std::exit(0);
@@ -256,6 +260,10 @@ int
 main(int argc, char **argv)
 {
     const Args args = parse(argc, argv);
+    if (args.command == "--version") {
+        std::printf("%s\n", versionString().c_str());
+        return 0;
+    }
     if (args.command == "run")
         return cmdRun(args);
     if (args.command == "generate")

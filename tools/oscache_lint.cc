@@ -27,6 +27,7 @@
 
 #include "check/invariants.hh"
 #include "check/racedetect.hh"
+#include "common/version.hh"
 #include "check/tracelint.hh"
 #include "core/runner.hh"
 #include "mem/memsys.hh"
@@ -88,6 +89,10 @@ parse(int argc, char **argv)
     args.command = argv[1];
     if (args.command == "--help" || args.command == "-h") {
         usage();
+        std::exit(0);
+    }
+    if (args.command == "--version") {
+        std::printf("%s\n", versionString().c_str());
         std::exit(0);
     }
     for (int i = 2; i < argc; ++i) {

@@ -42,6 +42,35 @@ echo "== bench smoke (tsan) =="
 
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT
+
+# Observability: the profiler must reproduce the engine's hot-spot
+# selection, and the exported timeline must be valid Chrome trace JSON.
+echo "== observability (oscache-prof) =="
+prof_out="$tracedir/prof.out"
+prof_trace="$tracedir/prof_timeline.json"
+"$build/tools/oscache-prof" --workload shell --quanta 2 \
+    --hotspots --timeline "$prof_trace" | tee "$prof_out"
+grep -q "hot-spot cross-check: AGREE" "$prof_out" || {
+    echo "observability check failed: profiler disagrees with engine" >&2
+    exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$prof_trace" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "timeline exported no events"
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no complete spans in timeline"
+print("timeline JSON ok: %d events" % len(events))
+EOF
+else
+    grep -q '"traceEvents"' "$prof_trace" || {
+        echo "timeline export is not Chrome trace JSON" >&2
+        exit 1
+    }
+fi
 for workload in trfd4 trfd+make arc2d+fsck shell; do
     echo "== lint $workload =="
     trace="$tracedir/$(echo "$workload" | tr -d '+').trace"
