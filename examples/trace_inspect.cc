@@ -5,27 +5,97 @@
  * census, and the busiest basic blocks.  The same first look one
  * would take at a freshly captured monitor trace.
  *
+ * Saved traces are walked through streaming cursors, so inspecting
+ * (or re-encoding) a file never materializes it: memory stays at
+ * O(cpus x read-ahead buffer) however large the trace.
+ *
  * Usage:
  *   trace_inspect                 # inspect the TRFD_4 synthetic trace
- *   trace_inspect file.trace      # inspect a saved trace (either format)
- *   trace_inspect file.trace --convert out.otb --binary
- *                                 # re-encode as compact binary (v2)
+ *   trace_inspect file.trace      # inspect a saved trace (any format)
+ *   trace_inspect file.trace --convert out.otb --chunked
+ *                                 # stream-re-encode as chunked v3
  *   trace_inspect file.otb --convert out.trace --text
  *                                 # back to the greppable text format
+ *   trace_inspect file.trace --buffer 256
+ *                                 # shrink the per-cpu cursor buffer
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "synth/generator.hh"
 #include "trace/io.hh"
+#include "trace/source.hh"
 
 using namespace oscache;
+
+namespace
+{
+
+/**
+ * Stream-re-encode @p source as chunked v3: each cursor is drained in
+ * read-ahead-sized batches straight into the writer, so conversion
+ * memory is one batch regardless of trace length.
+ */
+std::size_t
+convertChunked(TraceSource &source, const std::string &out,
+               std::size_t batch_records)
+{
+    std::ofstream os(out, std::ios::out | std::ios::binary |
+                              std::ios::trunc);
+    if (!os)
+        fatal("cannot open '", out, "' for writing");
+    ChunkedTraceWriter writer(os, source.numCpus(), source.updatePages());
+    std::size_t total = 0;
+    RecordStream batch;
+    batch.reserve(batch_records);
+    for (CpuId c = 0; c < source.numCpus(); ++c) {
+        auto cursor = source.cursor(c);
+        while (const TraceRecord *rec = cursor->peek()) {
+            batch.push_back(*rec);
+            cursor->advance();
+            if (batch.size() >= batch_records) {
+                writer.writeChunk(c, batch);
+                total += batch.size();
+                batch.clear();
+            }
+        }
+        writer.writeChunk(c, batch);
+        total += batch.size();
+        batch.clear();
+    }
+    writer.finish(source.blockOps());
+    if (!os)
+        fatal("error writing '", out, "'");
+    return total;
+}
+
+/** Rebuild a materialized Trace by draining @p source's cursors. */
+Trace
+materialize(TraceSource &source)
+{
+    Trace trace(source.numCpus());
+    for (CpuId c = 0; c < source.numCpus(); ++c) {
+        auto cursor = source.cursor(c);
+        while (const TraceRecord *rec = cursor->peek()) {
+            trace.stream(c).push_back(*rec);
+            cursor->advance();
+        }
+    }
+    for (const BlockOp &op : source.blockOps())
+        trace.blockOps().add(op);
+    trace.updatePages() = source.updatePages();
+    return trace;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,6 +103,7 @@ main(int argc, char **argv)
     std::string input;
     std::string convert_out;
     TraceFormat convert_format = TraceFormat::Text;
+    std::size_t buffer_records = defaultStreamReadAhead;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--convert") == 0) {
             if (i + 1 >= argc)
@@ -40,8 +111,16 @@ main(int argc, char **argv)
             convert_out = argv[++i];
         } else if (std::strcmp(argv[i], "--binary") == 0) {
             convert_format = TraceFormat::Binary;
+        } else if (std::strcmp(argv[i], "--chunked") == 0) {
+            convert_format = TraceFormat::Chunked;
         } else if (std::strcmp(argv[i], "--text") == 0) {
             convert_format = TraceFormat::Text;
+        } else if (std::strcmp(argv[i], "--buffer") == 0) {
+            if (i + 1 >= argc)
+                fatal("--buffer needs a record count");
+            buffer_records = std::strtoul(argv[++i], nullptr, 10);
+            if (buffer_records == 0)
+                fatal("--buffer must be >= 1");
         } else if (argv[i][0] == '-') {
             fatal("unknown flag '", argv[i], "'");
         } else {
@@ -49,11 +128,34 @@ main(int argc, char **argv)
         }
     }
 
-    Trace trace = !input.empty()
-        ? readTraceFile(input)
-        : generateTrace(WorkloadKind::Trfd4, CoherenceOptions::none());
+    // A file input streams through bounded cursors; the demo trace is
+    // synthesized in memory and wrapped in the same interface.
+    std::unique_ptr<Trace> generated;
+    std::unique_ptr<TraceSource> source;
+    if (!input.empty()) {
+        source = std::make_unique<FileTraceSource>(input, buffer_records);
+    } else {
+        generated = std::make_unique<Trace>(generateTrace(
+            WorkloadKind::Trfd4, CoherenceOptions::none()));
+        source = std::make_unique<MaterializedTraceSource>(*generated);
+    }
+    if (const auto *file =
+            dynamic_cast<const FileTraceSource *>(source.get()))
+        std::printf("source: %s, read-ahead %zu records/cpu\n",
+                    source->mode(), file->readAhead());
 
     if (!convert_out.empty()) {
+        if (convert_format == TraceFormat::Chunked) {
+            const std::size_t total =
+                convertChunked(*source, convert_out, buffer_records);
+            std::printf("streamed %zu records to %s (chunked format, "
+                        "%zu-record batches)\n",
+                        total, convert_out.c_str(), buffer_records);
+            return 0;
+        }
+        // Text and binary v2 carry whole-trace counts in their
+        // headers, so the output (not the input) must materialize.
+        const Trace trace = materialize(*source);
         writeTraceFile(convert_out, trace, convert_format);
         std::printf("wrote %zu records to %s (%s format)\n",
                     trace.totalRecords(), convert_out.c_str(),
@@ -61,20 +163,21 @@ main(int argc, char **argv)
                                                           : "text");
         return 0;
     }
-    std::printf("trace: %u cpus, %zu records, %zu block ops, %zu update "
-                "pages\n\n",
-                trace.numCpus(), trace.totalRecords(),
-                trace.blockOps().size(), trace.updatePages().size());
 
-    // Record mix.
+    // Record mix, streamed one cursor at a time.
     std::map<RecordType, std::uint64_t> by_type;
+    std::uint64_t total_records = 0;
     std::uint64_t os_refs = 0;
     std::uint64_t user_refs = 0;
     std::uint64_t os_instr = 0;
     std::uint64_t user_instr = 0;
     std::map<BasicBlockId, std::uint64_t> refs_by_bb;
-    for (CpuId c = 0; c < trace.numCpus(); ++c) {
-        for (const TraceRecord &rec : trace.stream(c)) {
+    for (CpuId c = 0; c < source->numCpus(); ++c) {
+        auto cursor = source->cursor(c);
+        for (const TraceRecord *recp = cursor->peek(); recp != nullptr;
+             cursor->advance(), recp = cursor->peek()) {
+            const TraceRecord &rec = *recp;
+            total_records += 1;
             by_type[rec.type] += 1;
             if (rec.isData()) {
                 (rec.isOs() ? os_refs : user_refs) += 1;
@@ -84,6 +187,11 @@ main(int argc, char **argv)
             }
         }
     }
+
+    std::printf("trace: %u cpus, %llu records, %zu block ops, %zu update "
+                "pages\n\n",
+                source->numCpus(), (unsigned long long)total_records,
+                source->blockOps().size(), source->updatePages().size());
 
     std::printf("record mix:\n");
     for (const auto &[type, count] : by_type)
@@ -102,7 +210,7 @@ main(int argc, char **argv)
     std::uint64_t copies = 0;
     std::uint64_t zeros = 0;
     std::uint64_t bytes = 0;
-    for (const BlockOp &op : trace.blockOps()) {
+    for (const BlockOp &op : source->blockOps()) {
         (op.isCopy() ? copies : zeros) += 1;
         bytes += op.size;
     }

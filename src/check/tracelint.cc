@@ -51,14 +51,14 @@ struct BarrierUse
 class Linter
 {
   public:
-    Linter(const Trace &trace, const LintLimits &limits)
-        : trace(trace), limits(limits)
+    Linter(TraceSource &source, const LintLimits &limits)
+        : source(source), limits(limits)
     {}
 
     std::vector<CheckFinding>
     run()
     {
-        for (CpuId c = 0; c < trace.numCpus(); ++c)
+        for (CpuId c = 0; c < source.numCpus(); ++c)
             lintStream(c);
         lintBarriers();
         return std::move(found);
@@ -88,12 +88,14 @@ class Linter
     void
     lintStream(CpuId cpu)
     {
-        const RecordStream &stream = trace.stream(cpu);
         std::vector<BlockOpId> openOps;
         std::unordered_set<Addr> heldLocks;
 
-        for (std::size_t i = 0; i < stream.size(); ++i) {
-            const TraceRecord &rec = stream[i];
+        auto cursor = source.cursor(cpu);
+        std::size_t i = 0;
+        for (const TraceRecord *recp = cursor->peek(); recp != nullptr;
+             cursor->advance(), recp = cursor->peek(), ++i) {
+            const TraceRecord &rec = *recp;
             switch (rec.type) {
               case RecordType::Exec:
               case RecordType::Idle:
@@ -117,7 +119,7 @@ class Linter
                 }
                 break;
               case RecordType::BlockOpBegin:
-                if (rec.aux >= trace.blockOps().size())
+                if (rec.aux >= source.blockOps().size())
                     report(CheckCode::UnknownBlockOp, Severity::Error, cpu,
                            0, i, "block-op id has no table entry");
                 openOps.push_back(rec.aux);
@@ -176,11 +178,11 @@ class Linter
             std::ostringstream os;
             os << "block operation " << id << " still open at stream end";
             report(CheckCode::UnbalancedBlockOp, Severity::Error, cpu, 0,
-                   stream.size(), os.str());
+                   i, os.str());
         }
         for (const Addr lock : heldLocks) {
             report(CheckCode::UnreleasedLock, Severity::Error, cpu, lock,
-                   stream.size(), "lock still held at stream end");
+                   i, "lock still held at stream end");
         }
     }
 
@@ -194,10 +196,10 @@ class Linter
                        "barrier used with differing participant counts");
                 continue; // The count checks below would be noise.
             }
-            if (use.parties == 0 || use.parties > trace.numCpus()) {
+            if (use.parties == 0 || use.parties > source.numCpus()) {
                 std::ostringstream os;
                 os << use.parties << " participants on a "
-                   << trace.numCpus() << "-processor trace";
+                   << source.numCpus() << "-processor trace";
                 report(CheckCode::BarrierCountMismatch, Severity::Error,
                        use.firstCpu, addr, use.firstIndex, os.str());
                 continue;
@@ -227,7 +229,7 @@ class Linter
         }
     }
 
-    const Trace &trace;
+    TraceSource &source;
     LintLimits limits;
     std::unordered_map<Addr, BarrierUse> barriers;
     std::vector<CheckFinding> found;
@@ -238,7 +240,14 @@ class Linter
 std::vector<CheckFinding>
 lintTrace(const Trace &trace, const LintLimits &limits)
 {
-    Linter linter(trace, limits);
+    MaterializedTraceSource source(trace);
+    return lintSource(source, limits);
+}
+
+std::vector<CheckFinding>
+lintSource(TraceSource &source, const LintLimits &limits)
+{
+    Linter linter(source, limits);
     return linter.run();
 }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "check/finding.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace oscache
@@ -54,6 +55,15 @@ struct LintLimits
  */
 std::vector<CheckFinding> lintTrace(const Trace &trace,
                                     const LintLimits &limits = {});
+
+/**
+ * As lintTrace(), but pulling records through @p source's cursors —
+ * one pass per processor, bounded memory on streamed sources.  A
+ * finding's index is the count of records consumed before it (the
+ * same index lintTrace() reports).
+ */
+std::vector<CheckFinding> lintSource(TraceSource &source,
+                                     const LintLimits &limits = {});
 
 } // namespace oscache
 

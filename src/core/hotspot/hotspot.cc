@@ -1,6 +1,7 @@
 #include "core/hotspot/hotspot.hh"
 
 #include <algorithm>
+#include <deque>
 #include <ostream>
 #include <utility>
 
@@ -116,6 +117,93 @@ insertPrefetches(const Trace &trace, const HotspotPlan &plan)
         }
     }
     return out;
+}
+
+/**
+ * Sliding-window insertion.  With lookahead L, the prefetch for a
+ * hot read at input index i lands at max(i - L, 0), so knowing
+ * every prefetch due before input index j only requires having
+ * scanned through index j + L.  The cursor keeps exactly that
+ * window: priming scans indices 0..L (their prefetches all land at
+ * 0, in scan order — the same order the materialized rewriter
+ * emits), and each consumed input record pulls one more record in,
+ * queueing its prefetch L records ahead.
+ */
+class PrefetchStreamSource::Cursor final : public RecordCursor
+{
+  public:
+    Cursor(std::unique_ptr<RecordCursor> in, const HotspotPlan &plan)
+        : in(std::move(in)), plan(&plan)
+    {
+        // Prime the window with input indices 0..lookahead.
+        for (unsigned i = 0; i <= plan.lookahead; ++i)
+            if (!pullOne(0))
+                break;
+    }
+
+    const TraceRecord *
+    peek() override
+    {
+        if (!pending.empty() && pending.front().at == outIndex)
+            return &pending.front().rec;
+        return window.empty() ? nullptr : &window.front();
+    }
+
+    void
+    advance() override
+    {
+        if (!pending.empty() && pending.front().at == outIndex) {
+            pending.pop_front();
+            return;
+        }
+        window.pop_front();
+        outIndex += 1;
+        pullOne(outIndex);
+    }
+
+  private:
+    struct Pending
+    {
+        std::size_t at; ///< Input index the prefetch precedes.
+        TraceRecord rec;
+    };
+
+    /**
+     * Pull one record off the inner cursor into the window; a hot
+     * read queues its prefetch for insertion at @p insert_at.
+     */
+    bool
+    pullOne(std::size_t insert_at)
+    {
+        const TraceRecord *rec = in->peek();
+        if (rec == nullptr)
+            return false;
+        window.push_back(*rec);
+        in->advance();
+        const TraceRecord &r = window.back();
+        if (r.type == RecordType::Read && plan->hotBlocks.count(r.bb))
+            pending.push_back(
+                {insert_at, TraceRecord::prefetch(r.addr, r.category,
+                                                  r.bb, r.isOs())});
+        return true;
+    }
+
+    std::unique_ptr<RecordCursor> in;
+    const HotspotPlan *plan;
+    std::deque<TraceRecord> window;
+    std::deque<Pending> pending;
+    std::size_t outIndex = 0; ///< Input index of window.front().
+};
+
+PrefetchStreamSource::PrefetchStreamSource(
+    std::unique_ptr<TraceSource> inner_, HotspotPlan plan_)
+    : inner(std::move(inner_)), plan(std::move(plan_))
+{}
+
+std::unique_ptr<RecordCursor>
+PrefetchStreamSource::cursor(CpuId cpu)
+{
+    return std::make_unique<Cursor>(inner->cursor(cpu), plan);
 }
 
 } // namespace oscache

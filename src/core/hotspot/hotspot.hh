@@ -23,11 +23,13 @@
 #define OSCACHE_CORE_HOTSPOT_HOTSPOT_HH
 
 #include <iosfwd>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/stats.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace oscache
@@ -83,6 +85,40 @@ double hotspotCoverage(const SimStats &profile, const HotspotPlan &plan);
  * every read issued by a hot basic block.
  */
 Trace insertPrefetches(const Trace &trace, const HotspotPlan &plan);
+
+/**
+ * Streaming equivalent of insertPrefetches(): wraps another
+ * TraceSource and emits the identical record sequence — a prefetch
+ * for each hot-block read, hoisted plan.lookahead records ahead
+ * (clamped to the stream head) — while holding only a
+ * (lookahead + 1)-record window per processor.  Used by the second
+ * pass of the two-phase hot-spot methodology when the trace is
+ * streamed rather than materialized.
+ */
+class PrefetchStreamSource final : public TraceSource
+{
+  public:
+    PrefetchStreamSource(std::unique_ptr<TraceSource> inner,
+                         HotspotPlan plan);
+
+    unsigned numCpus() const override { return inner->numCpus(); }
+    const BlockOpTable &blockOps() const override
+    {
+        return inner->blockOps();
+    }
+    const std::unordered_set<Addr> &updatePages() const override
+    {
+        return inner->updatePages();
+    }
+    std::unique_ptr<RecordCursor> cursor(CpuId cpu) override;
+    const char *mode() const override { return inner->mode(); }
+
+  private:
+    class Cursor;
+
+    std::unique_ptr<TraceSource> inner;
+    HotspotPlan plan;
+};
 
 } // namespace oscache
 

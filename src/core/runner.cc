@@ -16,7 +16,7 @@ namespace
 
 /** One plain simulation pass (no hot-spot rewriting). */
 RunResult
-runOnce(const Trace &trace, const MachineConfig &machine,
+runOnce(TraceSource &source, const MachineConfig &machine,
         const SimOptions &options, BlockScheme scheme)
 {
     RunResult result;
@@ -47,8 +47,9 @@ runOnce(const Trace &trace, const MachineConfig &machine,
         mem.setObserver(&mux);
 
     auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
-    System system(trace, mem, *executor, options, result.stats);
+    System system(source, mem, *executor, options, result.stats);
     system.run();
+    result.traceMode = source.mode();
 
     if (hub)
         result.obs = hub->finish();
@@ -79,15 +80,45 @@ RunResult
 runOnTrace(const Trace &trace, const MachineConfig &machine,
            const SimOptions &options, const SystemSetup &setup)
 {
+    MaterializedTraceSource source(trace);
     if (!setup.hotspotPrefetch)
-        return runOnce(trace, machine, options, setup.blockScheme);
+        return runOnce(source, machine, options, setup.blockScheme);
 
     // Two-phase hot-spot methodology: profile, select, rewrite, rerun.
-    RunResult profile = runOnce(trace, machine, options, setup.blockScheme);
+    RunResult profile = runOnce(source, machine, options,
+                                setup.blockScheme);
     HotspotPlan plan = selectHotspots(profile.stats, paperHotspotCount);
     const double coverage = oscache::hotspotCoverage(profile.stats, plan);
     Trace rewritten = insertPrefetches(trace, plan);
-    RunResult result = runOnce(rewritten, machine, options,
+    MaterializedTraceSource rewrittenSource(rewritten);
+    RunResult result = runOnce(rewrittenSource, machine, options,
+                               setup.blockScheme);
+    result.hotspots = std::move(plan);
+    result.hotspotCoverage = coverage;
+    return result;
+}
+
+RunResult
+runOnSource(const TraceSourceFactory &open, const MachineConfig &machine,
+            const SimOptions &options, const SystemSetup &setup)
+{
+    if (!setup.hotspotPrefetch) {
+        auto source = open();
+        return runOnce(*source, machine, options, setup.blockScheme);
+    }
+
+    // Two-phase hot-spot methodology, streaming flavor: the profile
+    // pass consumes one source; the prefetch pass re-opens and
+    // inserts the prefetches on the fly.
+    RunResult profile;
+    {
+        auto source = open();
+        profile = runOnce(*source, machine, options, setup.blockScheme);
+    }
+    HotspotPlan plan = selectHotspots(profile.stats, paperHotspotCount);
+    const double coverage = oscache::hotspotCoverage(profile.stats, plan);
+    PrefetchStreamSource prefetching(open(), plan);
+    RunResult result = runOnce(prefetching, machine, options,
                                setup.blockScheme);
     result.hotspots = std::move(plan);
     result.hotspotCoverage = coverage;

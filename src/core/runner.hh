@@ -15,7 +15,9 @@
 #define OSCACHE_CORE_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "core/hotspot/hotspot.hh"
 #include "core/system_config.hh"
@@ -23,6 +25,7 @@
 #include "obs/hub.hh"
 #include "sim/options.hh"
 #include "sim/stats.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace oscache
@@ -58,6 +61,8 @@ struct RunResult
      * the final (prefetching) pass.
      */
     std::shared_ptr<const ObsReport> obs;
+    /** TraceSource::mode() of the source replayed. */
+    std::string traceMode = "materialized";
 };
 
 /**
@@ -66,6 +71,21 @@ struct RunResult
  */
 RunResult runOnTrace(const Trace &trace, const MachineConfig &machine,
                      const SimOptions &options, const SystemSetup &setup);
+
+/** Opens a fresh TraceSource over the same underlying trace. */
+using TraceSourceFactory =
+    std::function<std::unique_ptr<TraceSource>()>;
+
+/**
+ * As runOnTrace(), but pulling records through a streamed source so
+ * the full trace is never materialized.  @p open is invoked once per
+ * simulation pass — twice under the two-phase hot-spot methodology,
+ * whose second pass wraps the fresh source in a PrefetchStreamSource
+ * — because streamed cursors are consumed by a single pass.
+ */
+RunResult runOnSource(const TraceSourceFactory &open,
+                      const MachineConfig &machine,
+                      const SimOptions &options, const SystemSetup &setup);
 
 /** Number of hot spots the paper selects (Section 6). */
 inline constexpr unsigned paperHotspotCount = 12;

@@ -6,9 +6,11 @@
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/log.hh"
 #include "exp/hash.hh"
+#include "synth/generator.hh"
 #include "trace/io.hh"
 
 namespace oscache
@@ -66,6 +68,75 @@ TraceStore::load(const std::string &key)
     }
     hitCount.fetch_add(1);
     return trace;
+}
+
+std::unique_ptr<TraceSource>
+TraceStore::openSource(const std::string &key, std::size_t read_ahead)
+{
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        missCount.fetch_add(1);
+        return nullptr;
+    }
+    std::string why;
+    auto source = FileTraceSource::tryOpen(path, read_ahead, &why);
+    if (!source) {
+        warn("artifact cache: rejecting corrupt '", path, "' (", why,
+             "); will regenerate");
+        fs::remove(path, ec);
+        rejectCount.fetch_add(1);
+        missCount.fetch_add(1);
+        return nullptr;
+    }
+    hitCount.fetch_add(1);
+    return source;
+}
+
+void
+TraceStore::storeStreaming(const std::string &key,
+                           const WorkloadProfile &profile,
+                           const CoherenceOptions &options,
+                           unsigned num_cpus)
+{
+    const std::string path = pathFor(key);
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream os(tmp, std::ios::out | std::ios::binary |
+                                  std::ios::trunc);
+        if (!os) {
+            warn("artifact cache: cannot write '", tmp, "'");
+            return;
+        }
+        TraceGenerator gen(profile, options, num_cpus);
+        ChunkedTraceWriter writer(os, num_cpus, gen.updatePages());
+        std::vector<RecordStream> chunk(num_cpus);
+        std::vector<RecordStream *> sinks(num_cpus);
+        for (unsigned c = 0; c < num_cpus; ++c)
+            sinks[c] = &chunk[c];
+        while (!gen.done()) {
+            gen.nextQuantum(sinks);
+            for (unsigned c = 0; c < num_cpus; ++c) {
+                writer.writeChunk(c, chunk[c]);
+                chunk[c].clear();
+            }
+        }
+        writer.finish(gen.blockOps());
+        if (!os) {
+            warn("artifact cache: error writing '", tmp, "'");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("artifact cache: cannot rename '", tmp, "': ", ec.message());
+        fs::remove(tmp, ec);
+    }
 }
 
 void

@@ -23,11 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/cohopt.hh"
 #include "synth/profile.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace oscache
@@ -61,6 +63,29 @@ class TraceStore
 
     /** Store @p trace under @p key (atomic rename into place). */
     void store(const std::string &key, const Trace &trace);
+
+    /**
+     * Open a streaming cursor source over the artifact stored under
+     * @p key, or nullptr if absent or corrupt (corrupt files are
+     * removed so the regenerated artifact can take their place).
+     * The returned source reads the file incrementally with
+     * @p read_ahead records of buffer per processor.
+     */
+    std::unique_ptr<TraceSource> openSource(
+        const std::string &key,
+        std::size_t read_ahead = defaultStreamReadAhead);
+
+    /**
+     * Generate the trace for (@p profile, @p options, @p num_cpus)
+     * and stream it straight to disk under @p key in the chunked
+     * format — one quantum of records per processor per chunk —
+     * without ever materializing the whole trace.  Atomic rename
+     * into place, like store().
+     */
+    void storeStreaming(const std::string &key,
+                        const WorkloadProfile &profile,
+                        const CoherenceOptions &options,
+                        unsigned num_cpus = 4);
 
     /** Path of the artifact file for @p key. */
     std::string pathFor(const std::string &key) const;

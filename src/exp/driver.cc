@@ -1,5 +1,7 @@
 #include "exp/driver.hh"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <map>
 #include <memory>
@@ -32,12 +34,25 @@ struct Unit
 struct HookGuard
 {
     bool active = false;
+    bool sourceActive = false;
     ~HookGuard()
     {
         if (active)
             setTraceCacheHooks({}, {});
+        if (sourceActive)
+            setTraceSourceHook({});
     }
 };
+
+/** Process high-water RSS in KiB, as reported by the kernel. */
+long
+peakRssKb()
+{
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return usage.ru_maxrss;
+}
 
 } // namespace
 
@@ -49,6 +64,11 @@ runExperiments(const std::vector<const Experiment *> &experiments,
     report.experiments.resize(experiments.size());
     for (std::size_t e = 0; e < experiments.size(); ++e)
         report.experiments[e].experiment = experiments[e];
+
+    setTraceCacheCapacity(options.traceCacheBytes);
+    setTraceSourceMode(options.stream ? TraceSourceMode::Streamed
+                                      : TraceSourceMode::Materialized);
+    setStreamReadAhead(options.streamBufferRecords);
 
     HookGuard hooks;
     if (options.store != nullptr) {
@@ -64,6 +84,24 @@ runExperiments(const std::vector<const Experiment *> &experiments,
                     TraceStore::keyFor(WorkloadProfile::forKind(w), o), t);
             });
         hooks.active = true;
+        if (options.stream) {
+            // Streamed + store: generate straight to a chunked
+            // artifact on miss, then replay from disk either way.
+            const std::size_t read_ahead = options.streamBufferRecords;
+            setTraceSourceHook(
+                [store, read_ahead](WorkloadKind w,
+                                    const CoherenceOptions &o)
+                    -> std::unique_ptr<TraceSource> {
+                    const WorkloadProfile profile =
+                        WorkloadProfile::forKind(w);
+                    const std::string key = TraceStore::keyFor(profile, o);
+                    if (auto source = store->openSource(key, read_ahead))
+                        return source;
+                    store->storeStreaming(key, profile, o);
+                    return store->openSource(key, read_ahead);
+                });
+            hooks.sourceActive = true;
+        }
     }
     resetTraceCacheStats();
 
@@ -159,6 +197,8 @@ runExperiments(const std::vector<const Experiment *> &experiments,
                         row.machineHash = mh.hex();
                         row.wallMs = computer ? wall_ms : 0.0;
                         row.shared = !computer;
+                        row.traceMode = slot.run.traceMode;
+                        row.peakRssKb = peakRssKb();
                         row.outcome = &slot;
                         sink->record(row);
                     }

@@ -39,6 +39,17 @@ struct DriverOptions
     bool smoke = false;
     /** Persistent trace store to install, or nullptr for none. */
     TraceStore *store = nullptr;
+    /**
+     * Pull records through streaming cursors instead of materializing
+     * whole traces: cells synthesize on demand (or stream from the
+     * store's chunked artifacts when one is installed), so peak
+     * memory is bounded by jobs x cursor buffers.
+     */
+    bool stream = false;
+    /** Per-processor cursor read-ahead (records) for file sources. */
+    std::size_t streamBufferRecords = defaultStreamReadAhead;
+    /** In-memory trace-cache cap in bytes (0 = unbounded). */
+    std::size_t traceCacheBytes = defaultTraceCacheBytes;
     /** Results sink base path ("x" -> x.jsonl + x.csv); empty = off. */
     std::string resultsBase;
     /**

@@ -101,6 +101,7 @@ ResultsSink::ResultsSink(const std::string &basePath) : base(basePath)
         fatal("results sink: cannot open '", base, ".jsonl/.csv'");
     csv.writeLine(
         "experiment,cell,workload,system,machine,wall_ms,shared,"
+        "trace_mode,peak_rss_kb,"
         "os_time,user_time,idle,total_time,os_misses,os_miss_block,"
         "os_miss_coherence,os_miss_other,os_miss_hidden,user_misses,"
         "bus_bytes,bus_txns");
@@ -122,6 +123,8 @@ ResultsSink::record(const ResultRow &row)
        << ",\"machine\":\"" << jsonEscape(row.machineHash) << "\""
        << ",\"wall_ms\":" << formatDouble(row.wallMs)
        << ",\"shared\":" << (row.shared ? "true" : "false")
+       << ",\"trace_mode\":\"" << jsonEscape(row.traceMode) << "\""
+       << ",\"peak_rss_kb\":" << row.peakRssKb
        << ",\"stats\":{"
        << "\"os_time\":" << s.osTime()
        << ",\"user_time\":" << s.userTime()
@@ -179,6 +182,7 @@ ResultsSink::record(const ResultRow &row)
     cs << row.experiment << ',' << row.cell << ',' << row.workload << ','
        << row.system << ',' << row.machineHash << ','
        << formatDouble(row.wallMs) << ',' << (row.shared ? 1 : 0) << ','
+       << row.traceMode << ',' << row.peakRssKb << ','
        << s.osTime() << ',' << s.userTime() << ',' << s.idle << ','
        << s.totalTime() << ',' << s.osMissTotal() << ','
        << s.osMissBlock << ',' << s.osMissCoherenceTotal() << ','

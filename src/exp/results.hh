@@ -35,6 +35,10 @@ struct ResultRow
     double wallMs = 0.0;
     /** True when the outcome was computed by another cell's run. */
     bool shared = false;
+    /** How the run's records were sourced ("materialized", ...). */
+    std::string traceMode;
+    /** Process peak RSS (KiB) when the cell finished. */
+    long peakRssKb = 0;
     const CellOutcome *outcome = nullptr;
 };
 

@@ -283,4 +283,11 @@ MetricsSnapshot::render(std::ostream &os) const
     }
 }
 
+MetricsRegistry &
+processMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
 } // namespace oscache

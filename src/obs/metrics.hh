@@ -240,6 +240,14 @@ class MetricsRegistry
     mutable std::atomic<bool> frozen{false};
 };
 
+/**
+ * The process-wide registry for long-lived counters that outlast any
+ * single simulation run (e.g. the shared trace cache's hit/miss/
+ * eviction counts).  Register all handles on first use — the layout
+ * freezes at the first record, like any registry.
+ */
+MetricsRegistry &processMetrics();
+
 } // namespace oscache
 
 #endif // OSCACHE_OBS_METRICS_HH

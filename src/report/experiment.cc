@@ -4,10 +4,14 @@
 #include <future>
 #include <map>
 #include <mutex>
-#include <tuple>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "exp/hash.hh"
+#include "obs/metrics.hh"
 #include "synth/generator.hh"
+#include "synth/stream_source.hh"
 
 namespace oscache
 {
@@ -15,31 +19,82 @@ namespace oscache
 namespace
 {
 
-using CacheKey = std::tuple<int, bool, bool, bool>;
 using TracePtr = std::shared_ptr<const Trace>;
+
+/**
+ * Process-wide trace-cache counters, registered on first use.  The
+ * registry freezes its layout at the first record, so all three are
+ * created together.
+ */
+struct CacheCounters
+{
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+};
+
+CacheCounters &
+cacheCounters()
+{
+    static CacheCounters counters{
+        processMetrics().counter("trace_cache.hit"),
+        processMetrics().counter("trace_cache.miss"),
+        processMetrics().counter("trace_cache.eviction"),
+    };
+    return counters;
+}
+
+/** Approximate in-memory footprint of a materialized trace. */
+std::size_t
+traceBytes(const Trace &trace)
+{
+    return trace.totalRecords() * sizeof(TraceRecord) +
+           trace.blockOps().size() * sizeof(BlockOp) +
+           trace.updatePages().size() * sizeof(Addr);
+}
+
+/** Content-hash key for (workload, coherence options). */
+std::string
+traceKey(WorkloadKind workload, const CoherenceOptions &options)
+{
+    ContentHash h;
+    mixProfile(h, WorkloadProfile::forKind(workload));
+    mixCoherence(h, options);
+    return h.hex();
+}
 
 /**
  * All mutable cache state behind one mutex.  Each entry is a shared
  * future acting as the per-key generation latch: the first requester
  * inserts the future and generates outside the lock; concurrent
  * requesters for the same key block on the future instead of
- * regenerating.  Entries hold shared_ptrs, so clearTraceCache() only
- * detaches them from the map — threads still running on a trace keep
- * it alive.
+ * regenerating.  Entries hold shared_ptrs, so evicting or clearing
+ * only detaches them from the map — threads still running on a
+ * trace keep it alive.  Completed entries carry their footprint and
+ * a last-use stamp for the LRU size cap.
  */
-/** One cache entry: the generation latch for a key. */
 struct Entry
 {
     std::shared_future<TracePtr> future;
+    std::uint64_t lastUse = 0;
+    std::size_t bytes = 0;
+    bool ready = false;
 };
 
 struct CacheState
 {
     std::mutex mutex;
-    std::map<CacheKey, std::shared_ptr<Entry>> entries;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+    std::uint64_t useClock = 0;
+    std::size_t totalBytes = 0;
+    std::size_t capacityBytes = defaultTraceCacheBytes;
     TraceCacheStats stats;
     TraceLoadHook load;
     TraceStoreHook store;
+
+    TraceSourceMode sourceMode = TraceSourceMode::Materialized;
+    std::size_t readAhead = defaultStreamReadAhead;
+    TraceSourceHook sourceHook;
 };
 
 CacheState &
@@ -49,13 +104,43 @@ cacheState()
     return state;
 }
 
+/**
+ * Drop least-recently-used completed entries until the total fits
+ * the cap again.  @p keep (the entry just inserted or hit) is never
+ * the victim, so a single oversized trace still serves its
+ * requesters.  Evicted entries are appended to @p out for
+ * destruction outside the lock.
+ */
+void
+evictLocked(CacheState &state, const std::shared_ptr<Entry> &keep,
+            std::vector<std::shared_ptr<Entry>> &out)
+{
+    while (state.capacityBytes != 0 &&
+           state.totalBytes > state.capacityBytes) {
+        auto victim = state.entries.end();
+        for (auto it = state.entries.begin(); it != state.entries.end();
+             ++it) {
+            if (!it->second->ready || it->second == keep)
+                continue;
+            if (victim == state.entries.end() ||
+                it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == state.entries.end())
+            break;
+        state.totalBytes -= victim->second->bytes;
+        ++state.stats.evictions;
+        out.push_back(std::move(victim->second));
+        state.entries.erase(victim);
+    }
+}
+
 TracePtr
 cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
 {
-    const CacheKey key{static_cast<int>(workload),
-                       options.privatizeCounters, options.relocate,
-                       options.selectiveUpdate};
+    const std::string key = traceKey(workload, options);
     CacheState &state = cacheState();
+    CacheCounters &counters = cacheCounters();
 
     std::promise<TracePtr> promise;
     std::shared_ptr<Entry> entry;
@@ -68,15 +153,18 @@ cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
         if (it != state.entries.end()) {
             ++state.stats.memoryHits;
             entry = it->second;
+            entry->lastUse = ++state.useClock;
         } else {
             creator = true;
             entry = std::make_shared<Entry>();
             entry->future = promise.get_future().share();
+            entry->lastUse = ++state.useClock;
             state.entries.emplace(key, entry);
             load = state.load;
             store = state.store;
         }
     }
+    (creator ? counters.misses : counters.hits).add();
 
     if (creator) {
         try {
@@ -87,11 +175,22 @@ cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
             TracePtr ptr = std::make_shared<const Trace>(
                 fresh ? generateTrace(workload, options)
                       : std::move(*loaded));
+            std::vector<std::shared_ptr<Entry>> evicted;
             {
                 std::lock_guard<std::mutex> lock(state.mutex);
                 ++(fresh ? state.stats.generated
                          : state.stats.persistentHits);
+                entry->bytes = traceBytes(*ptr);
+                entry->ready = true;
+                // The entry may have been detached by a concurrent
+                // clearTraceCache(); only account for it if present.
+                const auto it = state.entries.find(key);
+                if (it != state.entries.end() && it->second == entry) {
+                    state.totalBytes += entry->bytes;
+                    evictLocked(state, entry, evicted);
+                }
             }
+            counters.evictions.add(evicted.size());
             if (fresh && store)
                 store(workload, options, *ptr);
             promise.set_value(std::move(ptr));
@@ -123,8 +222,30 @@ RunResult
 runWorkload(WorkloadKind workload, const SystemSetup &setup,
             const MachineConfig &machine)
 {
-    const TracePtr trace = cachedWorkloadTrace(workload, setup.coherence);
     const WorkloadProfile profile = WorkloadProfile::forKind(workload);
+
+    TraceSourceMode mode;
+    TraceSourceHook hook;
+    {
+        CacheState &state = cacheState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        mode = state.sourceMode;
+        hook = state.sourceHook;
+    }
+
+    if (mode == TraceSourceMode::Streamed) {
+        const auto open = [&]() -> std::unique_ptr<TraceSource> {
+            if (hook) {
+                if (auto source = hook(workload, setup.coherence))
+                    return source;
+            }
+            return std::make_unique<SynthTraceSource>(profile,
+                                                      setup.coherence);
+        };
+        return runOnSource(open, machine, profile.simOptions(), setup);
+    }
+
+    const TracePtr trace = cachedWorkloadTrace(workload, setup.coherence);
     return runOnTrace(*trace, machine, profile.simOptions(), setup);
 }
 
@@ -139,14 +260,36 @@ void
 clearTraceCache()
 {
     CacheState &state = cacheState();
-    std::map<CacheKey, std::shared_ptr<Entry>> detached;
+    std::map<std::string, std::shared_ptr<Entry>> detached;
     {
         std::lock_guard<std::mutex> lock(state.mutex);
         detached.swap(state.entries);
+        state.totalBytes = 0;
     }
     // The detached entries (and any traces only they referenced) are
     // destroyed here, outside the lock.  In-flight generations hold
     // their own Entry reference and complete normally.
+}
+
+void
+setTraceCacheCapacity(std::size_t bytes)
+{
+    CacheState &state = cacheState();
+    std::vector<std::shared_ptr<Entry>> evicted;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.capacityBytes = bytes;
+        evictLocked(state, nullptr, evicted);
+    }
+    cacheCounters().evictions.add(evicted.size());
+}
+
+std::size_t
+traceCacheCapacity()
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.capacityBytes;
 }
 
 TraceCacheStats
@@ -172,6 +315,46 @@ setTraceCacheHooks(TraceLoadHook load, TraceStoreHook store)
     std::lock_guard<std::mutex> lock(state.mutex);
     state.load = std::move(load);
     state.store = std::move(store);
+}
+
+void
+setTraceSourceMode(TraceSourceMode mode)
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.sourceMode = mode;
+}
+
+TraceSourceMode
+traceSourceMode()
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.sourceMode;
+}
+
+void
+setStreamReadAhead(std::size_t records)
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.readAhead = records == 0 ? 1 : records;
+}
+
+std::size_t
+streamReadAhead()
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.readAhead;
+}
+
+void
+setTraceSourceHook(TraceSourceHook hook)
+{
+    CacheState &state = cacheState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.sourceHook = std::move(hook);
 }
 
 } // namespace oscache

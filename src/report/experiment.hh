@@ -16,6 +16,7 @@
 #ifndef OSCACHE_REPORT_EXPERIMENT_HH
 #define OSCACHE_REPORT_EXPERIMENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "core/system_config.hh"
 #include "mem/config.hh"
 #include "synth/profile.hh"
+#include "trace/source.hh"
 
 namespace oscache
 {
@@ -74,7 +76,29 @@ struct TraceCacheStats
     std::uint64_t persistentHits = 0;
     /** Traces generated from scratch. */
     std::uint64_t generated = 0;
+    /** Entries dropped by the LRU size cap. */
+    std::uint64_t evictions = 0;
 };
+
+/**
+ * Default in-memory trace-cache capacity.  Big enough that the
+ * registered experiments never evict; small enough that a parameter
+ * sweep over long traces cannot grow the process without bound.
+ */
+inline constexpr std::size_t defaultTraceCacheBytes =
+    std::size_t{512} * 1024 * 1024;
+
+/**
+ * Cap the in-memory trace cache at @p bytes (approximate in-memory
+ * footprint; 0 = unbounded).  When an insert pushes the total over
+ * the cap, least-recently-used *completed* entries are dropped from
+ * the map — holders of the shared_ptr keep their traces alive, and
+ * in-flight generations are never evicted.  Thread-safe.
+ */
+void setTraceCacheCapacity(std::size_t bytes);
+
+/** Current trace-cache capacity in bytes (0 = unbounded). */
+std::size_t traceCacheCapacity();
 
 /** Current process-wide trace-cache counters. */
 TraceCacheStats traceCacheStats();
@@ -97,6 +121,46 @@ using TraceStoreHook = std::function<void(
  * at startup.
  */
 void setTraceCacheHooks(TraceLoadHook load, TraceStoreHook store);
+
+/** @} */
+
+/** @name Streamed trace sourcing @{ */
+
+/** How runWorkload() obtains its records. */
+enum class TraceSourceMode
+{
+    /** Generate (or load) the whole trace up front and cache it. */
+    Materialized,
+    /**
+     * Pull records through streaming cursors — from the source hook
+     * (e.g. a chunked artifact file) when it offers one, else
+     * directly from the synthesizer — so no full trace is built and
+     * peak memory is bounded by the cursor buffers.
+     */
+    Streamed,
+};
+
+/** Set/get the process-wide trace-source mode.  Thread-safe. */
+void setTraceSourceMode(TraceSourceMode mode);
+TraceSourceMode traceSourceMode();
+
+/**
+ * Read-ahead (in records, per processor) for streamed file sources
+ * opened by the hook; forwarded so tools can expose a knob.
+ */
+void setStreamReadAhead(std::size_t records);
+std::size_t streamReadAhead();
+
+/**
+ * Opens a streamed source for (workload, options), or nullptr to
+ * fall back to on-demand synthesis.  Invoked once per simulation
+ * pass under TraceSourceMode::Streamed.
+ */
+using TraceSourceHook = std::function<std::unique_ptr<TraceSource>(
+    WorkloadKind, const CoherenceOptions &)>;
+
+/** Install (or clear, with an empty function) the source hook. */
+void setTraceSourceHook(TraceSourceHook hook);
 
 /** @} */
 

@@ -243,6 +243,12 @@ struct SimStats
     }
 
     /** @} */
+
+    /**
+     * Member-wise equality; the streaming tests pin that the
+     * streamed and materialized replay paths agree bit for bit.
+     */
+    bool operator==(const SimStats &) const = default;
 };
 
 } // namespace oscache

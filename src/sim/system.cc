@@ -7,26 +7,46 @@
 namespace oscache
 {
 
+System::System(TraceSource &source_, MemorySystem &mem_,
+               BlockOpExecutor &executor_, const SimOptions &options,
+               SimStats &stats)
+    : source(source_), mem(mem_), executor(executor_), opts(options),
+      simStats(stats), cpus(source_.numCpus())
+{
+    attach();
+}
+
 System::System(const Trace &trace_, MemorySystem &mem_,
                BlockOpExecutor &executor_, const SimOptions &options,
                SimStats &stats)
-    : trace(trace_), mem(mem_), executor(executor_), opts(options),
+    : ownedSource(std::make_unique<MaterializedTraceSource>(trace_)),
+      source(*ownedSource), mem(mem_), executor(executor_), opts(options),
       simStats(stats), cpus(trace_.numCpus())
 {
-    if (trace.numCpus() != mem.config().numCpus)
-        fatal("System: trace has ", trace.numCpus(), " cpus but machine has ",
-              mem.config().numCpus);
-    mem.setUpdatePages(&trace.updatePages());
+    attach();
+}
+
+void
+System::attach()
+{
+    if (source.numCpus() != mem.config().numCpus)
+        fatal("System: trace has ", source.numCpus(),
+              " cpus but machine has ", mem.config().numCpus);
+    mem.setUpdatePages(&source.updatePages());
+    cursors.reserve(source.numCpus());
+    for (CpuId cpu = 0; cpu < source.numCpus(); ++cpu)
+        cursors.push_back(source.cursor(cpu));
 }
 
 void
 System::run()
 {
+    const unsigned num_cpus = source.numCpus();
     while (true) {
         CpuId best = 0;
         bool any = false;
         Cycles best_time = 0;
-        for (CpuId c = 0; c < trace.numCpus(); ++c) {
+        for (CpuId c = 0; c < num_cpus; ++c) {
             if (cpus[c].state == CpuRunState::Done)
                 continue;
             if (!any || cpus[c].time < best_time) {
@@ -80,7 +100,7 @@ System::step(CpuId cpu)
             lock.held = true;
             lock.holder = cpu;
             cs.state = CpuRunState::Running;
-            cs.pos += 1;
+            cursors[cpu]->advance();
             consecutiveSpins = 0;
         } else {
             cs.time += opts.spinQuantum;
@@ -109,7 +129,7 @@ System::step(CpuId cpu)
                                 invalidBasicBlock, rd);
             cs.time = rd.completeAt;
             cs.state = CpuRunState::Running;
-            cs.pos += 1;
+            cursors[cpu]->advance();
             consecutiveSpins = 0;
         } else {
             cs.time += opts.spinQuantum;
@@ -120,12 +140,14 @@ System::step(CpuId cpu)
         return;
     }
 
-    const RecordStream &stream = trace.stream(cpu);
-    if (cs.pos >= stream.size()) {
+    const TraceRecord *next = cursors[cpu]->peek();
+    if (next == nullptr) {
         cs.state = CpuRunState::Done;
         return;
     }
-    const TraceRecord &rec = stream[cs.pos];
+    // Copy: on streamed sources the peeked storage is recycled once
+    // a handler advances the cursor.
+    const TraceRecord rec = *next;
     consecutiveSpins = 0;
 
     switch (rec.type) {
@@ -135,7 +157,7 @@ System::step(CpuId cpu)
       case RecordType::Idle:
         simStats.idle += rec.aux;
         cs.time += rec.aux;
-        cs.pos += 1;
+        cursors[cpu]->advance();
         break;
       case RecordType::Read:
       case RecordType::Write:
@@ -146,7 +168,7 @@ System::step(CpuId cpu)
         handleBlockOp(cpu, rec);
         break;
       case RecordType::BlockOpEnd:
-        cs.pos += 1; // The Begin handler already did the work.
+        cursors[cpu]->advance(); // The Begin handler already did the work.
         break;
       case RecordType::LockAcquire:
         handleLockAcquire(cpu, rec);
@@ -189,7 +211,7 @@ System::handleExec(CpuId cpu, const TraceRecord &rec)
     simStats.recordExec(rec.isOs(), rec.isBlockOpBody(), rec.aux, exec,
                         imiss);
     cs.time += exec + imiss;
-    cs.pos += 1;
+    cursors[cpu]->advance();
 }
 
 void
@@ -216,19 +238,21 @@ System::handleData(CpuId cpu, const TraceRecord &rec)
         simStats.recordExec(ctx.os, false, 1, 1, 0);
         cs.time += 1;
     }
-    cs.pos += 1;
+    cursors[cpu]->advance();
 }
 
 void
 System::handleBlockOp(CpuId cpu, const TraceRecord &rec)
 {
     CpuState &cs = cpus[cpu];
-    const BlockOp &op = trace.blockOps().get(rec.aux);
+    // By value: on streamed sources the table may grow (and its
+    // storage move) while other processors' cursors refill.
+    const BlockOp op = source.blockOps().get(rec.aux);
     const Cycles start = cs.time;
     cs.time = executor.execute(cpu, op, cs.time, rec.isOs());
     if (MemEventObserver *obs = mem.eventObserver())
         obs->onBlockOp(cpu, op, start, cs.time);
-    cs.pos += 1;
+    cursors[cpu]->advance();
 }
 
 void
@@ -240,7 +264,7 @@ System::handleLockAcquire(CpuId cpu, const TraceRecord &rec)
         syncRmw(cpu, rec.addr, DataCategory::Lock, rec.isOs());
         lock.held = true;
         lock.holder = cpu;
-        cs.pos += 1;
+        cursors[cpu]->advance();
         return;
     }
     if (lock.holder == cpu)
@@ -275,7 +299,7 @@ System::handleLockRelease(CpuId cpu, const TraceRecord &rec)
     simStats.recordWrite(ctx.os, false, wr);
     cs.time = wr.completeAt;
     it->second.held = false;
-    cs.pos += 1;
+    cursors[cpu]->advance();
 }
 
 void
@@ -295,7 +319,7 @@ System::handleBarrier(CpuId cpu, const TraceRecord &rec)
         bar.arrived = 0;
         bar.episode += 1;
         bar.releaseAt = cs.time;
-        cs.pos += 1;
+        cursors[cpu]->advance();
     } else {
         cs.state = CpuRunState::SpinBarrier;
         cs.waitAddr = rec.addr;

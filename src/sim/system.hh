@@ -2,7 +2,7 @@
  * @file
  * The whole-machine trace-driven simulation engine.
  *
- * System replays a multiprocessor Trace against a MemorySystem,
+ * System replays a multiprocessor trace against a MemorySystem,
  * advancing the processor with the smallest local time one record at
  * a time (min-time scheduling).  Synchronization records are retimed
  * rather than replayed verbatim: a LockAcquire spins until the holder
@@ -10,11 +10,19 @@
  * participants have arrived — so the mutual-exclusion functionality
  * of the original trace is maintained under the new memory-system
  * timings, as required by Section 2.2 of the paper.
+ *
+ * The engine pulls records through TraceSource cursors, so it runs
+ * identically from a materialized Trace, an on-disk file read
+ * incrementally, or a generator producing records on demand.  A
+ * side effect of min-time scheduling is that the consumers stay
+ * within about one synchronization interval of each other, which is
+ * what keeps streamed sources' buffering bounded.
  */
 
 #ifndef OSCACHE_SIM_SYSTEM_HH
 #define OSCACHE_SIM_SYSTEM_HH
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +31,7 @@
 #include "sim/blockop_executor.hh"
 #include "sim/options.hh"
 #include "sim/stats.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace oscache
@@ -35,14 +44,20 @@ class System
 {
   public:
     /**
-     * @param trace    The trace to replay (must outlive the System).
+     * @param source   The trace source to replay (must outlive the
+     *                 System; one cursor per cpu is opened here).
      * @param mem      The memory system (update pages are taken from
-     *                 the trace automatically).
+     *                 the source automatically).
      * @param executor Scheme-specific block-operation executor; it
      *                 must record into the same @p stats object.
      * @param options  Processor-model knobs.
      * @param stats    Statistics sink shared with the executor.
      */
+    System(TraceSource &source, MemorySystem &mem,
+           BlockOpExecutor &executor, const SimOptions &options,
+           SimStats &stats);
+
+    /** Convenience: replay a materialized trace. */
     System(const Trace &trace, MemorySystem &mem, BlockOpExecutor &executor,
            const SimOptions &options, SimStats &stats);
 
@@ -63,7 +78,6 @@ class System
 
     struct CpuState
     {
-        std::size_t pos = 0;
         Cycles time = 0;
         CpuRunState state = CpuRunState::Running;
         /** Lock or barrier address being waited on. */
@@ -87,6 +101,8 @@ class System
         Cycles releaseAt = 0;
     };
 
+    void attach();
+
     /** Process one record (or one spin quantum) on @p cpu. */
     void step(CpuId cpu);
 
@@ -103,12 +119,15 @@ class System
     /** Perform the read-modify-write of a synchronization variable. */
     void syncRmw(CpuId cpu, Addr addr, DataCategory cat, bool os);
 
-    const Trace &trace;
+    /** Backing source of the convenience Trace constructor. */
+    std::unique_ptr<MaterializedTraceSource> ownedSource;
+    TraceSource &source;
     MemorySystem &mem;
     BlockOpExecutor &executor;
     SimOptions opts;
     SimStats &simStats;
 
+    std::vector<std::unique_ptr<RecordCursor>> cursors;
     std::vector<CpuState> cpus;
     std::unordered_map<Addr, LockState> locks;
     std::unordered_map<Addr, BarrierState> barriers;

@@ -30,8 +30,16 @@ class Emitter
      */
     Emitter(RecordStream &stream, BlockOpTable &block_ops,
             double os_exec_scale = 1.0)
-        : stream(stream), blockOps(block_ops), execScale(os_exec_scale)
+        : stream(&stream), blockOps(block_ops), execScale(os_exec_scale)
     {}
+
+    /**
+     * Redirect emission to @p new_stream.  The streaming generator
+     * points each emitter at a fresh per-quantum chunk while the
+     * cumulative instruction/reference state (which sizes the idle
+     * tails) carries across quanta untouched.
+     */
+    void retarget(RecordStream &new_stream) { stream = &new_stream; }
 
     /** Execute @p count (scaled) OS instructions in block @p bb. */
     void
@@ -40,7 +48,7 @@ class Emitter
         const auto scaled =
             std::uint32_t(double(count) * execScale + 0.5);
         instrCount += scaled;
-        stream.push_back(TraceRecord::exec(scaled, bb, true));
+        stream->push_back(TraceRecord::exec(scaled, bb, true));
     }
 
     /** Execute @p count user instructions in basic block @p bb. */
@@ -48,13 +56,13 @@ class Emitter
     userExec(std::uint32_t count, BasicBlockId bb)
     {
         instrCount += count;
-        stream.push_back(TraceRecord::exec(count, bb, false));
+        stream->push_back(TraceRecord::exec(count, bb, false));
     }
 
     /** Sit idle for @p cycles cycles. */
     void idle(std::uint32_t cycles)
     {
-        stream.push_back(TraceRecord::idle(cycles));
+        stream->push_back(TraceRecord::idle(cycles));
     }
 
     /** OS data read. */
@@ -62,7 +70,7 @@ class Emitter
     read(Addr addr, DataCategory cat, BasicBlockId bb)
     {
         refCount += 1;
-        stream.push_back(TraceRecord::read(addr, cat, bb, true));
+        stream->push_back(TraceRecord::read(addr, cat, bb, true));
     }
 
     /** OS data write. */
@@ -70,7 +78,7 @@ class Emitter
     write(Addr addr, DataCategory cat, BasicBlockId bb)
     {
         refCount += 1;
-        stream.push_back(TraceRecord::write(addr, cat, bb, true));
+        stream->push_back(TraceRecord::write(addr, cat, bb, true));
     }
 
     /** User data read. */
@@ -78,7 +86,7 @@ class Emitter
     userRead(Addr addr, BasicBlockId bb)
     {
         refCount += 1;
-        stream.push_back(
+        stream->push_back(
             TraceRecord::read(addr, DataCategory::User, bb, false));
     }
 
@@ -87,7 +95,7 @@ class Emitter
     userWrite(Addr addr, BasicBlockId bb)
     {
         refCount += 1;
-        stream.push_back(
+        stream->push_back(
             TraceRecord::write(addr, DataCategory::User, bb, false));
     }
 
@@ -111,13 +119,13 @@ class Emitter
         begin.type = RecordType::BlockOpBegin;
         begin.aux = id;
         begin.flags = flagOs;
-        stream.push_back(begin);
+        stream->push_back(begin);
 
         TraceRecord end;
         end.type = RecordType::BlockOpEnd;
         end.aux = id;
         end.flags = flagOs;
-        stream.push_back(end);
+        stream->push_back(end);
         return id;
     }
 
@@ -130,7 +138,7 @@ class Emitter
         r.addr = addr;
         r.category = DataCategory::Lock;
         r.flags = flagOs;
-        stream.push_back(r);
+        stream->push_back(r);
     }
 
     /** Release a kernel lock. */
@@ -142,7 +150,7 @@ class Emitter
         r.addr = addr;
         r.category = DataCategory::Lock;
         r.flags = flagOs;
-        stream.push_back(r);
+        stream->push_back(r);
     }
 
     /** Arrive at a gang-scheduling barrier of @p parties processors. */
@@ -155,7 +163,7 @@ class Emitter
         r.aux = parties;
         r.category = DataCategory::Barrier;
         r.flags = flagOs;
-        stream.push_back(r);
+        stream->push_back(r);
     }
 
     BlockOpTable &blockOpTable() { return blockOps; }
@@ -173,7 +181,7 @@ class Emitter
     }
 
   private:
-    RecordStream &stream;
+    RecordStream *stream;
     BlockOpTable &blockOps;
     double execScale = 1.0;
     std::uint64_t instrCount = 0;

@@ -1,0 +1,86 @@
+#include "synth/stream_source.hh"
+
+#include "common/log.hh"
+
+namespace oscache
+{
+
+/**
+ * Pulls from one processor's lane, asking the source to generate
+ * more quanta when the lane runs dry.
+ */
+class SynthTraceSource::Cursor final : public RecordCursor
+{
+  public:
+    Cursor(SynthTraceSource &source, CpuId cpu) : src(&source), cpu(cpu)
+    {}
+
+    const TraceRecord *
+    peek() override
+    {
+        auto &lane = src->lanes[cpu];
+        if (lane.empty())
+            src->refill(cpu);
+        return lane.empty() ? nullptr : &lane.front();
+    }
+
+    void
+    advance() override
+    {
+        auto &lane = src->lanes[cpu];
+        if (lane.empty())
+            panic("SynthTraceSource: advance past end of stream");
+        lane.pop_front();
+        src->buffered -= 1;
+    }
+
+  private:
+    SynthTraceSource *src;
+    CpuId cpu;
+};
+
+SynthTraceSource::SynthTraceSource(const WorkloadProfile &profile,
+                                   const CoherenceOptions &options,
+                                   unsigned num_cpus)
+    : gen(profile, options, num_cpus), lanes(num_cpus),
+      scratch(num_cpus), scratchPtrs(num_cpus),
+      cursorOpen(num_cpus, false)
+{
+    for (CpuId cpu = 0; cpu < num_cpus; ++cpu)
+        scratchPtrs[cpu] = &scratch[cpu];
+}
+
+SynthTraceSource::SynthTraceSource(WorkloadKind kind,
+                                   const CoherenceOptions &options,
+                                   unsigned num_cpus)
+    : SynthTraceSource(WorkloadProfile::forKind(kind), options, num_cpus)
+{}
+
+std::unique_ptr<RecordCursor>
+SynthTraceSource::cursor(CpuId cpu)
+{
+    if (cpu >= numCpus())
+        panic("SynthTraceSource::cursor: bad cpu ", int(cpu));
+    if (cursorOpen[cpu])
+        panic("SynthTraceSource: cursor for cpu ", int(cpu),
+              " opened twice (streamed records are consumed once)");
+    cursorOpen[cpu] = true;
+    return std::make_unique<Cursor>(*this, cpu);
+}
+
+void
+SynthTraceSource::refill(CpuId cpu)
+{
+    while (lanes[cpu].empty() && !gen.done()) {
+        gen.nextQuantum(scratchPtrs);
+        for (CpuId c = 0; c < numCpus(); ++c) {
+            lanes[c].insert(lanes[c].end(), scratch[c].begin(),
+                            scratch[c].end());
+            buffered += scratch[c].size();
+            scratch[c].clear();
+        }
+        peakBuffered = std::max(peakBuffered, buffered);
+    }
+}
+
+} // namespace oscache

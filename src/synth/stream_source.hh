@@ -1,0 +1,80 @@
+/**
+ * @file
+ * On-demand (streaming) synthetic trace source.
+ *
+ * Wraps TraceGenerator as a TraceSource: records are produced
+ * quantum by quantum as the replay engine pulls them, so generation
+ * overlaps simulation and the complete trace never exists in memory.
+ *
+ * Because all processors of one quantum are planned from shared
+ * draws of the master RNG, the generator always advances every
+ * processor together; records a consumer has not reached yet are
+ * buffered per processor.  Under the replay engine's min-time
+ * scheduler the consumers stay within about one quantum of each
+ * other, so the buffer holds O(cpus × quantum) records regardless of
+ * trace length — peakBufferedRecords() reports the observed high
+ * water mark so tests can pin that bound.
+ */
+
+#ifndef OSCACHE_SYNTH_STREAM_SOURCE_HH
+#define OSCACHE_SYNTH_STREAM_SOURCE_HH
+
+#include <deque>
+
+#include "synth/generator.hh"
+#include "trace/source.hh"
+
+namespace oscache
+{
+
+class SynthTraceSource final : public TraceSource
+{
+  public:
+    SynthTraceSource(const WorkloadProfile &profile,
+                     const CoherenceOptions &options,
+                     unsigned num_cpus = 4);
+    SynthTraceSource(WorkloadKind kind, const CoherenceOptions &options,
+                     unsigned num_cpus = 4);
+
+    unsigned numCpus() const override { return gen.numCpus(); }
+
+    /** Grows as quanta are generated; take entries by value. */
+    const BlockOpTable &blockOps() const override
+    {
+        return gen.blockOps();
+    }
+
+    const std::unordered_set<Addr> &updatePages() const override
+    {
+        return gen.updatePages();
+    }
+
+    /** One cursor per cpu; opening a cpu's cursor twice is an error. */
+    std::unique_ptr<RecordCursor> cursor(CpuId cpu) override;
+
+    const char *mode() const override { return "synth"; }
+
+    /**
+     * Most records buffered across all processors at any point so
+     * far — the streaming path's actual memory footprint.
+     */
+    std::size_t peakBufferedRecords() const { return peakBuffered; }
+
+  private:
+    class Cursor;
+
+    /** Generate quanta until @p cpu has a buffered record or done. */
+    void refill(CpuId cpu);
+
+    TraceGenerator gen;
+    std::vector<std::deque<TraceRecord>> lanes;
+    std::vector<RecordStream> scratch;
+    std::vector<RecordStream *> scratchPtrs;
+    std::vector<bool> cursorOpen;
+    std::size_t buffered = 0;
+    std::size_t peakBuffered = 0;
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_SYNTH_STREAM_SOURCE_HH

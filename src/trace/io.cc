@@ -6,15 +6,15 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <type_traits>
 #include <vector>
 
 #include "common/log.hh"
+#include "trace/io_detail.hh"
 
 namespace oscache
 {
 
-namespace
+namespace iodetail
 {
 
 const char *
@@ -37,24 +37,181 @@ categoryCode(DataCategory cat)
     panic("bad DataCategory");
 }
 
+bool
+tryParseCategory(const std::string &code, DataCategory &out)
+{
+    if (code == "user")         out = DataCategory::User;
+    else if (code == "kpriv")   out = DataCategory::KernelPrivate;
+    else if (code == "bsrc")    out = DataCategory::BlockSrc;
+    else if (code == "bdst")    out = DataCategory::BlockDst;
+    else if (code == "barrier") out = DataCategory::Barrier;
+    else if (code == "infreq")  out = DataCategory::InfreqComm;
+    else if (code == "freqsh")  out = DataCategory::FreqShared;
+    else if (code == "lock")    out = DataCategory::Lock;
+    else if (code == "oshared") out = DataCategory::OtherShared;
+    else if (code == "pte")     out = DataCategory::PageTable;
+    else if (code == "kother")  out = DataCategory::KernelOther;
+    else return false;
+    return true;
+}
+
 DataCategory
 parseCategory(const std::string &code)
 {
-    if (code == "user")    return DataCategory::User;
-    if (code == "kpriv")   return DataCategory::KernelPrivate;
-    if (code == "bsrc")    return DataCategory::BlockSrc;
-    if (code == "bdst")    return DataCategory::BlockDst;
-    if (code == "barrier") return DataCategory::Barrier;
-    if (code == "infreq")  return DataCategory::InfreqComm;
-    if (code == "freqsh")  return DataCategory::FreqShared;
-    if (code == "lock")    return DataCategory::Lock;
-    if (code == "oshared") return DataCategory::OtherShared;
-    if (code == "pte")     return DataCategory::PageTable;
-    if (code == "kother")  return DataCategory::KernelOther;
-    fatal("trace: unknown data category '", code, "'");
+    DataCategory cat;
+    if (!tryParseCategory(code, cat))
+        fatal("trace: unknown data category '", code, "'");
+    return cat;
 }
 
-} // namespace
+void
+putRecordText(std::ostream &os, const TraceRecord &rec)
+{
+    switch (rec.type) {
+      case RecordType::Exec:
+        os << "x " << rec.aux << " " << rec.bb << " "
+           << (rec.isOs() ? 1 : 0) << "\n";
+        break;
+      case RecordType::Idle:
+        os << "i " << rec.aux << "\n";
+        break;
+      case RecordType::Read:
+      case RecordType::Write:
+        os << (rec.type == RecordType::Read ? "r " : "w ") << std::hex
+           << rec.addr << std::dec << " " << categoryCode(rec.category)
+           << " " << rec.bb << " " << (rec.isOs() ? 1 : 0) << " "
+           << unsigned(rec.size) << "\n";
+        break;
+      case RecordType::Prefetch:
+        os << "p " << std::hex << rec.addr << std::dec << " "
+           << categoryCode(rec.category) << " " << rec.bb << " "
+           << (rec.isOs() ? 1 : 0) << "\n";
+        break;
+      case RecordType::BlockOpBegin:
+        os << "B " << rec.aux << "\n";
+        break;
+      case RecordType::BlockOpEnd:
+        os << "E " << rec.aux << "\n";
+        break;
+      case RecordType::LockAcquire:
+        os << "L " << std::hex << rec.addr << std::dec << "\n";
+        break;
+      case RecordType::LockRelease:
+        os << "U " << std::hex << rec.addr << std::dec << "\n";
+        break;
+      case RecordType::BarrierArrive:
+        os << "A " << std::hex << rec.addr << std::dec << " " << rec.aux
+           << "\n";
+        break;
+    }
+}
+
+bool
+tryParseRecordLine(const std::string &line, TraceRecord &rec,
+                   const char **why)
+{
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+
+    rec = TraceRecord();
+    if (kw == "x") {
+        unsigned os_flag;
+        ls >> rec.aux >> rec.bb >> os_flag;
+        rec.type = RecordType::Exec;
+        rec.flags = os_flag ? flagOs : 0;
+    } else if (kw == "i") {
+        ls >> rec.aux;
+        rec.type = RecordType::Idle;
+    } else if (kw == "r" || kw == "w" || kw == "p") {
+        std::string cat;
+        unsigned os_flag;
+        ls >> std::hex >> rec.addr >> std::dec >> cat >> rec.bb >> os_flag;
+        if (!tryParseCategory(cat, rec.category)) {
+            *why = "unknown data category";
+            return false;
+        }
+        rec.flags = os_flag ? flagOs : 0;
+        if (kw == "p") {
+            rec.type = RecordType::Prefetch;
+        } else {
+            unsigned size;
+            ls >> size;
+            rec.size = std::uint8_t(size);
+            rec.type = kw == "r" ? RecordType::Read : RecordType::Write;
+        }
+    } else if (kw == "B" || kw == "E") {
+        ls >> rec.aux;
+        rec.type = kw == "B" ? RecordType::BlockOpBegin
+                             : RecordType::BlockOpEnd;
+        rec.flags = flagOs;
+    } else if (kw == "L" || kw == "U") {
+        ls >> std::hex >> rec.addr >> std::dec;
+        rec.type = kw == "L" ? RecordType::LockAcquire
+                             : RecordType::LockRelease;
+        rec.category = DataCategory::Lock;
+        rec.flags = flagOs;
+    } else if (kw == "A") {
+        ls >> std::hex >> rec.addr >> std::dec >> rec.aux;
+        rec.type = RecordType::BarrierArrive;
+        rec.category = DataCategory::Barrier;
+        rec.flags = flagOs;
+    } else {
+        *why = "unknown directive";
+        return false;
+    }
+    if (ls.fail()) {
+        *why = "malformed record";
+        return false;
+    }
+    return true;
+}
+
+TraceRecord
+parseRecordLine(const std::string &line)
+{
+    TraceRecord rec;
+    const char *why = nullptr;
+    if (!tryParseRecordLine(line, rec, &why))
+        fatal("trace: ", why, " '", line, "'");
+    return rec;
+}
+
+bool
+getBlockOps(BinaryReader &r, BlockOpTable &ops, const char **why)
+{
+    std::uint64_t op_count = 0;
+    if (!r.get(op_count) || op_count > (1ull << 32)) {
+        *why = "bad block-op count";
+        return false;
+    }
+    for (std::uint64_t i = 0; i < op_count; ++i) {
+        BlockOp op;
+        std::uint8_t kind = 0;
+        std::uint8_t ro = 0;
+        if (!r.get(op.src) || !r.get(op.dst) || !r.get(op.size) ||
+            !r.get(kind) || !r.get(ro)) {
+            *why = "truncated block-op table";
+            return false;
+        }
+        if (kind > std::uint8_t(BlockOpKind::Zero) || ro > 1) {
+            *why = "bad block-op encoding";
+            return false;
+        }
+        op.kind = BlockOpKind(kind);
+        op.readOnlyAfter = ro != 0;
+        ops.add(op);
+    }
+    return true;
+}
+
+} // namespace iodetail
+
+using iodetail::BinaryReader;
+using iodetail::BinaryWriter;
+using iodetail::binaryMagic;
+using iodetail::chunkEndMarker;
+using iodetail::getBlockOps;
 
 void
 writeTrace(std::ostream &os, const Trace &trace)
@@ -72,46 +229,8 @@ writeTrace(std::ostream &os, const Trace &trace)
     }
     for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu) {
         os << "stream " << unsigned(cpu) << "\n";
-        for (const TraceRecord &rec : trace.stream(cpu)) {
-            switch (rec.type) {
-              case RecordType::Exec:
-                os << "x " << rec.aux << " " << rec.bb << " "
-                   << (rec.isOs() ? 1 : 0) << "\n";
-                break;
-              case RecordType::Idle:
-                os << "i " << rec.aux << "\n";
-                break;
-              case RecordType::Read:
-              case RecordType::Write:
-                os << (rec.type == RecordType::Read ? "r " : "w ")
-                   << std::hex << rec.addr << std::dec << " "
-                   << categoryCode(rec.category) << " " << rec.bb << " "
-                   << (rec.isOs() ? 1 : 0) << " " << unsigned(rec.size)
-                   << "\n";
-                break;
-              case RecordType::Prefetch:
-                os << "p " << std::hex << rec.addr << std::dec << " "
-                   << categoryCode(rec.category) << " " << rec.bb << " "
-                   << (rec.isOs() ? 1 : 0) << "\n";
-                break;
-              case RecordType::BlockOpBegin:
-                os << "B " << rec.aux << "\n";
-                break;
-              case RecordType::BlockOpEnd:
-                os << "E " << rec.aux << "\n";
-                break;
-              case RecordType::LockAcquire:
-                os << "L " << std::hex << rec.addr << std::dec << "\n";
-                break;
-              case RecordType::LockRelease:
-                os << "U " << std::hex << rec.addr << std::dec << "\n";
-                break;
-              case RecordType::BarrierArrive:
-                os << "A " << std::hex << rec.addr << std::dec << " "
-                   << rec.aux << "\n";
-                break;
-            }
-        }
+        for (const TraceRecord &rec : trace.stream(cpu))
+            iodetail::putRecordText(os, rec);
     }
 }
 
@@ -168,53 +287,7 @@ readTrace(std::istream &is)
         } else {
             if (stream == nullptr)
                 fatal("trace: record before any stream directive");
-            TraceRecord rec;
-            if (kw == "x") {
-                unsigned os_flag;
-                ls >> rec.aux >> rec.bb >> os_flag;
-                rec.type = RecordType::Exec;
-                rec.flags = os_flag ? flagOs : 0;
-            } else if (kw == "i") {
-                ls >> rec.aux;
-                rec.type = RecordType::Idle;
-            } else if (kw == "r" || kw == "w" || kw == "p") {
-                std::string cat;
-                unsigned os_flag;
-                ls >> std::hex >> rec.addr >> std::dec >> cat >> rec.bb >>
-                    os_flag;
-                rec.category = parseCategory(cat);
-                rec.flags = os_flag ? flagOs : 0;
-                if (kw == "p") {
-                    rec.type = RecordType::Prefetch;
-                } else {
-                    unsigned size;
-                    ls >> size;
-                    rec.size = std::uint8_t(size);
-                    rec.type = kw == "r" ? RecordType::Read
-                                         : RecordType::Write;
-                }
-            } else if (kw == "B" || kw == "E") {
-                ls >> rec.aux;
-                rec.type = kw == "B" ? RecordType::BlockOpBegin
-                                     : RecordType::BlockOpEnd;
-                rec.flags = flagOs;
-            } else if (kw == "L" || kw == "U") {
-                ls >> std::hex >> rec.addr >> std::dec;
-                rec.type = kw == "L" ? RecordType::LockAcquire
-                                     : RecordType::LockRelease;
-                rec.category = DataCategory::Lock;
-                rec.flags = flagOs;
-            } else if (kw == "A") {
-                ls >> std::hex >> rec.addr >> std::dec >> rec.aux;
-                rec.type = RecordType::BarrierArrive;
-                rec.category = DataCategory::Barrier;
-                rec.flags = flagOs;
-            } else {
-                fatal("trace: unknown directive '", kw, "'");
-            }
-            if (ls.fail())
-                fatal("trace: malformed record '", line, "'");
-            stream->push_back(rec);
+            stream->push_back(iodetail::parseRecordLine(line));
         }
     }
 
@@ -232,81 +305,38 @@ readTrace(std::istream &is)
 namespace
 {
 
-/** Leading bytes of a binary trace file. */
-constexpr char binaryMagic[4] = {'O', 'S', 'T', 'R'};
-
-/**
- * Streaming FNV-1a checksum accumulated over every byte written
- * after (or read after) the magic, so truncation and bit rot are
- * both caught on reload.
- */
-class ChecksumStream
+/** Serialize the update pages sorted: equal traces, equal bytes. */
+void
+putUpdatePages(BinaryWriter &w, const std::unordered_set<Addr> &set)
 {
-  public:
-    void
-    mix(const void *data, std::size_t size)
-    {
-        const auto *bytes = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < size; ++i) {
-            state ^= bytes[i];
-            state *= 0x100000001b3ull;
-        }
-    }
+    std::vector<Addr> pages(set.begin(), set.end());
+    std::sort(pages.begin(), pages.end());
+    w.put(std::uint64_t(pages.size()));
+    for (const Addr page : pages)
+        w.put(page);
+}
 
-    std::uint64_t value() const { return state; }
-
-  private:
-    std::uint64_t state = 0xcbf29ce484222325ull;
-};
-
-class BinaryWriter
+void
+putBlockOps(BinaryWriter &w, const BlockOpTable &ops)
 {
-  public:
-    explicit BinaryWriter(std::ostream &os) : os(os) {}
-
-    template <typename T>
-    void
-    put(T value)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        char buf[sizeof(T)];
-        std::memcpy(buf, &value, sizeof(T));
-        os.write(buf, sizeof(T));
-        sum.mix(buf, sizeof(T));
+    w.put(std::uint64_t(ops.size()));
+    for (const BlockOp &op : ops) {
+        w.put(op.src);
+        w.put(op.dst);
+        w.put(op.size);
+        w.put(std::uint8_t(op.kind));
+        w.put(std::uint8_t(op.readOnlyAfter ? 1 : 0));
     }
+}
 
-    std::uint64_t checksum() const { return sum.value(); }
-
-  private:
-    std::ostream &os;
-    ChecksumStream sum;
-};
-
-class BinaryReader
+/** Write the raw (not-yet-checksummed) trailing checksum word. */
+void
+putChecksum(std::ostream &os, std::uint64_t sum)
 {
-  public:
-    explicit BinaryReader(std::istream &is) : is(is) {}
-
-    template <typename T>
-    bool
-    get(T &value)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        char buf[sizeof(T)];
-        is.read(buf, sizeof(T));
-        if (is.gcount() != std::streamsize(sizeof(T)))
-            return false;
-        std::memcpy(&value, buf, sizeof(T));
-        sum.mix(buf, sizeof(T));
-        return true;
-    }
-
-    std::uint64_t checksum() const { return sum.value(); }
-
-  private:
-    std::istream &is;
-    ChecksumStream sum;
-};
+    char buf[sizeof(sum)];
+    std::memcpy(buf, &sum, sizeof(sum));
+    os.write(buf, sizeof(sum));
+}
 
 } // namespace
 
@@ -317,68 +347,32 @@ writeTraceBinary(std::ostream &os, const Trace &trace)
     BinaryWriter w(os);
     w.put(traceBinaryVersion);
     w.put(std::uint32_t(trace.numCpus()));
-
-    // Sort the update pages so equal traces produce equal bytes
-    // (the in-memory set iterates in hash order).
-    std::vector<Addr> pages(trace.updatePages().begin(),
-                            trace.updatePages().end());
-    std::sort(pages.begin(), pages.end());
-    w.put(std::uint64_t(pages.size()));
-    for (const Addr page : pages)
-        w.put(page);
-
-    w.put(std::uint64_t(trace.blockOps().size()));
-    for (const BlockOp &op : trace.blockOps()) {
-        w.put(op.src);
-        w.put(op.dst);
-        w.put(op.size);
-        w.put(std::uint8_t(op.kind));
-        w.put(std::uint8_t(op.readOnlyAfter ? 1 : 0));
-    }
+    putUpdatePages(w, trace.updatePages());
+    putBlockOps(w, trace.blockOps());
 
     for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu) {
         const RecordStream &stream = trace.stream(cpu);
         w.put(std::uint64_t(stream.size()));
-        for (const TraceRecord &rec : stream) {
-            w.put(rec.addr);
-            w.put(rec.aux);
-            w.put(rec.bb);
-            w.put(std::uint8_t(rec.type));
-            w.put(std::uint8_t(rec.category));
-            w.put(rec.size);
-            w.put(rec.flags);
-        }
+        for (const TraceRecord &rec : stream)
+            iodetail::putRecord(w, rec);
     }
 
     // The checksum itself is excluded from the checksummed range.
-    const std::uint64_t sum = w.checksum();
-    char buf[sizeof(sum)];
-    std::memcpy(buf, &sum, sizeof(sum));
-    os.write(buf, sizeof(sum));
+    putChecksum(os, w.checksum());
 }
 
+namespace
+{
+
 bool
-tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
+readBinaryV2Body(std::istream &is, BinaryReader &r, std::uint32_t cpus,
+                 Trace &out, std::string *error)
 {
     const auto fail = [error](const char *why) {
         if (error != nullptr)
             *error = why;
         return false;
     };
-
-    char magic[sizeof(binaryMagic)];
-    is.read(magic, sizeof(magic));
-    if (is.gcount() != std::streamsize(sizeof(magic)) ||
-        std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
-        return fail("bad magic");
-
-    BinaryReader r(is);
-    std::uint32_t version = 0;
-    std::uint32_t cpus = 0;
-    if (!r.get(version) || version != traceBinaryVersion)
-        return fail("unsupported version");
-    if (!r.get(cpus) || cpus == 0 || cpus > 64)
-        return fail("bad cpu count");
 
     Trace trace(cpus);
 
@@ -392,22 +386,9 @@ tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
         trace.updatePages().insert(page);
     }
 
-    std::uint64_t op_count = 0;
-    if (!r.get(op_count) || op_count > (1ull << 32))
-        return fail("bad block-op count");
-    for (std::uint64_t i = 0; i < op_count; ++i) {
-        BlockOp op;
-        std::uint8_t kind = 0;
-        std::uint8_t ro = 0;
-        if (!r.get(op.src) || !r.get(op.dst) || !r.get(op.size) ||
-            !r.get(kind) || !r.get(ro))
-            return fail("truncated block-op table");
-        if (kind > std::uint8_t(BlockOpKind::Zero) || ro > 1)
-            return fail("bad block-op encoding");
-        op.kind = BlockOpKind(kind);
-        op.readOnlyAfter = ro != 0;
-        trace.blockOps().add(op);
-    }
+    const char *why = nullptr;
+    if (!getBlockOps(r, trace.blockOps(), &why))
+        return fail(why);
 
     for (CpuId cpu = 0; cpu < cpus; ++cpu) {
         std::uint64_t count = 0;
@@ -417,19 +398,8 @@ tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
         stream.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
             TraceRecord rec;
-            std::uint8_t type = 0;
-            std::uint8_t category = 0;
-            if (!r.get(rec.addr) || !r.get(rec.aux) || !r.get(rec.bb) ||
-                !r.get(type) || !r.get(category) || !r.get(rec.size) ||
-                !r.get(rec.flags))
-                return fail("truncated record stream");
-            if (type > std::uint8_t(RecordType::BarrierArrive))
-                return fail("bad record type");
-            if (category >=
-                static_cast<unsigned>(DataCategory::NumCategories))
-                return fail("bad data category");
-            rec.type = RecordType(type);
-            rec.category = DataCategory(category);
+            if (!iodetail::getRecord(r, rec, &why))
+                return fail(why);
             if ((rec.type == RecordType::BlockOpBegin ||
                  rec.type == RecordType::BlockOpEnd) &&
                 rec.aux >= trace.blockOps().size())
@@ -456,6 +426,111 @@ tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
     return true;
 }
 
+bool
+readChunkedV3Body(std::istream &is, BinaryReader &r, std::uint32_t cpus,
+                  Trace &out, std::string *error)
+{
+    const auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    Trace trace(cpus);
+
+    std::uint64_t page_count = 0;
+    if (!r.get(page_count) || page_count > (1u << 20))
+        return fail("bad update-page count");
+    for (std::uint64_t i = 0; i < page_count; ++i) {
+        Addr page = 0;
+        if (!r.get(page))
+            return fail("truncated update pages");
+        trace.updatePages().insert(page);
+    }
+
+    // Record chunks first; the table only arrives afterwards, so
+    // block-op references are bounds-checked at the end via the
+    // largest id seen.
+    std::uint64_t max_op_ref = 0;
+    bool any_op_ref = false;
+    const char *why = nullptr;
+    while (true) {
+        std::uint32_t cpu = 0;
+        if (!r.get(cpu))
+            return fail("truncated chunk header");
+        if (cpu == chunkEndMarker)
+            break;
+        std::uint32_t count = 0;
+        if (cpu >= cpus || !r.get(count))
+            return fail("bad chunk header");
+        RecordStream &stream = trace.stream(CpuId(cpu));
+        for (std::uint32_t i = 0; i < count; ++i) {
+            TraceRecord rec;
+            if (!iodetail::getRecord(r, rec, &why))
+                return fail(why);
+            if (rec.type == RecordType::BlockOpBegin ||
+                rec.type == RecordType::BlockOpEnd) {
+                any_op_ref = true;
+                max_op_ref = std::max<std::uint64_t>(max_op_ref, rec.aux);
+            }
+            stream.push_back(rec);
+        }
+    }
+
+    if (!getBlockOps(r, trace.blockOps(), &why))
+        return fail(why);
+    if (any_op_ref && max_op_ref >= trace.blockOps().size())
+        return fail("record references unknown block op");
+
+    const std::uint64_t expected = r.checksum();
+    std::uint64_t stored = 0;
+    {
+        char buf[sizeof(stored)];
+        is.read(buf, sizeof(buf));
+        if (is.gcount() != std::streamsize(sizeof(buf)))
+            return fail("missing checksum");
+        std::memcpy(&stored, buf, sizeof(stored));
+    }
+    if (stored != expected)
+        return fail("checksum mismatch");
+    if (is.peek() != std::istream::traits_type::eof())
+        return fail("trailing garbage");
+
+    out = std::move(trace);
+    return true;
+}
+
+} // namespace
+
+bool
+tryReadTraceBinary(std::istream &is, Trace &out, std::string *error)
+{
+    const auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    char magic[sizeof(binaryMagic)];
+    is.read(magic, sizeof(magic));
+    if (is.gcount() != std::streamsize(sizeof(magic)) ||
+        std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
+        return fail("bad magic");
+
+    BinaryReader r(is);
+    std::uint32_t version = 0;
+    std::uint32_t cpus = 0;
+    if (!r.get(version) ||
+        (version != traceBinaryVersion && version != traceChunkedVersion))
+        return fail("unsupported version");
+    if (!r.get(cpus) || cpus == 0 || cpus > 64)
+        return fail("bad cpu count");
+
+    return version == traceBinaryVersion
+               ? readBinaryV2Body(is, r, cpus, out, error)
+               : readChunkedV3Body(is, r, cpus, out, error);
+}
+
 Trace
 readTraceBinary(std::istream &is)
 {
@@ -466,19 +541,101 @@ readTraceBinary(std::istream &is)
     return trace;
 }
 
+struct ChunkedTraceWriter::Impl
+{
+    Impl(std::ostream &os) : os(os), w(os) {}
+
+    std::ostream &os;
+    BinaryWriter w;
+    unsigned cpus = 0;
+    bool finished = false;
+};
+
+ChunkedTraceWriter::ChunkedTraceWriter(
+    std::ostream &os, unsigned num_cpus,
+    const std::unordered_set<Addr> &update_pages)
+    : impl(std::make_unique<Impl>(os))
+{
+    if (num_cpus == 0 || num_cpus > 64)
+        fatal("chunked trace: bad cpu count ", num_cpus);
+    impl->cpus = num_cpus;
+    os.write(binaryMagic, sizeof(binaryMagic));
+    impl->w.put(traceChunkedVersion);
+    impl->w.put(std::uint32_t(num_cpus));
+    putUpdatePages(impl->w, update_pages);
+}
+
+ChunkedTraceWriter::~ChunkedTraceWriter() = default;
+
+void
+ChunkedTraceWriter::writeChunk(CpuId cpu, const TraceRecord *records,
+                               std::size_t count)
+{
+    if (impl->finished)
+        panic("chunked trace: writeChunk after finish");
+    if (cpu >= impl->cpus)
+        panic("chunked trace: bad cpu ", int(cpu));
+    while (count > 0) {
+        // Chunks carry a u32 count; split absurdly large ones.
+        const std::size_t n =
+            std::min<std::size_t>(count, chunkEndMarker - 1);
+        impl->w.put(std::uint32_t(cpu));
+        impl->w.put(std::uint32_t(n));
+        for (std::size_t i = 0; i < n; ++i)
+            iodetail::putRecord(impl->w, records[i]);
+        records += n;
+        count -= n;
+    }
+}
+
+void
+ChunkedTraceWriter::finish(const BlockOpTable &block_ops)
+{
+    if (impl->finished)
+        panic("chunked trace: finish called twice");
+    impl->finished = true;
+    impl->w.put(chunkEndMarker);
+    putBlockOps(impl->w, block_ops);
+    putChecksum(impl->os, impl->w.checksum());
+}
+
+void
+writeTraceChunked(std::ostream &os, const Trace &trace,
+                  std::size_t chunk_records)
+{
+    if (chunk_records == 0)
+        chunk_records = 1;
+    ChunkedTraceWriter writer(os, trace.numCpus(), trace.updatePages());
+    for (CpuId cpu = 0; cpu < trace.numCpus(); ++cpu) {
+        const RecordStream &stream = trace.stream(cpu);
+        for (std::size_t i = 0; i < stream.size(); i += chunk_records)
+            writer.writeChunk(
+                cpu, stream.data() + i,
+                std::min(chunk_records, stream.size() - i));
+    }
+    writer.finish(trace.blockOps());
+}
+
 void
 writeTraceFile(const std::string &path, const Trace &trace,
                TraceFormat format)
 {
-    std::ofstream os(path, format == TraceFormat::Binary
-                               ? std::ios::out | std::ios::binary
-                               : std::ios::out);
+    std::ofstream os(path, format == TraceFormat::Text
+                               ? std::ios::out
+                               : std::ios::out | std::ios::binary);
     if (!os)
         fatal("cannot open '", path, "' for writing");
-    if (format == TraceFormat::Binary)
-        writeTraceBinary(os, trace);
-    else
+    switch (format) {
+      case TraceFormat::Text:
         writeTrace(os, trace);
+        break;
+      case TraceFormat::Binary:
+        writeTraceBinary(os, trace);
+        break;
+      case TraceFormat::Chunked:
+        writeTraceChunked(os, trace);
+        break;
+    }
     if (!os)
         fatal("error writing trace to '", path, "'");
 }

@@ -34,12 +34,24 @@
  * table, the per-cpu record streams as packed fixed-width records,
  * and a trailing FNV-1a checksum of everything after the magic.
  * readTraceFile() auto-detects the format from the leading bytes.
+ *
+ * Version 3 is the *chunked* binary layout, designed so a trace can
+ * be written while it is being generated, without ever materializing
+ * it: after the same magic/version/cpus/update-pages header come
+ * interleaved record chunks — [u32 cpu][u32 count][count packed
+ * records] — terminated by a cpu sentinel of 0xffffffff, and only
+ * then the block-op table (it grows during generation, so it must
+ * trail the records) and the same trailing FNV-1a checksum.
+ * Because nothing is back-patched, the checksum streams, and a
+ * reader can index the chunks in one O(1)-memory pass
+ * (FileTraceSource in source.hh does exactly that).
  */
 
 #ifndef OSCACHE_TRACE_IO_HH
 #define OSCACHE_TRACE_IO_HH
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "trace/trace.hh"
@@ -50,8 +62,9 @@ namespace oscache
 /** On-disk trace encodings. */
 enum class TraceFormat
 {
-    Text,   ///< Line-oriented, greppable (format version 1).
-    Binary, ///< Packed records + checksum (format version 2).
+    Text,    ///< Line-oriented, greppable (format version 1).
+    Binary,  ///< Packed records + checksum (format version 2).
+    Chunked, ///< Streamable interleaved chunks (format version 3).
 };
 
 /**
@@ -60,6 +73,9 @@ enum class TraceFormat
  * into its content keys so stale files are never misread.
  */
 inline constexpr std::uint32_t traceBinaryVersion = 2;
+
+/** Version word of the chunked (streamable) binary layout. */
+inline constexpr std::uint32_t traceChunkedVersion = 3;
 
 /** Serialize @p trace to @p os in the text format above. */
 void writeTrace(std::ostream &os, const Trace &trace);
@@ -74,7 +90,8 @@ Trace readTrace(std::istream &is);
 void writeTraceBinary(std::ostream &os, const Trace &trace);
 
 /**
- * Parse a binary-format trace from @p is into @p out.
+ * Parse a binary-format trace (v2 or chunked v3, selected by the
+ * version word) from @p is into @p out.
  *
  * Unlike readTrace() this never exits: a truncated, corrupt, or
  * wrong-version stream returns false (with the reason in @p error
@@ -86,6 +103,58 @@ bool tryReadTraceBinary(std::istream &is, Trace &out,
 
 /** As tryReadTraceBinary(), but fatal() on malformed input. */
 Trace readTraceBinary(std::istream &is);
+
+/**
+ * Incremental writer of the chunked v3 format.  The header is
+ * emitted on construction; record chunks stream out as the caller
+ * produces them (any cpu order, any chunk sizes, empty chunks
+ * skipped); finish() appends the block-op table and checksum.
+ * Nothing is buffered beyond the caller's chunks and nothing is
+ * back-patched, so memory stays O(chunk) however long the trace is.
+ */
+class ChunkedTraceWriter
+{
+  public:
+    /**
+     * Emit the header.  @p update_pages is serialized sorted so
+     * identical traces produce identical bytes.
+     */
+    ChunkedTraceWriter(std::ostream &os, unsigned num_cpus,
+                      const std::unordered_set<Addr> &update_pages);
+    ~ChunkedTraceWriter();
+
+    ChunkedTraceWriter(const ChunkedTraceWriter &) = delete;
+    ChunkedTraceWriter &operator=(const ChunkedTraceWriter &) = delete;
+
+    /** Append one chunk of @p cpu's stream (no-op when count == 0). */
+    void writeChunk(CpuId cpu, const TraceRecord *records,
+                    std::size_t count);
+
+    /** Convenience overload. */
+    void
+    writeChunk(CpuId cpu, const RecordStream &records)
+    {
+        writeChunk(cpu, records.data(), records.size());
+    }
+
+    /**
+     * Terminate the chunk sequence and append the (now final)
+     * block-op table and the trailing checksum.  Must be called
+     * exactly once, after the last chunk.
+     */
+    void finish(const BlockOpTable &block_ops);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/**
+ * Serialize @p trace to @p os in the chunked v3 format, splitting
+ * each stream into chunks of @p chunk_records.
+ */
+void writeTraceChunked(std::ostream &os, const Trace &trace,
+                       std::size_t chunk_records = 65536);
 
 /** Convenience: write to / read from a file path. */
 void writeTraceFile(const std::string &path, const Trace &trace,

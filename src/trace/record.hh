@@ -141,6 +141,8 @@ struct TraceRecord
     std::uint8_t size = 4;
     std::uint8_t flags = 0;
 
+    bool operator==(const TraceRecord &) const = default;
+
     /** True iff issued by operating-system code. */
     bool isOs() const { return flags & flagOs; }
     /** True iff part of a block-operation body. */

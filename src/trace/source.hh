@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Pull-based streaming trace abstraction.
+ *
+ * Every consumer of a multiprocessor trace — the replay engine, the
+ * linter, the profiler feed, the format converters — used to take a
+ * fully materialized Trace: every record of every processor resident
+ * in memory before the first one is consumed, so peak RSS scaled
+ * with trace length times the number of concurrent runs.  A
+ * TraceSource instead hands each consumer one RecordCursor per
+ * processor plus the up-front metadata (update-page set, block-op
+ * table), and implementations bound how much of the trace exists at
+ * once:
+ *
+ *  - MaterializedTraceSource wraps an existing Trace (tests, small
+ *    runs, trace-rewriting passes);
+ *  - FileTraceSource (this header) reads the text, binary-v2, and
+ *    chunked-v3 on-disk formats incrementally with a bounded
+ *    read-ahead buffer per processor;
+ *  - SynthTraceSource (src/synth/stream_source.hh) generates records
+ *    on demand, quantum by quantum, so generation overlaps
+ *    simulation and no full trace is ever built.
+ *
+ * Contract notes:
+ *  - cursor() may be called at most once per cpu on streaming
+ *    sources; a materialized source allows repeated passes.
+ *  - blockOps() may GROW while cursors advance (streamed synthesis
+ *    appends operations as it generates); ids already handed out
+ *    stay valid, but references into the table must not be held
+ *    across cursor operations.
+ *  - updatePages() is complete before the first cursor is read.
+ */
+
+#ifndef OSCACHE_TRACE_SOURCE_HH
+#define OSCACHE_TRACE_SOURCE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace oscache
+{
+
+/**
+ * Forward-only iterator over one processor's record stream.
+ * peek() returns the current record without consuming it (nullptr
+ * once the stream is exhausted); advance() consumes it.  The pointer
+ * returned by peek() is invalidated by advance().
+ */
+class RecordCursor
+{
+  public:
+    virtual ~RecordCursor() = default;
+
+    /** Current record, or nullptr at end of stream. */
+    virtual const TraceRecord *peek() = 0;
+
+    /** Consume the current record.  Undefined after end of stream. */
+    virtual void advance() = 0;
+};
+
+/**
+ * A multiprocessor trace served incrementally: up-front metadata
+ * plus one record cursor per processor.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    virtual unsigned numCpus() const = 0;
+
+    /**
+     * The shared block-operation table.  May grow while cursors
+     * advance (streamed synthesis); take entries by value.
+     */
+    virtual const BlockOpTable &blockOps() const = 0;
+
+    /**
+     * Pages under the selective-update protocol; complete and stable
+     * for the lifetime of the source (MemorySystem keeps a pointer).
+     */
+    virtual const std::unordered_set<Addr> &updatePages() const = 0;
+
+    /** Open the cursor for @p cpu (once per cpu on streamed sources). */
+    virtual std::unique_ptr<RecordCursor> cursor(CpuId cpu) = 0;
+
+    /**
+     * Record count of @p cpu's stream when known without consuming
+     * it (materialized and file sources); nullopt when only reading
+     * to the end can tell (streamed synthesis).
+     */
+    virtual std::optional<std::size_t> knownRecords(CpuId cpu) const
+    {
+        (void)cpu;
+        return std::nullopt;
+    }
+
+    /** Short mode tag for diagnostics ("materialized", "file", ...). */
+    virtual const char *mode() const = 0;
+};
+
+/** Cursor over an in-memory RecordStream (shared by adapters). */
+class VectorRecordCursor final : public RecordCursor
+{
+  public:
+    explicit VectorRecordCursor(const RecordStream &stream)
+        : stream(&stream)
+    {}
+
+    const TraceRecord *
+    peek() override
+    {
+        return pos < stream->size() ? &(*stream)[pos] : nullptr;
+    }
+
+    void advance() override { ++pos; }
+
+  private:
+    const RecordStream *stream;
+    std::size_t pos = 0;
+};
+
+/**
+ * TraceSource over an existing in-memory Trace.  The trace must
+ * outlive the source; cursors may be opened any number of times.
+ */
+class MaterializedTraceSource final : public TraceSource
+{
+  public:
+    explicit MaterializedTraceSource(const Trace &trace) : traceRef(trace)
+    {}
+
+    unsigned numCpus() const override { return traceRef.numCpus(); }
+    const BlockOpTable &blockOps() const override
+    {
+        return traceRef.blockOps();
+    }
+    const std::unordered_set<Addr> &updatePages() const override
+    {
+        return traceRef.updatePages();
+    }
+
+    std::unique_ptr<RecordCursor>
+    cursor(CpuId cpu) override
+    {
+        return std::make_unique<VectorRecordCursor>(traceRef.stream(cpu));
+    }
+
+    std::optional<std::size_t>
+    knownRecords(CpuId cpu) const override
+    {
+        return traceRef.stream(cpu).size();
+    }
+
+    const char *mode() const override { return "materialized"; }
+
+    const Trace &trace() const { return traceRef; }
+
+  private:
+    const Trace &traceRef;
+};
+
+/**
+ * Default per-processor read-ahead of the streaming file reader, in
+ * records.  4096 records × 24 bytes ≈ 96 KB per cpu — two orders of
+ * magnitude below a full workload stream — while still amortizing
+ * the per-refill parse/seek cost.
+ */
+inline constexpr std::size_t defaultStreamReadAhead = 4096;
+
+/**
+ * Streaming reader of on-disk traces in any supported format (text
+ * v1, binary v2, chunked v3 — detected from the leading bytes).
+ *
+ * Construction performs one O(1)-memory validation pass over the
+ * whole file — structure, record bounds, and (binary formats) the
+ * trailing checksum — and indexes where each processor's records
+ * live, so a truncated or corrupted file fails up front rather than
+ * mid-simulation.  Each cursor then re-reads its processor's byte
+ * ranges through its own stream with a bounded read-ahead buffer.
+ */
+class FileTraceSource final : public TraceSource
+{
+  public:
+    /**
+     * Open and validate @p path.  fatal()s on any malformed input;
+     * use tryOpen() for the non-fatal variant.
+     *
+     * @param read_ahead Cursor buffer size in records (clamped to a
+     *        minimum of 1).
+     */
+    explicit FileTraceSource(
+        const std::string &path,
+        std::size_t read_ahead = defaultStreamReadAhead);
+
+    /**
+     * As the constructor, but a malformed file returns nullptr with
+     * the reason in @p error (when non-null) instead of exiting —
+     * the artifact cache discards and regenerates.
+     */
+    static std::unique_ptr<FileTraceSource>
+    tryOpen(const std::string &path,
+            std::size_t read_ahead = defaultStreamReadAhead,
+            std::string *error = nullptr);
+
+    unsigned numCpus() const override;
+    const BlockOpTable &blockOps() const override { return table; }
+    const std::unordered_set<Addr> &updatePages() const override
+    {
+        return pages;
+    }
+    std::unique_ptr<RecordCursor> cursor(CpuId cpu) override;
+    std::optional<std::size_t> knownRecords(CpuId cpu) const override;
+    const char *mode() const override { return "file"; }
+
+    /** On-disk format the open file turned out to be in. */
+    enum class Format
+    {
+        Text,
+        BinaryV2,
+        ChunkedV3,
+    };
+    Format format() const { return fileFormat; }
+
+    /** Cursor read-ahead, in records. */
+    std::size_t readAhead() const { return bufferRecords; }
+
+  private:
+    FileTraceSource() = default;
+
+    /** One contiguous byte range of records belonging to a cpu. */
+    struct Segment
+    {
+        std::uint64_t offset = 0; ///< Absolute file offset.
+        std::uint64_t records = 0; ///< Record count (binary formats).
+        std::uint64_t end = 0;     ///< End offset (text format).
+    };
+
+    /** Validate + index; returns false with @p error on bad input. */
+    bool scan(std::string *error);
+    bool scanText(std::istream &is, std::string *error);
+    bool scanBinary(std::istream &is, std::string *error);
+
+    class TextCursor;
+    class BinaryCursor;
+
+    std::string path;
+    std::size_t bufferRecords = defaultStreamReadAhead;
+    Format fileFormat = Format::Text;
+    BlockOpTable table;
+    std::unordered_set<Addr> pages;
+    std::vector<std::vector<Segment>> segments; ///< Per cpu.
+    std::vector<std::size_t> recordCounts;      ///< Per cpu.
+};
+
+} // namespace oscache
+
+#endif // OSCACHE_TRACE_SOURCE_HH

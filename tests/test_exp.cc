@@ -132,7 +132,7 @@ TEST(ExpGraph, ParallelMatchesSerial)
             if (dep >= 0)
                 deps.push_back(prev[std::size_t(dep)]);
             prev.push_back(graph.add(
-                "n" + std::to_string(i),
+                std::string("n") + std::to_string(i),
                 [&results, dep, i] {
                     results[std::size_t(i)] =
                         (dep >= 0 ? results[std::size_t(dep)] : 1) * 2 + i;

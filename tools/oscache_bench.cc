@@ -52,6 +52,15 @@ usage()
         "  --cache-dir D   trace artifact cache directory\n"
         "                  (default .oscache-artifacts)\n"
         "  --no-cache      disable the persistent trace cache\n"
+        "  --stream        pull records through streaming cursors\n"
+        "                  (bounded memory; synthesize on demand or\n"
+        "                  replay chunked artifacts incrementally)\n"
+        "  --stream-buffer N\n"
+        "                  cursor read-ahead in records per cpu\n"
+        "                  (default 4096)\n"
+        "  --trace-cache-mb N\n"
+        "                  in-memory trace cache cap in MiB\n"
+        "                  (default 512; 0 = unbounded)\n"
         "  --results BASE  write BASE.jsonl and BASE.csv\n"
         "                  (default oscache_results; - disables)\n"
         "  --quiet         no per-cell progress lines\n"
@@ -81,6 +90,9 @@ main(int argc, char **argv)
     bool smoke = false;
     bool quiet = false;
     bool metrics = false;
+    bool stream = false;
+    std::size_t stream_buffer = defaultStreamReadAhead;
+    std::size_t trace_cache_bytes = defaultTraceCacheBytes;
     std::string timeline_file;
     std::string cache_dir = ".oscache-artifacts";
     std::string results_base = "oscache_results";
@@ -103,6 +115,16 @@ main(int argc, char **argv)
             cache_dir = value();
         } else if (arg == "--no-cache") {
             cache_dir.clear();
+        } else if (arg == "--stream") {
+            stream = true;
+        } else if (arg == "--stream-buffer") {
+            stream_buffer = std::strtoul(value().c_str(), nullptr, 10);
+            if (stream_buffer == 0)
+                fatal("--stream-buffer must be >= 1");
+        } else if (arg == "--trace-cache-mb") {
+            trace_cache_bytes =
+                std::strtoul(value().c_str(), nullptr, 10) *
+                std::size_t{1024} * 1024;
         } else if (arg == "--results") {
             results_base = value();
             if (results_base == "-")
@@ -165,6 +187,9 @@ main(int argc, char **argv)
     options.jobs = jobs;
     options.smoke = smoke;
     options.store = store.get();
+    options.stream = stream;
+    options.streamBufferRecords = stream_buffer;
+    options.traceCacheBytes = trace_cache_bytes;
     options.resultsBase = results_base;
     options.timeline = timeline.get();
     std::atomic<unsigned> done{0};
@@ -189,11 +214,14 @@ main(int argc, char **argv)
     std::printf("cells simulated: %u (+%u shared)\n", report.cellsRun,
                 report.cellsShared);
     std::printf("cell cpu time:   %.1f s\n", report.totalCellMs / 1000.0);
+    std::printf("trace source:    %s\n",
+                stream ? "streamed cursors" : "materialized");
     std::printf("traces:          %llu generated, %llu loaded from disk, "
-                "%llu in-memory hits\n",
+                "%llu in-memory hits, %llu evicted\n",
                 (unsigned long long)report.traceStats.generated,
                 (unsigned long long)report.traceStats.persistentHits,
-                (unsigned long long)report.traceStats.memoryHits);
+                (unsigned long long)report.traceStats.memoryHits,
+                (unsigned long long)report.traceStats.evictions);
     if (store)
         std::printf("artifact cache:  %s (%llu hits, %llu misses, "
                     "%llu rejected)\n",

@@ -10,18 +10,25 @@
  *   oscache list
  */
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/version.hh"
 #include "core/blockop/schemes.hh"
 #include "report/experiment.hh"
 #include "sim/system.hh"
 #include "synth/generator.hh"
+#include "synth/stream_source.hh"
 #include "trace/io.hh"
+#include "trace/source.hh"
 
 using namespace oscache;
 
@@ -74,7 +81,14 @@ usage()
         "  --seed <n>           workload random seed\n"
         "  --icache             model the instruction cache in detail\n"
         "  --trace <file>       trace file (replay)\n"
-        "  --out <file>         output trace file (generate)\n");
+        "  --out <file>         output trace file (generate)\n"
+        "  --format <f>         generate output format: text | binary |\n"
+        "                       chunked (chunked streams to disk with\n"
+        "                       bounded memory)\n"
+        "  --stream             run/replay through streaming cursors\n"
+        "                       instead of materializing the trace\n"
+        "  --stream-buffer <n>  cursor read-ahead in records per cpu\n"
+        "                       (default 4096)\n");
 }
 
 struct Args
@@ -88,6 +102,9 @@ struct Args
     bool icache = false;
     std::string traceFile;
     std::string outFile;
+    TraceFormat format = TraceFormat::Text;
+    bool stream = false;
+    std::size_t streamBuffer = defaultStreamReadAhead;
 };
 
 Args
@@ -134,6 +151,22 @@ parse(int argc, char **argv)
             args.traceFile = value();
         } else if (flag == "--out") {
             args.outFile = value();
+        } else if (flag == "--format") {
+            const std::string name = value();
+            if (name == "text")
+                args.format = TraceFormat::Text;
+            else if (name == "binary")
+                args.format = TraceFormat::Binary;
+            else if (name == "chunked")
+                args.format = TraceFormat::Chunked;
+            else
+                fatal("unknown format '", name, "'");
+        } else if (flag == "--stream") {
+            args.stream = true;
+        } else if (flag == "--stream-buffer") {
+            args.streamBuffer = std::stoul(value());
+            if (args.streamBuffer == 0)
+                fatal("--stream-buffer must be >= 1");
         } else if (flag == "--version") {
             std::printf("%s\n", versionString().c_str());
             std::exit(0);
@@ -192,6 +225,9 @@ report(const SimStats &s, const BusSnapshot *bus)
                     (unsigned long long)bus->totalTransactions,
                     (unsigned long long)bus->totalBytes,
                     (unsigned long long)bus->busyCycles);
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0)
+        std::printf("memory: peak rss %ld KB\n", (long)usage.ru_maxrss);
 }
 
 int
@@ -199,12 +235,22 @@ cmdRun(const Args &args)
 {
     const WorkloadProfile profile = profileFor(args);
     const SystemSetup setup = SystemSetup::forKind(args.system);
-    const Trace trace = generateTrace(profile, setup.coherence);
     SimOptions opts = profile.simOptions();
     opts.modelICache = args.icache;
-    const RunResult result =
-        runOnTrace(trace, args.machine, opts, setup);
-    std::printf("== %s on %s ==\n", profile.name, toString(args.system));
+    RunResult result;
+    if (args.stream) {
+        result = runOnSource(
+            [&profile, &setup]() -> std::unique_ptr<TraceSource> {
+                return std::make_unique<SynthTraceSource>(profile,
+                                                          setup.coherence);
+            },
+            args.machine, opts, setup);
+    } else {
+        const Trace trace = generateTrace(profile, setup.coherence);
+        result = runOnTrace(trace, args.machine, opts, setup);
+    }
+    std::printf("== %s on %s%s ==\n", profile.name, toString(args.system),
+                args.stream ? " (streamed)" : "");
     report(result.stats, &result.bus);
     return 0;
 }
@@ -216,8 +262,37 @@ cmdGenerate(const Args &args)
         fatal("generate needs --out <file>");
     const WorkloadProfile profile = profileFor(args);
     const SystemSetup setup = SystemSetup::forKind(args.system);
+    if (args.format == TraceFormat::Chunked) {
+        // Chunked output streams one quantum at a time to disk; the
+        // whole trace is never resident.
+        std::ofstream os(args.outFile,
+                         std::ios::out | std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '", args.outFile, "' for writing");
+        TraceGenerator gen(profile, setup.coherence);
+        ChunkedTraceWriter writer(os, gen.numCpus(), gen.updatePages());
+        std::vector<RecordStream> chunk(gen.numCpus());
+        std::vector<RecordStream *> sinks;
+        for (RecordStream &s : chunk)
+            sinks.push_back(&s);
+        std::size_t records = 0;
+        while (!gen.done()) {
+            gen.nextQuantum(sinks);
+            for (unsigned c = 0; c < gen.numCpus(); ++c) {
+                records += chunk[c].size();
+                writer.writeChunk(c, chunk[c]);
+                chunk[c].clear();
+            }
+        }
+        writer.finish(gen.blockOps());
+        if (!os)
+            fatal("error writing '", args.outFile, "'");
+        std::printf("streamed %zu records (%zu block ops) to %s\n",
+                    records, gen.blockOps().size(), args.outFile.c_str());
+        return 0;
+    }
     const Trace trace = generateTrace(profile, setup.coherence);
-    writeTraceFile(args.outFile, trace);
+    writeTraceFile(args.outFile, trace, args.format);
     std::printf("wrote %zu records (%zu block ops) to %s\n",
                 trace.totalRecords(), trace.blockOps().size(),
                 args.outFile.c_str());
@@ -229,15 +304,31 @@ cmdReplay(const Args &args)
 {
     if (args.traceFile.empty())
         fatal("replay needs --trace <file>");
-    const Trace trace = readTraceFile(args.traceFile);
-    MachineConfig machine = args.machine;
-    machine.numCpus = trace.numCpus();
     SimOptions opts;
     opts.modelICache = args.icache;
     const SystemSetup setup = SystemSetup::forKind(args.system);
-    const RunResult result = runOnTrace(trace, machine, opts, setup);
-    std::printf("== %s on %s ==\n", args.traceFile.c_str(),
-                toString(args.system));
+    MachineConfig machine = args.machine;
+    RunResult result;
+    if (args.stream) {
+        // Probe once for the cpu count, then let each simulation pass
+        // re-open its own bounded-memory cursor source.
+        {
+            const FileTraceSource probe(args.traceFile, 1);
+            machine.numCpus = probe.numCpus();
+        }
+        result = runOnSource(
+            [&args]() -> std::unique_ptr<TraceSource> {
+                return std::make_unique<FileTraceSource>(
+                    args.traceFile, args.streamBuffer);
+            },
+            machine, opts, setup);
+    } else {
+        const Trace trace = readTraceFile(args.traceFile);
+        machine.numCpus = trace.numCpus();
+        result = runOnTrace(trace, machine, opts, setup);
+    }
+    std::printf("== %s on %s%s ==\n", args.traceFile.c_str(),
+                toString(args.system), args.stream ? " (streamed)" : "");
     report(result.stats, &result.bus);
     return 0;
 }

@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "mem/memsys.hh"
 #include "synth/generator.hh"
 #include "trace/io.hh"
+#include "trace/source.hh"
 
 using namespace oscache;
 
@@ -67,7 +69,13 @@ usage()
         "  --quanta <n>         scheduling quanta to synthesize\n"
         "  --seed <n>           workload random seed\n"
         "  --simulate           also run the simulator with the\n"
-        "                       coherence invariant checker attached\n");
+        "                       coherence invariant checker attached\n"
+        "  --stream             lint a trace file through streaming\n"
+        "                       cursors (bounded memory; skips the\n"
+        "                       race detector, which needs the whole\n"
+        "                       trace resident)\n"
+        "  --stream-buffer <n>  cursor read-ahead in records per cpu\n"
+        "                       (default 4096)\n");
 }
 
 struct Args
@@ -78,6 +86,8 @@ struct Args
     std::optional<unsigned> quanta;
     std::optional<std::uint64_t> seed;
     bool simulate = false;
+    bool stream = false;
+    std::size_t streamBuffer = defaultStreamReadAhead;
 };
 
 Args
@@ -116,6 +126,12 @@ parse(int argc, char **argv)
             args.seed = std::stoull(value());
         } else if (flag == "--simulate") {
             args.simulate = true;
+        } else if (flag == "--stream") {
+            args.stream = true;
+        } else if (flag == "--stream-buffer") {
+            args.streamBuffer = std::stoul(value());
+            if (args.streamBuffer == 0)
+                fatal("--stream-buffer must be >= 1");
         } else if (flag == "--help" || flag == "-h") {
             usage();
             std::exit(0);
@@ -152,11 +168,46 @@ lintAndReport(const Trace &trace, const Args &args, const char *label)
     return errors;
 }
 
+/** Streamed lint: bounded memory however long the trace file is. */
+int
+cmdTraceStreamed(const Args &args)
+{
+    const char *label = args.traceFile.c_str();
+    FileTraceSource source(args.traceFile, args.streamBuffer);
+    const std::vector<CheckFinding> findings = lintSource(source);
+    for (const auto &f : findings)
+        std::printf("%s: %s\n", label, format(f).c_str());
+    const std::size_t errors = countErrors(findings);
+    std::size_t records = 0;
+    for (CpuId c = 0; c < source.numCpus(); ++c)
+        records += source.knownRecords(c).value_or(0);
+    std::printf("%s: %zu records, %zu findings (%zu errors) "
+                "[streamed, read-ahead %zu records/cpu]\n",
+                label, records, findings.size(), errors,
+                source.readAhead());
+
+    if (args.simulate) {
+        MachineConfig machine = MachineConfig::base();
+        machine.numCpus = source.numCpus();
+        const SystemSetup setup = SystemSetup::forKind(SystemKind::Base);
+        runOnSource(
+            [&args]() -> std::unique_ptr<TraceSource> {
+                return std::make_unique<FileTraceSource>(
+                    args.traceFile, args.streamBuffer);
+            },
+            machine, SimOptions{}, setup);
+        std::printf("%s: coherence invariants clean end-to-end\n", label);
+    }
+    return errors ? 1 : 0;
+}
+
 int
 cmdTrace(const Args &args)
 {
     if (args.traceFile.empty())
         fatal("trace needs --trace <file>");
+    if (args.stream)
+        return cmdTraceStreamed(args);
     const Trace trace = readTraceFile(args.traceFile);
     return lintAndReport(trace, args, args.traceFile.c_str()) ? 1 : 0;
 }

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -30,6 +31,7 @@
 #include "core/hotspot/hotspot.hh"
 #include "core/runner.hh"
 #include "synth/generator.hh"
+#include "synth/stream_source.hh"
 
 using namespace oscache;
 
@@ -83,6 +85,8 @@ usage()
         "  --sample <n>        keep every n-th timeline event "
         "(default 1)\n"
         "  --top <n>           hot spots to rank (default 12)\n"
+        "  --stream            feed the collectors through streaming\n"
+        "                      cursors (generation overlaps the run)\n"
         "  --version           print build identification and exit\n");
 }
 
@@ -99,6 +103,7 @@ struct Args
     Cycles window = 10'000;
     std::uint32_t sample = 1;
     unsigned top = paperHotspotCount;
+    bool stream = false;
 };
 
 Args
@@ -146,6 +151,8 @@ parse(int argc, char **argv)
                 fatal("--sample must be >= 1");
         } else if (flag == "--top") {
             args.top = unsigned(std::stoul(value()));
+        } else if (flag == "--stream") {
+            args.stream = true;
         } else if (flag == "--version") {
             std::printf("%s\n", versionString().c_str());
             std::exit(0);
@@ -210,7 +217,6 @@ main(int argc, char **argv)
         profile.seed = *args.seed;
 
     const SystemSetup setup = SystemSetup::forKind(args.system);
-    const Trace trace = generateTrace(profile, setup.coherence);
 
     SimOptions opts = profile.simOptions();
     opts.obs.profiler = args.hotspots;
@@ -220,8 +226,18 @@ main(int argc, char **argv)
     opts.obs.samplePeriod = args.sample;
     opts.obs.windowCycles = args.window;
 
-    const RunResult result =
-        runOnTrace(trace, MachineConfig::base(), opts, setup);
+    RunResult result;
+    if (args.stream) {
+        result = runOnSource(
+            [&profile, &setup]() -> std::unique_ptr<TraceSource> {
+                return std::make_unique<SynthTraceSource>(profile,
+                                                          setup.coherence);
+            },
+            MachineConfig::base(), opts, setup);
+    } else {
+        const Trace trace = generateTrace(profile, setup.coherence);
+        result = runOnTrace(trace, MachineConfig::base(), opts, setup);
+    }
     if (result.obs == nullptr)
         fatal("observability report missing (nothing was enabled?)");
     const ObsReport &obs = *result.obs;

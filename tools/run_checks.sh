@@ -24,21 +24,60 @@ echo "== lint selftest =="
 
 # The parallel experiment scheduler is the one concurrent subsystem;
 # build it (and the thread-safe trace cache under it) with TSan and
-# run the Exp* suites plus the end-to-end bench smoke.
+# run the Exp* and Stream* suites plus the end-to-end bench smoke.
 tsan_build="$build-tsan"
 echo "== configure tsan ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" -DOSCACHE_SANITIZE=thread
 
 echo "== build tsan =="
-cmake --build "$tsan_build" -j "$jobs" --target test_exp oscache_bench
+cmake --build "$tsan_build" -j "$jobs" --target test_exp test_stream \
+    oscache_bench
 
-echo "== ctest tsan (Exp*) =="
-ctest --test-dir "$tsan_build" --output-on-failure -j "$jobs" -R '^Exp'
+echo "== ctest tsan (Exp*, Stream*) =="
+ctest --test-dir "$tsan_build" --output-on-failure -j "$jobs" \
+    -R '^Exp|^Stream'
 
 echo "== bench smoke (tsan) =="
 "$tsan_build/tools/oscache-bench" --smoke --jobs 4 --quiet \
     --cache-dir "$tsan_build/bench_smoke_cache" \
     --results "$tsan_build/bench_smoke_results" all
+
+echo "== bench smoke streamed (tsan) =="
+"$tsan_build/tools/oscache-bench" --smoke --jobs 4 --quiet --stream \
+    --cache-dir "$tsan_build/bench_smoke_cache_stream" \
+    --results "$tsan_build/bench_smoke_results_stream" all
+
+# Memory stage: a streamed replay of a trace 10x the seed length must
+# stay under a fixed RSS ceiling — the point of the cursor pipeline.
+# The ceiling (256 MB) is far below what materializing this trace
+# costs and far above sanitizer/runtime overhead, so it only trips if
+# streaming regresses to whole-trace buffering.
+echo "== memory ceiling (streamed long trace) =="
+memdir=$(mktemp -d)
+rss_limit_kb=262144
+"$build/tools/oscache" generate --workload shell --quanta 360 \
+    --format chunked --out "$memdir/long.otc"
+if [ -x /usr/bin/time ]; then
+    /usr/bin/time -v "$build/tools/oscache" replay \
+        --trace "$memdir/long.otc" --system base --stream \
+        > "$memdir/replay.out" 2> "$memdir/time.out"
+    rss_kb=$(awk -F': ' '/Maximum resident set size/ {print $2}' \
+        "$memdir/time.out")
+else
+    # No GNU time in this environment: the CLI reports its own
+    # getrusage() high-water mark on every run.
+    "$build/tools/oscache" replay --trace "$memdir/long.otc" \
+        --system base --stream > "$memdir/replay.out"
+    rss_kb=$(awk '/peak rss/ {print $3}' "$memdir/replay.out")
+fi
+echo "streamed replay peak RSS: ${rss_kb} KB (ceiling ${rss_limit_kb} KB)"
+[ -n "$rss_kb" ] && [ "$rss_kb" -le "$rss_limit_kb" ] || {
+    echo "memory check failed: RSS ${rss_kb:-unknown} KB >" \
+        "${rss_limit_kb} KB" >&2
+    rm -rf "$memdir"
+    exit 1
+}
+rm -rf "$memdir"
 
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT
