@@ -1,0 +1,246 @@
+#include "dft/fuzz.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace oscache
+{
+namespace dft
+{
+
+namespace
+{
+
+/** Address-pool roles the generator draws from. */
+enum class Pool
+{
+    Conflict, ///< Same primary set, different lines.
+    Shared,   ///< Few lines every processor reads and writes.
+    Private,  ///< Per-processor region (permutation-symmetric noise).
+    Update,   ///< Lines in the (possibly) Firefly-update page.
+    Block,    ///< The block-operation source/destination region.
+};
+
+Pool
+pickPool(Rng &rng)
+{
+    const double roll = rng.uniform();
+    if (roll < 0.40)
+        return Pool::Conflict;
+    if (roll < 0.65)
+        return Pool::Shared;
+    if (roll < 0.80)
+        return Pool::Private;
+    if (roll < 0.90)
+        return Pool::Update;
+    return Pool::Block;
+}
+
+DataCategory
+poolCategory(Pool pool)
+{
+    switch (pool) {
+      case Pool::Conflict: return DataCategory::KernelOther;
+      case Pool::Shared:   return DataCategory::FreqShared;
+      case Pool::Private:  return DataCategory::KernelPrivate;
+      case Pool::Update:   return DataCategory::InfreqComm;
+      case Pool::Block:    return DataCategory::OtherShared;
+    }
+    return DataCategory::KernelOther;
+}
+
+/** Regions, all in kernel space and disjoint from each other. */
+constexpr Addr conflictBase = kernelSpaceBase;
+constexpr Addr sharedBase = kernelSpaceBase + 0x10000;
+constexpr Addr updatePageBase = kernelSpaceBase + 0x20000;
+constexpr Addr privateBase = kernelSpaceBase + 0x40000;
+constexpr Addr blockBase = kernelSpaceBase + 0x60000;
+constexpr Addr lockPageBase = kernelSpaceBase + 0x70000;
+
+} // namespace
+
+FuzzCase
+makeFuzzCase(std::uint64_t seed)
+{
+    Rng rng(seed);
+    FuzzCase fc;
+    fc.seed = seed;
+
+    // Tiny caches so every pool collides constantly: 64 primary sets,
+    // 64-128 secondary sets.
+    MachineConfig &m = fc.machine;
+    m.numCpus = unsigned(2 + rng.below(3));
+    m.l1Size = 1024;
+    m.l1LineSize = 16;
+    m.iCacheSize = 1024;
+    m.l2Size = rng.chance(0.5) ? 2048 : 4096;
+    m.l2LineSize = 32;
+    m.protocol = rng.chance(0.3) ? CoherenceProtocol::Msi
+                                 : CoherenceProtocol::Illinois;
+
+    constexpr BlockScheme schemes[] = {
+        BlockScheme::Base, BlockScheme::Pref, BlockScheme::Bypass,
+        BlockScheme::ByPref, BlockScheme::Dma,
+    };
+    fc.scheme = schemes[rng.below(std::size(schemes))];
+
+    fc.trace = Trace(m.numCpus);
+    Trace &trace = fc.trace;
+    if (rng.chance(0.5))
+        trace.updatePages().insert(updatePageBase);
+
+    const auto poolAddr = [&](Pool pool, CpuId cpu) -> Addr {
+        switch (pool) {
+          case Pool::Conflict:
+            // Same primary set: line stride equal to the cache size.
+            return conflictBase + rng.below(4) * m.l1Size +
+                   rng.below(m.l1LineSize / 4) * 4;
+          case Pool::Shared:
+            return sharedBase + rng.below(6) * m.l2LineSize +
+                   rng.below(m.l2LineSize / 4) * 4;
+          case Pool::Private:
+            return privateBase + Addr{cpu} * 0x1000 + rng.below(64) * 4;
+          case Pool::Update:
+            return updatePageBase + rng.below(8) * m.l1LineSize +
+                   rng.below(m.l1LineSize / 4) * 4;
+          case Pool::Block:
+            return blockBase + rng.below(0x2000 / 4) * 4;
+        }
+        return conflictBase;
+    };
+
+    const Addr lockAddrs[2] = {lockPageBase, lockPageBase + 64};
+    const Addr barrierAddr = lockPageBase + 128;
+    const bool os = true;
+
+    // One data/prefetch record for a pool address.
+    const auto dataRecord = [&](CpuId cpu) -> TraceRecord {
+        const Pool pool = pickPool(rng);
+        const Addr addr = poolAddr(pool, cpu);
+        const DataCategory cat = poolCategory(pool);
+        const double roll = rng.uniform();
+        if (roll < 0.55)
+            return TraceRecord::read(addr, cat, BasicBlockId(rng.below(16)),
+                                     os);
+        if (roll < 0.90)
+            return TraceRecord::write(addr, cat,
+                                      BasicBlockId(rng.below(16)), os);
+        return TraceRecord::prefetch(addr, cat,
+                                     BasicBlockId(rng.below(16)), os);
+    };
+
+    const auto emitBurst = [&](CpuId cpu) {
+        RecordStream &s = trace.stream(cpu);
+        const std::uint64_t burst = rng.range(3, 10);
+        for (std::uint64_t i = 0; i < burst; ++i) {
+            const double roll = rng.uniform();
+            if (roll < 0.70) {
+                s.push_back(dataRecord(cpu));
+                // Adversarial duplication of benign data records.
+                if (rng.chance(0.05))
+                    s.push_back(s.back());
+            } else if (roll < 0.78) {
+                s.push_back(TraceRecord::exec(
+                    std::uint32_t(rng.range(1, 100)),
+                    BasicBlockId(rng.below(8)), os));
+            } else if (roll < 0.82) {
+                s.push_back(TraceRecord::idle(
+                    std::uint32_t(rng.range(1, 50))));
+            } else if (roll < 0.88) {
+                // A block operation, begin/end bracketed.
+                BlockOp op;
+                op.kind = rng.chance(0.4) ? BlockOpKind::Zero
+                                          : BlockOpKind::Copy;
+                op.size = std::uint32_t((1 + rng.below(16)) * m.l1LineSize);
+                op.src = blockBase + rng.below(64) * m.l1LineSize;
+                op.dst = blockBase + 0x4000 + rng.below(64) * m.l1LineSize;
+                op.readOnlyAfter = rng.chance(0.3);
+                const BlockOpId id = trace.blockOps().add(op);
+                TraceRecord begin;
+                begin.type = RecordType::BlockOpBegin;
+                begin.aux = id;
+                begin.flags = flagOs;
+                s.push_back(begin);
+                TraceRecord end = begin;
+                end.type = RecordType::BlockOpEnd;
+                s.push_back(end);
+            } else {
+                // A balanced lock episode around a few shared accesses.
+                const Addr lock = lockAddrs[rng.below(2)];
+                TraceRecord acq;
+                acq.type = RecordType::LockAcquire;
+                acq.addr = lock;
+                acq.category = DataCategory::Lock;
+                acq.flags = flagOs;
+                s.push_back(acq);
+                const std::uint64_t inner = rng.range(1, 3);
+                for (std::uint64_t k = 0; k < inner; ++k)
+                    s.push_back(dataRecord(cpu));
+                TraceRecord rel = acq;
+                rel.type = RecordType::LockRelease;
+                s.push_back(rel);
+            }
+        }
+    };
+
+    // Rounds of per-processor bursts; some rounds end in a barrier
+    // that every processor arrives at, keeping the counts balanced.
+    const std::uint64_t rounds = rng.range(20, 50);
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (CpuId cpu = 0; cpu < m.numCpus; ++cpu)
+            emitBurst(cpu);
+        if (rng.chance(0.15)) {
+            for (CpuId cpu = 0; cpu < m.numCpus; ++cpu) {
+                TraceRecord arrive;
+                arrive.type = RecordType::BarrierArrive;
+                arrive.addr = barrierAddr;
+                arrive.aux = m.numCpus;
+                arrive.category = DataCategory::Barrier;
+                arrive.flags = flagOs;
+                trace.stream(cpu).push_back(arrive);
+            }
+        }
+    }
+
+    // Truncate non-synchronizing tails: chop trailing data/exec/idle
+    // records (never into a sync or block-op bracket, which the
+    // engine treats as trace corruption).
+    for (CpuId cpu = 0; cpu < m.numCpus; ++cpu) {
+        if (!rng.chance(0.3))
+            continue;
+        RecordStream &s = trace.stream(cpu);
+        std::size_t safe = 0;
+        while (safe < s.size()) {
+            const RecordType t = s[s.size() - 1 - safe].type;
+            if (t != RecordType::Read && t != RecordType::Write &&
+                t != RecordType::Prefetch && t != RecordType::Exec &&
+                t != RecordType::Idle)
+                break;
+            ++safe;
+        }
+        if (safe > 0)
+            s.resize(s.size() - rng.below(safe + 1));
+    }
+
+    return fc;
+}
+
+FuzzReport
+fuzzOne(std::uint64_t seed)
+{
+    FuzzCase fc = makeFuzzCase(seed);
+    FuzzReport report;
+    report.seed = seed;
+    report.scheme = fc.scheme;
+    report.records = fc.trace.totalRecords();
+
+    MaterializedTraceSource source(fc.trace);
+    SimOptions options;
+    report.diff = runDiff(source, fc.machine, options, fc.scheme);
+    return report;
+}
+
+} // namespace dft
+} // namespace oscache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic adversarial trace generator for the differential
+ * oracle.
+ *
+ * Every fuzz case is a pure function of its 64-bit seed: the machine
+ * geometry (tiny caches so conflict sets collide constantly), the
+ * coherence protocol, the block-operation scheme, and the trace
+ * itself are all derived from one Rng stream.  A reported failure is
+ * reproduced exactly by re-running the same seed.
+ *
+ * The generated traces concentrate on the engine's hard cases:
+ *
+ *  - pathological conflict sets: a handful of addresses that all map
+ *    to the same primary-cache set, touched in tight rotation;
+ *  - same-line multi-writer storms: every processor reads and writes
+ *    the same few shared lines, with and without Firefly update
+ *    pages, under Illinois and MSI;
+ *  - block-operation / lock interleavings: copies and zeros (under
+ *    any of the five schemes) racing with lock-protected accesses and
+ *    full barriers;
+ *  - duplicate records and truncated streams: benign duplication of
+ *    data records and chopped non-synchronizing tails, which a
+ *    correct engine must absorb without drift.
+ *
+ * Synchronization is generated well-formed (balanced lock pairs per
+ * processor, all-processor barriers appended to every stream) because
+ * the replay engine treats malformed synchronization as fatal trace
+ * corruption; byte-level corruption robustness is covered separately
+ * by the trace I/O error-path tests.
+ */
+
+#ifndef OSCACHE_DFT_FUZZ_HH
+#define OSCACHE_DFT_FUZZ_HH
+
+#include <cstdint>
+
+#include "core/blockop/schemes.hh"
+#include "dft/differ.hh"
+#include "mem/config.hh"
+#include "trace/trace.hh"
+
+namespace oscache
+{
+namespace dft
+{
+
+/** Everything one fuzz iteration derived from its seed. */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;
+    MachineConfig machine;
+    BlockScheme scheme = BlockScheme::Base;
+    Trace trace;
+
+    FuzzCase() : trace(1) {}
+};
+
+/** Result of one fuzz iteration. */
+struct FuzzReport
+{
+    std::uint64_t seed = 0;
+    BlockScheme scheme = BlockScheme::Base;
+    std::size_t records = 0;
+    DiffResult diff;
+};
+
+/** Derive the complete case (machine, scheme, trace) for @p seed. */
+FuzzCase makeFuzzCase(std::uint64_t seed);
+
+/** Generate the case for @p seed and run it through the differ. */
+FuzzReport fuzzOne(std::uint64_t seed);
+
+} // namespace dft
+} // namespace oscache
+
+#endif // OSCACHE_DFT_FUZZ_HH

@@ -1,0 +1,607 @@
+#include "dft/oracle.hh"
+
+#include "common/log.hh"
+
+namespace oscache
+{
+namespace dft
+{
+
+// ---------------------------------------------------------------------------
+// Direct-mapped tags.
+
+ReferenceMachine::DirectTags::DirectTags(std::uint32_t size,
+                                         std::uint32_t line_size)
+    : lineSize(line_size), numSets(size / line_size),
+      lines(numSets, invalidAddr)
+{
+    if (!isPowerOfTwo(size) || !isPowerOfTwo(line_size) || numSets == 0)
+        panic("ReferenceMachine: sizes must be powers of two");
+}
+
+bool
+ReferenceMachine::DirectTags::contains(Addr addr) const
+{
+    return lines[setOf(addr)] == lineOf(addr);
+}
+
+Addr
+ReferenceMachine::DirectTags::fill(Addr addr)
+{
+    Addr &slot = lines[setOf(addr)];
+    const Addr line = lineOf(addr);
+    if (slot == line)
+        return invalidAddr;
+    const Addr victim = slot;
+    slot = line;
+    return victim; // invalidAddr when the set was empty.
+}
+
+void
+ReferenceMachine::DirectTags::drop(Addr addr)
+{
+    Addr &slot = lines[setOf(addr)];
+    if (slot == lineOf(addr))
+        slot = invalidAddr;
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+ReferenceMachine::CpuModel::CpuModel(const MachineConfig &config)
+    : l1(config.l1Size, config.l1LineSize),
+      l2(config.l2Size, config.l2LineSize),
+      l2States(config.l2Sets(), LineState::Invalid)
+{}
+
+ReferenceMachine::ReferenceMachine(
+    const MachineConfig &config,
+    const std::unordered_set<Addr> *update_pages)
+    : cfg(config), updatePages(update_pages)
+{
+    cfg.check();
+    if (cfg.l1Ways != 1 || cfg.l2Ways != 1)
+        panic("ReferenceMachine models direct-mapped caches only");
+    perCpu.reserve(cfg.numCpus);
+    for (unsigned i = 0; i < cfg.numCpus; ++i)
+        perCpu.emplace_back(cfg);
+}
+
+// ---------------------------------------------------------------------------
+// State helpers.
+
+LineState
+ReferenceMachine::l2State(const CpuModel &m, Addr addr) const
+{
+    return m.l2.contains(addr) ? m.l2States[m.l2.setOf(addr)]
+                               : LineState::Invalid;
+}
+
+void
+ReferenceMachine::setL2(CpuModel &m, Addr addr, LineState state)
+{
+    if (!m.l2.contains(addr))
+        panic("ReferenceMachine: state change on absent secondary line");
+    m.l2States[m.l2.setOf(addr)] = state;
+}
+
+void
+ReferenceMachine::dropL2(CpuModel &m, Addr addr)
+{
+    if (!m.l2.contains(addr))
+        return;
+    m.l2States[m.l2.setOf(addr)] = LineState::Invalid;
+    m.l2.drop(addr);
+}
+
+void
+ReferenceMachine::installL2(CpuId cpu, Addr l2_line, LineState state)
+{
+    CpuModel &m = perCpu[cpu];
+    seenL2Lines.insert(l2_line);
+    const Addr victim = m.l2.fill(l2_line);
+    if (victim != invalidAddr) {
+        // Inclusion: the victim's primary copies die with it (without
+        // leaving classification marks — this is not a snoop).
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize)
+            m.l1.drop(victim + off);
+    }
+    m.l2States[m.l2.setOf(l2_line)] = state;
+}
+
+void
+ReferenceMachine::fillL1(CpuId cpu, Addr addr, bool block_op_fill)
+{
+    CpuModel &m = perCpu[cpu];
+    const Addr line = l1LineOf(addr);
+    seenL1Lines.insert(line);
+    const Addr victim = m.l1.fill(addr);
+    if (victim != invalidAddr) {
+        if (block_op_fill)
+            m.blockOpEvicted.insert(victim);
+        else
+            m.blockOpEvicted.erase(victim);
+    }
+    // A fresh residency wipes any stale classification marks.
+    m.coherenceInvalidated.erase(line);
+    m.blockOpEvicted.erase(line);
+    bypassedLines.erase(line);
+}
+
+void
+ReferenceMachine::snoopInvalidate(CpuId requester, Addr l2_line)
+{
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == requester)
+            continue;
+        CpuModel &other = perCpu[c];
+        if (l2State(other, l2_line) == LineState::Invalid)
+            continue;
+        dropL2(other, l2_line);
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize) {
+            const Addr sub = l2_line + off;
+            if (other.l1.contains(sub)) {
+                other.l1.drop(sub);
+                other.coherenceInvalidated.insert(sub);
+            }
+        }
+    }
+}
+
+bool
+ReferenceMachine::sharedElsewhere(CpuId requester, Addr l2_line) const
+{
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == requester)
+            continue;
+        if (l2State(perCpu[c], l2_line) != LineState::Invalid)
+            return true;
+    }
+    return false;
+}
+
+LineState
+ReferenceMachine::readFillState(CpuId requester, Addr l2_line) const
+{
+    if (sharedElsewhere(requester, l2_line))
+        return LineState::Shared;
+    return cfg.protocol == CoherenceProtocol::Illinois
+        ? LineState::Exclusive : LineState::Shared;
+}
+
+void
+ReferenceMachine::busReadShared(CpuId requester, Addr l2_line)
+{
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        if (c == requester)
+            continue;
+        CpuModel &other = perCpu[c];
+        if (l2State(other, l2_line) != LineState::Invalid)
+            setL2(other, l2_line, LineState::Shared);
+    }
+}
+
+bool
+ReferenceMachine::isUpdateAddr(Addr addr) const
+{
+    if (updatePages == nullptr || updatePages->empty())
+        return false;
+    return updatePages->count(alignDown(addr, Addr{4096})) != 0;
+}
+
+MissCause
+ReferenceMachine::classify(CpuId cpu, Addr addr) const
+{
+    const Addr line = l1LineOf(addr);
+    const CpuModel &m = perCpu[cpu];
+    if (m.coherenceInvalidated.count(line))
+        return MissCause::Coherence;
+    if (bypassedLines.count(line))
+        return MissCause::Reuse;
+    if (m.blockOpEvicted.count(line))
+        return MissCause::Displacement;
+    return MissCause::Plain;
+}
+
+void
+ReferenceMachine::note(CpuId cpu, DataCategory category,
+                       const RefOutcome &out)
+{
+    RefCounts &c = perCpu[cpu].counts;
+    ++c.reads;
+    if (!out.l1Miss) {
+        ++c.readHits;
+        return;
+    }
+    switch (out.cause) {
+      case MissCause::Coherence:    ++c.missCoherence;    break;
+      case MissCause::Displacement: ++c.missDisplacement; break;
+      case MissCause::Reuse:        ++c.missReuse;        break;
+      default:                      ++c.missPlain;        break;
+    }
+    ++c.missByCategory[static_cast<std::size_t>(category)];
+}
+
+// ---------------------------------------------------------------------------
+// Operation primitives.
+
+RefOutcome
+ReferenceMachine::read(CpuId cpu, Addr addr, bool allocate,
+                       bool block_op_body, DataCategory category)
+{
+    CpuModel &m = perCpu[cpu];
+    const Addr line = l1LineOf(addr);
+    const Addr l2line = l2LineOf(addr);
+    seenL1Lines.insert(line);
+    seenL2Lines.insert(l2line);
+
+    // A demand read reaching the line consumes any outstanding-fill
+    // mark (the engine erases the in-flight register whether or not
+    // the fill had completed).
+    m.fillMarks.erase(line);
+
+    RefOutcome out;
+    if (m.l1.contains(addr)) {
+        note(cpu, category, out);
+        return out;
+    }
+
+    out.l1Miss = true;
+    out.cause = classify(cpu, addr);
+
+    if (l2State(m, addr) != LineState::Invalid) {
+        out.level = ServiceLevel::L2;
+    } else {
+        out.level = ServiceLevel::Memory;
+        busReadShared(cpu, l2line);
+        if (allocate)
+            installL2(cpu, l2line, readFillState(cpu, l2line));
+    }
+
+    if (allocate)
+        fillL1(cpu, addr, block_op_body);
+    else
+        bypassedLines.insert(line);
+    note(cpu, category, out);
+    return out;
+}
+
+void
+ReferenceMachine::write(CpuId cpu, Addr addr, bool block_op_body)
+{
+    CpuModel &m = perCpu[cpu];
+    const Addr l2line = l2LineOf(addr);
+    seenL1Lines.insert(l1LineOf(addr));
+    seenL2Lines.insert(l2line);
+
+    const LineState st = l2State(m, addr);
+    if (st == LineState::Modified || st == LineState::Exclusive) {
+        // Local write: silently upgrade Exclusive to Modified.
+        setL2(m, addr, LineState::Modified);
+    } else if (isUpdateAddr(addr)) {
+        // Firefly update protocol for this page.
+        if (st == LineState::Invalid) {
+            busReadShared(cpu, l2line);
+            installL2(cpu, l2line, LineState::Shared);
+        }
+        if (sharedElsewhere(cpu, l2line)) {
+            // Sharers keep their updated copies; everyone ends Shared.
+            busReadShared(cpu, l2line);
+            setL2(m, l2line, LineState::Shared);
+        } else {
+            setL2(m, l2line, LineState::Modified);
+        }
+    } else if (st == LineState::Shared) {
+        // Invalidation-only transaction, then write locally.
+        snoopInvalidate(cpu, l2line);
+        setL2(m, addr, LineState::Modified);
+    } else {
+        // Write miss: read-for-ownership (all other copies die),
+        // allocate Modified.
+        snoopInvalidate(cpu, l2line);
+        installL2(cpu, l2line, LineState::Modified);
+    }
+
+    // Write-allocate primary cache.
+    if (!m.l1.contains(addr))
+        fillL1(cpu, addr, block_op_body);
+}
+
+RefOutcome
+ReferenceMachine::prefetch(CpuId cpu, Addr addr, bool block_op_body,
+                           DataCategory category)
+{
+    (void)category;
+    CpuModel &m = perCpu[cpu];
+    const Addr line = l1LineOf(addr);
+    const Addr l2line = l2LineOf(addr);
+    seenL1Lines.insert(line);
+    seenL2Lines.insert(l2line);
+
+    // The caller established this is a non-trivial prefetch.  Any
+    // leftover mark is stale (the engine prunes completed fills by
+    // time, which a clockless model cannot mirror) — replace it.
+    RefOutcome out;
+    out.l1Miss = true;
+    out.cause = classify(cpu, addr);
+    // The engine reports every non-trivial prefetch at Memory level.
+    out.level = ServiceLevel::Memory;
+
+    if (l2State(m, addr) == LineState::Invalid) {
+        busReadShared(cpu, l2line);
+        installL2(cpu, l2line, readFillState(cpu, l2line));
+    }
+    fillL1(cpu, addr, block_op_body);
+    m.fillMarks[line] = out.cause;
+    return out;
+}
+
+void
+ReferenceMachine::bypassWriteLine(CpuId cpu, Addr addr)
+{
+    const Addr l2line = l2LineOf(addr);
+    seenL2Lines.insert(l2line);
+    snoopInvalidate(cpu, l2line);
+    // The destination line ends up uncached: future reuses miss.
+    for (std::uint32_t off = 0; off < cfg.l2LineSize; off += cfg.l1LineSize) {
+        bypassedLines.insert(l2line + off);
+        seenL1Lines.insert(l2line + off);
+    }
+}
+
+void
+ReferenceMachine::bypassWriteWord(CpuId cpu, Addr addr, bool invalidate)
+{
+    const Addr l2line = l2LineOf(addr);
+    seenL2Lines.insert(l2line);
+    seenL1Lines.insert(l1LineOf(addr));
+    if (invalidate)
+        snoopInvalidate(cpu, l2line);
+    bypassedLines.insert(l1LineOf(addr));
+}
+
+void
+ReferenceMachine::codeFill(CpuId cpu, Addr addr, std::uint32_t bytes)
+{
+    CpuModel &m = perCpu[cpu];
+    const Addr end = alignUp(addr + bytes, cfg.l2LineSize);
+    for (Addr a = alignDown(addr, cfg.l2LineSize); a < end;
+         a += cfg.l2LineSize) {
+        seenL2Lines.insert(a);
+        if (l2State(m, a) != LineState::Invalid)
+            continue;
+        // The fetch snoops like any bus read: remote owners demote.
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            if (c == cpu)
+                continue;
+            CpuModel &other = perCpu[c];
+            const LineState st = l2State(other, a);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                setL2(other, a, LineState::Shared);
+        }
+        installL2(cpu, a, readFillState(cpu, a));
+    }
+}
+
+void
+ReferenceMachine::dma(CpuId cpu, const BlockOp &op)
+{
+    CpuModel &m = perCpu[cpu];
+    const Addr dst_begin = l2LineOf(op.dst);
+    const Addr dst_end = alignUp(op.dst + op.size, cfg.l2LineSize);
+
+    // Dirty source lines are supplied by their owners, who demote.
+    if (op.isCopy()) {
+        const Addr src_end = alignUp(op.src + op.size, cfg.l2LineSize);
+        for (Addr a = l2LineOf(op.src); a < src_end; a += cfg.l2LineSize) {
+            seenL2Lines.insert(a);
+            for (CpuId c = 0; c < cfg.numCpus; ++c) {
+                if (l2State(perCpu[c], a) == LineState::Modified) {
+                    setL2(perCpu[c], a, LineState::Shared);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Destination lines: resident copies anywhere are updated in
+    // place; unresident lines stay out and become reuse candidates.
+    for (Addr a = dst_begin; a < dst_end; a += cfg.l2LineSize) {
+        seenL2Lines.insert(a);
+        bool cached_anywhere = false;
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            CpuModel &holder = perCpu[c];
+            if (l2State(holder, a) != LineState::Invalid) {
+                cached_anywhere = true;
+                setL2(holder, a, LineState::Shared);
+                for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                     off += cfg.l1LineSize)
+                    holder.coherenceInvalidated.erase(a + off);
+            }
+        }
+        for (std::uint32_t off = 0; off < cfg.l2LineSize;
+             off += cfg.l1LineSize) {
+            seenL1Lines.insert(a + off);
+            if (cached_anywhere)
+                bypassedLines.erase(a + off);
+            else
+                bypassedLines.insert(a + off);
+        }
+    }
+
+    // Source lines the originator does not hold stay out of its
+    // caches: their first future touch is a reuse miss.
+    if (op.isCopy()) {
+        const Addr src_end = alignUp(op.src + op.size, cfg.l2LineSize);
+        for (Addr a = l2LineOf(op.src); a < src_end; a += cfg.l2LineSize) {
+            if (l2State(m, a) != LineState::Invalid)
+                continue;
+            for (std::uint32_t off = 0; off < cfg.l2LineSize;
+                 off += cfg.l1LineSize) {
+                seenL1Lines.insert(a + off);
+                bypassedLines.insert(a + off);
+            }
+        }
+    }
+}
+
+void
+ReferenceMachine::bufferPrefetchFill(CpuId cpu, Addr addr)
+{
+    CpuModel &m = perCpu[cpu];
+    const Addr line = l1LineOf(addr);
+    seenL1Lines.insert(line);
+
+    if (m.prefetchBuffer.size() >= cfg.blockPrefetchBufferLines)
+        m.prefetchBuffer.pop_front();
+    // A fill that needed the bus snoops: a Modified owner demotes.
+    if (!m.l1.contains(addr) &&
+        l2State(m, addr) == LineState::Invalid) {
+        const Addr l2line = l2LineOf(addr);
+        seenL2Lines.insert(l2line);
+        for (CpuId c = 0; c < cfg.numCpus; ++c) {
+            if (c == cpu)
+                continue;
+            if (l2State(perCpu[c], l2line) == LineState::Modified)
+                setL2(perCpu[c], l2line, LineState::Shared);
+        }
+    }
+    m.prefetchBuffer.push_back(line);
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+
+bool
+ReferenceMachine::l1Has(CpuId cpu, Addr addr) const
+{
+    return perCpu[cpu].l1.contains(addr);
+}
+
+LineState
+ReferenceMachine::l2StateOf(CpuId cpu, Addr addr) const
+{
+    return l2State(perCpu[cpu], addr);
+}
+
+bool
+ReferenceMachine::hasFillMark(CpuId cpu, Addr addr) const
+{
+    return perCpu[cpu].fillMarks.count(l1LineOf(addr)) != 0;
+}
+
+MissCause
+ReferenceMachine::fillMarkCause(CpuId cpu, Addr addr) const
+{
+    const auto it = perCpu[cpu].fillMarks.find(l1LineOf(addr));
+    return it == perCpu[cpu].fillMarks.end() ? MissCause::None : it->second;
+}
+
+void
+ReferenceMachine::clearFillMark(CpuId cpu, Addr addr)
+{
+    perCpu[cpu].fillMarks.erase(l1LineOf(addr));
+}
+
+bool
+ReferenceMachine::inPrefetchBuffer(CpuId cpu, Addr addr) const
+{
+    const Addr line = l1LineOf(addr);
+    for (const Addr entry : perCpu[cpu].prefetchBuffer)
+        if (entry == line)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Standalone trace consumption.
+
+void
+ReferenceMachine::runStandalone(TraceSource &source)
+{
+    if (source.numCpus() > cfg.numCpus)
+        panic("ReferenceMachine: trace has more cpus than the machine");
+
+    const auto data = [&](CpuId cpu, const TraceRecord &rec) {
+        switch (rec.type) {
+          case RecordType::Read:
+            read(cpu, rec.addr, true, rec.isBlockOpBody(), rec.category);
+            break;
+          case RecordType::Write:
+            write(cpu, rec.addr, rec.isBlockOpBody());
+            break;
+          case RecordType::Prefetch:
+            if (!l1Has(cpu, rec.addr) && !hasFillMark(cpu, rec.addr))
+                prefetch(cpu, rec.addr, rec.isBlockOpBody(),
+                         rec.category);
+            break;
+          default:
+            break;
+        }
+    };
+
+    // Block operations expand word by word, exactly as the Base
+    // scheme's processor-driven loop issues them: all source words of
+    // a primary line are read, then all destination words written.
+    const auto blockOp = [&](CpuId cpu, const BlockOp &op) {
+        const std::uint32_t word = 4;
+        for (Addr off = 0; off < op.size; off += cfg.l1LineSize) {
+            const Addr chunk =
+                std::min<Addr>(cfg.l1LineSize, op.size - off);
+            if (op.isCopy())
+                for (Addr w = 0; w < chunk; w += word)
+                    read(cpu, op.src + off + w, true, true,
+                         DataCategory::BlockSrc);
+            for (Addr w = 0; w < chunk; w += word)
+                write(cpu, op.dst + off + w, true);
+        }
+    };
+
+    std::vector<std::unique_ptr<RecordCursor>> cursors;
+    for (unsigned c = 0; c < source.numCpus(); ++c)
+        cursors.push_back(source.cursor(CpuId(c)));
+
+    // Sequential round-robin: one record per processor per round.
+    bool any = true;
+    while (any) {
+        any = false;
+        for (unsigned c = 0; c < cursors.size(); ++c) {
+            const TraceRecord *rec = cursors[c]->peek();
+            if (rec == nullptr)
+                continue;
+            any = true;
+            const CpuId cpu = CpuId(c);
+            switch (rec->type) {
+              case RecordType::Exec:
+                if (rec->bb != invalidBasicBlock)
+                    codeFill(cpu, codeSpaceBase + Addr{rec->bb} * 4096,
+                             std::min<std::uint32_t>(4096, rec->aux * 8));
+                break;
+              case RecordType::BlockOpBegin:
+                blockOp(cpu, source.blockOps().get(BlockOpId(rec->aux)));
+                break;
+              case RecordType::LockAcquire:
+              case RecordType::BarrierArrive:
+                // Read-modify-write of the synchronization variable
+                // (the sequential model never contends).
+                data(cpu, TraceRecord::read(rec->addr, rec->category,
+                                            invalidBasicBlock,
+                                            rec->isOs()));
+                write(cpu, rec->addr, false);
+                break;
+              case RecordType::LockRelease:
+                write(cpu, rec->addr, false);
+                break;
+              default:
+                data(cpu, *rec);
+                break;
+            }
+            cursors[c]->advance();
+        }
+    }
+}
+
+} // namespace dft
+} // namespace oscache

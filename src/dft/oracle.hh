@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The differential-testing oracle: a deliberately simple, sequential
+ * reference model of the coherent memory hierarchy.
+ *
+ * ReferenceMachine re-implements the *functional* semantics of the
+ * engine — tag arrays, MESI/Firefly line states, and the paper's
+ * miss-classification marks — from scratch, sharing no code with
+ * src/mem.  It has no clock, no bus, no write buffers and no
+ * latencies: given the same sequence of operations it predicts, for
+ * every data read and software prefetch, whether the primary cache
+ * hits and, on a miss, the paper's cause classification
+ * (coherence / displacement / reuse / plain) and the service level.
+ *
+ * Timing-dependent outcomes (a prefetch dropped on busy MSHRs, a
+ * demand read merging with an outstanding fill, a Blk_ByPref buffer
+ * entry that is or is not ready) cannot be derived without a clock;
+ * the oracle instead tracks *marks* ("this line has an outstanding
+ * prefetched fill", "this line sits in the source prefetch buffer")
+ * that let the differ (differ.hh) accept exactly the set of outcomes
+ * the timing layer may legally produce.
+ *
+ * Two drivers exist: the differ replays the engine's own access
+ * stream through the primitives below and compares outcome by
+ * outcome, and runStandalone() consumes TraceSource cursors directly
+ * (sequential, one processor after another per round), producing
+ * per-processor hit/miss/category counts without the engine at all.
+ *
+ * The model requires direct-mapped caches (the paper's geometry):
+ * with ways == 1 the replacement decision is a pure function of the
+ * address, so the reference tags provably track the engine's without
+ * copying its LRU mechanics.
+ */
+
+#ifndef OSCACHE_DFT_ORACLE_HH
+#define OSCACHE_DFT_ORACLE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/access.hh"
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "trace/blockop.hh"
+#include "trace/source.hh"
+
+namespace oscache
+{
+namespace dft
+{
+
+/** Number of DataCategory values (local so dft stays sim-free). */
+inline constexpr std::size_t numCategories =
+    static_cast<std::size_t>(DataCategory::NumCategories);
+
+/** Per-processor hit/miss/category counts the oracle produces. */
+struct RefCounts
+{
+    std::uint64_t reads = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t missPlain = 0;
+    std::uint64_t missCoherence = 0;
+    std::uint64_t missDisplacement = 0;
+    std::uint64_t missReuse = 0;
+    /** Read misses by the referenced data-structure category. */
+    std::array<std::uint64_t, numCategories> missByCategory{};
+
+    std::uint64_t
+    misses() const
+    {
+        return missPlain + missCoherence + missDisplacement + missReuse;
+    }
+
+    bool operator==(const RefCounts &) const = default;
+};
+
+/** What the reference model predicts for one read or prefetch. */
+struct RefOutcome
+{
+    bool l1Miss = false;
+    MissCause cause = MissCause::None;
+    /** L1, L2, or Memory (the oracle has no timing-only levels). */
+    ServiceLevel level = ServiceLevel::L1;
+};
+
+/**
+ * The sequential reference simulator.  See the file comment for
+ * scope; all state lives in plain maps and deques so that the code
+ * reads as a direct transcription of the protocol rules.
+ */
+class ReferenceMachine
+{
+  public:
+    /**
+     * @param config       Machine geometry (must be direct-mapped).
+     * @param update_pages Pages under the Firefly update protocol,
+     *                     or nullptr for pure invalidate.  The set is
+     *                     borrowed and must outlive the machine.
+     */
+    ReferenceMachine(const MachineConfig &config,
+                     const std::unordered_set<Addr> *update_pages);
+
+    /** @name Functional operation primitives @{ */
+
+    /**
+     * Data read.  @p allocate false models the bypass-scheme source
+     * path (probe, fetch without installing, mark for reuse).
+     */
+    RefOutcome read(CpuId cpu, Addr addr, bool allocate,
+                    bool block_op_body, DataCategory category);
+
+    /** Buffered data write (write-allocate, invalidate or update). */
+    void write(CpuId cpu, Addr addr, bool block_op_body);
+
+    /**
+     * Non-trivial software prefetch: fetch and install the line and
+     * leave an outstanding-fill mark.  The caller (differ or
+     * standalone driver) decides whether the prefetch was trivial —
+     * see l1Has() / hasFillMark().
+     */
+    RefOutcome prefetch(CpuId cpu, Addr addr, bool block_op_body,
+                        DataCategory category);
+
+    /** Full-line bypass write (Blk_Bypass destination, line form). */
+    void bypassWriteLine(CpuId cpu, Addr addr);
+
+    /** Single-word bypass write; @p invalidate on the first word. */
+    void bypassWriteWord(CpuId cpu, Addr addr, bool invalidate);
+
+    /** Instruction-footprint fill of [@p addr, @p addr + bytes). */
+    void codeFill(CpuId cpu, Addr addr, std::uint32_t bytes);
+
+    /** DMA-engine block operation (Blk_Dma). */
+    void dma(CpuId cpu, const BlockOp &op);
+
+    /** A line entered the Blk_ByPref source prefetch buffer. */
+    void bufferPrefetchFill(CpuId cpu, Addr addr);
+
+    /** @} */
+
+    /** @name State queries (differ accept-either rules, audits) @{ */
+
+    bool l1Has(CpuId cpu, Addr addr) const;
+    LineState l2StateOf(CpuId cpu, Addr addr) const;
+
+    /** Outstanding prefetched-fill mark on @p addr's primary line. */
+    bool hasFillMark(CpuId cpu, Addr addr) const;
+    /** Cause recorded with the fill mark (valid iff hasFillMark). */
+    MissCause fillMarkCause(CpuId cpu, Addr addr) const;
+    /** Consume the fill mark (a demand read reached the line). */
+    void clearFillMark(CpuId cpu, Addr addr);
+
+    /** True iff @p addr's line sits in the source prefetch buffer. */
+    bool inPrefetchBuffer(CpuId cpu, Addr addr) const;
+
+    /** Classification a miss on @p addr would receive right now. */
+    MissCause classify(CpuId cpu, Addr addr) const;
+
+    /** Every l1/l2 line address the model ever touched (audits). */
+    const std::unordered_set<Addr> &touchedL1Lines() const
+    {
+        return seenL1Lines;
+    }
+    const std::unordered_set<Addr> &touchedL2Lines() const
+    {
+        return seenL2Lines;
+    }
+
+    const RefCounts &counts(CpuId cpu) const { return perCpu[cpu].counts; }
+    unsigned numCpus() const { return unsigned(perCpu.size()); }
+
+    /** @} */
+
+    /**
+     * Consume @p source's cursors directly — one record per processor
+     * per round, sequentially — and tally per-processor counts.
+     * Synchronization records degrade to their data accesses (the
+     * sequential model has no contention) and block operations expand
+     * word by word as the Base scheme would issue them.  Exact
+     * engine agreement is only claimed for single-processor traces,
+     * where sequential order and engine order coincide.
+     */
+    void runStandalone(TraceSource &source);
+
+  private:
+    /**
+     * Direct-mapped tag array, written from the protocol description
+     * rather than shared with mem/cache.hh: one line per set, the
+     * set being a pure function of the address.
+     */
+    struct DirectTags
+    {
+        DirectTags(std::uint32_t size, std::uint32_t line_size);
+
+        Addr lineOf(Addr addr) const
+        {
+            return addr & ~Addr{lineSize - 1};
+        }
+        std::size_t setOf(Addr addr) const
+        {
+            return std::size_t(addr / lineSize) & (numSets - 1);
+        }
+
+        bool contains(Addr addr) const;
+        /** Install; @return the displaced line or invalidAddr. */
+        Addr fill(Addr addr);
+        void drop(Addr addr);
+
+        std::uint32_t lineSize;
+        std::size_t numSets;
+        std::vector<Addr> lines; ///< per set; invalidAddr = empty
+    };
+
+    struct CpuModel
+    {
+        CpuModel(const MachineConfig &config);
+
+        DirectTags l1;
+        DirectTags l2;
+        std::vector<LineState> l2States; ///< parallel to l2.lines
+        /** Primary lines invalidated under another cpu's snoop. */
+        std::unordered_set<Addr> coherenceInvalidated;
+        /** Primary lines last displaced by a block-operation fill. */
+        std::unordered_set<Addr> blockOpEvicted;
+        /** Outstanding prefetched fills: primary line -> cause. */
+        std::unordered_map<Addr, MissCause> fillMarks;
+        /** Blk_ByPref source prefetch buffer (FIFO of lines). */
+        std::deque<Addr> prefetchBuffer;
+
+        RefCounts counts;
+    };
+
+    LineState l2State(const CpuModel &m, Addr addr) const;
+    void setL2(CpuModel &m, Addr addr, LineState state);
+    /** Install an l2 line, applying inclusion to the victim. */
+    void installL2(CpuId cpu, Addr l2_line, LineState state);
+    void dropL2(CpuModel &m, Addr addr);
+    void fillL1(CpuId cpu, Addr addr, bool block_op_fill);
+    void snoopInvalidate(CpuId requester, Addr l2_line);
+    bool sharedElsewhere(CpuId requester, Addr l2_line) const;
+    LineState readFillState(CpuId requester, Addr l2_line) const;
+    /** Non-exclusive bus read: every remote holder ends Shared. */
+    void busReadShared(CpuId requester, Addr l2_line);
+    bool isUpdateAddr(Addr addr) const;
+    void note(CpuId cpu, DataCategory category, const RefOutcome &out);
+
+    Addr l1LineOf(Addr addr) const { return alignDown(addr, cfg.l1LineSize); }
+    Addr l2LineOf(Addr addr) const { return alignDown(addr, cfg.l2LineSize); }
+
+    MachineConfig cfg;
+    std::vector<CpuModel> perCpu;
+    /** Lines last touched by a bypassing block op (global, as in mem). */
+    std::unordered_set<Addr> bypassedLines;
+    const std::unordered_set<Addr> *updatePages;
+    std::unordered_set<Addr> seenL1Lines;
+    std::unordered_set<Addr> seenL2Lines;
+};
+
+} // namespace dft
+} // namespace oscache
+
+#endif // OSCACHE_DFT_ORACLE_HH

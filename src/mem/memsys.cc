@@ -499,7 +499,8 @@ MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
         bypassedLines.insert(l2line + off);
     opEnd(MemOpKind::BypassWrite, cpu, addr);
     notifyAccess(MemOpKind::BypassWrite, cpu, addr, now - res.stall, ctx,
-                 res);
+                 res, /*dropped=*/false, /*whole_line=*/true,
+                 /*invalidated=*/true);
     return res;
 }
 
@@ -527,7 +528,7 @@ MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
     bypassedLines.insert(l1Line(addr));
     opEnd(MemOpKind::BypassWrite, cpu, addr);
     notifyAccess(MemOpKind::BypassWrite, cpu, addr, now - res.stall, ctx,
-                 res);
+                 res, /*dropped=*/false, /*whole_line=*/false, invalidate);
     return res;
 }
 
@@ -578,6 +579,8 @@ MemorySystem::prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now)
     }
     mem.prefetchBuffer.push_back(entry);
     opEnd(MemOpKind::Prefetch, cpu, addr);
+    if (wantsAccess)
+        observer->onBufferPrefetchFill(cpu, addr);
 }
 
 AccessResult
@@ -592,7 +595,9 @@ MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
     if (mem.l1.contains(addr)) {
         AccessResult res;
         res.completeAt = now + cfg.l1HitLatency;
-        notifyAccess(MemOpKind::Read, cpu, addr, now, ctx, res);
+        notifyAccess(MemOpKind::Read, cpu, addr, now, ctx, res,
+                     /*dropped=*/false, /*whole_line=*/false,
+                     /*invalidated=*/false, /*via_buffer=*/true);
         return res;
     }
 
@@ -613,7 +618,9 @@ MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
             res.completeAt = now + cfg.l1HitLatency;
             res.level = ServiceLevel::PrefetchBuffer;
         }
-        notifyAccess(MemOpKind::Read, cpu, addr, now, ctx, res);
+        notifyAccess(MemOpKind::Read, cpu, addr, now, ctx, res,
+                     /*dropped=*/false, /*whole_line=*/false,
+                     /*invalidated=*/false, /*via_buffer=*/true);
         return res;
     }
 
@@ -651,6 +658,8 @@ MemorySystem::codeFill(CpuId cpu, Addr code_addr, std::uint32_t bytes)
         installL2(cpu, a, readFillState(cpu, a));
     }
     opEnd(MemOpKind::CodeFill, cpu, code_addr);
+    if (wantsAccess)
+        observer->onCodeFill(cpu, code_addr, bytes);
 }
 
 Cycles
@@ -778,6 +787,8 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
     }
 
     opEnd(MemOpKind::Dma, cpu, op.dst);
+    if (wantsAccess)
+        observer->onDma(cpu, op);
     return done;
 }
 

@@ -292,7 +292,8 @@ class MemorySystem
     void
     notifyAccess(MemOpKind op, CpuId cpu, Addr addr, Cycles issued,
                  const AccessContext &ctx, const AccessResult &res,
-                 bool dropped = false)
+                 bool dropped = false, bool whole_line = false,
+                 bool invalidated = false, bool via_buffer = false)
     {
         if (!wantsAccess)
             return;
@@ -304,6 +305,9 @@ class MemorySystem
         event.ctx = ctx;
         event.result = res;
         event.dropped = dropped;
+        event.wholeLine = whole_line;
+        event.invalidated = invalidated;
+        event.viaBuffer = via_buffer;
         observer->onAccess(event);
     }
 

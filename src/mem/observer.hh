@@ -61,6 +61,20 @@ struct MemAccessEvent
     AccessResult result;
     /** True when a prefetch was dropped (MSHRs or buffer busy). */
     bool dropped = false;
+    /**
+     * BypassWrite granularity: true for a full secondary-line bypass
+     * (writeBypassLine), false for a single bypassed word.
+     */
+    bool wholeLine = false;
+    /** BypassWrite only: the write snoop-invalidated other copies. */
+    bool invalidated = false;
+    /**
+     * Read only: serviced by readViaPrefetchBuffer's own-cache or
+     * buffer paths (which, unlike read(), leave the in-flight fill
+     * registers untouched).  A buffer read that falls through to the
+     * bus reports as an ordinary read.
+     */
+    bool viaBuffer = false;
 };
 
 /**
@@ -146,6 +160,49 @@ struct MemEventObserver
         (void)cpu;
         (void)addr;
     }
+
+    /**
+     * @name Operation-input taps (gated on wantsAccessEvents())
+     *
+     * These report the *inputs* of operations that mutate cache state
+     * without producing a per-access result: instruction-footprint
+     * fills, DMA block operations, and Blk_ByPref buffer fills.  A
+     * differential oracle needs them to keep an independent model in
+     * step; they deliberately carry no engine outcome, so the
+     * receiving model must derive the consequences itself.
+     * @{
+     */
+
+    /** @p cpu installed the code lines of [@p addr, @p addr+bytes). */
+    virtual void
+    onCodeFill(CpuId cpu, Addr addr, std::uint32_t bytes)
+    {
+        (void)cpu;
+        (void)addr;
+        (void)bytes;
+    }
+
+    /** @p cpu executed @p op on the DMA-like engine (Blk_Dma). */
+    virtual void
+    onDma(CpuId cpu, const BlockOp &op)
+    {
+        (void)cpu;
+        (void)op;
+    }
+
+    /**
+     * @p cpu appended the primary line of @p addr to its Blk_ByPref
+     * source prefetch buffer (fired only when an entry was actually
+     * added — deduplicated and dropped prefetches are silent).
+     */
+    virtual void
+    onBufferPrefetchFill(CpuId cpu, Addr addr)
+    {
+        (void)cpu;
+        (void)addr;
+    }
+
+    /** @} */
 };
 
 /**
@@ -218,6 +275,27 @@ class MemEventObserverMux : public MemEventObserver
     {
         for (MemEventObserver *o : list)
             o->onOperationEnd(mem, op, cpu, addr);
+    }
+
+    void
+    onCodeFill(CpuId cpu, Addr addr, std::uint32_t bytes) override
+    {
+        for (MemEventObserver *o : list)
+            o->onCodeFill(cpu, addr, bytes);
+    }
+
+    void
+    onDma(CpuId cpu, const BlockOp &op) override
+    {
+        for (MemEventObserver *o : list)
+            o->onDma(cpu, op);
+    }
+
+    void
+    onBufferPrefetchFill(CpuId cpu, Addr addr) override
+    {
+        for (MemEventObserver *o : list)
+            o->onBufferPrefetchFill(cpu, addr);
     }
 
   private:

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "synth/activities.hh"
+#include "testutil.hh"
 #include "synth/bbids.hh"
 
 namespace oscache
@@ -197,7 +198,7 @@ TEST(ActivityPrivatizationTest, PagerReadsSubCountersWhenPrivatized)
     Activities acts(layout, profile);
     Trace trace(4);
     Emitter em(trace.stream(0), trace.blockOps());
-    Rng rng(42);
+    Rng rng = testutil::testRng(42);
     acts.pagerRun(em, rng, 0);
     std::set<Addr> counter_reads;
     for (const auto &rec : trace.stream(0))
@@ -217,7 +218,7 @@ TEST(ActivityUserTest, UserComputeEmitsOnlyUserRecords)
         Activities acts(layout, profile);
         Trace trace(4);
         Emitter em(trace.stream(0), trace.blockOps());
-        Rng rng(7);
+        Rng rng = testutil::testRng(7);
         acts.userCompute(em, rng, 0, 2);
         for (const auto &rec : trace.stream(0)) {
             EXPECT_FALSE(rec.isOs()) << toString(kind);
@@ -237,7 +238,7 @@ TEST(ActivityUserTest, UserAddressesStayInTheProcessRegion)
     Activities acts(layout, profile);
     Trace trace(4);
     Emitter em(trace.stream(0), trace.blockOps());
-    Rng rng(11);
+    Rng rng = testutil::testRng(11);
     const unsigned proc = 5;
     for (int i = 0; i < 20; ++i)
         acts.userCompute(em, rng, 0, proc);

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "check/invariants.hh"
 #include "check/racedetect.hh"
 #include "check/tracelint.hh"
@@ -327,6 +329,182 @@ TEST(TraceLintTest, NoProgressIsWarningOnly)
     const auto findings = lintTrace(t);
     EXPECT_TRUE(hasCode(findings, CheckCode::NoProgress));
     EXPECT_EQ(countErrors(findings), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Table-driven defect matrix: one row per lint defect class, each
+// producing exactly its own finding code, plus known-clean traces
+// that must produce no findings at all.
+// ---------------------------------------------------------------------
+
+struct LintMatrixRow
+{
+    const char *name;
+    Trace (*build)();
+    /** Expected finding; nullopt for a known-clean trace. */
+    std::optional<CheckCode> expected;
+};
+
+Trace
+cleanHandBuilt()
+{
+    Trace t(2);
+    const Addr lock = kernelSpaceBase + 0x100;
+    const BlockOpId id = addZeroOp(t);
+    for (CpuId c = 0; c < 2; ++c) {
+        auto &s = t.stream(c);
+        s.push_back(TraceRecord::exec(10, 0, true));
+        s.push_back(lockRecord(RecordType::LockAcquire, lock));
+        s.push_back(TraceRecord::write(kernelSpaceBase + 0x200,
+                                       DataCategory::OtherShared, 0,
+                                       true));
+        s.push_back(lockRecord(RecordType::LockRelease, lock));
+        s.push_back(barrierRecord(kernelSpaceBase + 0x300, 2));
+    }
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpBegin, id));
+    t.stream(0).push_back(blockOpRecord(RecordType::BlockOpEnd, id));
+    return t;
+}
+
+Trace
+cleanSynthetic()
+{
+    WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Shell);
+    p.quanta = 1;
+    return generateTrace(p, CoherenceOptions::none());
+}
+
+const LintMatrixRow lintMatrix[] = {
+    {"unbalanced_block_op",
+     [] {
+         Trace t(1);
+         t.stream(0).push_back(
+             blockOpRecord(RecordType::BlockOpBegin, addZeroOp(t)));
+         return t;
+     },
+     CheckCode::UnbalancedBlockOp},
+    {"mismatched_block_op_end",
+     [] {
+         Trace t(1);
+         const BlockOpId a = addZeroOp(t);
+         const BlockOpId b = addZeroOp(t);
+         auto &s = t.stream(0);
+         s.push_back(blockOpRecord(RecordType::BlockOpBegin, a));
+         s.push_back(blockOpRecord(RecordType::BlockOpBegin, b));
+         s.push_back(blockOpRecord(RecordType::BlockOpEnd, a));
+         s.push_back(blockOpRecord(RecordType::BlockOpEnd, b));
+         return t;
+     },
+     CheckCode::MismatchedBlockOpEnd},
+    {"unknown_block_op",
+     [] {
+         Trace t(1);
+         t.stream(0).push_back(
+             blockOpRecord(RecordType::BlockOpBegin, 42));
+         t.stream(0).push_back(
+             blockOpRecord(RecordType::BlockOpEnd, 42));
+         return t;
+     },
+     CheckCode::UnknownBlockOp},
+    {"unpaired_lock_release",
+     [] {
+         Trace t(1);
+         t.stream(0).push_back(
+             lockRecord(RecordType::LockRelease, kernelSpaceBase + 0x100));
+         return t;
+     },
+     CheckCode::UnpairedLockRelease},
+    {"recursive_lock_acquire",
+     [] {
+         Trace t(1);
+         const Addr lock = kernelSpaceBase + 0x100;
+         auto &s = t.stream(0);
+         s.push_back(lockRecord(RecordType::LockAcquire, lock));
+         s.push_back(lockRecord(RecordType::LockAcquire, lock));
+         s.push_back(lockRecord(RecordType::LockRelease, lock));
+         return t;
+     },
+     CheckCode::RecursiveLockAcquire},
+    {"unreleased_lock",
+     [] {
+         Trace t(1);
+         t.stream(0).push_back(
+             lockRecord(RecordType::LockAcquire, kernelSpaceBase + 0x100));
+         return t;
+     },
+     CheckCode::UnreleasedLock},
+    {"barrier_count_mismatch",
+     [] {
+         Trace t(2);
+         t.stream(0).push_back(
+             barrierRecord(kernelSpaceBase + 0x300, 2));
+         return t;
+     },
+     CheckCode::BarrierCountMismatch},
+    {"barrier_parties_changed",
+     [] {
+         Trace t(2);
+         t.stream(0).push_back(
+             barrierRecord(kernelSpaceBase + 0x300, 2));
+         t.stream(1).push_back(
+             barrierRecord(kernelSpaceBase + 0x300, 1));
+         return t;
+     },
+     CheckCode::BarrierPartiesChanged},
+    {"category_region_mismatch",
+     [] {
+         Trace t(1);
+         t.stream(0).push_back(TraceRecord::write(
+             0x1000, DataCategory::OtherShared, 0, true));
+         return t;
+     },
+     CheckCode::CategoryRegionMismatch},
+    {"no_progress",
+     [] {
+         Trace t(1);
+         t.stream(0).push_back(TraceRecord::exec(0, 0, true));
+         return t;
+     },
+     CheckCode::NoProgress},
+    {"clean_hand_built", cleanHandBuilt, std::nullopt},
+    {"clean_synthetic_shell", cleanSynthetic, std::nullopt},
+};
+
+TEST(TraceLintMatrixTest, EveryDefectClassCaughtAndCleanTracesPass)
+{
+    for (const LintMatrixRow &row : lintMatrix) {
+        SCOPED_TRACE(row.name);
+        const Trace trace = row.build();
+        const auto findings = lintTrace(trace);
+        if (!row.expected) {
+            EXPECT_TRUE(findings.empty())
+                << "clean trace produced "
+                << (findings.empty() ? "" : format(findings.front()));
+            continue;
+        }
+        EXPECT_TRUE(hasCode(findings, *row.expected))
+            << "expected " << toString(*row.expected);
+        // A defect trace must not trip unrelated checks: every
+        // finding it produces carries the expected code.
+        for (const CheckFinding &f : findings)
+            EXPECT_EQ(f.code, *row.expected) << format(f);
+    }
+}
+
+TEST(TraceLintMatrixTest, MatrixAgreesWithStreamingLinter)
+{
+    // lintSource() must report the same codes as lintTrace() on every
+    // matrix row (the streaming path is what oscache-lint uses).
+    for (const LintMatrixRow &row : lintMatrix) {
+        SCOPED_TRACE(row.name);
+        Trace trace = row.build();
+        const auto direct = lintTrace(trace);
+        MaterializedTraceSource source(trace);
+        const auto streamed = lintSource(source);
+        ASSERT_EQ(direct.size(), streamed.size());
+        for (std::size_t i = 0; i < direct.size(); ++i)
+            EXPECT_EQ(direct[i].code, streamed[i].code) << i;
+    }
 }
 
 // ---------------------------------------------------------------------

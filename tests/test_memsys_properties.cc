@@ -9,6 +9,7 @@
 
 #include "common/rng.hh"
 #include "mem/memsys.hh"
+#include "testutil.hh"
 
 namespace oscache
 {
@@ -42,12 +43,12 @@ TEST_P(MemSysProperty, InclusionHolds)
 {
     const MachineConfig cfg = config();
     MemorySystem mem(cfg);
-    Rng rng(1234);
+    Rng rng = testutil::testRng(1234);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
     std::vector<Addr> touched;
-    for (int i = 0; i < 3000; ++i) {
+    for (int i = 0, iters = testutil::propIters(3000); i < iters; ++i) {
         const CpuId cpu = CpuId(rng.below(cfg.numCpus));
         const Addr addr = 0x10000 + 64 * rng.below(4096);
         touched.push_back(addr);
@@ -71,11 +72,11 @@ TEST_P(MemSysProperty, SingleWriterInvariant)
 {
     const MachineConfig cfg = config();
     MemorySystem mem(cfg);
-    Rng rng(99);
+    Rng rng = testutil::testRng(99);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
-    for (int i = 0; i < 3000; ++i) {
+    for (int i = 0, iters = testutil::propIters(3000); i < iters; ++i) {
         const CpuId cpu = CpuId(rng.below(cfg.numCpus));
         const Addr addr = 0x20000 + 64 * rng.below(512);
         if (rng.chance(0.4))
@@ -104,11 +105,11 @@ TEST_P(MemSysProperty, ReadAfterWriteHits)
 {
     const MachineConfig cfg = config();
     MemorySystem mem(cfg);
-    Rng rng(7);
+    Rng rng = testutil::testRng(7);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
-    for (int i = 0; i < 1000; ++i) {
+    for (int i = 0, iters = testutil::propIters(1000); i < iters; ++i) {
         const CpuId cpu = CpuId(rng.below(cfg.numCpus));
         const Addr addr = 0x30000 + 64 * rng.below(256);
         now = mem.write(cpu, addr, now, ctx).completeAt;
@@ -123,11 +124,11 @@ TEST_P(MemSysProperty, NoCoherenceMissesOnOneCpu)
 {
     const MachineConfig cfg = config();
     MemorySystem mem(cfg);
-    Rng rng(5);
+    Rng rng = testutil::testRng(5);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
-    for (int i = 0; i < 3000; ++i) {
+    for (int i = 0, iters = testutil::propIters(3000); i < iters; ++i) {
         const Addr addr = 0x40000 + 16 * rng.below(8192);
         const auto res = rng.chance(0.5)
             ? mem.read(0, addr, now, ctx)
@@ -144,11 +145,11 @@ TEST_P(MemSysProperty, TimeNeverRunsBackward)
 {
     const MachineConfig cfg = config();
     MemorySystem mem(cfg);
-    Rng rng(11);
+    Rng rng = testutil::testRng(11);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
-    for (int i = 0; i < 3000; ++i) {
+    for (int i = 0, iters = testutil::propIters(3000); i < iters; ++i) {
         const CpuId cpu = CpuId(rng.below(cfg.numCpus));
         const Addr addr = 64 * rng.below(1u << 20);
         const auto res = rng.chance(0.5)
@@ -167,7 +168,7 @@ TEST_P(MemSysProperty, UpdatePagesNeverLoseSharers)
     MemorySystem mem(cfg);
     std::unordered_set<Addr> pages{0x50000};
     mem.setUpdatePages(&pages);
-    Rng rng(13);
+    Rng rng = testutil::testRng(13);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
@@ -177,7 +178,7 @@ TEST_P(MemSysProperty, UpdatePagesNeverLoseSharers)
             now = mem.read(c, 0x50000 + Addr{i} * cfg.l1LineSize, now,
                            ctx).completeAt;
     // Random writes must never invalidate anyone.
-    for (int i = 0; i < 500; ++i) {
+    for (int i = 0, iters = testutil::propIters(500); i < iters; ++i) {
         const CpuId cpu = CpuId(rng.below(cfg.numCpus));
         const Addr addr = 0x50000 + cfg.l1LineSize * rng.below(16);
         now = mem.write(cpu, addr, now, ctx).completeAt;
@@ -191,11 +192,11 @@ TEST_P(MemSysProperty, DmaPreservesInvariants)
 {
     const MachineConfig cfg = config();
     MemorySystem mem(cfg);
-    Rng rng(17);
+    Rng rng = testutil::testRng(17);
     AccessContext ctx;
     ctx.os = true;
     Cycles now = 0;
-    for (int i = 0; i < 100; ++i) {
+    for (int i = 0, iters = testutil::propIters(100); i < iters; ++i) {
         // Mix demand traffic and DMA operations.
         for (int j = 0; j < 20; ++j) {
             const CpuId cpu = CpuId(rng.below(cfg.numCpus));

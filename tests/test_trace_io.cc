@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "synth/generator.hh"
 #include "trace/io.hh"
+#include "trace/source.hh"
 
 namespace oscache
 {
@@ -297,6 +299,107 @@ TEST(TraceIoBinaryTest, FileRoundTripAutodetects)
     writeTraceFile(bin_path, original, TraceFormat::Binary);
     writeTraceFile(txt_path, original, TraceFormat::Text);
     expectTracesEqual(readTraceFile(bin_path), readTraceFile(txt_path));
+}
+
+// ------------------------------------------------ error paths (v2/v3)
+
+std::string
+chunkedBytes(const Trace &trace)
+{
+    std::stringstream buffer;
+    writeTraceChunked(buffer, trace, 3);
+    return buffer.str();
+}
+
+std::string
+writeCorruptFile(const std::string &name, const std::string &bytes)
+{
+    const std::string path = "/tmp/oscache_trace_io_" + name;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(bytes.size()));
+    return path;
+}
+
+TEST(TraceIoErrorTest, RejectsCorruptV2VersionWord)
+{
+    std::stringstream buffer;
+    writeTraceBinary(buffer, sampleTrace());
+    std::string bytes = buffer.str();
+    bytes[4] = char(0x7f); // Version word follows the 4-byte magic.
+    std::stringstream in(bytes);
+    Trace trace(1);
+    std::string why;
+    EXPECT_FALSE(tryReadTraceBinary(in, trace, &why));
+    EXPECT_NE(why.find("version"), std::string::npos) << why;
+}
+
+TEST(TraceIoErrorTest, RejectsCorruptV3VersionWord)
+{
+    std::string bytes = chunkedBytes(sampleTrace());
+    bytes[4] = char(0x7f);
+    const std::string path = writeCorruptFile("v3_badver.otb", bytes);
+    std::string why;
+    EXPECT_EQ(FileTraceSource::tryOpen(path, 16, &why), nullptr);
+    EXPECT_NE(why.find("version"), std::string::npos) << why;
+}
+
+TEST(TraceIoErrorTest, RejectsBadChecksumV2)
+{
+    std::stringstream buffer;
+    writeTraceBinary(buffer, sampleTrace());
+    std::string bytes = buffer.str();
+    // The trailing 8 bytes are the FNV-1a checksum; corrupt only them
+    // so every payload byte is intact and the mismatch is
+    // unambiguously the checksum's.
+    bytes[bytes.size() - 1] ^= 0x01;
+    std::stringstream in(bytes);
+    Trace trace(1);
+    std::string why;
+    EXPECT_FALSE(tryReadTraceBinary(in, trace, &why));
+    EXPECT_NE(why.find("checksum"), std::string::npos) << why;
+}
+
+TEST(TraceIoErrorTest, RejectsBadChecksumV3)
+{
+    std::string bytes = chunkedBytes(sampleTrace());
+    bytes[bytes.size() - 1] ^= 0x01;
+    const std::string path = writeCorruptFile("v3_badsum.otb", bytes);
+    std::string why;
+    EXPECT_EQ(FileTraceSource::tryOpen(path, 16, &why), nullptr);
+    EXPECT_NE(why.find("checksum"), std::string::npos) << why;
+}
+
+TEST(TraceIoErrorTest, RejectsChunkTruncatedMidRecord)
+{
+    const std::string bytes = chunkedBytes(sampleTrace());
+    // Cut inside the first chunk's record payload: magic(4) +
+    // version(4) + cpus(4) + page count(8) + one page(8) + chunk
+    // header(8), then 9 bytes into the first packed record.
+    const std::size_t cut = (4 + 4 + 4) + (8 + 8) + (4 + 4) + 9;
+    ASSERT_LT(cut, bytes.size());
+    const std::string path =
+        writeCorruptFile("v3_midrec.otb", bytes.substr(0, cut));
+    std::string why;
+    EXPECT_EQ(FileTraceSource::tryOpen(path, 16, &why), nullptr);
+    EXPECT_FALSE(why.empty());
+
+    std::stringstream in(bytes.substr(0, cut));
+    Trace trace(1);
+    EXPECT_FALSE(tryReadTraceBinary(in, trace, nullptr));
+}
+
+TEST(TraceIoErrorTest, RejectsZeroLengthFile)
+{
+    const std::string path = writeCorruptFile("empty.otb", "");
+    std::string why;
+    EXPECT_EQ(FileTraceSource::tryOpen(path, 16, &why), nullptr);
+    EXPECT_FALSE(why.empty());
+
+    std::stringstream in("");
+    Trace trace(1);
+    std::string why2;
+    EXPECT_FALSE(tryReadTraceBinary(in, trace, &why2));
+    EXPECT_FALSE(why2.empty());
 }
 
 } // namespace

@@ -118,4 +118,27 @@ for workload in trfd4 trfd+make arc2d+fsck shell; do
     "$build/tools/oscache-lint" trace --trace "$trace" --simulate
 done
 
+# Differential-testing stage: the engine must agree with the
+# independent oracle on every full workload, on a fixed 2000-trace
+# fuzz corpus (reproducible: seeds 0..1999), and on a short
+# fresh-seed run whose base seed is printed so any divergence can be
+# replayed with `oscache-dft fuzz --seed-base N --count 1`.  The 18
+# golden experiment cells must match the blessed snapshot
+# (tests/golden/cells.jsonl; re-bless with `oscache-dft golden
+# --bless` after an intentional behaviour change).
+echo "== dft: oracle vs engine (full workloads) =="
+"$build/tools/oscache-dft" workloads --jobs "$jobs"
+
+echo "== dft: fuzz, fixed corpus (2000 traces, seeds 0..1999) =="
+"$build/tools/oscache-dft" fuzz --count 2000 --seed-base 0 \
+    --jobs "$jobs" --quiet
+
+echo "== dft: fuzz, fresh seeds (20s wall-clock) =="
+"$build/tools/oscache-dft" fuzz --seconds 20 --jobs "$jobs" --quiet
+
+echo "== dft: golden cells =="
+"$build/tools/oscache-dft" golden --check \
+    --file "$repo/tests/golden/cells.jsonl" \
+    --scratch "$tracedir/dft_golden" --jobs "$jobs"
+
 echo "all checks passed"
