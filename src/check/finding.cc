@@ -43,6 +43,14 @@ toString(CheckCode code)
         return "no-progress";
       case CheckCode::UnlockedSharedWrite:
         return "unlocked-shared-write";
+      case CheckCode::DataValueViolation:
+        return "data-value-violation";
+      case CheckCode::StuckState:
+        return "stuck-state";
+      case CheckCode::ForbiddenTransition:
+        return "forbidden-transition";
+      case CheckCode::UnexercisedTransition:
+        return "unexercised-transition";
     }
     return "unknown";
 }

@@ -74,6 +74,20 @@ enum class CheckCode : std::uint8_t
     /** Multi-processor shared write with an empty candidate lockset. */
     UnlockedSharedWrite,
     /** @} */
+
+    /** @name Protocol model checker (src/verif) @{ */
+    /** A valid copy or memory can return stale data (dirty line
+     *  dropped, missed invalidation/update). */
+    DataValueViolation,
+    /** A reachable state with no enabled protocol step. */
+    StuckState,
+    /** The implementation took a transition the spec table forbids,
+     *  or reached a different next state than the spec prescribes. */
+    ForbiddenTransition,
+    /** A spec transition never exercised by the conformance corpus
+     *  (coverage gap, reported as a warning). */
+    UnexercisedTransition,
+    /** @} */
 };
 
 /** Severity of a finding. */

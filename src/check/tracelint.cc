@@ -51,8 +51,8 @@ struct BarrierUse
 class Linter
 {
   public:
-    Linter(TraceSource &source, const LintLimits &limits)
-        : source(source), limits(limits)
+    Linter(TraceSource &src, const LintLimits &lint_limits)
+        : source(src), limits(lint_limits)
     {}
 
     std::vector<CheckFinding>

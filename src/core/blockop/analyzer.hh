@@ -70,9 +70,9 @@ struct BlockOpCensus
 class AnalyzingExecutor : public BlockOpExecutor
 {
   public:
-    AnalyzingExecutor(BlockOpExecutor &inner, MemorySystem &mem,
-                      BlockOpCensus &census)
-        : inner(inner), mem(mem), census(census)
+    AnalyzingExecutor(BlockOpExecutor &wrapped, MemorySystem &memory,
+                      BlockOpCensus &sink)
+        : inner(wrapped), mem(memory), census(sink)
     {}
 
     Cycles

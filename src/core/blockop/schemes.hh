@@ -57,9 +57,9 @@ const char *toString(BlockScheme scheme);
 class SchemeExecutorBase : public BlockOpExecutor
 {
   public:
-    SchemeExecutorBase(MemorySystem &mem, SimStats &stats,
-                       const SimOptions &opts)
-        : mem(mem), stats(stats), opts(opts)
+    SchemeExecutorBase(MemorySystem &memory, SimStats &sim_stats,
+                       const SimOptions &options)
+        : mem(memory), stats(sim_stats), opts(options)
     {}
 
   protected:
@@ -185,10 +185,11 @@ class DmaExecutor : public SchemeExecutorBase
 class DeferredCopyExecutor : public BlockOpExecutor
 {
   public:
-    DeferredCopyExecutor(std::unique_ptr<BlockOpExecutor> inner,
-                         MemorySystem &mem, SimStats &stats,
-                         const SimOptions &opts)
-        : inner(std::move(inner)), mem(mem), stats(stats), opts(opts)
+    DeferredCopyExecutor(std::unique_ptr<BlockOpExecutor> wrapped,
+                         MemorySystem &memory, SimStats &sim_stats,
+                         const SimOptions &options)
+        : inner(std::move(wrapped)), mem(memory), stats(sim_stats),
+          opts(options)
     {}
 
     Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,

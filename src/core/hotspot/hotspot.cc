@@ -132,11 +132,11 @@ insertPrefetches(const Trace &trace, const HotspotPlan &plan)
 class PrefetchStreamSource::Cursor final : public RecordCursor
 {
   public:
-    Cursor(std::unique_ptr<RecordCursor> in, const HotspotPlan &plan)
-        : in(std::move(in)), plan(&plan)
+    Cursor(std::unique_ptr<RecordCursor> input, const HotspotPlan &p)
+        : in(std::move(input)), plan(&p)
     {
         // Prime the window with input indices 0..lookahead.
-        for (unsigned i = 0; i <= plan.lookahead; ++i)
+        for (unsigned i = 0; i <= p.lookahead; ++i)
             if (!pullOne(0))
                 break;
     }

@@ -49,8 +49,8 @@ struct CellOutcome
 class CellLookup
 {
   public:
-    explicit CellLookup(const std::map<std::string, CellOutcome> &cells)
-        : cells(cells)
+    explicit CellLookup(const std::map<std::string, CellOutcome> &outcomes)
+        : cells(outcomes)
     {}
 
     /** The outcome of cell @p id; panics if absent (a registry bug). */

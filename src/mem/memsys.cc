@@ -265,6 +265,7 @@ MemorySystem::scheduleL2WbEntry(CpuMem &mem, Addr l2_line, Cycles ready,
 AccessResult
 MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
 {
+    opBegin(MemOpKind::Read, cpu, addr);
     CpuMem &mem = cpus[cpu];
     AccessResult res;
     const Cycles issued = now;
@@ -338,6 +339,7 @@ AccessResult
 MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
                     const AccessContext &ctx)
 {
+    opBegin(MemOpKind::Write, cpu, addr);
     CpuMem &mem = cpus[cpu];
     AccessResult res;
     const Cycles issued = now;
@@ -416,6 +418,7 @@ void
 MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
                        const AccessContext &ctx)
 {
+    opBegin(MemOpKind::Prefetch, cpu, addr);
     CpuMem &mem = cpus[cpu];
     const Addr line = l1Line(addr);
     const Addr l2line = l2Line(addr);
@@ -474,6 +477,7 @@ AccessResult
 MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
                               const AccessContext &ctx)
 {
+    opBegin(MemOpKind::BypassWrite, cpu, addr);
     (void)ctx;
     CpuMem &mem = cpus[cpu];
     AccessResult res;
@@ -508,6 +512,7 @@ AccessResult
 MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
                               const AccessContext &ctx, bool invalidate)
 {
+    opBegin(MemOpKind::BypassWrite, cpu, addr);
     (void)ctx;
     CpuMem &mem = cpus[cpu];
     AccessResult res;
@@ -535,6 +540,7 @@ MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
 void
 MemorySystem::prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now)
 {
+    opBegin(MemOpKind::Prefetch, cpu, addr);
     CpuMem &mem = cpus[cpu];
     const Addr line = l1Line(addr);
 
@@ -587,6 +593,7 @@ AccessResult
 MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
                                     const AccessContext &ctx)
 {
+    opBegin(MemOpKind::Read, cpu, addr);
     CpuMem &mem = cpus[cpu];
     const Addr line = l1Line(addr);
 
@@ -634,6 +641,7 @@ MemorySystem::readViaPrefetchBuffer(CpuId cpu, Addr addr, Cycles now,
 void
 MemorySystem::codeFill(CpuId cpu, Addr code_addr, std::uint32_t bytes)
 {
+    opBegin(MemOpKind::CodeFill, cpu, code_addr);
     // The secondary cache is unified: instruction fills occupy lines
     // and evict data.  The timing and bus cost of instruction misses
     // are modeled statistically (SimOptions::osImissCpi); here only
@@ -666,6 +674,7 @@ Cycles
 MemorySystem::instructionFetch(CpuId cpu, Addr code_addr,
                                std::uint32_t bytes, Cycles now)
 {
+    opBegin(MemOpKind::InstructionFetch, cpu, code_addr);
     CpuMem &mem = cpus[cpu];
     Cycles stall = 0;
     const Addr end = alignUp(code_addr + bytes, cfg.iCacheLineSize);
@@ -717,6 +726,9 @@ MemorySystem::fence(CpuId cpu, Cycles now)
 Cycles
 MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
 {
+    opBegin(MemOpKind::Dma, cpu, op.dst);
+    if (observer != nullptr)
+        observer->onDmaBegin(cpu, op);
     CpuMem &mem = cpus[cpu];
     const Addr src_begin = op.isCopy() ? l2Line(op.src) : invalidAddr;
     const Addr dst_begin = l2Line(op.dst);

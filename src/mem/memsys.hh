@@ -274,6 +274,14 @@ class MemorySystem
             observer->onL2Transition(cpu, l2Line(l2_line), from, to);
     }
 
+    /** Report the start of a processor-side operation. */
+    void
+    opBegin(MemOpKind op, CpuId cpu, Addr addr)
+    {
+        if (observer != nullptr)
+            observer->onOperationBegin(*this, op, cpu, addr);
+    }
+
     /** Report the completion of a processor-side operation. */
     void
     opEnd(MemOpKind op, CpuId cpu, Addr addr)

@@ -145,6 +145,37 @@ struct MemEventObserver
     }
 
     /**
+     * A processor-side operation is about to execute.  Fired before
+     * the operation touches any cache state, so an observer that
+     * classifies the L2 transitions between begin and end (the
+     * conformance extractor in src/verif) knows which processor
+     * initiated them, what kind of operation is in flight, and what
+     * the initiator's pre-operation line state was.
+     */
+    virtual void
+    onOperationBegin(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                     Addr addr)
+    {
+        (void)mem;
+        (void)op;
+        (void)cpu;
+        (void)addr;
+    }
+
+    /**
+     * A DMA block operation (Blk_Dma) is about to execute on @p cpu.
+     * Unlike onOperationBegin this carries the whole descriptor, so a
+     * transition classifier can tell source-range snoops from
+     * destination-range in-place updates.
+     */
+    virtual void
+    onDmaBegin(CpuId cpu, const BlockOp &op)
+    {
+        (void)cpu;
+        (void)op;
+    }
+
+    /**
      * A processor-side operation finished.  Deferred whole-system
      * invariants (SWMR, inclusion) are checked here rather than per
      * transition: mid-operation the protocol legitimately passes
@@ -267,6 +298,21 @@ class MemEventObserverMux : public MemEventObserver
     {
         for (MemEventObserver *o : list)
             o->onL1Drop(cpu, l1_line);
+    }
+
+    void
+    onOperationBegin(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                     Addr addr) override
+    {
+        for (MemEventObserver *o : list)
+            o->onOperationBegin(mem, op, cpu, addr);
+    }
+
+    void
+    onDmaBegin(CpuId cpu, const BlockOp &op) override
+    {
+        for (MemEventObserver *o : list)
+            o->onDmaBegin(cpu, op);
     }
 
     void

@@ -28,9 +28,9 @@ class Emitter
      *        real kernel paths run long (the paper's OS time is
      *        dominated by instruction execution).
      */
-    Emitter(RecordStream &stream, BlockOpTable &block_ops,
+    Emitter(RecordStream &out, BlockOpTable &block_ops,
             double os_exec_scale = 1.0)
-        : stream(&stream), blockOps(block_ops), execScale(os_exec_scale)
+        : stream(&out), blockOps(block_ops), execScale(os_exec_scale)
     {}
 
     /**

@@ -61,12 +61,12 @@ shuffle(Rng &rng, std::vector<T> &items)
 
 struct TraceGenerator::Impl
 {
-    Impl(const WorkloadProfile &profile, const CoherenceOptions &options,
+    Impl(const WorkloadProfile &wl_profile, const CoherenceOptions &options,
          unsigned num_cpus)
-        : profile(profile), numCpus(num_cpus), layout(num_cpus, options),
+        : profile(wl_profile), numCpus(num_cpus), layout(num_cpus, options),
           pages(layout.updatePages()), acts(layout, this->profile),
-          rng(profile.seed),
-          procs(std::min<unsigned>(profile.numProcs,
+          rng(wl_profile.seed),
+          procs(std::min<unsigned>(wl_profile.numProcs,
                                    KernelLayout::numProcs)),
           curProc(num_cpus)
     {

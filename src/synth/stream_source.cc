@@ -12,8 +12,7 @@ namespace oscache
 class SynthTraceSource::Cursor final : public RecordCursor
 {
   public:
-    Cursor(SynthTraceSource &source, CpuId cpu) : src(&source), cpu(cpu)
-    {}
+    Cursor(SynthTraceSource &source, CpuId c) : src(&source), cpu(c) {}
 
     const TraceRecord *
     peek() override

@@ -543,7 +543,7 @@ readTraceBinary(std::istream &is)
 
 struct ChunkedTraceWriter::Impl
 {
-    Impl(std::ostream &os) : os(os), w(os) {}
+    Impl(std::ostream &out) : os(out), w(out) {}
 
     std::ostream &os;
     BinaryWriter w;

@@ -63,7 +63,7 @@ class ChecksumStream
 class BinaryWriter
 {
   public:
-    explicit BinaryWriter(std::ostream &os) : os(os) {}
+    explicit BinaryWriter(std::ostream &out) : os(out) {}
 
     template <typename T>
     void
@@ -86,7 +86,7 @@ class BinaryWriter
 class BinaryReader
 {
   public:
-    explicit BinaryReader(std::istream &is) : is(is) {}
+    explicit BinaryReader(std::istream &in) : is(in) {}
 
     template <typename T>
     bool

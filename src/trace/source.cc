@@ -174,10 +174,10 @@ class FileTraceSource::TextCursor final : public RecordCursor
     bool inSeg = false;
 };
 
-FileTraceSource::FileTraceSource(const std::string &path,
+FileTraceSource::FileTraceSource(const std::string &file_path,
                                  std::size_t read_ahead)
 {
-    this->path = path;
+    path = file_path;
     bufferRecords = std::max<std::size_t>(1, read_ahead);
     std::string why;
     if (!scan(&why))

@@ -107,8 +107,8 @@ class TraceSource
 class VectorRecordCursor final : public RecordCursor
 {
   public:
-    explicit VectorRecordCursor(const RecordStream &stream)
-        : stream(&stream)
+    explicit VectorRecordCursor(const RecordStream &records)
+        : stream(&records)
     {}
 
     const TraceRecord *

@@ -1,0 +1,961 @@
+#include "verif/explore.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "trace/record.hh"
+
+namespace oscache
+{
+namespace verif
+{
+
+namespace
+{
+
+constexpr unsigned maxCpus = 4;
+constexpr unsigned maxAddrs = 2;
+constexpr unsigned maxWb = 2;
+
+/** One cache's copy of one address, data abstracted to a fresh bit. */
+struct ModelCopy
+{
+    LineState state = LineState::Invalid;
+    bool fresh = false;
+};
+
+/** The full global state of the explored configuration. */
+struct ModelState
+{
+    ModelCopy copy[maxCpus][maxAddrs];
+    /**
+     * Per-processor bypass write buffer, FIFO with the head at slot
+     * 0; a slot holds (address index + 1), 0 when empty.  Slots are
+     * packed: every empty slot is followed only by empty slots.
+     */
+    std::uint8_t wb[maxCpus][maxWb] = {};
+    /** True when memory holds the newest value of the address. */
+    bool memFresh[maxAddrs] = {true, true};
+};
+
+using Encoded = std::uint64_t;
+
+/** Bits of one (state, fresh) copy. */
+constexpr unsigned copyBits = 3;
+/** Bits of one per-processor block. */
+constexpr unsigned cpuBits = maxAddrs * copyBits + maxWb * 2;
+
+static_assert(maxCpus * cpuBits + maxAddrs <= 64,
+              "global state must pack into one word");
+
+std::uint64_t
+encodeCpu(const ModelState &st, unsigned cpu)
+{
+    std::uint64_t block = 0;
+    unsigned shift = 0;
+    for (unsigned a = 0; a < maxAddrs; ++a) {
+        const ModelCopy &cp = st.copy[cpu][a];
+        std::uint64_t v = static_cast<std::uint64_t>(cp.state);
+        if (cp.fresh)
+            v |= 4u;
+        block |= v << shift;
+        shift += copyBits;
+    }
+    for (unsigned w = 0; w < maxWb; ++w) {
+        block |= std::uint64_t(st.wb[cpu][w]) << shift;
+        shift += 2;
+    }
+    return block;
+}
+
+void
+decodeCpu(ModelState &st, unsigned cpu, std::uint64_t block)
+{
+    unsigned shift = 0;
+    for (unsigned a = 0; a < maxAddrs; ++a) {
+        const auto v = (block >> shift) & 7u;
+        st.copy[cpu][a].state = static_cast<LineState>(v & 3u);
+        st.copy[cpu][a].fresh = (v & 4u) != 0;
+        shift += copyBits;
+    }
+    for (unsigned w = 0; w < maxWb; ++w) {
+        st.wb[cpu][w] = static_cast<std::uint8_t>((block >> shift) & 3u);
+        shift += 2;
+    }
+}
+
+/**
+ * Canonical encoding: the per-processor blocks sorted ascending.
+ * The processors are fully interchangeable (identical caches and
+ * buffers, and nothing else in the state names a processor), so any
+ * permutation of the blocks denotes the same protocol situation; the
+ * sorted order picks one representative per orbit.  When @p perm is
+ * non-null, perm[k] receives the raw processor index whose block
+ * landed in canonical slot k.
+ */
+Encoded
+canonicalize(const ModelState &st, const ExploreConfig &cfg,
+             std::array<std::uint8_t, maxCpus> *perm = nullptr)
+{
+    std::array<std::uint64_t, maxCpus> blocks{};
+    std::array<std::uint8_t, maxCpus> order{};
+    for (unsigned c = 0; c < cfg.cpus; ++c) {
+        blocks[c] = encodeCpu(st, c);
+        order[c] = static_cast<std::uint8_t>(c);
+    }
+    std::stable_sort(order.begin(), order.begin() + cfg.cpus,
+                     [&](std::uint8_t x, std::uint8_t y) {
+                         return blocks[x] < blocks[y];
+                     });
+    Encoded enc = 0;
+    for (unsigned k = 0; k < cfg.cpus; ++k)
+        enc |= blocks[order[k]] << (k * cpuBits);
+    for (unsigned a = 0; a < cfg.addrs; ++a)
+        if (st.memFresh[a])
+            enc |= std::uint64_t(1) << (maxCpus * cpuBits + a);
+    if (perm != nullptr)
+        *perm = order;
+    return enc;
+}
+
+ModelState
+decode(Encoded enc, const ExploreConfig &cfg)
+{
+    ModelState st;
+    for (unsigned c = 0; c < cfg.cpus; ++c)
+        decodeCpu(st, c, (enc >> (c * cpuBits)) &
+                             ((std::uint64_t(1) << cpuBits) - 1));
+    for (unsigned a = 0; a < maxAddrs; ++a)
+        st.memFresh[a] =
+            a < cfg.addrs
+                ? ((enc >> (maxCpus * cpuBits + a)) & 1u) != 0
+                : true;
+    return st;
+}
+
+/** The explored machine: a spec plus the configuration geometry. */
+struct Model
+{
+    const SchemeSpec &spec;
+    const ExploreConfig &cfg;
+
+    bool
+    isUpdateAddr(unsigned a) const
+    {
+        return spec.scheme == ProtoScheme::MesiUpdate && a == 0;
+    }
+
+    /** Address index conflicting with @p a in the cache, or -1. */
+    int
+    conflictOf(unsigned a) const
+    {
+        for (unsigned b = 0; b < cfg.addrs; ++b)
+            if (b != a && b % cfg.sets == a % cfg.sets)
+                return static_cast<int>(b);
+        return -1;
+    }
+
+    bool
+    anyOtherValid(const ModelState &st, unsigned cpu, unsigned a) const
+    {
+        for (unsigned j = 0; j < cfg.cpus; ++j)
+            if (j != cpu && st.copy[j][a].state != LineState::Invalid)
+                return true;
+        return false;
+    }
+
+    unsigned
+    wbSize(const ModelState &st, unsigned cpu) const
+    {
+        unsigned n = 0;
+        while (n < cfg.wbDepth && st.wb[cpu][n] != 0)
+            ++n;
+        return n;
+    }
+
+    bool
+    wbPendingAnywhere(const ModelState &st, unsigned a) const
+    {
+        for (unsigned c = 0; c < cfg.cpus; ++c)
+            for (unsigned w = 0; w < cfg.wbDepth; ++w)
+                if (st.wb[c][w] == a + 1)
+                    return true;
+        return false;
+    }
+
+    void
+    setState(ModelState &st, unsigned cpu, unsigned a,
+             LineState next) const
+    {
+        st.copy[cpu][a].state = next;
+        if (next == LineState::Invalid)
+            st.copy[cpu][a].fresh = false;
+    }
+
+    void
+    illegal(std::vector<CheckFinding> &findings, unsigned cpu,
+            unsigned a, LineState from, ProtoEvent event) const
+    {
+        CheckFinding f;
+        f.code = CheckCode::ForbiddenTransition;
+        f.cpu = static_cast<CpuId>(cpu);
+        f.addr = a;
+        std::ostringstream os;
+        os << toString(spec.scheme) << ": event " << toString(event)
+           << " from state " << toString(from)
+           << " is reachable but the table marks it illegal";
+        f.message = os.str();
+        findings.push_back(f);
+    }
+
+    /**
+     * Apply a bus event to @p cpu's copy.  Returns false (with a
+     * finding) when the table forbids the edge.
+     */
+    bool
+    applyRemote(ModelState &st, unsigned cpu, unsigned a,
+                ProtoEvent event,
+                std::vector<CheckFinding> &findings) const
+    {
+        const LineState from = st.copy[cpu][a].state;
+        const ProtoTransition &cell = spec.at(from, event);
+        if (!spec.hasEvent(event) || !cell.legal) {
+            illegal(findings, cpu, a, from, event);
+            return false;
+        }
+        if (cell.action == ProtoAction::SupplyData)
+            st.memFresh[a] = true;
+        setState(st, cpu, a, cell.next);
+        if (event == ProtoEvent::RemoteUpdate &&
+            cell.next != LineState::Invalid)
+            st.copy[cpu][a].fresh = true;
+        return true;
+    }
+
+    /**
+     * Apply a local event to @p cpu's copy, fanning its bus action
+     * out to every other valid copy (a mutated action propagates, so
+     * e.g. dropping StoreShared's invalidation leaves stale sharers
+     * for the data-value invariant to catch).
+     */
+    bool
+    applyLocal(ModelState &st, unsigned cpu, unsigned a,
+               ProtoEvent event,
+               std::vector<CheckFinding> &findings) const
+    {
+        const LineState from = st.copy[cpu][a].state;
+        const ProtoTransition &cell = spec.at(from, event);
+        if (!spec.hasEvent(event) || !cell.legal) {
+            illegal(findings, cpu, a, from, event);
+            return false;
+        }
+        ProtoEvent snoop = ProtoEvent::NumEvents;
+        switch (cell.action) {
+          case ProtoAction::BusRead:
+            snoop = ProtoEvent::RemoteRead;
+            break;
+          case ProtoAction::BusReadExcl:
+            snoop = ProtoEvent::RemoteReadExcl;
+            break;
+          case ProtoAction::BusInval:
+            snoop = ProtoEvent::RemoteInval;
+            break;
+          case ProtoAction::BusUpdate:
+            snoop = ProtoEvent::RemoteUpdate;
+            break;
+          case ProtoAction::BlockWrite:
+            snoop = ProtoEvent::RemoteBypassInval;
+            break;
+          case ProtoAction::WriteBack:
+            st.memFresh[a] = st.copy[cpu][a].fresh;
+            break;
+          default:
+            break;
+        }
+        if (snoop != ProtoEvent::NumEvents) {
+            for (unsigned j = 0; j < cfg.cpus; ++j) {
+                if (j == cpu ||
+                    st.copy[j][a].state == LineState::Invalid)
+                    continue;
+                if (!applyRemote(st, j, a, snoop, findings))
+                    return false;
+            }
+        }
+        setState(st, cpu, a, cell.next);
+        return true;
+    }
+
+    /** Drain @p cpu's write-buffer head entry into memory. */
+    void
+    drainOne(ModelState &st, unsigned cpu) const
+    {
+        const unsigned a = st.wb[cpu][0] - 1;
+        for (unsigned w = 0; w + 1 < maxWb; ++w)
+            st.wb[cpu][w] = st.wb[cpu][w + 1];
+        st.wb[cpu][maxWb - 1] = 0;
+        // Memory now holds the newest value only if no younger
+        // buffered write of the same line is still pending.
+        if (!wbPendingAnywhere(st, a))
+            st.memFresh[a] = true;
+    }
+
+    /**
+     * Bus serialization of a pending buffered line: before the bus
+     * services any transaction on @p a, every buffered write of @p a
+     * (and, FIFO, everything queued ahead of it) drains.  Mirrors
+     * the engine's pendingLineDrain() wait.
+     */
+    void
+    drainAddr(ModelState &st, unsigned a) const
+    {
+        for (unsigned c = 0; c < cfg.cpus; ++c) {
+            bool pending = true;
+            while (pending) {
+                pending = false;
+                for (unsigned w = 0; w < cfg.wbDepth; ++w)
+                    if (st.wb[c][w] == a + 1)
+                        pending = true;
+                if (pending)
+                    drainOne(st, c);
+            }
+        }
+    }
+
+    /** Evict @p cpu's conflicting victim before filling @p a. */
+    bool
+    evictConflict(ModelState &st, unsigned cpu, unsigned a,
+                  std::vector<CheckFinding> &findings) const
+    {
+        const int v = conflictOf(a);
+        if (v < 0 ||
+            st.copy[cpu][v].state == LineState::Invalid)
+            return true;
+        return applyLocal(st, cpu, static_cast<unsigned>(v),
+                          ProtoEvent::Evict, findings);
+    }
+
+    /** DMA destination write of @p a: every copy updates in place. */
+    bool
+    applyDmaDest(ModelState &st, unsigned a,
+                 std::vector<CheckFinding> &findings) const
+    {
+        for (unsigned j = 0; j < cfg.cpus; ++j) {
+            if (st.copy[j][a].state == LineState::Invalid)
+                continue;
+            if (!applyRemote(st, j, a, ProtoEvent::DmaDestWrite,
+                             findings))
+                return false;
+            if (st.copy[j][a].state != LineState::Invalid)
+                st.copy[j][a].fresh = true;
+        }
+        st.memFresh[a] = true;
+        return true;
+    }
+
+    /**
+     * Apply @p step to @p st.  Returns false when the step is not
+     * enabled in @p st (nothing modified); findings collect table
+     * violations hit along the way.
+     */
+    bool
+    applyStep(ModelState &st, const ExploreStep &step,
+              std::vector<CheckFinding> &findings) const
+    {
+        const unsigned c = step.cpu;
+        const unsigned a = step.addr;
+        ModelCopy &cp = st.copy[c][a];
+
+        switch (step.op) {
+          case ExploreStep::Op::Read: {
+            if (cp.state != LineState::Invalid)
+                return applyLocal(st, c, a, ProtoEvent::LoadHit,
+                                  findings),
+                       true;
+            drainAddr(st, a);
+            if (!evictConflict(st, c, a, findings))
+                return true;
+            const ProtoEvent ev = anyOtherValid(st, c, a)
+                                      ? ProtoEvent::LoadMissShared
+                                      : ProtoEvent::LoadMissAlone;
+            if (!applyLocal(st, c, a, ev, findings))
+                return true;
+            if (cp.state != LineState::Invalid)
+                cp.fresh = st.memFresh[a];
+            return true;
+          }
+
+          case ExploreStep::Op::Write: {
+            const bool upd = isUpdateAddr(a);
+            if (cp.state == LineState::Exclusive ||
+                cp.state == LineState::Modified) {
+                if (!applyLocal(st, c, a, ProtoEvent::StoreHit,
+                                findings))
+                    return true;
+                if (cp.state != LineState::Invalid)
+                    cp.fresh = true;
+                st.memFresh[a] = false;
+                return true;
+            }
+            if (cp.state == LineState::Invalid) {
+                drainAddr(st, a);
+                if (!evictConflict(st, c, a, findings))
+                    return true;
+                if (!upd) {
+                    if (!applyLocal(st, c, a, ProtoEvent::StoreMiss,
+                                    findings))
+                        return true;
+                    if (cp.state != LineState::Invalid)
+                        cp.fresh = true;
+                    st.memFresh[a] = false;
+                    return true;
+                }
+                // Update-page store miss: fetch the line Shared
+                // first, then resolve the store below.
+                if (!applyLocal(st, c, a, ProtoEvent::StoreUpdateFill,
+                                findings))
+                    return true;
+                if (cp.state != LineState::Invalid)
+                    cp.fresh = st.memFresh[a];
+                if (cp.state != LineState::Shared)
+                    return true;
+            }
+            // Shared (directly, or after the update fill).
+            if (upd) {
+                if (anyOtherValid(st, c, a)) {
+                    if (!applyLocal(st, c, a,
+                                    ProtoEvent::StoreUpdateShared,
+                                    findings))
+                        return true;
+                    if (cp.state != LineState::Invalid)
+                        cp.fresh = true;
+                    st.memFresh[a] = true;
+                } else {
+                    if (!applyLocal(st, c, a,
+                                    ProtoEvent::StoreUpdateAlone,
+                                    findings))
+                        return true;
+                    if (cp.state != LineState::Invalid)
+                        cp.fresh = true;
+                    st.memFresh[a] = false;
+                }
+                return true;
+            }
+            if (!applyLocal(st, c, a, ProtoEvent::StoreShared,
+                            findings))
+                return true;
+            if (cp.state != LineState::Invalid)
+                cp.fresh = true;
+            st.memFresh[a] = false;
+            return true;
+          }
+
+          case ExploreStep::Op::Evict:
+            if (cp.state == LineState::Invalid)
+                return false;
+            applyLocal(st, c, a, ProtoEvent::Evict, findings);
+            return true;
+
+          case ExploreStep::Op::Drain:
+            if (wbSize(st, c) == 0)
+                return false;
+            drainOne(st, c);
+            return true;
+
+          case ExploreStep::Op::BypassWrite: {
+            if (!spec.hasEvent(ProtoEvent::BypassWrite) ||
+                cfg.wbDepth == 0)
+                return false;
+            // The executor writes resident destination lines through
+            // the caches; the bypass path requires an absent copy.
+            if (cp.state != LineState::Invalid)
+                return false;
+            while (wbSize(st, c) >= cfg.wbDepth)
+                drainOne(st, c); // Stall until a buffer slot frees.
+            if (!applyLocal(st, c, a, ProtoEvent::BypassWrite,
+                            findings))
+                return true;
+            st.wb[c][wbSize(st, c)] =
+                static_cast<std::uint8_t>(a + 1);
+            st.memFresh[a] = false; // Newest value is in the buffer.
+            return true;
+          }
+
+          case ExploreStep::Op::BypassRead: {
+            if (!spec.hasEvent(ProtoEvent::BypassWrite))
+                return false;
+            if (cp.state != LineState::Invalid) {
+                applyLocal(st, c, a, ProtoEvent::LoadHit, findings);
+                return true;
+            }
+            // Non-allocating source read: snoop, no fill.
+            drainAddr(st, a);
+            for (unsigned j = 0; j < cfg.cpus; ++j) {
+                if (j == c ||
+                    st.copy[j][a].state == LineState::Invalid)
+                    continue;
+                if (!applyRemote(st, j, a, ProtoEvent::RemoteRead,
+                                 findings))
+                    return true;
+            }
+            return true;
+          }
+
+          case ExploreStep::Op::DmaZero:
+            if (!spec.hasEvent(ProtoEvent::DmaDestWrite))
+                return false;
+            applyDmaDest(st, a, findings);
+            return true;
+
+          case ExploreStep::Op::DmaCopy: {
+            if (!spec.hasEvent(ProtoEvent::DmaDestWrite) ||
+                step.addr2 == a || step.addr2 >= cfg.addrs)
+                return false;
+            const unsigned s = step.addr2;
+            for (unsigned j = 0; j < cfg.cpus; ++j) {
+                if (st.copy[j][s].state == LineState::Invalid)
+                    continue;
+                if (!applyRemote(st, j, s, ProtoEvent::DmaSourceRead,
+                                 findings))
+                    return true;
+            }
+            applyDmaDest(st, a, findings);
+            return true;
+          }
+        }
+        return false;
+    }
+
+    /** All candidate steps of the configuration (scheme-filtered). */
+    std::vector<ExploreStep>
+    candidateSteps() const
+    {
+        std::vector<ExploreStep> steps;
+        const bool bypass = spec.hasEvent(ProtoEvent::BypassWrite);
+        const bool dma = spec.hasEvent(ProtoEvent::DmaDestWrite);
+        for (unsigned c = 0; c < cfg.cpus; ++c) {
+            const auto cpu = static_cast<std::uint8_t>(c);
+            if (cfg.wbDepth > 0)
+                steps.push_back({cpu, ExploreStep::Op::Drain, 0, 0});
+            for (unsigned a = 0; a < cfg.addrs; ++a) {
+                const auto ai = static_cast<std::uint8_t>(a);
+                steps.push_back({cpu, ExploreStep::Op::Read, ai, 0});
+                steps.push_back({cpu, ExploreStep::Op::Write, ai, 0});
+                steps.push_back({cpu, ExploreStep::Op::Evict, ai, 0});
+                if (bypass) {
+                    steps.push_back(
+                        {cpu, ExploreStep::Op::BypassWrite, ai, 0});
+                    steps.push_back(
+                        {cpu, ExploreStep::Op::BypassRead, ai, 0});
+                }
+                if (dma) {
+                    steps.push_back(
+                        {cpu, ExploreStep::Op::DmaZero, ai, 0});
+                    for (unsigned s = 0; s < cfg.addrs; ++s)
+                        if (s != a)
+                            steps.push_back(
+                                {cpu, ExploreStep::Op::DmaCopy, ai,
+                                 static_cast<std::uint8_t>(s)});
+                }
+            }
+        }
+        return steps;
+    }
+
+    /** Check every safety invariant of @p st. */
+    void
+    checkInvariants(const ModelState &st,
+                    std::vector<CheckFinding> &findings) const
+    {
+        for (unsigned a = 0; a < cfg.addrs; ++a) {
+            unsigned valid = 0, owners = 0;
+            bool anyM = false, anyE = false;
+            for (unsigned c = 0; c < cfg.cpus; ++c) {
+                const LineState s = st.copy[c][a].state;
+                if (s == LineState::Invalid)
+                    continue;
+                ++valid;
+                if (s == LineState::Modified) {
+                    anyM = true;
+                    ++owners;
+                } else if (s == LineState::Exclusive) {
+                    anyE = true;
+                    ++owners;
+                }
+            }
+            if (owners > 0 && valid > 1) {
+                CheckFinding f;
+                f.code = CheckCode::SwmrViolation;
+                f.addr = a;
+                f.message = "an owned (E/M) copy coexists with another "
+                            "valid copy";
+                findings.push_back(f);
+            }
+            if (anyE && spec.scheme == ProtoScheme::Msi) {
+                CheckFinding f;
+                f.code = CheckCode::IllegalTransition;
+                f.addr = a;
+                f.message = "Exclusive state reached under MSI";
+                findings.push_back(f);
+            }
+            for (unsigned c = 0; c < cfg.cpus; ++c) {
+                if (st.copy[c][a].state != LineState::Invalid &&
+                    !st.copy[c][a].fresh) {
+                    CheckFinding f;
+                    f.code = CheckCode::DataValueViolation;
+                    f.cpu = static_cast<CpuId>(c);
+                    f.addr = a;
+                    f.message =
+                        "a valid copy holds stale data (missed "
+                        "invalidation or update)";
+                    findings.push_back(f);
+                }
+            }
+            const bool pending = wbPendingAnywhere(st, a);
+            if (!anyM && !pending && !st.memFresh[a]) {
+                CheckFinding f;
+                f.code = CheckCode::DataValueViolation;
+                f.addr = a;
+                f.message = "memory is stale with no Modified copy "
+                            "and no buffered write (dirty line "
+                            "dropped)";
+                findings.push_back(f);
+            }
+            if (pending && valid > 0) {
+                CheckFinding f;
+                f.code = CheckCode::WriteBufferInconsistency;
+                f.addr = a;
+                f.message = "a cache holds a valid copy of a "
+                            "buffer-pending bypassed line";
+                findings.push_back(f);
+            }
+        }
+        for (unsigned c = 0; c < cfg.cpus; ++c) {
+            bool seen_empty = false;
+            for (unsigned w = 0; w < maxWb; ++w) {
+                const bool empty = st.wb[c][w] == 0;
+                const bool overflow =
+                    !empty && (w >= cfg.wbDepth || seen_empty);
+                if (overflow) {
+                    CheckFinding f;
+                    f.code = CheckCode::WriteBufferInconsistency;
+                    f.cpu = static_cast<CpuId>(c);
+                    f.message = "write buffer overflowed its depth or "
+                                "lost FIFO packing";
+                    findings.push_back(f);
+                }
+                seen_empty = seen_empty || empty;
+            }
+        }
+    }
+};
+
+/** Parent link of the BFS, for counterexample reconstruction. */
+struct ParentLink
+{
+    Encoded parent = 0;
+    ExploreStep step;
+    bool root = false;
+};
+
+std::vector<ExploreStep>
+rebuildPath(const std::unordered_map<Encoded, ParentLink> &parents,
+            Encoded last)
+{
+    std::vector<ExploreStep> path;
+    Encoded cur = last;
+    for (;;) {
+        const auto it = parents.find(cur);
+        if (it == parents.end() || it->second.root)
+            break;
+        path.push_back(it->second.step);
+        cur = it->second.parent;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+checkConfig(const ExploreConfig &cfg)
+{
+    if (cfg.cpus < 2 || cfg.cpus > maxCpus)
+        fatal("explore: cpus must be 2..", maxCpus, " (got ", cfg.cpus,
+              ")");
+    if (cfg.addrs < 1 || cfg.addrs > maxAddrs)
+        fatal("explore: addrs must be 1..", maxAddrs, " (got ",
+              cfg.addrs, ")");
+    if (cfg.sets < 1 || cfg.sets > 2)
+        fatal("explore: sets must be 1..2 (got ", cfg.sets, ")");
+    if (cfg.wbDepth > maxWb)
+        fatal("explore: wbDepth must be 0..", maxWb, " (got ",
+              cfg.wbDepth, ")");
+}
+
+} // namespace
+
+std::string
+formatStep(const ExploreStep &step)
+{
+    std::ostringstream os;
+    os << "cpu" << int(step.cpu) << " ";
+    switch (step.op) {
+      case ExploreStep::Op::Read:
+        os << "read a" << int(step.addr);
+        break;
+      case ExploreStep::Op::Write:
+        os << "write a" << int(step.addr);
+        break;
+      case ExploreStep::Op::Evict:
+        os << "evict a" << int(step.addr);
+        break;
+      case ExploreStep::Op::Drain:
+        os << "drain";
+        break;
+      case ExploreStep::Op::BypassWrite:
+        os << "bypass-write a" << int(step.addr);
+        break;
+      case ExploreStep::Op::BypassRead:
+        os << "bypass-read a" << int(step.addr);
+        break;
+      case ExploreStep::Op::DmaZero:
+        os << "dma-zero a" << int(step.addr);
+        break;
+      case ExploreStep::Op::DmaCopy:
+        os << "dma-copy a" << int(step.addr2) << " -> a"
+           << int(step.addr);
+        break;
+    }
+    return os.str();
+}
+
+ExploreResult
+explore(const SchemeSpec &spec, const ExploreConfig &cfg)
+{
+    checkConfig(cfg);
+    ExploreResult result;
+    const Model m{spec, cfg};
+    const std::vector<ExploreStep> steps = m.candidateSteps();
+
+    const ModelState init;
+    const Encoded root = canonicalize(init, cfg);
+    std::unordered_map<Encoded, ParentLink> parents;
+    parents[root] = ParentLink{root, {}, true};
+    std::deque<Encoded> frontier{root};
+    result.states = 1;
+
+    while (!frontier.empty()) {
+        const Encoded cur = frontier.front();
+        frontier.pop_front();
+        const ModelState base = decode(cur, cfg);
+        unsigned enabled = 0;
+
+        for (const ExploreStep &step : steps) {
+            ModelState next = base;
+            std::vector<CheckFinding> stepFindings;
+            if (!m.applyStep(next, step, stepFindings))
+                continue;
+            ++enabled;
+            ++result.transitions;
+            if (!stepFindings.empty()) {
+                result.findings = std::move(stepFindings);
+                result.path = rebuildPath(parents, cur);
+                result.path.push_back(step);
+                return result;
+            }
+            const Encoded enc = canonicalize(next, cfg);
+            const auto ins =
+                parents.insert({enc, ParentLink{cur, step, false}});
+            if (!ins.second)
+                continue;
+            ++result.states;
+            std::vector<CheckFinding> stateFindings;
+            m.checkInvariants(next, stateFindings);
+            if (!stateFindings.empty()) {
+                result.findings = std::move(stateFindings);
+                result.path = rebuildPath(parents, enc);
+                return result;
+            }
+            frontier.push_back(enc);
+        }
+
+        if (enabled == 0) {
+            CheckFinding f;
+            f.code = CheckCode::StuckState;
+            f.message = "reachable state with no enabled step";
+            result.findings.push_back(f);
+            result.path = rebuildPath(parents, cur);
+            return result;
+        }
+    }
+    return result;
+}
+
+Counterexample
+realizeCounterexample(const SchemeSpec &spec, const ExploreConfig &cfg,
+                      const std::vector<ExploreStep> &path)
+{
+    checkConfig(cfg);
+    const Model m{spec, cfg};
+
+    Counterexample ce;
+    ce.machine.numCpus = cfg.cpus;
+    ce.machine.l1LineSize = 16;
+    ce.machine.l2LineSize = 16;
+    ce.machine.l1Size = 16 * cfg.sets;
+    ce.machine.l2Size = 16 * cfg.sets;
+    ce.machine.l1Ways = 1;
+    ce.machine.l2Ways = 1;
+    ce.machine.protocol = spec.scheme == ProtoScheme::Msi
+                              ? CoherenceProtocol::Msi
+                              : CoherenceProtocol::Illinois;
+    if (spec.scheme == ProtoScheme::MesiBypass)
+        ce.blockScheme = BlockScheme::Bypass;
+    else if (spec.scheme == ProtoScheme::MesiDma)
+        ce.blockScheme = BlockScheme::Dma;
+
+    // Concrete addresses: one page apart (distinct lines), nudged so
+    // address index i lands in cache set i % sets.
+    const Addr lineSize = 16;
+    for (unsigned a = 0; a < cfg.addrs; ++a)
+        ce.addrOf.push_back(Addr{0x100000} + Addr{a} * Trace::pageSize +
+                            Addr{a % cfg.sets} * lineSize);
+
+    ce.trace = Trace(cfg.cpus);
+    if (spec.scheme == ProtoScheme::MesiUpdate)
+        ce.trace.updatePages().insert(
+            alignDown(ce.addrOf[0], Trace::pageSize));
+
+    // Each step runs in its own exclusive time slot, enforced with
+    // idle padding: the pad is computed against a per-cpu lower time
+    // bound (idle advances time exactly; accesses add a little more),
+    // so a step's access starts at or after its slot boundary, and
+    // the slot is far wider than the accumulated access latencies,
+    // so it also completes before the next slot opens.  Under the
+    // replay engine's min-time scheduling this serializes the steps
+    // in exactly the explored order.
+    constexpr Cycles slotCycles = 1u << 20;
+    std::vector<Cycles> lowBound(cfg.cpus, 0);
+    const auto padTo = [&](unsigned cpu, std::size_t slot) {
+        const Cycles target = Cycles(slot + 1) * slotCycles;
+        if (target > lowBound[cpu]) {
+            ce.trace.stream(static_cast<CpuId>(cpu))
+                .push_back(TraceRecord::idle(
+                    static_cast<std::uint32_t>(target -
+                                               lowBound[cpu])));
+            lowBound[cpu] = target;
+        }
+    };
+    const auto pushBlockOp = [&](unsigned cpu, const BlockOp &op) {
+        const BlockOpId id = ce.trace.blockOps().add(op);
+        TraceRecord begin;
+        begin.type = RecordType::BlockOpBegin;
+        begin.aux = id;
+        begin.flags = flagOs;
+        TraceRecord end = begin;
+        end.type = RecordType::BlockOpEnd;
+        auto &stream = ce.trace.stream(static_cast<CpuId>(cpu));
+        stream.push_back(begin);
+        stream.push_back(end);
+    };
+
+    // Replay the canonical-state path, mapping each step's canonical
+    // processor slot back to the concrete processor that plays it in
+    // the trace (canonicalization permutes the slots every step).
+    ModelState cur;
+    std::array<std::uint8_t, maxCpus> toOrig{};
+    std::iota(toOrig.begin(), toOrig.end(), std::uint8_t{0});
+    const auto cat = DataCategory::KernelPrivate;
+
+    for (std::size_t k = 0; k < path.size(); ++k) {
+        const ExploreStep &step = path[k];
+        const unsigned concrete = toOrig[step.cpu];
+        auto &stream = ce.trace.stream(static_cast<CpuId>(concrete));
+
+        switch (step.op) {
+          case ExploreStep::Op::Read:
+            padTo(concrete, k);
+            stream.push_back(TraceRecord::read(
+                ce.addrOf[step.addr], cat, invalidBasicBlock, true));
+            break;
+          case ExploreStep::Op::Write:
+            padTo(concrete, k);
+            stream.push_back(TraceRecord::write(
+                ce.addrOf[step.addr], cat, invalidBasicBlock, true));
+            break;
+          case ExploreStep::Op::Evict:
+            // Realized as a read of an untracked line that maps to
+            // the same (direct-mapped) set, displacing the victim.
+            padTo(concrete, k);
+            stream.push_back(TraceRecord::read(
+                ce.addrOf[step.addr] + Addr{64} * Trace::pageSize, cat,
+                invalidBasicBlock, true));
+            break;
+          case ExploreStep::Op::Drain:
+            // The engine's buffers drain with time; the idle padding
+            // between slots is orders of magnitude more than enough.
+            break;
+          case ExploreStep::Op::BypassWrite: {
+            padTo(concrete, k);
+            BlockOp op;
+            op.dst = ce.addrOf[step.addr];
+            op.size = static_cast<std::uint32_t>(lineSize);
+            op.kind = BlockOpKind::Zero;
+            pushBlockOp(concrete, op);
+            break;
+          }
+          case ExploreStep::Op::BypassRead: {
+            padTo(concrete, k);
+            BlockOp op;
+            op.src = ce.addrOf[step.addr];
+            // Unique untracked destination: bypass writes never
+            // allocate, so it perturbs no tracked line.
+            op.dst = Addr{0x800000} + Addr{k} * Trace::pageSize;
+            op.size = static_cast<std::uint32_t>(lineSize);
+            op.kind = BlockOpKind::Copy;
+            pushBlockOp(concrete, op);
+            break;
+          }
+          case ExploreStep::Op::DmaZero: {
+            padTo(concrete, k);
+            BlockOp op;
+            op.dst = ce.addrOf[step.addr];
+            op.size = static_cast<std::uint32_t>(lineSize);
+            op.kind = BlockOpKind::Zero;
+            pushBlockOp(concrete, op);
+            break;
+          }
+          case ExploreStep::Op::DmaCopy: {
+            padTo(concrete, k);
+            BlockOp op;
+            op.src = ce.addrOf[step.addr2];
+            op.dst = ce.addrOf[step.addr];
+            op.size = static_cast<std::uint32_t>(lineSize);
+            op.kind = BlockOpKind::Copy;
+            pushBlockOp(concrete, op);
+            break;
+          }
+        }
+
+        // Advance the model and fold this step's canonicalization
+        // permutation into the slot -> concrete-processor map.
+        std::vector<CheckFinding> ignored;
+        if (!m.applyStep(cur, step, ignored))
+            panic("realizeCounterexample: path step ", k,
+                  " is not enabled (", formatStep(step), ")");
+        std::array<std::uint8_t, maxCpus> perm{};
+        const Encoded enc = canonicalize(cur, cfg, &perm);
+        std::array<std::uint8_t, maxCpus> next{};
+        for (unsigned slot = 0; slot < cfg.cpus; ++slot)
+            next[slot] = toOrig[perm[slot]];
+        toOrig = next;
+        cur = decode(enc, cfg);
+    }
+    return ce;
+}
+
+} // namespace verif
+} // namespace oscache

@@ -1,0 +1,264 @@
+#include "verif/spec.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+namespace verif
+{
+
+namespace
+{
+
+constexpr std::array<SchemeSpec, numSchemes> allSpecs = {
+    buildSpec(ProtoScheme::Mesi),       buildSpec(ProtoScheme::Msi),
+    buildSpec(ProtoScheme::MesiUpdate), buildSpec(ProtoScheme::MesiBypass),
+    buildSpec(ProtoScheme::MesiDma),
+};
+
+constexpr LineState allStates[numLineStates] = {
+    LineState::Invalid,
+    LineState::Shared,
+    LineState::Exclusive,
+    LineState::Modified,
+};
+
+} // namespace
+
+const SchemeSpec &
+schemeSpec(ProtoScheme scheme)
+{
+    const auto index = static_cast<std::size_t>(scheme);
+    if (index >= numSchemes)
+        panic("schemeSpec: bad scheme ", index);
+    return allSpecs[index];
+}
+
+SchemeSpec
+makeSchemeSpec(ProtoScheme scheme)
+{
+    return schemeSpec(scheme);
+}
+
+std::size_t
+observableTransitions(const SchemeSpec &spec)
+{
+    std::size_t n = 0;
+    for (LineState state : allStates) {
+        for (std::size_t e = 0; e < numEvents; ++e) {
+            const auto event = static_cast<ProtoEvent>(e);
+            const ProtoTransition &cell = spec.at(state, event);
+            if (spec.hasEvent(event) && cell.legal && cell.next != state)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+validateSpec(const SchemeSpec &spec)
+{
+    std::ostringstream os;
+    for (LineState state : allStates) {
+        for (std::size_t e = 0; e < numEvents; ++e) {
+            const auto event = static_cast<ProtoEvent>(e);
+            const ProtoTransition &cell = spec.at(state, event);
+            if (!spec.hasEvent(event) && cell.legal) {
+                os << toString(spec.scheme) << ": out-of-scheme event "
+                   << toString(event) << " legal from "
+                   << toString(state);
+                return os.str();
+            }
+            if (!cell.legal)
+                continue;
+            if (event == ProtoEvent::Evict &&
+                state == LineState::Modified &&
+                cell.action != ProtoAction::WriteBack) {
+                os << toString(spec.scheme)
+                   << ": Evict from Modified must write back";
+                return os.str();
+            }
+            if (event == ProtoEvent::RemoteInval &&
+                (state == LineState::Exclusive ||
+                 state == LineState::Modified)) {
+                os << toString(spec.scheme)
+                   << ": RemoteInval legal against an owned copy";
+                return os.str();
+            }
+            if (spec.scheme == ProtoScheme::Msi &&
+                (state == LineState::Exclusive ||
+                 cell.next == LineState::Exclusive)) {
+                os << "Msi: Exclusive state in table ("
+                   << toString(state) << ", " << toString(event) << ")";
+                return os.str();
+            }
+            // An absent copy never changes state on a bus event.
+            if (state == LineState::Invalid &&
+                (event == ProtoEvent::RemoteRead ||
+                 event == ProtoEvent::RemoteReadExcl ||
+                 event == ProtoEvent::RemoteInval ||
+                 event == ProtoEvent::RemoteUpdate ||
+                 event == ProtoEvent::RemoteBypassInval) &&
+                cell.next != LineState::Invalid) {
+                os << toString(spec.scheme) << ": bus event "
+                   << toString(event) << " fills an absent copy";
+                return os.str();
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+specDot(const SchemeSpec &spec)
+{
+    std::ostringstream os;
+    os << "digraph " << toString(spec.scheme) << " {\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=circle];\n";
+    for (LineState state : allStates)
+        os << "  " << toString(state) << ";\n";
+    for (LineState state : allStates) {
+        for (std::size_t e = 0; e < numEvents; ++e) {
+            const auto event = static_cast<ProtoEvent>(e);
+            const ProtoTransition &cell = spec.at(state, event);
+            if (!spec.hasEvent(event) || !cell.legal ||
+                cell.next == state)
+                continue;
+            os << "  " << toString(state) << " -> "
+               << toString(cell.next) << " [label=\""
+               << toString(event);
+            if (cell.action != ProtoAction::None)
+                os << " / " << toString(cell.action);
+            os << "\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string_view
+toString(ProtoScheme scheme)
+{
+    switch (scheme) {
+      case ProtoScheme::Mesi:
+        return "mesi";
+      case ProtoScheme::Msi:
+        return "msi";
+      case ProtoScheme::MesiUpdate:
+        return "mesi-update";
+      case ProtoScheme::MesiBypass:
+        return "mesi-bypass";
+      case ProtoScheme::MesiDma:
+        return "mesi-dma";
+      case ProtoScheme::NumSchemes:
+        break;
+    }
+    return "unknown";
+}
+
+std::string_view
+toString(ProtoEvent event)
+{
+    switch (event) {
+      case ProtoEvent::LoadHit:
+        return "LoadHit";
+      case ProtoEvent::LoadMissShared:
+        return "LoadMissShared";
+      case ProtoEvent::LoadMissAlone:
+        return "LoadMissAlone";
+      case ProtoEvent::StoreHit:
+        return "StoreHit";
+      case ProtoEvent::StoreShared:
+        return "StoreShared";
+      case ProtoEvent::StoreMiss:
+        return "StoreMiss";
+      case ProtoEvent::StoreUpdateFill:
+        return "StoreUpdateFill";
+      case ProtoEvent::StoreUpdateShared:
+        return "StoreUpdateShared";
+      case ProtoEvent::StoreUpdateAlone:
+        return "StoreUpdateAlone";
+      case ProtoEvent::Evict:
+        return "Evict";
+      case ProtoEvent::BypassWrite:
+        return "BypassWrite";
+      case ProtoEvent::RemoteRead:
+        return "RemoteRead";
+      case ProtoEvent::RemoteReadExcl:
+        return "RemoteReadExcl";
+      case ProtoEvent::RemoteInval:
+        return "RemoteInval";
+      case ProtoEvent::RemoteUpdate:
+        return "RemoteUpdate";
+      case ProtoEvent::RemoteBypassInval:
+        return "RemoteBypassInval";
+      case ProtoEvent::DmaDestWrite:
+        return "DmaDestWrite";
+      case ProtoEvent::DmaSourceRead:
+        return "DmaSourceRead";
+      case ProtoEvent::NumEvents:
+        break;
+    }
+    return "unknown";
+}
+
+std::string_view
+toString(ProtoAction action)
+{
+    switch (action) {
+      case ProtoAction::None:
+        return "none";
+      case ProtoAction::BusRead:
+        return "BusRead";
+      case ProtoAction::BusReadExcl:
+        return "BusReadExcl";
+      case ProtoAction::BusInval:
+        return "BusInval";
+      case ProtoAction::BusUpdate:
+        return "BusUpdate";
+      case ProtoAction::WriteBack:
+        return "WriteBack";
+      case ProtoAction::SupplyData:
+        return "SupplyData";
+      case ProtoAction::BlockWrite:
+        return "BlockWrite";
+      case ProtoAction::NumActions:
+        break;
+    }
+    return "unknown";
+}
+
+std::string_view
+toString(LineState state)
+{
+    switch (state) {
+      case LineState::Invalid:
+        return "I";
+      case LineState::Shared:
+        return "S";
+      case LineState::Exclusive:
+        return "E";
+      case LineState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+bool
+parseScheme(std::string_view name, ProtoScheme &out)
+{
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const auto scheme = static_cast<ProtoScheme>(i);
+        if (name == toString(scheme)) {
+            out = scheme;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace verif
+} // namespace oscache

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Declarative coherence-protocol specification.
+ *
+ * Each scheme's per-line state machine is written down as an explicit
+ * `(state, event) -> (state, action)` table, one table per scheme, in
+ * the style of a Murphi rule set: the tables are data, not code, so
+ * they can be exhaustively explored (explore.hh), diffed against the
+ * transitions the real engine takes (conform.hh), and dumped as a
+ * Graphviz graph (`oscache-verify dot`).
+ *
+ * Events are *context-refined*: a load miss is LoadMissShared or
+ * LoadMissAlone depending on whether any other cache holds the line,
+ * so the next state is a pure function of (state, event) and the
+ * tables need no guards.  The refinement mirrors exactly the
+ * information the engine itself consults (readFillState,
+ * sharedElsewhere).
+ *
+ * The tables are constexpr and sized by the LineState / ProtoEvent
+ * enums, so adding a state or an event fails compilation (see the
+ * static_asserts here and in tests/test_verif.cc) until every scheme
+ * table handles it — the same sentinel-count pattern DataCategory and
+ * BusTxn use.
+ */
+
+#ifndef OSCACHE_VERIF_SPEC_HH
+#define OSCACHE_VERIF_SPEC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mem/cache.hh"
+
+namespace oscache
+{
+namespace verif
+{
+
+/**
+ * Number of per-line states.  LineState has no sentinel (it is packed
+ * into tag arrays), so the count is pinned to its last enumerator;
+ * adding a state breaks this assert and every table size below.
+ */
+inline constexpr std::size_t numLineStates =
+    static_cast<std::size_t>(LineState::Modified) + 1;
+static_assert(numLineStates == 4,
+              "LineState gained a value: extend every verif spec table");
+
+/**
+ * The five verified protocol variants.  The first two are the
+ * machine-wide protocols selectable in MachineConfig; the other three
+ * are the Illinois core composed with the paper's optional mechanisms
+ * (Section 5.2 selective update, Section 4.2 Blk_Bypass / Blk_Dma).
+ */
+enum class ProtoScheme : std::uint8_t
+{
+    Mesi,       ///< Illinois MESI, invalidation-based.
+    Msi,        ///< MSI (no Exclusive state).
+    MesiUpdate, ///< MESI + Firefly word updates on update pages.
+    MesiBypass, ///< MESI + Blk_Bypass cache-bypassing block writes.
+    MesiDma,    ///< MESI + Blk_Dma bus-level block transfers.
+    NumSchemes,
+};
+
+inline constexpr std::size_t numSchemes =
+    static_cast<std::size_t>(ProtoScheme::NumSchemes);
+
+/**
+ * Protocol events, from the point of view of one cache's copy of one
+ * line.  "Local" events are issued by this processor, "Remote" events
+ * arrive over the bus from another processor's operation, and the Dma
+ * events come from the bus-level block engine.
+ */
+enum class ProtoEvent : std::uint8_t
+{
+    /** @name Local processor events @{ */
+    LoadHit,           ///< Load, line valid here.
+    LoadMissShared,    ///< Load miss; some other cache holds the line.
+    LoadMissAlone,     ///< Load miss; no other cache holds the line.
+    StoreHit,          ///< Store, line owned (Exclusive or Modified).
+    StoreShared,       ///< Store to a Shared line (upgrade).
+    StoreMiss,         ///< Store miss (read-for-ownership).
+    StoreUpdateFill,   ///< Update-page store miss: fetch Shared first.
+    StoreUpdateShared, ///< Update-page store, other sharers exist.
+    StoreUpdateAlone,  ///< Update-page store, no other sharer left.
+    Evict,             ///< Replacement (or voluntary) eviction.
+    BypassWrite,       ///< Own full-line cache-bypassing block write.
+    /** @} */
+
+    /** @name Bus (remote-initiated) events @{ */
+    RemoteRead,        ///< Another cache's non-exclusive read.
+    RemoteReadExcl,    ///< Another cache's read-for-ownership.
+    RemoteInval,       ///< Address-only invalidation (upgrade).
+    RemoteUpdate,      ///< Firefly word update from a remote store.
+    RemoteBypassInval, ///< Remote cache-bypassing block write.
+    /** @} */
+
+    /** @name DMA engine events (Blk_Dma) @{ */
+    DmaDestWrite, ///< DMA overwrites the line; copies update in place.
+    DmaSourceRead, ///< DMA reads the line as a copy source.
+    /** @} */
+
+    NumEvents,
+};
+
+inline constexpr std::size_t numEvents =
+    static_cast<std::size_t>(ProtoEvent::NumEvents);
+
+/** Bus-visible consequence of a transition. */
+enum class ProtoAction : std::uint8_t
+{
+    None,        ///< Silent (processor-local) transition.
+    BusRead,     ///< Non-exclusive line read on the bus.
+    BusReadExcl, ///< Read-for-ownership (invalidates other copies).
+    BusInval,    ///< Address-only invalidation broadcast.
+    BusUpdate,   ///< Firefly word-update broadcast.
+    WriteBack,   ///< Dirty line written back to memory.
+    SupplyData,  ///< Owner supplies the line; memory is updated.
+    BlockWrite,  ///< Full line written to memory via the write buffer.
+    NumActions,
+};
+
+/** One cell of a scheme's transition table. */
+struct ProtoTransition
+{
+    /** False: the protocol can never take this (state, event) edge. */
+    bool legal = false;
+    LineState next = LineState::Invalid;
+    ProtoAction action = ProtoAction::None;
+};
+
+/**
+ * One scheme's complete specification: the (state, event) table plus
+ * the subset of events that exist under the scheme at all.
+ */
+struct SchemeSpec
+{
+    ProtoScheme scheme = ProtoScheme::Mesi;
+    /** Indexed [state][event]; every cell is meaningful. */
+    std::array<std::array<ProtoTransition, numEvents>, numLineStates>
+        table{};
+    /** Bit i set iff ProtoEvent(i) can occur under this scheme. */
+    std::uint32_t eventMask = 0;
+
+    constexpr const ProtoTransition &
+    at(LineState state, ProtoEvent event) const
+    {
+        return table[static_cast<std::size_t>(state)]
+                    [static_cast<std::size_t>(event)];
+    }
+
+    constexpr bool
+    hasEvent(ProtoEvent event) const
+    {
+        return (eventMask >> static_cast<unsigned>(event)) & 1u;
+    }
+};
+
+static_assert(numEvents <= 32, "eventMask is a uint32_t");
+
+/**
+ * @name Constexpr table construction
+ *
+ * The tables are built at compile time so the unit tests can pin
+ * individual cells with static_assert; schemeSpec() below hands out
+ * the same tables from static storage for runtime use.
+ * @{
+ */
+
+namespace detail
+{
+
+constexpr std::uint32_t
+eventBit(ProtoEvent event)
+{
+    return 1u << static_cast<unsigned>(event);
+}
+
+/** Events common to every invalidation-based variant. */
+inline constexpr std::uint32_t coreEventMask =
+    eventBit(ProtoEvent::LoadHit) | eventBit(ProtoEvent::LoadMissShared) |
+    eventBit(ProtoEvent::LoadMissAlone) | eventBit(ProtoEvent::StoreHit) |
+    eventBit(ProtoEvent::StoreShared) | eventBit(ProtoEvent::StoreMiss) |
+    eventBit(ProtoEvent::Evict) | eventBit(ProtoEvent::RemoteRead) |
+    eventBit(ProtoEvent::RemoteReadExcl) | eventBit(ProtoEvent::RemoteInval);
+
+constexpr std::uint32_t
+schemeEventMask(ProtoScheme scheme)
+{
+    switch (scheme) {
+      case ProtoScheme::Mesi:
+      case ProtoScheme::Msi:
+        return coreEventMask;
+      case ProtoScheme::MesiUpdate:
+        return coreEventMask | eventBit(ProtoEvent::StoreUpdateFill) |
+               eventBit(ProtoEvent::StoreUpdateShared) |
+               eventBit(ProtoEvent::StoreUpdateAlone) |
+               eventBit(ProtoEvent::RemoteUpdate);
+      case ProtoScheme::MesiBypass:
+        return coreEventMask | eventBit(ProtoEvent::BypassWrite) |
+               eventBit(ProtoEvent::RemoteBypassInval);
+      case ProtoScheme::MesiDma:
+        return coreEventMask | eventBit(ProtoEvent::DmaDestWrite) |
+               eventBit(ProtoEvent::DmaSourceRead);
+      case ProtoScheme::NumSchemes:
+        break;
+    }
+    return 0;
+}
+
+} // namespace detail
+
+/**
+ * Build @p scheme's transition table.  Everything not explicitly
+ * enabled stays `legal = false` — the protocol can never take it.
+ */
+constexpr SchemeSpec
+buildSpec(ProtoScheme scheme)
+{
+    using S = LineState;
+    using E = ProtoEvent;
+    using A = ProtoAction;
+
+    SchemeSpec spec{};
+    spec.scheme = scheme;
+    spec.eventMask = detail::schemeEventMask(scheme);
+
+    const bool msi = scheme == ProtoScheme::Msi;
+    const bool update = scheme == ProtoScheme::MesiUpdate;
+    const bool bypass = scheme == ProtoScheme::MesiBypass;
+    const bool dma = scheme == ProtoScheme::MesiDma;
+
+    auto on = [&spec](S state, E event, S next, A action = A::None) {
+        spec.table[static_cast<std::size_t>(state)]
+                  [static_cast<std::size_t>(event)] =
+            ProtoTransition{true, next, action};
+    };
+
+    // --- Invalid: fills, plus every bus event as a no-op (an absent
+    // copy never reacts to snoops). ---
+    on(S::Invalid, E::LoadMissShared, S::Shared, A::BusRead);
+    on(S::Invalid, E::LoadMissAlone, msi ? S::Shared : S::Exclusive,
+       A::BusRead);
+    on(S::Invalid, E::StoreMiss, S::Modified, A::BusReadExcl);
+    on(S::Invalid, E::RemoteRead, S::Invalid);
+    on(S::Invalid, E::RemoteReadExcl, S::Invalid);
+    on(S::Invalid, E::RemoteInval, S::Invalid);
+    if (update) {
+        on(S::Invalid, E::StoreUpdateFill, S::Shared, A::BusRead);
+        on(S::Invalid, E::RemoteUpdate, S::Invalid);
+    }
+    if (bypass) {
+        // A bypass write requires a non-resident destination line
+        // (the executor writes through the caches otherwise), so the
+        // only legal local state is Invalid.
+        on(S::Invalid, E::BypassWrite, S::Invalid, A::BlockWrite);
+        on(S::Invalid, E::RemoteBypassInval, S::Invalid);
+    }
+    if (dma) {
+        on(S::Invalid, E::DmaDestWrite, S::Invalid);
+        on(S::Invalid, E::DmaSourceRead, S::Invalid);
+    }
+
+    // --- Shared. ---
+    on(S::Shared, E::LoadHit, S::Shared);
+    on(S::Shared, E::StoreShared, S::Modified, A::BusInval);
+    on(S::Shared, E::Evict, S::Invalid);
+    on(S::Shared, E::RemoteRead, S::Shared);
+    on(S::Shared, E::RemoteReadExcl, S::Invalid);
+    on(S::Shared, E::RemoteInval, S::Invalid);
+    if (update) {
+        on(S::Shared, E::StoreUpdateShared, S::Shared, A::BusUpdate);
+        on(S::Shared, E::StoreUpdateAlone, S::Modified);
+        on(S::Shared, E::RemoteUpdate, S::Shared);
+    }
+    if (bypass)
+        on(S::Shared, E::RemoteBypassInval, S::Invalid);
+    if (dma) {
+        on(S::Shared, E::DmaDestWrite, S::Shared);
+        on(S::Shared, E::DmaSourceRead, S::Shared);
+    }
+
+    // --- Exclusive: does not exist under MSI (no edge enters it, no
+    // event leaves it — reaching it at all is a violation). ---
+    if (!msi) {
+        on(S::Exclusive, E::LoadHit, S::Exclusive);
+        on(S::Exclusive, E::StoreHit, S::Modified);
+        on(S::Exclusive, E::Evict, S::Invalid);
+        // Clean copy: memory is current, nobody supplies data.
+        on(S::Exclusive, E::RemoteRead, S::Shared);
+        on(S::Exclusive, E::RemoteReadExcl, S::Invalid);
+        // RemoteInval (an upgrade) is illegal against E or M: the
+        // upgrading writer would have to hold Shared concurrently.
+        if (bypass)
+            on(S::Exclusive, E::RemoteBypassInval, S::Invalid);
+        if (dma) {
+            on(S::Exclusive, E::DmaDestWrite, S::Shared);
+            on(S::Exclusive, E::DmaSourceRead, S::Exclusive);
+        }
+    }
+
+    // --- Modified. ---
+    on(S::Modified, E::LoadHit, S::Modified);
+    on(S::Modified, E::StoreHit, S::Modified);
+    on(S::Modified, E::Evict, S::Invalid, A::WriteBack);
+    on(S::Modified, E::RemoteRead, S::Shared, A::SupplyData);
+    on(S::Modified, E::RemoteReadExcl, S::Invalid, A::SupplyData);
+    if (bypass) {
+        // The whole line is overwritten in memory; the dirty data is
+        // dead by construction, so no write-back is owed.
+        on(S::Modified, E::RemoteBypassInval, S::Invalid);
+    }
+    if (dma) {
+        on(S::Modified, E::DmaDestWrite, S::Shared);
+        on(S::Modified, E::DmaSourceRead, S::Shared, A::SupplyData);
+    }
+
+    return spec;
+}
+
+/** @} */
+
+/** The specification of @p scheme (a reference into a static table). */
+const SchemeSpec &schemeSpec(ProtoScheme scheme);
+
+/** Build @p scheme's spec by value (for mutation in tests). */
+SchemeSpec makeSchemeSpec(ProtoScheme scheme);
+
+/**
+ * Number of *conformance-observable* transitions in @p spec: legal,
+ * state-changing cells of in-scheme events.  Self-loops are excluded
+ * because the engine's observer elides them (notifyL2 only fires when
+ * from != to), so they can never be witnessed dynamically.
+ */
+std::size_t observableTransitions(const SchemeSpec &spec);
+
+/**
+ * Structural sanity of a table, checked once per process (and by the
+ * unit tests): dirty-data liveness (every legal Evict from Modified
+ * writes back), upgrade sanity (RemoteInval is illegal against an
+ * owned copy), MSI has no edge into Exclusive, and every cell of an
+ * out-of-scheme event is illegal.  Returns an empty string when the
+ * spec is well-formed, else a description of the first defect.
+ */
+std::string validateSpec(const SchemeSpec &spec);
+
+/** Graphviz rendering of @p spec's legal, state-changing edges. */
+std::string specDot(const SchemeSpec &spec);
+
+/** @name Names (stable; used by the CLI and the reports) @{ */
+std::string_view toString(ProtoScheme scheme);
+std::string_view toString(ProtoEvent event);
+std::string_view toString(ProtoAction action);
+std::string_view toString(LineState state);
+/** Parse a --scheme argument; returns false on unknown names. */
+bool parseScheme(std::string_view name, ProtoScheme &out);
+/** @} */
+
+} // namespace verif
+} // namespace oscache
+
+#endif // OSCACHE_VERIF_SPEC_HH

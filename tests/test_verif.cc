@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests of the protocol model checker (src/verif): compile-time
+ * exhaustiveness of the declarative tables, clean exhaustive
+ * exploration of every scheme, implementation conformance on real
+ * workloads, and the end-to-end counterexample pipeline — a mutated
+ * table entry must be caught by the explorer, lowered to a replayable
+ * trace, and flagged again by the conformance extractor on the real
+ * engine, while the differential oracle confirms the trace itself
+ * replays cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dft/differ.hh"
+#include "mem/memsys.hh"
+#include "trace/source.hh"
+#include "verif/conform.hh"
+#include "verif/explore.hh"
+#include "verif/spec.hh"
+
+namespace oscache
+{
+namespace
+{
+
+using namespace oscache::verif;
+
+// ---------------------------------------------------------------------
+// Compile-time exhaustiveness: the tables are constexpr, sized by the
+// LineState/ProtoEvent enums, and individual cells are pinned here.
+// Adding an enum value without extending the tables fails right here.
+// ---------------------------------------------------------------------
+
+static_assert(numLineStates == 4, "spec tables assume I/S/E/M");
+static_assert(numEvents == 18, "event set changed: revisit the tables");
+static_assert(numSchemes == 5, "scheme set changed: extend the tests");
+
+constexpr SchemeSpec kMesi = buildSpec(ProtoScheme::Mesi);
+constexpr SchemeSpec kMsi = buildSpec(ProtoScheme::Msi);
+constexpr SchemeSpec kUpdate = buildSpec(ProtoScheme::MesiUpdate);
+constexpr SchemeSpec kBypass = buildSpec(ProtoScheme::MesiBypass);
+constexpr SchemeSpec kDma = buildSpec(ProtoScheme::MesiDma);
+
+static_assert(kMesi.at(LineState::Invalid, ProtoEvent::LoadMissAlone)
+                  .next == LineState::Exclusive,
+              "Illinois fills clean-exclusive when alone");
+static_assert(kMsi.at(LineState::Invalid, ProtoEvent::LoadMissAlone)
+                  .next == LineState::Shared,
+              "MSI has no Exclusive state");
+static_assert(kMesi.at(LineState::Shared, ProtoEvent::StoreShared)
+                      .next == LineState::Modified &&
+                  kMesi.at(LineState::Shared, ProtoEvent::StoreShared)
+                          .action == ProtoAction::BusInval,
+              "an upgrade invalidates the other sharers");
+static_assert(kMesi.at(LineState::Modified, ProtoEvent::Evict).action ==
+                  ProtoAction::WriteBack,
+              "a dirty eviction must write back");
+static_assert(!kMesi.at(LineState::Exclusive, ProtoEvent::RemoteInval)
+                   .legal,
+              "an upgrade cannot race an owned copy");
+static_assert(!kMesi.hasEvent(ProtoEvent::BypassWrite) &&
+                  kBypass.hasEvent(ProtoEvent::BypassWrite),
+              "bypass events exist only under Blk_Bypass");
+static_assert(kUpdate.at(LineState::Shared,
+                         ProtoEvent::StoreUpdateShared)
+                  .action == ProtoAction::BusUpdate,
+              "Firefly stores broadcast updates while shared");
+static_assert(kDma.at(LineState::Modified, ProtoEvent::DmaSourceRead)
+                  .action == ProtoAction::SupplyData,
+              "DMA reading a dirty line takes the owner's data");
+
+/** Every in-scheme event must be handled somewhere in the table. */
+constexpr bool
+everyEventReachable(const SchemeSpec &spec)
+{
+    for (std::size_t e = 0; e < numEvents; ++e) {
+        const auto event = static_cast<ProtoEvent>(e);
+        if (!spec.hasEvent(event))
+            continue;
+        bool any = false;
+        for (std::size_t s = 0; s < numLineStates; ++s)
+            if (spec.at(static_cast<LineState>(s), event).legal)
+                any = true;
+        if (!any)
+            return false;
+    }
+    return true;
+}
+
+static_assert(everyEventReachable(kMesi) && everyEventReachable(kMsi) &&
+                  everyEventReachable(kUpdate) &&
+                  everyEventReachable(kBypass) &&
+                  everyEventReachable(kDma),
+              "an in-scheme event has no legal transition anywhere");
+
+// ---------------------------------------------------------------------
+// Structural validation and rendering.
+// ---------------------------------------------------------------------
+
+TEST(VerifSpecTest, AllSchemesValidate)
+{
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const auto scheme = static_cast<ProtoScheme>(i);
+        EXPECT_EQ(validateSpec(schemeSpec(scheme)), "")
+            << toString(scheme);
+        EXPECT_GT(observableTransitions(schemeSpec(scheme)), 8u)
+            << toString(scheme);
+    }
+}
+
+TEST(VerifSpecTest, ValidatorCatchesDroppedWriteBack)
+{
+    SchemeSpec bad = makeSchemeSpec(ProtoScheme::Mesi);
+    bad.table[static_cast<std::size_t>(LineState::Modified)]
+             [static_cast<std::size_t>(ProtoEvent::Evict)]
+                 .action = ProtoAction::None;
+    EXPECT_NE(validateSpec(bad), "");
+}
+
+TEST(VerifSpecTest, DotRenderingNamesEveryState)
+{
+    const std::string dot = specDot(schemeSpec(ProtoScheme::Mesi));
+    for (const char *state : {"I", "S", "E", "M"})
+        EXPECT_NE(dot.find(std::string("  ") + state + ";"),
+                  std::string::npos)
+            << state;
+    EXPECT_NE(dot.find("StoreShared"), std::string::npos);
+}
+
+TEST(VerifSpecTest, SchemeNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const auto scheme = static_cast<ProtoScheme>(i);
+        ProtoScheme parsed;
+        ASSERT_TRUE(parseScheme(toString(scheme), parsed));
+        EXPECT_EQ(parsed, scheme);
+    }
+    ProtoScheme parsed;
+    EXPECT_FALSE(parseScheme("nonesuch", parsed));
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive exploration: every scheme's table is safe.
+// ---------------------------------------------------------------------
+
+TEST(VerifExploreTest, AllSchemesSafeTwoCpus)
+{
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const auto scheme = static_cast<ProtoScheme>(i);
+        const ExploreResult r =
+            explore(schemeSpec(scheme), ExploreConfig{});
+        EXPECT_TRUE(r.ok())
+            << toString(scheme) << ": "
+            << (r.findings.empty() ? "" : format(r.findings[0]));
+        EXPECT_GT(r.states, 4u) << toString(scheme);
+        EXPECT_GT(r.transitions, r.states) << toString(scheme);
+    }
+}
+
+TEST(VerifExploreTest, AllSchemesSafeThreeCpusWithConflicts)
+{
+    ExploreConfig cfg;
+    cfg.cpus = 3;
+    cfg.sets = 1; // Both addresses collide in the single set.
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const auto scheme = static_cast<ProtoScheme>(i);
+        const ExploreResult r = explore(schemeSpec(scheme), cfg);
+        EXPECT_TRUE(r.ok())
+            << toString(scheme) << ": "
+            << (r.findings.empty() ? "" : format(r.findings[0]));
+    }
+}
+
+TEST(VerifExploreTest, Deterministic)
+{
+    const ExploreResult a =
+        explore(schemeSpec(ProtoScheme::MesiBypass), ExploreConfig{});
+    const ExploreResult b =
+        explore(schemeSpec(ProtoScheme::MesiBypass), ExploreConfig{});
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.transitions, b.transitions);
+}
+
+TEST(VerifExploreTest, SymmetryReductionShrinksTheSpace)
+{
+    // 3 CPUs explore no more than (and in practice far fewer than)
+    // 3!/2! times the 2-CPU space; without symmetry reduction the
+    // ratio would approach the full permutation blow-up.
+    ExploreConfig two;
+    ExploreConfig three;
+    three.cpus = 3;
+    const auto s2 = explore(schemeSpec(ProtoScheme::Mesi), two).states;
+    const auto s3 =
+        explore(schemeSpec(ProtoScheme::Mesi), three).states;
+    EXPECT_LT(s3, s2 * 4);
+}
+
+// ---------------------------------------------------------------------
+// Mutation: a broken table entry must be caught by the explorer,
+// lowered to a replayable trace, and flagged by the conformance pass
+// against the real engine — which itself replays the trace cleanly.
+// ---------------------------------------------------------------------
+
+TEST(VerifMutationTest, DroppedUpgradeCaughtEndToEnd)
+{
+    // Break MESI: a store to a Shared line no longer upgrades or
+    // invalidates — the writer stays Shared, silently.
+    SchemeSpec bad = makeSchemeSpec(ProtoScheme::Mesi);
+    bad.table[static_cast<std::size_t>(LineState::Shared)]
+             [static_cast<std::size_t>(ProtoEvent::StoreShared)] =
+        ProtoTransition{true, LineState::Shared, ProtoAction::None};
+
+    const ExploreConfig cfg;
+    const ExploreResult r = explore(bad, cfg);
+    ASSERT_FALSE(r.ok());
+    ASSERT_FALSE(r.path.empty());
+    bool dataValue = false;
+    for (const CheckFinding &f : r.findings)
+        dataValue |= f.code == CheckCode::DataValueViolation;
+    EXPECT_TRUE(dataValue) << format(r.findings[0]);
+
+    // Lower the violation path to a concrete trace.
+    const Counterexample ce = realizeCounterexample(bad, cfg, r.path);
+    ASSERT_GT(ce.trace.totalRecords(), 0u);
+
+    // The real engine replays it without diverging from the oracle:
+    // the trace is a legal input; only the mutated spec is wrong.
+    MaterializedTraceSource source(ce.trace);
+    const SimOptions options;
+    const dft::DiffResult diff =
+        dft::runDiff(source, ce.machine, options, ce.blockScheme);
+    EXPECT_FALSE(diff.diverged) << diff.report;
+    EXPECT_GT(diff.eventsChecked, 0u);
+
+    // And the conformance extractor, replaying the same trace, sees
+    // the engine take the upgrade the mutated table forbids.
+    const ConformReport mutated =
+        conformTrace(bad, ce.trace, ce.machine, ce.blockScheme);
+    EXPECT_GT(mutated.forbidden, 0u);
+    bool mentionsUpgrade = false;
+    for (const CheckFinding &f : mutated.findings)
+        mentionsUpgrade |=
+            f.message.find("StoreShared") != std::string::npos;
+    EXPECT_TRUE(mentionsUpgrade);
+
+    // Against the correct table the very same replay conforms.
+    const ConformReport good = conformTrace(
+        schemeSpec(ProtoScheme::Mesi), ce.trace, ce.machine,
+        ce.blockScheme);
+    EXPECT_EQ(good.forbidden, 0u)
+        << (good.findings.empty() ? "" : format(good.findings[0]));
+}
+
+TEST(VerifMutationTest, MissingWriteBackCaught)
+{
+    // Break MESI the other way: evicting a Modified line forgets the
+    // write-back, so memory silently loses the only fresh copy.
+    SchemeSpec bad = makeSchemeSpec(ProtoScheme::Mesi);
+    bad.table[static_cast<std::size_t>(LineState::Modified)]
+             [static_cast<std::size_t>(ProtoEvent::Evict)]
+                 .action = ProtoAction::None;
+    const ExploreResult r = explore(bad, ExploreConfig{});
+    ASSERT_FALSE(r.ok());
+    bool dataValue = false;
+    for (const CheckFinding &f : r.findings)
+        dataValue |= f.code == CheckCode::DataValueViolation;
+    EXPECT_TRUE(dataValue) << format(r.findings[0]);
+}
+
+// ---------------------------------------------------------------------
+// Implementation conformance on real workloads (shortened).
+// ---------------------------------------------------------------------
+
+TEST(VerifConformTest, EngineConformsToEverySchemeTable)
+{
+    for (std::size_t i = 0; i < numSchemes; ++i) {
+        const auto scheme = static_cast<ProtoScheme>(i);
+        SCOPED_TRACE(std::string(toString(scheme)));
+        const ConformReport rep = runConformance(scheme, 2);
+        EXPECT_EQ(rep.forbidden, 0u)
+            << (rep.findings.empty() ? "" : format(rep.findings[0]));
+        EXPECT_GT(rep.observed, 1000u);
+        EXPECT_GT(rep.coverage(), 0.5);
+    }
+}
+
+} // namespace
+} // namespace oscache
