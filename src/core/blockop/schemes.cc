@@ -53,7 +53,7 @@ BaseExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
                 break;
             const AccessResult wr =
                 mem.write(cpu, op.dst + offset, now, wctx);
-            stats.recordWrite(os, true, wr);
+            stats->recordWrite(os, true, wr);
             now = wr.completeAt;
         }
     }
@@ -66,7 +66,7 @@ BlkPrefExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
     if (!op.isCopy()) {
         // Nothing to prefetch when zeroing: fall back to Base
         // behaviour inline.
-        BaseExecutor base(mem, stats, opts);
+        BaseExecutor base(mem, *stats, opts);
         return base.execute(cpu, op, now, os);
     }
 
@@ -106,7 +106,7 @@ BlkPrefExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
                 break;
             const AccessResult wr = mem.write(cpu, op.dst + offset, now,
                                               wctx);
-            stats.recordWrite(os, true, wr);
+            stats->recordWrite(os, true, wr);
             now = wr.completeAt;
         }
     }
@@ -165,7 +165,7 @@ BypassExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
                 now = execInstr(now, instrPerCopyWord, os);
                 const AccessResult wr =
                     mem.write(cpu, dst_chunk + off, now, wctx);
-                stats.recordWrite(os, true, wr);
+                stats->recordWrite(os, true, wr);
                 now = wr.completeAt;
             }
         } else {
@@ -173,7 +173,7 @@ BypassExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
                 now = execInstr(now, instrPerCopyWord, os);
                 const AccessResult wr = mem.writeBypassWord(
                     cpu, dst_chunk + off, now, wctx, off == 0);
-                stats.recordWrite(os, true, wr);
+                stats->recordWrite(os, true, wr);
                 now = wr.completeAt;
             }
         }
@@ -185,7 +185,7 @@ Cycles
 ByPrefExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
 {
     if (!op.isCopy()) {
-        BaseExecutor base(mem, stats, opts);
+        BaseExecutor base(mem, *stats, opts);
         return base.execute(cpu, op, now, os);
     }
 
@@ -227,7 +227,7 @@ ByPrefExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
                 break;
             const AccessResult wr = mem.write(cpu, op.dst + offset, now,
                                               wctx);
-            stats.recordWrite(os, true, wr);
+            stats->recordWrite(os, true, wr);
             now = wr.completeAt;
         }
     }
@@ -243,10 +243,10 @@ DmaExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now, bool os)
     // accounting, the whole stall is assigned to data-read-miss time.
     const Cycles stall = done - now;
     if (os)
-        stats.osReadStall += stall;
+        stats->osReadStall += stall;
     else
-        stats.userReadStall += stall;
-    stats.blockReadStall += stall;
+        stats->userReadStall += stall;
+    stats->blockReadStall += stall;
     return done;
 }
 
@@ -258,7 +258,7 @@ DeferredCopyExecutor::execute(CpuId cpu, const BlockOp &op, Cycles now,
         // The copy is never performed: only the remap bookkeeping
         // (cache-management/TLB fiddling) executes.
         ++elided;
-        stats.recordExec(os, true, 40, 40, 0);
+        stats->recordExec(os, true, 40, 40, 0);
         return now + 40;
     }
     return inner->execute(cpu, op, now, os);

@@ -59,8 +59,13 @@ class SchemeExecutorBase : public BlockOpExecutor
   public:
     SchemeExecutorBase(MemorySystem &memory, SimStats &sim_stats,
                        const SimOptions &options)
-        : mem(memory), stats(sim_stats), opts(options)
+        : mem(memory), stats(&sim_stats), opts(options)
     {}
+
+    void retargetStats(SimStats &sim_stats) override
+    {
+        stats = &sim_stats;
+    }
 
   protected:
     /** @name Instruction-cost constants (per Section 4 discussion) @{ */
@@ -86,7 +91,7 @@ class SchemeExecutorBase : public BlockOpExecutor
     Cycles
     execInstr(Cycles now, std::uint64_t instrs, bool os)
     {
-        stats.recordExec(os, true, instrs, instrs, 0);
+        stats->recordExec(os, true, instrs, instrs, 0);
         return now + instrs;
     }
 
@@ -95,12 +100,12 @@ class SchemeExecutorBase : public BlockOpExecutor
     recordBlockRead(bool os, const AccessResult &res,
                     std::uint32_t op_size)
     {
-        stats.recordRead(os, true, DataCategory::BlockSrc,
+        stats->recordRead(os, true, DataCategory::BlockSrc,
                          invalidBasicBlock, res);
         if (os && res.l1Miss) {
             const std::size_t cls =
                 op_size < 1024 ? 0 : (op_size < 4096 ? 1 : 2);
-            ++stats.osMissBlockBySize[cls];
+            ++stats->osMissBlockBySize[cls];
         }
     }
 
@@ -129,7 +134,8 @@ class SchemeExecutorBase : public BlockOpExecutor
     }
 
     MemorySystem &mem;
-    SimStats &stats;
+    /** Pointer, not reference: retargetStats() rebinds it. */
+    SimStats *stats;
     SimOptions opts;
 };
 
@@ -188,12 +194,18 @@ class DeferredCopyExecutor : public BlockOpExecutor
     DeferredCopyExecutor(std::unique_ptr<BlockOpExecutor> wrapped,
                          MemorySystem &memory, SimStats &sim_stats,
                          const SimOptions &options)
-        : inner(std::move(wrapped)), mem(memory), stats(sim_stats),
+        : inner(std::move(wrapped)), mem(memory), stats(&sim_stats),
           opts(options)
     {}
 
     Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
                    bool os) override;
+
+    void retargetStats(SimStats &sim_stats) override
+    {
+        stats = &sim_stats;
+        inner->retargetStats(sim_stats);
+    }
 
     /** Number of copies elided by deferral. */
     std::uint64_t elidedCopies() const { return elided; }
@@ -204,7 +216,7 @@ class DeferredCopyExecutor : public BlockOpExecutor
   private:
     std::unique_ptr<BlockOpExecutor> inner;
     MemorySystem &mem;
-    SimStats &stats;
+    SimStats *stats;
     SimOptions opts;
     std::uint64_t elided = 0;
 };

@@ -31,6 +31,11 @@
 namespace oscache
 {
 
+namespace sample
+{
+struct SampleReport;
+} // namespace sample
+
 /** Bus-level results copied out of the memory system after a run. */
 struct BusSnapshot
 {
@@ -61,6 +66,11 @@ struct RunResult
      * the final (prefetching) pass.
      */
     std::shared_ptr<const ObsReport> obs;
+    /**
+     * Sampling report with per-metric confidence intervals; null for
+     * full (unsampled) runs.  Set by sample::runSampled (src/sample).
+     */
+    std::shared_ptr<const sample::SampleReport> sample;
     /** TraceSource::mode() of the source replayed. */
     std::string traceMode = "materialized";
 };

@@ -376,7 +376,8 @@ OracleDiffer::finish()
 
 DiffResult
 runDiff(TraceSource &source, const MachineConfig &machine,
-        const SimOptions &options, BlockScheme scheme)
+        const SimOptions &options, BlockScheme scheme,
+        SampleController *sampler)
 {
     if (machine.l1Ways != 1 || machine.l2Ways != 1)
         panic("runDiff: the reference model is direct-mapped only");
@@ -390,6 +391,9 @@ runDiff(TraceSource &source, const MachineConfig &machine,
 
     auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
     System system(source, mem, *executor, options, result.stats);
+    SimStats warm;
+    if (sampler != nullptr)
+        system.setSampling(sampler, &warm);
     system.run();
     differ.finish();
 

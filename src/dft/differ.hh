@@ -40,6 +40,7 @@
 #include "mem/memsys.hh"
 #include "mem/observer.hh"
 #include "sim/options.hh"
+#include "sim/sampling.hh"
 #include "sim/stats.hh"
 #include "trace/source.hh"
 
@@ -116,9 +117,16 @@ struct DiffResult
  * attached, and report the first divergence if any.  Fatal on
  * configurations the reference model cannot mirror (associativity
  * above 1, detailed instruction-cache model).
+ *
+ * @p sampler, when non-null, is installed on the engine so a sampled
+ * source (sample::SampledTraceSource) replays without deadlocking on
+ * skipped lock releases; the oracle then validates every replayed
+ * (warm and measured) access, since skipped records touch neither
+ * model.  result.stats holds the measured windows only in that case.
  */
 DiffResult runDiff(TraceSource &source, const MachineConfig &machine,
-                   const SimOptions &options, BlockScheme scheme);
+                   const SimOptions &options, BlockScheme scheme,
+                   SampleController *sampler = nullptr);
 
 } // namespace dft
 } // namespace oscache

@@ -16,6 +16,7 @@
 #include "exp/pool.hh"
 #include "exp/results.hh"
 #include "obs/timeline.hh"
+#include "sample/run.hh"
 
 namespace oscache
 {
@@ -35,12 +36,15 @@ struct HookGuard
 {
     bool active = false;
     bool sourceActive = false;
+    bool samplingActive = false;
     ~HookGuard()
     {
         if (active)
             setTraceCacheHooks({}, {});
         if (sourceActive)
             setTraceSourceHook({});
+        if (samplingActive)
+            sample::setGlobalSamplingPlan(std::nullopt);
     }
 };
 
@@ -71,6 +75,10 @@ runExperiments(const std::vector<const Experiment *> &experiments,
     setStreamReadAhead(options.streamBufferRecords);
 
     HookGuard hooks;
+    if (options.samplePlan.has_value()) {
+        sample::setGlobalSamplingPlan(options.samplePlan);
+        hooks.samplingActive = true;
+    }
     if (options.store != nullptr) {
         TraceStore *store = options.store;
         setTraceCacheHooks(

@@ -18,11 +18,13 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/registry.hh"
 #include "report/experiment.hh"
+#include "sample/plan.hh"
 
 namespace oscache
 {
@@ -52,6 +54,13 @@ struct DriverOptions
     std::size_t traceCacheBytes = defaultTraceCacheBytes;
     /** Results sink base path ("x" -> x.jsonl + x.csv); empty = off. */
     std::string resultsBase;
+    /**
+     * Replay every cell under this SMARTS-style sampling plan
+     * instead of in full (hot-spot-prefetch cells excepted; they
+     * need complete profiles).  Cells then carry a SampleReport and
+     * the results sink emits confidence-interval columns.
+     */
+    std::optional<sample::SamplingPlan> samplePlan;
     /**
      * Progress callback, called once per finished graph node with a
      * human-readable label.  Invoked from worker threads; must be

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sample/stats.hh"
 
 namespace oscache
 {
@@ -104,7 +105,8 @@ ResultsSink::ResultsSink(const std::string &basePath) : base(basePath)
         "trace_mode,peak_rss_kb,"
         "os_time,user_time,idle,total_time,os_misses,os_miss_block,"
         "os_miss_coherence,os_miss_other,os_miss_hidden,user_misses,"
-        "bus_bytes,bus_txns");
+        "bus_bytes,bus_txns,"
+        "sampled,sample_windows,sample_rel_err,sample_replayed_frac");
 }
 
 void
@@ -176,6 +178,34 @@ ResultsSink::record(const ResultRow &row)
         }
         js << "}}";
     }
+    // Sampled cells carry their extrapolated totals and confidence
+    // intervals; full runs omit the key entirely (golden-safe).
+    const std::shared_ptr<const sample::SampleReport> &sample =
+        row.outcome->run.sample;
+    if (sample != nullptr) {
+        js << ",\"sample\":{\"plan\":\""
+           << jsonEscape(sample->plan.describe()) << "\""
+           << ",\"windows\":" << sample->windows.size()
+           << ",\"rounds\":" << sample->rounds
+           << ",\"sync_breaks\":" << sample->syncBreaks
+           << ",\"total_records\":" << sample->totalRecords
+           << ",\"replayed_frac\":"
+           << formatDouble(sample->replayedFraction())
+           << ",\"max_rel_err\":" << formatDouble(sample->maxRelError())
+           << ",\"estimates\":{";
+        bool first = true;
+        for (std::size_t m = 0; m < sample::numSampleMetrics; ++m) {
+            const sample::MetricEstimate &est = sample->estimates[m];
+            const double total = double(sample->totalRecords);
+            js << (first ? "" : ",") << "\""
+               << sample::toString(sample::SampleMetric(m))
+               << "\":{\"total\":" << formatDouble(est.estimateTotal(total))
+               << ",\"ci95\":" << formatDouble(est.totalHalfwidth(total))
+               << ",\"rel\":" << formatDouble(est.relError()) << "}";
+            first = false;
+        }
+        js << "}}";
+    }
     js << "}";
 
     std::ostringstream cs;
@@ -188,7 +218,13 @@ ResultsSink::record(const ResultRow &row)
        << s.osMissBlock << ',' << s.osMissCoherenceTotal() << ','
        << s.osMissOther << ',' << s.osMissPartiallyHidden << ','
        << s.userMisses << ',' << bus.totalBytes << ','
-       << bus.totalTransactions;
+       << bus.totalTransactions << ','
+       << (sample != nullptr ? 1 : 0) << ','
+       << (sample != nullptr ? sample->windows.size() : 0) << ','
+       << formatDouble(sample != nullptr ? sample->maxRelError() : 0.0)
+       << ','
+       << formatDouble(sample != nullptr ? sample->replayedFraction()
+                                         : 1.0);
 
     std::lock_guard<std::mutex> lock(mutex);
     jsonl.writeLine(js.str());

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 
 namespace oscache
@@ -128,6 +129,32 @@ class Bus
         for (auto b : txnBytes)
             n += b;
         return n;
+    }
+
+    /** Serialize timing and traffic state (the probe is not state). */
+    void
+    saveState(binio::BinaryWriter &w) const
+    {
+        w.put(freeAt);
+        w.put(busyCycles);
+        for (std::size_t i = 0; i < numKinds; ++i) {
+            w.put(txnCount[i]);
+            w.put(txnBytes[i]);
+            w.put(txnCycles[i]);
+        }
+    }
+
+    /** Inverse of saveState(); false on truncation. */
+    bool
+    loadState(binio::BinaryReader &r)
+    {
+        if (!r.get(freeAt) || !r.get(busyCycles))
+            return false;
+        for (std::size_t i = 0; i < numKinds; ++i)
+            if (!r.get(txnCount[i]) || !r.get(txnBytes[i]) ||
+                !r.get(txnCycles[i]))
+                return false;
+        return true;
     }
 
   private:

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -170,6 +171,31 @@ class SetAssocTags
     slot(Addr addr, std::uint32_t way) const
     {
         return setBase(addr) + way;
+    }
+
+    /** Serialize the tag array (live-points checkpointing). */
+    void
+    saveState(binio::BinaryWriter &w) const
+    {
+        w.put(std::uint64_t(tags.size()));
+        for (const Addr tag : tags)
+            w.put(tag);
+    }
+
+    /**
+     * Inverse of saveState(); false on truncation or when the stored
+     * geometry does not match this cache's.
+     */
+    bool
+    loadState(binio::BinaryReader &r)
+    {
+        std::uint64_t n = 0;
+        if (!r.get(n) || n != tags.size())
+            return false;
+        for (Addr &tag : tags)
+            if (!r.get(tag))
+                return false;
+        return true;
     }
 
   protected:
@@ -320,6 +346,30 @@ class L2Cache : public detail::SetAssocTags
     {
         clear();
         states.assign(states.size(), LineState::Invalid);
+    }
+
+    /** Serialize tags plus the MESI side-car array. */
+    void
+    saveState(binio::BinaryWriter &w) const
+    {
+        SetAssocTags::saveState(w);
+        for (const LineState s : states)
+            w.put(std::uint8_t(s));
+    }
+
+    /** Inverse of saveState(); false on malformed input. */
+    bool
+    loadState(binio::BinaryReader &r)
+    {
+        if (!SetAssocTags::loadState(r))
+            return false;
+        for (LineState &s : states) {
+            std::uint8_t v = 0;
+            if (!r.get(v) || v > std::uint8_t(LineState::Modified))
+                return false;
+            s = LineState(v);
+        }
+        return true;
     }
 
   private:

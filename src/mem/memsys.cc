@@ -1,5 +1,7 @@
 #include "mem/memsys.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace oscache
@@ -802,6 +804,140 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
     if (wantsAccess)
         observer->onDma(cpu, op);
     return done;
+}
+
+namespace
+{
+
+/** Write an unordered set of addresses sorted (deterministic bytes). */
+void
+putAddrSet(binio::BinaryWriter &w, const std::unordered_set<Addr> &set)
+{
+    std::vector<Addr> sorted(set.begin(), set.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.put(std::uint64_t(sorted.size()));
+    for (const Addr a : sorted)
+        w.put(a);
+}
+
+bool
+getAddrSet(binio::BinaryReader &r, std::unordered_set<Addr> &set)
+{
+    std::uint64_t n = 0;
+    if (!r.get(n) || n > (1ull << 32))
+        return false;
+    set.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr a = 0;
+        if (!r.get(a))
+            return false;
+        set.insert(a);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+MemorySystem::saveState(binio::BinaryWriter &w) const
+{
+    w.put(std::uint32_t(cpus.size()));
+    for (const CpuMem &mem : cpus) {
+        mem.l1.saveState(w);
+        mem.icache.saveState(w);
+        mem.l2.saveState(w);
+        mem.l1Wb.saveState(w);
+        mem.l2Wb.saveState(w);
+
+        std::vector<std::pair<Addr, InFlightFill>> fills(
+            mem.inFlight.begin(), mem.inFlight.end());
+        std::sort(fills.begin(), fills.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        w.put(std::uint64_t(fills.size()));
+        for (const auto &[line, fill] : fills) {
+            w.put(line);
+            w.put(fill.readyAt);
+            w.put(std::uint8_t(fill.cause));
+            w.put(std::uint8_t(fill.byPrefetch));
+        }
+
+        putAddrSet(w, mem.coherenceInvalidated);
+        putAddrSet(w, mem.blockOpEvicted);
+
+        w.put(std::uint64_t(mem.prefetchBuffer.size()));
+        for (const BufferLine &line : mem.prefetchBuffer) {
+            w.put(line.lineAddr);
+            w.put(line.readyAt);
+        }
+    }
+    putAddrSet(w, bypassedLines);
+    theBus.saveState(w);
+}
+
+bool
+MemorySystem::loadState(binio::BinaryReader &r, std::string *error)
+{
+    const auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    std::uint32_t n = 0;
+    if (!r.get(n) || n != cpus.size())
+        return fail("cpu count mismatch");
+    for (CpuMem &mem : cpus) {
+        if (!mem.l1.loadState(r))
+            return fail("bad primary-cache state");
+        if (!mem.icache.loadState(r))
+            return fail("bad instruction-cache state");
+        if (!mem.l2.loadState(r))
+            return fail("bad secondary-cache state");
+        if (!mem.l1Wb.loadState(r))
+            return fail("bad primary write-buffer state");
+        if (!mem.l2Wb.loadState(r))
+            return fail("bad secondary write-buffer state");
+
+        std::uint64_t count = 0;
+        if (!r.get(count) || count > (1u << 24))
+            return fail("bad in-flight fill count");
+        mem.inFlight.clear();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Addr line = 0;
+            InFlightFill fill;
+            std::uint8_t cause = 0;
+            std::uint8_t by_prefetch = 0;
+            if (!r.get(line) || !r.get(fill.readyAt) || !r.get(cause) ||
+                !r.get(by_prefetch) ||
+                cause > std::uint8_t(MissCause::Plain))
+                return fail("bad in-flight fill entry");
+            fill.cause = MissCause(cause);
+            fill.byPrefetch = by_prefetch != 0;
+            mem.inFlight.emplace(line, fill);
+        }
+
+        if (!getAddrSet(r, mem.coherenceInvalidated))
+            return fail("bad coherence-invalidated set");
+        if (!getAddrSet(r, mem.blockOpEvicted))
+            return fail("bad block-op-evicted set");
+
+        if (!r.get(count) || count > cfg.blockPrefetchBufferLines)
+            return fail("bad prefetch-buffer count");
+        mem.prefetchBuffer.clear();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            BufferLine line;
+            if (!r.get(line.lineAddr) || !r.get(line.readyAt))
+                return fail("bad prefetch-buffer entry");
+            mem.prefetchBuffer.push_back(line);
+        }
+    }
+    if (!getAddrSet(r, bypassedLines))
+        return fail("bad bypassed-lines set");
+    if (!theBus.loadState(r))
+        return fail("bad bus state");
+    return true;
 }
 
 } // namespace oscache

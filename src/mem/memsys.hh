@@ -30,10 +30,12 @@
 #define OSCACHE_MEM_MEMSYS_HH
 
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 #include "mem/access.hh"
 #include "mem/bus.hh"
@@ -210,6 +212,27 @@ class MemorySystem
      * the production protocol can never produce.
      */
     void debugSetL2State(CpuId cpu, Addr addr, LineState state);
+
+    /** @} */
+
+    /** @name Live-points checkpointing @{ */
+
+    /**
+     * Serialize the complete warm state — every cache tag array,
+     * both write buffers, the in-flight fills, the miss-taxonomy
+     * sets, the prefetch buffer, and the bus — deterministically
+     * (unordered containers are written sorted, so identical states
+     * produce identical bytes).  The observer and the update-page
+     * registration are wiring, not state, and are not saved.
+     */
+    void saveState(binio::BinaryWriter &w) const;
+
+    /**
+     * Inverse of saveState().  Must be called on a MemorySystem
+     * built from the same MachineConfig; false with @p error set on
+     * truncated input or a geometry mismatch.
+     */
+    bool loadState(binio::BinaryReader &r, std::string *error);
 
     /** @} */
 

@@ -15,6 +15,7 @@
 
 #include <deque>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 
 namespace oscache
@@ -110,6 +111,35 @@ class WriteBuffer
             prev = e.completeAt;
         }
         return entries.empty() || prev <= lastComplete;
+    }
+
+    /** Serialize pending entries and the drain clock. */
+    void
+    saveState(binio::BinaryWriter &w) const
+    {
+        w.put(std::uint64_t(entries.size()));
+        for (const auto &e : entries) {
+            w.put(e.lineAddr);
+            w.put(e.completeAt);
+        }
+        w.put(lastComplete);
+    }
+
+    /** Inverse of saveState(); false on truncation or overflow. */
+    bool
+    loadState(binio::BinaryReader &r)
+    {
+        std::uint64_t n = 0;
+        if (!r.get(n) || n > capacity)
+            return false;
+        entries.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e{};
+            if (!r.get(e.lineAddr) || !r.get(e.completeAt))
+                return false;
+            entries.push_back(e);
+        }
+        return r.get(lastComplete);
     }
 
   private:

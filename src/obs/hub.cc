@@ -78,6 +78,8 @@ ObsHub::sampleTick()
 void
 ObsHub::onAccess(const MemAccessEvent &event)
 {
+    if (!enabled)
+        return;
     const bool tick = sampleTick();
 
     if (opts.profiler)
@@ -153,6 +155,8 @@ ObsHub::onAccess(const MemAccessEvent &event)
 void
 ObsHub::onBlockOp(CpuId cpu, const BlockOp &op, Cycles start, Cycles end)
 {
+    if (!enabled)
+        return;
     if (opts.metrics) {
         cBlockOps.add();
         hBlockOpCycles.record(end - start);
@@ -169,6 +173,8 @@ void
 ObsHub::onL2Transition(CpuId cpu, Addr l2_line, LineState from,
                        LineState to)
 {
+    if (!enabled)
+        return;
     if (to != LineState::Invalid || from == LineState::Invalid)
         return;
     if (opts.metrics)
@@ -184,6 +190,8 @@ ObsHub::onL2Transition(CpuId cpu, Addr l2_line, LineState from,
 void
 ObsHub::onL1Fill(CpuId cpu, Addr l1_line)
 {
+    if (!enabled)
+        return;
     (void)cpu;
     (void)l1_line;
     if (opts.metrics)
@@ -193,6 +201,8 @@ ObsHub::onL1Fill(CpuId cpu, Addr l1_line)
 void
 ObsHub::onL1Drop(CpuId cpu, Addr l1_line)
 {
+    if (!enabled)
+        return;
     (void)cpu;
     (void)l1_line;
     if (opts.metrics)
@@ -213,6 +223,8 @@ void
 ObsHub::onBusAcquire(BusTxn kind, Cycles requested, Cycles grant,
                      Cycles occupancy, std::uint32_t bytes)
 {
+    if (!enabled)
+        return;
     const Cycles wait = grant - requested;
     approxNow = grant;
     if (opts.metrics) {

@@ -90,6 +90,15 @@ class ObsHub : public MemEventObserver, public BusProbe
      */
     void setMemorySystem(const MemorySystem *m) { memsys = m; }
 
+    /**
+     * Gate event intake.  While disabled, every observer callback
+     * returns immediately, so a sampled run can restrict metrics,
+     * timeline, and profiler attribution to measured windows (the
+     * warm-up traffic would otherwise drown them).  finish() is
+     * unaffected.
+     */
+    void setEnabled(bool on) { enabled = on; }
+
     /** @name Mid-run inspection (tests) @{ */
     const ObsOptions &options() const { return opts; }
     MetricsRegistry &registry() { return metrics; }
@@ -108,6 +117,7 @@ class ObsHub : public MemEventObserver, public BusProbe
     bool sampleTick();
 
     ObsOptions opts;
+    bool enabled = true;
     const MemorySystem *memsys = nullptr;
     MetricsRegistry metrics;
     Timeline timeline;

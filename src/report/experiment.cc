@@ -10,6 +10,7 @@
 
 #include "exp/hash.hh"
 #include "obs/metrics.hh"
+#include "sample/run.hh"
 #include "synth/generator.hh"
 #include "synth/stream_source.hh"
 
@@ -233,6 +234,13 @@ runWorkload(WorkloadKind workload, const SystemSetup &setup,
         hook = state.sourceHook;
     }
 
+    // Sampled mode: replay under the process-wide sampling plan.
+    // Hot-spot-prefetch cells are exempt — their profile pass needs
+    // complete per-block miss counts, which sampling decimates.
+    const std::optional<sample::SamplingPlan> &plan =
+        sample::globalSamplingPlan();
+    const bool sampled = plan.has_value() && !setup.hotspotPrefetch;
+
     if (mode == TraceSourceMode::Streamed) {
         const auto open = [&]() -> std::unique_ptr<TraceSource> {
             if (hook) {
@@ -242,10 +250,33 @@ runWorkload(WorkloadKind workload, const SystemSetup &setup,
             return std::make_unique<SynthTraceSource>(profile,
                                                       setup.coherence);
         };
+        if (sampled) {
+            sample::SampleRunOptions sample_options;
+            sample_options.plan = *plan;
+            sample::SampleRunOutcome outcome = sample::runSampled(
+                open, machine, profile.simOptions(), setup.blockScheme,
+                sample_options);
+            if (!outcome.ok)
+                fatal("sampled run failed: ", outcome.error);
+            return std::move(outcome.result);
+        }
         return runOnSource(open, machine, profile.simOptions(), setup);
     }
 
     const TracePtr trace = cachedWorkloadTrace(workload, setup.coherence);
+    if (sampled) {
+        const auto open = [trace]() -> std::unique_ptr<TraceSource> {
+            return std::make_unique<MaterializedTraceSource>(*trace);
+        };
+        sample::SampleRunOptions sample_options;
+        sample_options.plan = *plan;
+        sample::SampleRunOutcome outcome = sample::runSampled(
+            open, machine, profile.simOptions(), setup.blockScheme,
+            sample_options);
+        if (!outcome.ok)
+            fatal("sampled run failed: ", outcome.error);
+        return std::move(outcome.result);
+    }
     return runOnTrace(*trace, machine, profile.simOptions(), setup);
 }
 

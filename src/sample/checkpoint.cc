@@ -1,0 +1,420 @@
+#include "sample/checkpoint.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "mem/memsys.hh"
+#include "sim/system.hh"
+
+namespace oscache
+{
+namespace sample
+{
+
+namespace
+{
+
+constexpr char checkpointMagic[4] = {'O', 'S', 'L', 'P'};
+constexpr std::uint32_t sectionEndMarker = 0xffffffff;
+
+/** Section tags, written before each variable-length section. */
+enum class Section : std::uint32_t
+{
+    Mem = 1,
+    Sys = 2,
+    StatsMeasured = 3,
+    StatsWarm = 4,
+    Windows = 5,
+};
+
+/** Write the raw (not-yet-checksummed) trailing checksum word. */
+void
+putChecksum(std::ostream &os, std::uint64_t sum)
+{
+    char buf[sizeof(sum)];
+    std::memcpy(buf, &sum, sizeof(sum));
+    os.write(buf, sizeof(sum));
+}
+
+void
+putPlan(binio::BinaryWriter &w, const SamplingPlan &plan)
+{
+    w.put(plan.period);
+    w.put(plan.measure);
+    w.put(plan.warmup);
+    w.put(plan.targetError);
+    w.put(std::uint32_t(plan.maxRounds));
+    w.put(plan.spinBreak);
+}
+
+bool
+getPlan(binio::BinaryReader &r, SamplingPlan &plan)
+{
+    std::uint32_t rounds = 0;
+    if (!r.get(plan.period) || !r.get(plan.measure) ||
+        !r.get(plan.warmup) || !r.get(plan.targetError) ||
+        !r.get(rounds) || !r.get(plan.spinBreak))
+        return false;
+    plan.maxRounds = rounds;
+    return true;
+}
+
+/** Serialize one basic-block miss map with keys sorted. */
+void
+putBbMap(binio::BinaryWriter &w,
+         const std::unordered_map<BasicBlockId, std::uint64_t> &map)
+{
+    std::vector<std::pair<BasicBlockId, std::uint64_t>> sorted(
+        map.begin(), map.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.put(std::uint64_t(sorted.size()));
+    for (const auto &[bb, count] : sorted) {
+        w.put(bb);
+        w.put(count);
+    }
+}
+
+bool
+getBbMap(binio::BinaryReader &r,
+         std::unordered_map<BasicBlockId, std::uint64_t> &map)
+{
+    std::uint64_t n = 0;
+    if (!r.get(n) || n > (1u << 24))
+        return false;
+    map.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        BasicBlockId bb{};
+        std::uint64_t count = 0;
+        if (!r.get(bb) || !r.get(count))
+            return false;
+        map[bb] = count;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+configDigest(const MachineConfig &config)
+{
+    binio::ChecksumStream sum;
+    const auto mix = [&sum](auto value) { sum.mix(&value, sizeof(value)); };
+    mix(config.numCpus);
+    mix(config.l1Size);
+    mix(config.l1LineSize);
+    mix(config.l1Ways);
+    mix(config.iCacheSize);
+    mix(config.iCacheLineSize);
+    mix(config.l2Size);
+    mix(config.l2LineSize);
+    mix(config.l2Ways);
+    mix(std::uint8_t(config.protocol));
+    mix(config.l1HitLatency);
+    mix(config.l2HitLatency);
+    mix(config.memLatency);
+    mix(config.l2WriteLatency);
+    mix(config.busCycle);
+    mix(config.lineTransferOccupancy);
+    mix(config.invalOccupancy);
+    mix(config.updateOccupancy);
+    mix(config.wordWriteOccupancy);
+    mix(config.l1WriteBufferDepth);
+    mix(config.l2WriteBufferDepth);
+    mix(config.mshrCount);
+    mix(config.dmaStartup);
+    mix(config.dmaPer8Bytes);
+    mix(config.dmaDirtySupplyPenalty);
+    mix(config.blockPrefetchBufferLines);
+    return sum.value();
+}
+
+std::string
+checkpointKey(const std::string &trace_key, const SamplingPlan &plan,
+              const MachineConfig &config)
+{
+    binio::ChecksumStream sum;
+    const auto mix = [&sum](auto value) { sum.mix(&value, sizeof(value)); };
+    sum.mix(trace_key.data(), trace_key.size());
+    mix(std::uint64_t(trace_key.size()));
+    mix(plan.period);
+    mix(plan.measure);
+    mix(plan.warmup);
+    mix(configDigest(config));
+    mix(checkpointVersion);
+
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = sum.value();
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        out[std::size_t(i)] = digits[v & 0xf];
+    return "ckpt-" + out;
+}
+
+void
+putStats(binio::BinaryWriter &w, const SimStats &stats)
+{
+    w.put(stats.userExec);
+    w.put(stats.osExec);
+    w.put(stats.idle);
+    w.put(stats.osSpin);
+    w.put(stats.userReadStall);
+    w.put(stats.osReadStall);
+    w.put(stats.userWriteStall);
+    w.put(stats.osWriteStall);
+    w.put(stats.userPrefStall);
+    w.put(stats.osPrefStall);
+    w.put(stats.userImiss);
+    w.put(stats.osImiss);
+
+    w.put(stats.blockReadStall);
+    w.put(stats.blockWriteStall);
+    w.put(stats.blockDisplStall);
+    w.put(stats.blockInstrExec);
+
+    w.put(stats.userReads);
+    w.put(stats.osReads);
+    w.put(stats.userWrites);
+    w.put(stats.osWrites);
+    w.put(stats.userInstrs);
+    w.put(stats.osInstrs);
+
+    w.put(stats.userMisses);
+    w.put(stats.osMissBlock);
+    for (const std::uint64_t n : stats.osMissBlockBySize)
+        w.put(n);
+    for (const std::uint64_t n : stats.osMissCoherence)
+        w.put(n);
+    w.put(stats.osMissOther);
+    w.put(stats.osMissPartiallyHidden);
+
+    w.put(stats.displacementInside);
+    w.put(stats.displacementOutside);
+    w.put(stats.reuseInside);
+    w.put(stats.reuseOutside);
+
+    putBbMap(w, stats.osOtherMissByBb);
+    putBbMap(w, stats.userMissByBb);
+}
+
+bool
+getStats(binio::BinaryReader &r, SimStats &stats, std::string *error)
+{
+    const auto fail = [error](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    bool ok = r.get(stats.userExec) && r.get(stats.osExec) &&
+              r.get(stats.idle) && r.get(stats.osSpin) &&
+              r.get(stats.userReadStall) && r.get(stats.osReadStall) &&
+              r.get(stats.userWriteStall) && r.get(stats.osWriteStall) &&
+              r.get(stats.userPrefStall) && r.get(stats.osPrefStall) &&
+              r.get(stats.userImiss) && r.get(stats.osImiss) &&
+              r.get(stats.blockReadStall) && r.get(stats.blockWriteStall) &&
+              r.get(stats.blockDisplStall) && r.get(stats.blockInstrExec) &&
+              r.get(stats.userReads) && r.get(stats.osReads) &&
+              r.get(stats.userWrites) && r.get(stats.osWrites) &&
+              r.get(stats.userInstrs) && r.get(stats.osInstrs) &&
+              r.get(stats.userMisses) && r.get(stats.osMissBlock);
+    for (std::uint64_t &n : stats.osMissBlockBySize)
+        ok = ok && r.get(n);
+    for (std::uint64_t &n : stats.osMissCoherence)
+        ok = ok && r.get(n);
+    ok = ok && r.get(stats.osMissOther) &&
+         r.get(stats.osMissPartiallyHidden) &&
+         r.get(stats.displacementInside) &&
+         r.get(stats.displacementOutside) && r.get(stats.reuseInside) &&
+         r.get(stats.reuseOutside);
+    if (!ok)
+        return fail("truncated statistics");
+    if (!getBbMap(r, stats.osOtherMissByBb) ||
+        !getBbMap(r, stats.userMissByBb))
+        return fail("bad basic-block miss map");
+    return true;
+}
+
+void
+writeCheckpoint(std::ostream &os, const MachineConfig &config,
+                const SamplingPlan &plan,
+                const std::vector<CursorProgress> &cursors,
+                const MemorySystem &mem, const System &system,
+                const SimStats &measured, const SimStats &warm,
+                const std::vector<WindowSample> &windows)
+{
+    binio::BinaryWriter w(os);
+    for (const char c : checkpointMagic)
+        w.put(c);
+    w.put(checkpointVersion);
+    w.put(configDigest(config));
+    w.put(std::uint32_t(config.numCpus));
+
+    putPlan(w, plan);
+
+    w.put(std::uint32_t(cursors.size()));
+    for (const CursorProgress &c : cursors) {
+        w.put(c.position);
+        w.put(c.measured);
+        w.put(c.skipped);
+    }
+
+    w.put(std::uint32_t(Section::Mem));
+    mem.saveState(w);
+    w.put(std::uint32_t(Section::Sys));
+    system.saveState(w);
+    w.put(std::uint32_t(Section::StatsMeasured));
+    putStats(w, measured);
+    w.put(std::uint32_t(Section::StatsWarm));
+    putStats(w, warm);
+
+    w.put(std::uint32_t(Section::Windows));
+    w.put(std::uint64_t(windows.size()));
+    for (const WindowSample &win : windows) {
+        w.put(win.window);
+        w.put(win.records);
+        for (const double v : win.values)
+            w.put(v);
+    }
+
+    w.put(sectionEndMarker);
+    // The checksum itself is excluded from the checksummed range.
+    putChecksum(os, w.checksum());
+}
+
+CheckpointReader::CheckpointReader(std::istream &in) : is(in), reader(in) {}
+
+bool
+CheckpointReader::readHeader(const MachineConfig &config, std::string *error)
+{
+    const auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    char magic[4] = {};
+    for (char &c : magic) {
+        if (!reader.get(c))
+            return fail("truncated checkpoint");
+    }
+    if (std::memcmp(magic, checkpointMagic, sizeof(magic)) != 0)
+        return fail("bad checkpoint magic");
+
+    std::uint32_t version = 0;
+    if (!reader.get(version))
+        return fail("truncated checkpoint");
+    if (version != checkpointVersion) {
+        std::ostringstream why;
+        why << "unsupported checkpoint version " << version;
+        return fail(why.str());
+    }
+
+    std::uint64_t digest = 0;
+    std::uint32_t cpus = 0;
+    if (!reader.get(digest) || !reader.get(cpus))
+        return fail("truncated checkpoint");
+    if (digest != configDigest(config) || cpus != config.numCpus)
+        return fail("machine geometry mismatch");
+
+    if (!getPlan(reader, loadedPlan))
+        return fail("truncated checkpoint");
+    if (!loadedPlan.valid())
+        return fail("bad sampling plan in checkpoint");
+
+    std::uint32_t cursor_count = 0;
+    if (!reader.get(cursor_count))
+        return fail("truncated checkpoint");
+    if (cursor_count != cpus)
+        return fail("cursor count does not match cpu count");
+    progress.resize(cursor_count);
+    for (CursorProgress &c : progress) {
+        if (!reader.get(c.position) || !reader.get(c.measured) ||
+            !reader.get(c.skipped))
+            return fail("truncated checkpoint");
+    }
+
+    headerOk = true;
+    return true;
+}
+
+bool
+CheckpointReader::readState(MemorySystem &mem, System &system,
+                            SimStats &measured, SimStats &warm,
+                            std::vector<WindowSample> &windows,
+                            std::string *error)
+{
+    const auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (!headerOk)
+        panic("checkpoint: readState before successful readHeader");
+
+    const auto expectSection = [&](Section want) {
+        std::uint32_t tag = 0;
+        return reader.get(tag) && tag == std::uint32_t(want);
+    };
+
+    std::string why;
+    if (!expectSection(Section::Mem))
+        return fail("bad checkpoint section order");
+    if (!mem.loadState(reader, &why))
+        return fail("memory system: " + why);
+    if (!expectSection(Section::Sys))
+        return fail("bad checkpoint section order");
+    if (!system.loadState(reader, &why))
+        return fail("replay engine: " + why);
+    if (!expectSection(Section::StatsMeasured))
+        return fail("bad checkpoint section order");
+    if (!getStats(reader, measured, &why))
+        return fail("measured statistics: " + why);
+    if (!expectSection(Section::StatsWarm))
+        return fail("bad checkpoint section order");
+    if (!getStats(reader, warm, &why))
+        return fail("warm statistics: " + why);
+
+    if (!expectSection(Section::Windows))
+        return fail("bad checkpoint section order");
+    std::uint64_t window_count = 0;
+    if (!reader.get(window_count) || window_count > (1u << 24))
+        return fail("bad window count");
+    windows.clear();
+    windows.resize(window_count);
+    for (WindowSample &win : windows) {
+        if (!reader.get(win.window) || !reader.get(win.records))
+            return fail("truncated checkpoint");
+        for (double &v : win.values) {
+            if (!reader.get(v))
+                return fail("truncated checkpoint");
+        }
+    }
+
+    std::uint32_t sentinel = 0;
+    if (!reader.get(sentinel) || sentinel != sectionEndMarker)
+        return fail("missing end marker");
+
+    const std::uint64_t expected = reader.checksum();
+    std::uint64_t stored = 0;
+    {
+        char buf[sizeof(stored)];
+        is.read(buf, sizeof(buf));
+        if (is.gcount() != std::streamsize(sizeof(buf)))
+            return fail("missing checksum");
+        std::memcpy(&stored, buf, sizeof(stored));
+    }
+    if (stored != expected)
+        return fail("checksum mismatch");
+    if (is.peek() != std::istream::traits_type::eof())
+        return fail("trailing garbage");
+
+    return true;
+}
+
+} // namespace sample
+} // namespace oscache

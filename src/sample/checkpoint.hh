@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Live-points checkpoint store (format "OSLP", version 1).
+ *
+ * A checkpoint captures everything a sampled replay needs to resume
+ * bit-identically: the warm memory-system image (L1/L2 tags and
+ * states, write buffers, bus, in-flight fills), the replay engine
+ * (per-cpu clocks, lock/barrier state), both statistics sinks,
+ * the windows collected so far, and each processor's cursor
+ * position.  Together with the trace file — which is immutable and
+ * content-addressed — that is the full live state: resuming and
+ * running to the end produces exactly the bytes a straight-through
+ * run would.
+ *
+ * File layout mirrors the trace formats' conventions (trace/io.hh):
+ * magic + version up front, explicit counts before variable-length
+ * sections, a 0xffffffff sentinel after the last section, and a
+ * trailing FNV-1a checksum over everything before it, excluded from
+ * its own checksummed range.  A geometry digest (FNV over every
+ * MachineConfig field) is stored so a checkpoint can never be
+ * resumed on a differently shaped machine — warm tag images are
+ * meaningless under different index/line geometry.
+ */
+
+#ifndef OSCACHE_SAMPLE_CHECKPOINT_HH
+#define OSCACHE_SAMPLE_CHECKPOINT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/binio.hh"
+#include "mem/config.hh"
+#include "sample/plan.hh"
+#include "sample/stats.hh"
+#include "sim/stats.hh"
+
+namespace oscache
+{
+
+class MemorySystem;
+class System;
+
+namespace sample
+{
+
+/** On-disk format version; bump whenever serialized state changes. */
+inline constexpr std::uint32_t checkpointVersion = 1;
+
+/** One processor's progress through its record stream. */
+struct CursorProgress
+{
+    std::uint64_t position = 0; ///< Absolute record index.
+    std::uint64_t measured = 0; ///< Measured records consumed.
+    std::uint64_t skipped = 0;  ///< Plan-skipped records.
+};
+
+/** FNV-1a digest of every MachineConfig field (geometry guard). */
+std::uint64_t configDigest(const MachineConfig &config);
+
+/**
+ * Content key naming a checkpoint in an artifact directory: a hex
+ * fingerprint of the trace artifact key, the sampling plan, the
+ * machine geometry, and the format version.  Same inputs, same
+ * checkpoint.
+ */
+std::string checkpointKey(const std::string &trace_key,
+                          const SamplingPlan &plan,
+                          const MachineConfig &config);
+
+/** @name SimStats serialization (sorted maps, deterministic) @{ */
+void putStats(binio::BinaryWriter &w, const SimStats &stats);
+bool getStats(binio::BinaryReader &r, SimStats &stats, std::string *error);
+/** @} */
+
+/** Serialize a complete live point to @p os. */
+void writeCheckpoint(std::ostream &os, const MachineConfig &config,
+                     const SamplingPlan &plan,
+                     const std::vector<CursorProgress> &cursors,
+                     const MemorySystem &mem, const System &system,
+                     const SimStats &measured, const SimStats &warm,
+                     const std::vector<WindowSample> &windows);
+
+/**
+ * Two-phase checkpoint loader.  readHeader() validates magic,
+ * version, and geometry and yields the plan and per-cpu cursor
+ * progress — enough for the caller to rebuild sources and
+ * fast-forward cursors.  readState() then restores the memory
+ * system, engine, statistics, and windows, and verifies the
+ * sentinel and trailing checksum.  Both return false with a
+ * diagnostic in @p error on any structural problem; a failed load
+ * leaves the targets unusable (start over).
+ */
+class CheckpointReader
+{
+  public:
+    explicit CheckpointReader(std::istream &in);
+
+    bool readHeader(const MachineConfig &config, std::string *error);
+
+    const SamplingPlan &plan() const { return loadedPlan; }
+    const std::vector<CursorProgress> &cursors() const { return progress; }
+
+    bool readState(MemorySystem &mem, System &system, SimStats &measured,
+                   SimStats &warm, std::vector<WindowSample> &windows,
+                   std::string *error);
+
+  private:
+    std::istream &is;
+    binio::BinaryReader reader;
+    SamplingPlan loadedPlan;
+    std::vector<CursorProgress> progress;
+    bool headerOk = false;
+};
+
+} // namespace sample
+} // namespace oscache
+
+#endif // OSCACHE_SAMPLE_CHECKPOINT_HH

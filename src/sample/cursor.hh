@@ -1,0 +1,188 @@
+/**
+ * @file
+ * SamplingCursor: a RecordCursor that alternates warm, measured, and
+ * skipped stretches over any inner cursor according to a
+ * SamplingPlan, plus the TraceSource wrapper that hands them out.
+ *
+ * The cursor tracks its absolute record position; before every
+ * peek() it "settles" — while the position falls in a skip stretch,
+ * the remainder of the stretch is fast-forwarded with the inner
+ * cursor's skip() (seek arithmetic on chunked files).  The replay
+ * engine therefore only ever sees warm and measured records, and
+ * phase() tells the controller which of the two the current record
+ * is.
+ */
+
+#ifndef OSCACHE_SAMPLE_CURSOR_HH
+#define OSCACHE_SAMPLE_CURSOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+#include "sample/plan.hh"
+#include "trace/source.hh"
+
+namespace oscache
+{
+namespace sample
+{
+
+class SamplingCursor final : public RecordCursor
+{
+  public:
+    SamplingCursor(std::unique_ptr<RecordCursor> wrapped,
+                   const SamplingPlan &sampling_plan)
+        : inner(std::move(wrapped)), plan(sampling_plan)
+    {}
+
+    const TraceRecord *
+    peek() override
+    {
+        settle();
+        return exhausted ? nullptr : inner->peek();
+    }
+
+    void
+    advance() override
+    {
+        if (plan.classify(pos).phase == SamplePhase::Measure)
+            ++measured;
+        ++pos;
+        inner->advance();
+    }
+
+    /**
+     * Raw fast-forward of the underlying stream, ignoring the plan —
+     * checkpoint resume uses this to reach the saved position
+     * without replaying (not counted as plan-skipped records).
+     */
+    std::size_t
+    skip(std::size_t n) override
+    {
+        const std::size_t done = inner->skip(n);
+        pos += done;
+        if (done < n)
+            exhausted = true;
+        return done;
+    }
+
+    /** Phase of the record peek() currently exposes. */
+    SamplePhase
+    phase()
+    {
+        settle();
+        return plan.classify(pos).phase;
+    }
+
+    /** Window index of the current position. */
+    std::uint64_t window() const { return pos / plan.period; }
+
+    /** Absolute record position in this processor's stream. */
+    std::uint64_t position() const { return pos; }
+
+    /** Records fast-forwarded by the plan's skip stretches. */
+    std::uint64_t skippedRecords() const { return skipped; }
+
+    /** Measured records consumed so far. */
+    std::uint64_t measuredRecords() const { return measured; }
+
+    /** Restore progress counters after a checkpoint resume. */
+    void
+    restoreProgress(std::uint64_t measured_records,
+                    std::uint64_t skipped_records)
+    {
+        measured = measured_records;
+        skipped = skipped_records;
+    }
+
+  private:
+    void
+    settle()
+    {
+        while (!exhausted) {
+            const SamplingPlan::Position at = plan.classify(pos);
+            if (at.phase != SamplePhase::Skip)
+                break;
+            const std::size_t want = std::size_t(at.remaining);
+            const std::size_t done = inner->skip(want);
+            pos += done;
+            skipped += done;
+            if (done < want)
+                exhausted = true;
+        }
+        if (!exhausted && inner->peek() == nullptr)
+            exhausted = true;
+    }
+
+    std::unique_ptr<RecordCursor> inner;
+    SamplingPlan plan;
+    std::uint64_t pos = 0;
+    std::uint64_t measured = 0;
+    std::uint64_t skipped = 0;
+    bool exhausted = false;
+};
+
+/**
+ * TraceSource adapter wrapping every cursor in a SamplingCursor.
+ * The wrapped source must outlive this one.  Cursors stay owned by
+ * the replay engine; cursorFor() exposes them to the controller.
+ */
+class SampledTraceSource final : public TraceSource
+{
+  public:
+    SampledTraceSource(TraceSource &wrapped,
+                       const SamplingPlan &sampling_plan)
+        : inner(&wrapped), plan(sampling_plan),
+          open(wrapped.numCpus(), nullptr)
+    {}
+
+    unsigned numCpus() const override { return inner->numCpus(); }
+    const BlockOpTable &blockOps() const override
+    {
+        return inner->blockOps();
+    }
+    const std::unordered_set<Addr> &updatePages() const override
+    {
+        return inner->updatePages();
+    }
+
+    std::unique_ptr<RecordCursor>
+    cursor(CpuId cpu) override
+    {
+        auto wrapped =
+            std::make_unique<SamplingCursor>(inner->cursor(cpu), plan);
+        open[cpu] = wrapped.get();
+        return wrapped;
+    }
+
+    std::optional<std::size_t>
+    knownRecords(CpuId cpu) const override
+    {
+        return inner->knownRecords(cpu);
+    }
+
+    const char *mode() const override { return "sampled"; }
+
+    /** The live cursor of @p cpu (nullptr before cursor(cpu)). */
+    SamplingCursor *
+    cursorFor(CpuId cpu)
+    {
+        if (cpu >= open.size() || open[cpu] == nullptr)
+            panic("SampledTraceSource: cursor for cpu ", int(cpu),
+                  " not open");
+        return open[cpu];
+    }
+
+    const SamplingPlan &samplingPlan() const { return plan; }
+
+  private:
+    TraceSource *inner;
+    SamplingPlan plan;
+    std::vector<SamplingCursor *> open;
+};
+
+} // namespace sample
+} // namespace oscache
+
+#endif // OSCACHE_SAMPLE_CURSOR_HH

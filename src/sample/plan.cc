@@ -1,0 +1,107 @@
+#include "sample/plan.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+namespace sample
+{
+
+std::uint64_t
+parseCount(const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || value < 0)
+        fatal("sampling plan: bad count '", text, "'");
+    double scale = 1;
+    switch (*end) {
+      case '\0':
+        break;
+      case 'k':
+      case 'K':
+        scale = 1e3;
+        break;
+      case 'm':
+      case 'M':
+        scale = 1e6;
+        break;
+      case 'g':
+      case 'G':
+        scale = 1e9;
+        break;
+      default:
+        fatal("sampling plan: bad suffix in '", text, "'");
+    }
+    return std::uint64_t(value * scale);
+}
+
+namespace
+{
+
+std::string
+compact(std::uint64_t n)
+{
+    std::ostringstream os;
+    if (n >= 1'000'000 && n % 1'000'000 == 0)
+        os << n / 1'000'000 << "m";
+    else if (n >= 1'000 && n % 1'000 == 0)
+        os << n / 1'000 << "k";
+    else
+        os << n;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+SamplingPlan::describe() const
+{
+    std::ostringstream os;
+    os << compact(warmup) << "+" << compact(measure) << " of "
+       << compact(period);
+    if (targetError > 0)
+        os << " (target ±" << targetError * 100 << "%)";
+    return os.str();
+}
+
+SamplingPlan
+SamplingPlan::parse(const std::string &text)
+{
+    SamplingPlan plan;
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("sampling plan: expected key=value, got '", item, "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "period")
+            plan.period = parseCount(value);
+        else if (key == "measure")
+            plan.measure = parseCount(value);
+        else if (key == "warmup")
+            plan.warmup = parseCount(value);
+        else if (key == "error")
+            plan.targetError = std::strtod(value.c_str(), nullptr);
+        else if (key == "rounds")
+            plan.maxRounds = unsigned(parseCount(value));
+        else if (key == "spinbreak")
+            plan.spinBreak = parseCount(value);
+        else
+            fatal("sampling plan: unknown key '", key, "'");
+    }
+    if (!plan.valid())
+        fatal("sampling plan: need measure > 0 and warmup + measure <= "
+              "period (got ", plan.describe(), ")");
+    return plan;
+}
+
+} // namespace sample
+} // namespace oscache

@@ -1,0 +1,191 @@
+#include "sample/stats.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace oscache
+{
+namespace sample
+{
+
+const char *
+toString(SampleMetric metric)
+{
+    switch (metric) {
+      case SampleMetric::OsReads:
+        return "os_reads";
+      case SampleMetric::OsMissBlock:
+        return "os_miss_block";
+      case SampleMetric::OsMissCoherence:
+        return "os_miss_coherence";
+      case SampleMetric::OsMissOther:
+        return "os_miss_other";
+      case SampleMetric::OsMissTotal:
+        return "os_miss_total";
+      case SampleMetric::UserMisses:
+        return "user_misses";
+      case SampleMetric::OsReadStall:
+        return "os_read_stall";
+      case SampleMetric::OsTime:
+        return "os_time";
+      case SampleMetric::TotalTime:
+        return "total_time";
+      case SampleMetric::NumMetrics:
+        break;
+    }
+    panic("toString: bad SampleMetric");
+}
+
+MetricVector
+metricsOf(const SimStats &stats)
+{
+    MetricVector v{};
+    v[std::size_t(SampleMetric::OsReads)] = double(stats.osReads);
+    v[std::size_t(SampleMetric::OsMissBlock)] = double(stats.osMissBlock);
+    v[std::size_t(SampleMetric::OsMissCoherence)] =
+        double(stats.osMissCoherenceTotal());
+    v[std::size_t(SampleMetric::OsMissOther)] = double(stats.osMissOther);
+    v[std::size_t(SampleMetric::OsMissTotal)] = double(stats.osMissTotal());
+    v[std::size_t(SampleMetric::UserMisses)] = double(stats.userMisses);
+    v[std::size_t(SampleMetric::OsReadStall)] = double(stats.osReadStall);
+    v[std::size_t(SampleMetric::OsTime)] = double(stats.osTime());
+    v[std::size_t(SampleMetric::TotalTime)] = double(stats.totalTime());
+    return v;
+}
+
+double
+studentT95(std::uint64_t df)
+{
+    // Two-sided 95% critical values; the standard table.
+    static constexpr double table[] = {
+        0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0;
+    if (df <= 30)
+        return table[df];
+    // Beyond the table: interpolate in 1/df between the anchors
+    // t(30)=2.042, t(40)=2.021, t(60)=2.000, t(120)=1.980, t(inf)=1.960.
+    struct Anchor
+    {
+        double invDf;
+        double t;
+    };
+    static constexpr Anchor anchors[] = {
+        {1.0 / 30, 2.042}, {1.0 / 40, 2.021},  {1.0 / 60, 2.000},
+        {1.0 / 120, 1.980}, {0.0, 1.960},
+    };
+    const double x = 1.0 / double(df);
+    for (std::size_t i = 1; i < sizeof(anchors) / sizeof(anchors[0]); ++i) {
+        if (x >= anchors[i].invDf) {
+            const Anchor &hi = anchors[i - 1];
+            const Anchor &lo = anchors[i];
+            const double f = (x - lo.invDf) / (hi.invDf - lo.invDf);
+            return lo.t + f * (hi.t - lo.t);
+        }
+    }
+    return 1.960;
+}
+
+void
+SampleReport::finalize()
+{
+    measuredRecords = 0;
+    for (const WindowSample &w : windows)
+        measuredRecords += w.records;
+
+    for (std::size_t m = 0; m < numSampleMetrics; ++m) {
+        MetricEstimate &est = estimates[m];
+        est = MetricEstimate{};
+        est.n = windows.size();
+        if (windows.empty())
+            continue;
+
+        double sum = 0;
+        double rate_sum = 0;
+        for (const WindowSample &w : windows) {
+            sum += w.values[m];
+            if (w.records > 0)
+                rate_sum += w.values[m] / double(w.records);
+        }
+        const double n = double(windows.size());
+        est.mean = sum / n;
+        est.rate = rate_sum / n;
+        if (windows.size() < 2)
+            continue;
+
+        double var = 0;
+        double rate_var = 0;
+        for (const WindowSample &w : windows) {
+            const double d = w.values[m] - est.mean;
+            var += d * d;
+            const double rate =
+                w.records > 0 ? w.values[m] / double(w.records) : 0.0;
+            const double rd = rate - est.rate;
+            rate_var += rd * rd;
+        }
+        var /= n - 1;
+        rate_var /= n - 1;
+        const double t = studentT95(windows.size() - 1);
+        est.halfwidth = t * std::sqrt(var / n);
+        est.rateHalf = t * std::sqrt(rate_var / n);
+    }
+}
+
+double
+SampleReport::maxRelError(double floor) const
+{
+    static constexpr SampleMetric missClasses[] = {
+        SampleMetric::OsMissBlock,
+        SampleMetric::OsMissCoherence,
+        SampleMetric::OsMissOther,
+        SampleMetric::UserMisses,
+    };
+    double worst = 0;
+    for (const SampleMetric m : missClasses) {
+        const MetricEstimate &est = of(m);
+        // Fewer than `floor` observed events in total: the class is
+        // too rare for a meaningful relative bound.
+        if (est.mean * double(est.n) < floor)
+            continue;
+        worst = std::max(worst, est.relError());
+    }
+    return worst;
+}
+
+void
+SampleReport::render(std::ostream &os) const
+{
+    os << "sampling: " << plan.describe() << ", " << windows.size()
+       << " windows, " << measuredRecords << " of " << totalRecords
+       << " records measured (replayed "
+       << std::uint64_t(replayedFraction() * 10000) / 100.0
+       << "%), " << syncBreaks << " sync breaks, " << rounds
+       << " round(s)\n";
+    os << "  metric             est. total      ±95% CI    rel\n";
+    for (std::size_t m = 0; m < numSampleMetrics; ++m) {
+        const MetricEstimate &est = estimates[m];
+        const double total = est.estimateTotal(double(totalRecords));
+        const double half = est.totalHalfwidth(double(totalRecords));
+        os << "  ";
+        os.width(18);
+        os.setf(std::ios::left, std::ios::adjustfield);
+        os << toString(SampleMetric(m));
+        os.unsetf(std::ios::adjustfield);
+        os.width(13);
+        os << std::uint64_t(total);
+        os.width(13);
+        os << std::uint64_t(half);
+        os << "  ";
+        os.precision(3);
+        os << est.relError() * 100 << "%\n";
+    }
+}
+
+} // namespace sample
+} // namespace oscache

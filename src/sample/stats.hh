@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Statistics layer of the sampling subsystem: per-window metric
+ * deltas aggregated into means with 95% confidence intervals
+ * (Student-t over the window samples), plus the report consumed by
+ * the experiment results sink and the CLI.
+ *
+ * The estimator is the standard SMARTS one: measured windows are the
+ * samples; for each metric the per-window per-record rate is treated
+ * as an i.i.d. draw, its sample mean extrapolates to the full trace,
+ * and the t-distributed half-width at 95% confidence quantifies the
+ * sampling error.  Systematic (non-sampling) bias — cold caches
+ * after a skipped gap, sync repairs — is bounded separately by the
+ * warm-up prefix and reported via syncBreaks.
+ */
+
+#ifndef OSCACHE_SAMPLE_STATS_HH
+#define OSCACHE_SAMPLE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sample/plan.hh"
+#include "sim/stats.hh"
+
+namespace oscache
+{
+namespace sample
+{
+
+/** Metrics tracked per measured window. */
+enum class SampleMetric : std::uint8_t
+{
+    OsReads,         ///< OS data reads.
+    OsMissBlock,     ///< Table 2 "Block Op." misses.
+    OsMissCoherence, ///< Table 2 "Coherence" misses.
+    OsMissOther,     ///< Table 2 "Other" misses.
+    OsMissTotal,     ///< All OS primary read misses.
+    UserMisses,      ///< User primary read misses.
+    OsReadStall,     ///< OS data-read stall cycles.
+    OsTime,          ///< OS cycles (exec + stall + spin).
+    TotalTime,       ///< All cycles.
+    NumMetrics,
+};
+
+inline constexpr std::size_t numSampleMetrics =
+    static_cast<std::size_t>(SampleMetric::NumMetrics);
+
+/** Metric name for reports ("os_miss_block", ...). */
+const char *toString(SampleMetric metric);
+
+/** Per-metric totals extracted from a statistics sink. */
+using MetricVector = std::array<double, numSampleMetrics>;
+
+/** Extract the tracked metrics' current totals from @p stats. */
+MetricVector metricsOf(const SimStats &stats);
+
+/** One measured window's contribution. */
+struct WindowSample
+{
+    std::uint64_t window = 0;  ///< Window index within the plan.
+    std::uint64_t records = 0; ///< Measured records in the window.
+    MetricVector values{};     ///< Metric deltas over the window.
+
+    /** Member-wise; resume-identity tests pin windows bit for bit. */
+    bool operator==(const WindowSample &) const = default;
+};
+
+/**
+ * Two-sided 95% Student-t critical value for @p df degrees of
+ * freedom (exact table through 30, interpolated beyond, 1.960
+ * asymptote).
+ */
+double studentT95(std::uint64_t df);
+
+/** Aggregated estimate of one metric. */
+struct MetricEstimate
+{
+    double mean = 0;      ///< Mean per-window value.
+    double halfwidth = 0; ///< 95% CI half-width of the window mean.
+    double rate = 0;      ///< Mean per-record rate.
+    double rateHalf = 0;  ///< 95% CI half-width of the rate.
+    std::uint64_t n = 0;  ///< Number of windows sampled.
+
+    /**
+     * Relative 95% CI of the rate — and therefore of the extrapolated
+     * total, which is what escalation bounds; 0 when the rate is 0.
+     * (The raw window-mean CI is wider and not meaningful per se:
+     * window record counts vary, so per-window totals spread far more
+     * than per-record rates.)
+     */
+    double
+    relError() const
+    {
+        return rate > 0 ? rateHalf / rate : 0.0;
+    }
+
+    /** Extrapolate to a stream of @p total_records records. */
+    double
+    estimateTotal(double total_records) const
+    {
+        return rate * total_records;
+    }
+
+    /** CI half-width of estimateTotal(). */
+    double
+    totalHalfwidth(double total_records) const
+    {
+        return rateHalf * total_records;
+    }
+};
+
+/** Everything one sampled run reports. */
+struct SampleReport
+{
+    SamplingPlan plan;
+    std::vector<WindowSample> windows;
+
+    /** @name Stream accounting (all processors) @{ */
+    std::uint64_t totalRecords = 0;    ///< Records in the stream.
+    std::uint64_t replayedRecords = 0; ///< Warm + measured records.
+    std::uint64_t measuredRecords = 0; ///< Measured records only.
+    std::uint64_t skippedRecords = 0;  ///< Fast-forwarded records.
+    std::uint64_t syncBreaks = 0;      ///< Engine sync repairs.
+    unsigned rounds = 1;               ///< Escalation rounds used.
+    /** @} */
+
+    std::array<MetricEstimate, numSampleMetrics> estimates{};
+
+    /** Recompute estimates from windows (call after collection). */
+    void finalize();
+
+    const MetricEstimate &
+    of(SampleMetric m) const
+    {
+        return estimates[static_cast<std::size_t>(m)];
+    }
+
+    /**
+     * Largest relative CI half-width across the Table 2 miss-class
+     * metrics, ignoring metrics with fewer than @p floor observed
+     * events (their relative error is meaningless noise).
+     */
+    double maxRelError(double floor = 25.0) const;
+
+    /** Fraction of the stream that was replayed (speed proxy). */
+    double
+    replayedFraction() const
+    {
+        return totalRecords > 0
+                   ? double(replayedRecords) / double(totalRecords)
+                   : 1.0;
+    }
+
+    /** Human-readable table of estimates ± CI. */
+    void render(std::ostream &os) const;
+};
+
+} // namespace sample
+} // namespace oscache
+
+#endif // OSCACHE_SAMPLE_STATS_HH

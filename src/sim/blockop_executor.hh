@@ -18,6 +18,8 @@
 namespace oscache
 {
 
+struct SimStats;
+
 /**
  * Executes one block operation on behalf of a processor, advancing
  * simulated time and recording statistics.
@@ -37,6 +39,15 @@ class BlockOpExecutor
      */
     virtual Cycles execute(CpuId cpu, const BlockOp &op, Cycles now,
                            bool os) = 0;
+
+    /**
+     * Redirect statistics recording to @p stats.  Called by the
+     * engine before each block operation under sampling, so executor
+     * misses land in the measured or warm sink along with everything
+     * else in the window.  Executors that record nothing may keep
+     * the no-op default.
+     */
+    virtual void retargetStats(SimStats &stats) { (void)stats; }
 };
 
 } // namespace oscache

@@ -1,6 +1,8 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/log.hh"
 
@@ -11,7 +13,7 @@ System::System(TraceSource &source_, MemorySystem &mem_,
                BlockOpExecutor &executor_, const SimOptions &options,
                SimStats &stats)
     : source(source_), mem(mem_), executor(executor_), opts(options),
-      simStats(stats), cpus(source_.numCpus())
+      simStats(stats), cur(&stats), cpus(source_.numCpus())
 {
     attach();
 }
@@ -21,9 +23,30 @@ System::System(const Trace &trace_, MemorySystem &mem_,
                SimStats &stats)
     : ownedSource(std::make_unique<MaterializedTraceSource>(trace_)),
       source(*ownedSource), mem(mem_), executor(executor_), opts(options),
-      simStats(stats), cpus(trace_.numCpus())
+      simStats(stats), cur(&stats), cpus(trace_.numCpus())
 {
     attach();
+}
+
+void
+System::setSampling(SampleController *controller, SimStats *warm_sink)
+{
+    if (controller != nullptr && warm_sink == nullptr)
+        panic("System::setSampling: controller without a warm sink");
+    sampler = controller;
+    warmSink = warm_sink;
+    if (sampler == nullptr)
+        cur = &simStats;
+}
+
+bool
+System::quiescent() const
+{
+    for (const CpuState &cs : cpus)
+        if (cs.state == CpuRunState::SpinLock ||
+            cs.state == CpuRunState::SpinBarrier)
+            return false;
+    return true;
 }
 
 void
@@ -41,24 +64,30 @@ System::attach()
 void
 System::run()
 {
-    const unsigned num_cpus = source.numCpus();
-    while (true) {
-        CpuId best = 0;
-        bool any = false;
-        Cycles best_time = 0;
-        for (CpuId c = 0; c < num_cpus; ++c) {
-            if (cpus[c].state == CpuRunState::Done)
-                continue;
-            if (!any || cpus[c].time < best_time) {
-                any = true;
-                best = c;
-                best_time = cpus[c].time;
-            }
-        }
-        if (!any)
-            break;
-        step(best);
+    while (tick()) {
     }
+}
+
+bool
+System::tick()
+{
+    const unsigned num_cpus = source.numCpus();
+    CpuId best = 0;
+    bool any = false;
+    Cycles best_time = 0;
+    for (CpuId c = 0; c < num_cpus; ++c) {
+        if (cpus[c].state == CpuRunState::Done)
+            continue;
+        if (!any || cpus[c].time < best_time) {
+            any = true;
+            best = c;
+            best_time = cpus[c].time;
+        }
+    }
+    if (!any)
+        return false;
+    step(best);
+    return true;
 }
 
 Cycles
@@ -79,17 +108,53 @@ System::syncRmw(CpuId cpu, Addr addr, DataCategory cat, bool os)
     ctx.os = os;
     ctx.category = cat;
     const AccessResult rd = mem.read(cpu, addr, cs.time, ctx);
-    simStats.recordRead(os, false, cat, invalidBasicBlock, rd);
+    cur->recordRead(os, false, cat, invalidBasicBlock, rd);
     cs.time = rd.completeAt;
     const AccessResult wr = mem.write(cpu, addr, cs.time, ctx);
-    simStats.recordWrite(os, false, wr);
+    cur->recordWrite(os, false, wr);
     cs.time = wr.completeAt;
+}
+
+bool
+System::maybeBreakSpin(CpuId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    if (sampler == nullptr ||
+        cs.time - cs.spinStart < sampler->spinBreakCycles())
+        return false;
+    // The record that would have released this wait fell in a
+    // skipped stretch; repair locally so replay makes progress.
+    ++syncBreakCount;
+    if (cs.state == CpuRunState::SpinLock) {
+        auto &lock = locks[cs.waitAddr];
+        syncRmw(cpu, cs.waitAddr, DataCategory::Lock, true);
+        lock.held = true;
+        lock.holder = cpu;
+    } else {
+        AccessContext ctx;
+        ctx.os = true;
+        ctx.category = DataCategory::Barrier;
+        const AccessResult rd = mem.read(cpu, cs.waitAddr, cs.time, ctx);
+        cur->recordRead(true, false, DataCategory::Barrier,
+                        invalidBasicBlock, rd);
+        cs.time = rd.completeAt;
+    }
+    cs.state = CpuRunState::Running;
+    cursors[cpu]->advance();
+    consecutiveSpins = 0;
+    return true;
 }
 
 void
 System::step(CpuId cpu)
 {
     CpuState &cs = cpus[cpu];
+
+    // Route this step's statistics: measured windows record into the
+    // primary sink, functional-warming windows into the scratch one.
+    if (sampler != nullptr)
+        cur = sampler->phaseFor(cpu) == SamplePhase::Measure ? &simStats
+                                                             : warmSink;
 
     if (cs.state == CpuRunState::SpinLock) {
         auto &lock = locks[cs.waitAddr];
@@ -102,9 +167,9 @@ System::step(CpuId cpu)
             cs.state = CpuRunState::Running;
             cursors[cpu]->advance();
             consecutiveSpins = 0;
-        } else {
+        } else if (!maybeBreakSpin(cpu)) {
             cs.time += opts.spinQuantum;
-            simStats.osSpin += opts.spinQuantum;
+            cur->osSpin += opts.spinQuantum;
             if (++consecutiveSpins > spinLimit)
                 panic("System: lock deadlock at addr ", cs.waitAddr);
         }
@@ -115,7 +180,7 @@ System::step(CpuId cpu)
         auto &bar = barriers[cs.waitAddr];
         if (bar.episode > cs.waitEpisode) {
             if (bar.releaseAt > cs.time) {
-                simStats.osSpin += bar.releaseAt - cs.time;
+                cur->osSpin += bar.releaseAt - cs.time;
                 cs.time = bar.releaseAt;
             }
             // The releasing write invalidated (or, under the update
@@ -125,15 +190,15 @@ System::step(CpuId cpu)
             ctx.os = true;
             ctx.category = DataCategory::Barrier;
             const AccessResult rd = mem.read(cpu, cs.waitAddr, cs.time, ctx);
-            simStats.recordRead(true, false, DataCategory::Barrier,
-                                invalidBasicBlock, rd);
+            cur->recordRead(true, false, DataCategory::Barrier,
+                            invalidBasicBlock, rd);
             cs.time = rd.completeAt;
             cs.state = CpuRunState::Running;
             cursors[cpu]->advance();
             consecutiveSpins = 0;
-        } else {
+        } else if (!maybeBreakSpin(cpu)) {
             cs.time += opts.spinQuantum;
-            simStats.osSpin += opts.spinQuantum;
+            cur->osSpin += opts.spinQuantum;
             if (++consecutiveSpins > spinLimit)
                 panic("System: barrier deadlock at addr ", cs.waitAddr);
         }
@@ -155,7 +220,7 @@ System::step(CpuId cpu)
         handleExec(cpu, rec);
         break;
       case RecordType::Idle:
-        simStats.idle += rec.aux;
+        cur->idle += rec.aux;
         cs.time += rec.aux;
         cursors[cpu]->advance();
         break;
@@ -208,8 +273,8 @@ System::handleExec(CpuId cpu, const TraceRecord &rec)
     } else {
         imiss = imissCycles(cpu, rec.aux, rec.isOs());
     }
-    simStats.recordExec(rec.isOs(), rec.isBlockOpBody(), rec.aux, exec,
-                        imiss);
+    cur->recordExec(rec.isOs(), rec.isBlockOpBody(), rec.aux, exec,
+                    imiss);
     cs.time += exec + imiss;
     cursors[cpu]->advance();
 }
@@ -226,16 +291,16 @@ System::handleData(CpuId cpu, const TraceRecord &rec)
 
     if (rec.type == RecordType::Read) {
         const AccessResult res = mem.read(cpu, rec.addr, cs.time, ctx);
-        simStats.recordRead(ctx.os, ctx.blockOpBody, ctx.category, ctx.bb,
-                            res);
+        cur->recordRead(ctx.os, ctx.blockOpBody, ctx.category, ctx.bb,
+                        res);
         cs.time = res.completeAt;
     } else if (rec.type == RecordType::Write) {
         const AccessResult res = mem.write(cpu, rec.addr, cs.time, ctx);
-        simStats.recordWrite(ctx.os, ctx.blockOpBody, res);
+        cur->recordWrite(ctx.os, ctx.blockOpBody, res);
         cs.time = res.completeAt;
     } else {
         mem.prefetch(cpu, rec.addr, cs.time, ctx);
-        simStats.recordExec(ctx.os, false, 1, 1, 0);
+        cur->recordExec(ctx.os, false, 1, 1, 0);
         cs.time += 1;
     }
     cursors[cpu]->advance();
@@ -249,6 +314,8 @@ System::handleBlockOp(CpuId cpu, const TraceRecord &rec)
     // storage move) while other processors' cursors refill.
     const BlockOp op = source.blockOps().get(rec.aux);
     const Cycles start = cs.time;
+    if (sampler != nullptr)
+        executor.retargetStats(*cur);
     cs.time = executor.execute(cpu, op, cs.time, rec.isOs());
     if (MemEventObserver *obs = mem.eventObserver())
         obs->onBlockOp(cpu, op, start, cs.time);
@@ -267,19 +334,27 @@ System::handleLockAcquire(CpuId cpu, const TraceRecord &rec)
         cursors[cpu]->advance();
         return;
     }
-    if (lock.holder == cpu)
+    if (lock.holder == cpu) {
+        if (sampler != nullptr) {
+            // The matching release was skipped; treat as re-entry.
+            ++syncBreakCount;
+            cursors[cpu]->advance();
+            return;
+        }
         panic("System: cpu ", int(cpu), " re-acquiring held lock ",
               rec.addr);
+    }
     // Contended: one read observes the held lock, then spin locally.
     AccessContext ctx;
     ctx.os = rec.isOs();
     ctx.category = DataCategory::Lock;
     const AccessResult rd = mem.read(cpu, rec.addr, cs.time, ctx);
-    simStats.recordRead(ctx.os, false, DataCategory::Lock,
-                        invalidBasicBlock, rd);
+    cur->recordRead(ctx.os, false, DataCategory::Lock,
+                    invalidBasicBlock, rd);
     cs.time = rd.completeAt;
     cs.state = CpuRunState::SpinLock;
     cs.waitAddr = rec.addr;
+    cs.spinStart = cs.time;
 }
 
 void
@@ -287,18 +362,25 @@ System::handleLockRelease(CpuId cpu, const TraceRecord &rec)
 {
     CpuState &cs = cpus[cpu];
     auto it = locks.find(rec.addr);
-    if (it == locks.end() || !it->second.held || it->second.holder != cpu)
-        panic("System: cpu ", int(cpu), " releasing lock ", rec.addr,
-              " it does not hold");
+    const bool matched = it != locks.end() && it->second.held &&
+                         it->second.holder == cpu;
+    if (!matched) {
+        if (sampler == nullptr)
+            panic("System: cpu ", int(cpu), " releasing lock ", rec.addr,
+                  " it does not hold");
+        // The matching acquire was skipped; perform the release write
+        // anyway so the lock ends up free.
+        ++syncBreakCount;
+    }
     // Release consistency: drain buffered writes before the release.
     cs.time = mem.fence(cpu, cs.time);
     AccessContext ctx;
     ctx.os = rec.isOs();
     ctx.category = DataCategory::Lock;
     const AccessResult wr = mem.write(cpu, rec.addr, cs.time, ctx);
-    simStats.recordWrite(ctx.os, false, wr);
+    cur->recordWrite(ctx.os, false, wr);
     cs.time = wr.completeAt;
-    it->second.held = false;
+    locks[rec.addr].held = false;
     cursors[cpu]->advance();
 }
 
@@ -324,7 +406,97 @@ System::handleBarrier(CpuId cpu, const TraceRecord &rec)
         cs.state = CpuRunState::SpinBarrier;
         cs.waitAddr = rec.addr;
         cs.waitEpisode = bar.episode;
+        cs.spinStart = cs.time;
     }
+}
+
+void
+System::saveState(binio::BinaryWriter &w) const
+{
+    w.put(std::uint32_t(cpus.size()));
+    for (const CpuState &cs : cpus) {
+        w.put(cs.time);
+        w.put(std::uint8_t(cs.state));
+        w.put(cs.waitAddr);
+        w.put(cs.waitEpisode);
+        w.put(cs.imissCarry);
+        w.put(cs.spinStart);
+    }
+    // Maps serialized sorted so identical states produce identical
+    // bytes (the checkpoint store is content-addressed).
+    std::vector<std::pair<Addr, LockState>> lks(locks.begin(), locks.end());
+    std::sort(lks.begin(), lks.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.put(std::uint64_t(lks.size()));
+    for (const auto &[addr, lock] : lks) {
+        w.put(addr);
+        w.put(std::uint8_t(lock.held));
+        w.put(lock.holder);
+    }
+    std::vector<std::pair<Addr, BarrierState>> bars(barriers.begin(),
+                                                    barriers.end());
+    std::sort(bars.begin(), bars.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.put(std::uint64_t(bars.size()));
+    for (const auto &[addr, bar] : bars) {
+        w.put(addr);
+        w.put(bar.arrived);
+        w.put(bar.episode);
+        w.put(bar.releaseAt);
+    }
+    w.put(consecutiveSpins);
+    w.put(syncBreakCount);
+}
+
+bool
+System::loadState(binio::BinaryReader &r, std::string *error)
+{
+    const auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    std::uint32_t n = 0;
+    if (!r.get(n) || n != cpus.size())
+        return fail("cpu count mismatch");
+    for (CpuState &cs : cpus) {
+        std::uint8_t state = 0;
+        if (!r.get(cs.time) || !r.get(state) || !r.get(cs.waitAddr) ||
+            !r.get(cs.waitEpisode) || !r.get(cs.imissCarry) ||
+            !r.get(cs.spinStart))
+            return fail("truncated cpu state");
+        if (state > std::uint8_t(CpuRunState::Done))
+            return fail("bad cpu run state");
+        cs.state = CpuRunState(state);
+    }
+    std::uint64_t count = 0;
+    if (!r.get(count) || count > (1u << 24))
+        return fail("bad lock count");
+    locks.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr addr = 0;
+        std::uint8_t held = 0;
+        LockState lock;
+        if (!r.get(addr) || !r.get(held) || !r.get(lock.holder))
+            return fail("truncated lock table");
+        lock.held = held != 0;
+        locks.emplace(addr, lock);
+    }
+    if (!r.get(count) || count > (1u << 24))
+        return fail("bad barrier count");
+    barriers.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr addr = 0;
+        BarrierState bar;
+        if (!r.get(addr) || !r.get(bar.arrived) || !r.get(bar.episode) ||
+            !r.get(bar.releaseAt))
+            return fail("truncated barrier table");
+        barriers.emplace(addr, bar);
+    }
+    if (!r.get(consecutiveSpins) || !r.get(syncBreakCount))
+        return fail("truncated spin counters");
+    return true;
 }
 
 } // namespace oscache

@@ -23,13 +23,16 @@
 #define OSCACHE_SIM_SYSTEM_HH
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/types.hh"
 #include "mem/memsys.hh"
 #include "sim/blockop_executor.hh"
 #include "sim/options.hh"
+#include "sim/sampling.hh"
 #include "sim/stats.hh"
 #include "trace/source.hh"
 #include "trace/trace.hh"
@@ -64,6 +67,39 @@ class System
     /** Run the trace to completion. */
     void run();
 
+    /**
+     * Replay one scheduling step (one record or spin quantum on the
+     * processor with the smallest local time); false once every
+     * processor is done.  run() is tick() in a loop — sampled replay
+     * drives tick() directly so it can checkpoint between steps.
+     */
+    bool tick();
+
+    /**
+     * Install a sampling controller: before each record the engine
+     * asks it for the processor's phase and routes statistics to
+     * @p warm_sink unless the phase is Measure.  Both must outlive
+     * the System; pass nullptr to return to full measurement.
+     */
+    void setSampling(SampleController *controller, SimStats *warm_sink);
+
+    /** True when no processor is mid-spin (clean checkpoint state). */
+    bool quiescent() const;
+
+    /** Sync repairs performed under sampling (see sim/sampling.hh). */
+    std::uint64_t syncBreaks() const { return syncBreakCount; }
+
+    /**
+     * Serialize the replay state that is not cursor position: per-cpu
+     * times and run states, lock/barrier tables, and the sync-repair
+     * counter.  Statistics sinks and cursors are the caller's to
+     * save; pair with loadState() on an identically shaped System.
+     */
+    void saveState(binio::BinaryWriter &w) const;
+
+    /** Inverse of saveState(); false with @p error on malformed input. */
+    bool loadState(binio::BinaryReader &r, std::string *error);
+
     /** Statistics collected so far (valid after run()). */
     const SimStats &stats() const { return simStats; }
 
@@ -86,6 +122,8 @@ class System
         std::uint64_t waitEpisode = 0;
         /** Fractional I-miss cycle accumulator. */
         double imissCarry = 0.0;
+        /** Local time when the current spin began (spin-break clock). */
+        Cycles spinStart = 0;
     };
 
     struct LockState
@@ -119,6 +157,9 @@ class System
     /** Perform the read-modify-write of a synchronization variable. */
     void syncRmw(CpuId cpu, Addr addr, DataCategory cat, bool os);
 
+    /** Break a sampled spin that outlived the controller's budget. */
+    bool maybeBreakSpin(CpuId cpu);
+
     /** Backing source of the convenience Trace constructor. */
     std::unique_ptr<MaterializedTraceSource> ownedSource;
     TraceSource &source;
@@ -126,6 +167,15 @@ class System
     BlockOpExecutor &executor;
     SimOptions opts;
     SimStats &simStats;
+
+    /**
+     * Active statistics sink: &simStats normally; retargeted per
+     * record between &simStats and the warm sink under sampling.
+     */
+    SimStats *cur;
+    SampleController *sampler = nullptr;
+    SimStats *warmSink = nullptr;
+    std::uint64_t syncBreakCount = 0;
 
     std::vector<std::unique_ptr<RecordCursor>> cursors;
     std::vector<CpuState> cpus;

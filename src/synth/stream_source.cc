@@ -1,5 +1,7 @@
 #include "synth/stream_source.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace oscache
@@ -31,6 +33,33 @@ class SynthTraceSource::Cursor final : public RecordCursor
             panic("SynthTraceSource: advance past end of stream");
         lane.pop_front();
         src->buffered -= 1;
+    }
+
+    /**
+     * Bulk lane discard.  Generation cannot be leapt over (every
+     * record comes from shared RNG draws, so skipping a quantum
+     * would change every other processor's stream), but the skipped
+     * records are dropped a buffered run at a time instead of one
+     * pop_front per record.
+     */
+    std::size_t
+    skip(std::size_t n) override
+    {
+        std::size_t done = 0;
+        auto &lane = src->lanes[cpu];
+        while (done < n) {
+            if (lane.empty()) {
+                src->refill(cpu);
+                if (lane.empty())
+                    break;
+            }
+            const std::size_t step = std::min(n - done, lane.size());
+            lane.erase(lane.begin(),
+                       lane.begin() + std::ptrdiff_t(step));
+            src->buffered -= step;
+            done += step;
+        }
+        return done;
     }
 
   private:

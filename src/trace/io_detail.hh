@@ -19,6 +19,7 @@
 #include <string>
 #include <type_traits>
 
+#include "common/binio.hh"
 #include "trace/blockop.hh"
 #include "trace/record.hh"
 
@@ -36,78 +37,12 @@ inline constexpr std::size_t recordWireBytes = 8 + 4 + 4 + 1 + 1 + 1 + 1;
 /** Chunk header sentinel terminating a v3 chunk sequence. */
 inline constexpr std::uint32_t chunkEndMarker = 0xffffffffu;
 
-/**
- * Streaming FNV-1a checksum accumulated over every byte written
- * after (or read after) the magic, so truncation and bit rot are
- * both caught on reload.
- */
-class ChecksumStream
-{
-  public:
-    void
-    mix(const void *data, std::size_t size)
-    {
-        const auto *bytes = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < size; ++i) {
-            state ^= bytes[i];
-            state *= 0x100000001b3ull;
-        }
-    }
-
-    std::uint64_t value() const { return state; }
-
-  private:
-    std::uint64_t state = 0xcbf29ce484222325ull;
-};
-
-class BinaryWriter
-{
-  public:
-    explicit BinaryWriter(std::ostream &out) : os(out) {}
-
-    template <typename T>
-    void
-    put(T value)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        char buf[sizeof(T)];
-        std::memcpy(buf, &value, sizeof(T));
-        os.write(buf, sizeof(T));
-        sum.mix(buf, sizeof(T));
-    }
-
-    std::uint64_t checksum() const { return sum.value(); }
-
-  private:
-    std::ostream &os;
-    ChecksumStream sum;
-};
-
-class BinaryReader
-{
-  public:
-    explicit BinaryReader(std::istream &in) : is(in) {}
-
-    template <typename T>
-    bool
-    get(T &value)
-    {
-        static_assert(std::is_trivially_copyable_v<T>);
-        char buf[sizeof(T)];
-        is.read(buf, sizeof(T));
-        if (is.gcount() != std::streamsize(sizeof(T)))
-            return false;
-        std::memcpy(&value, buf, sizeof(T));
-        sum.mix(buf, sizeof(T));
-        return true;
-    }
-
-    std::uint64_t checksum() const { return sum.value(); }
-
-  private:
-    std::istream &is;
-    ChecksumStream sum;
-};
+// The checksummed stream primitives grew a second client (the
+// live-points checkpoint store) and moved to common/binio.hh; these
+// aliases keep the trace serializers' spelling unchanged.
+using binio::BinaryReader;
+using binio::BinaryWriter;
+using binio::ChecksumStream;
 
 /** Write one record in the packed wire layout. */
 inline void

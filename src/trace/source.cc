@@ -66,6 +66,32 @@ class FileTraceSource::BinaryCursor final : public RecordCursor
 
     void advance() override { ++bufPos; }
 
+    /**
+     * Chunk-skipping fast-forward: drain whatever is buffered, then
+     * walk the segment index arithmetically — no record is read,
+     * decoded, or even touched on disk until the next peek() seeks
+     * straight to the first record past the skipped span.
+     */
+    std::size_t
+    skip(std::size_t n) override
+    {
+        std::size_t done = std::min(n, buf.size() - bufPos);
+        bufPos += done;
+        while (done < n && segIdx < segs->size()) {
+            const Segment &seg = (*segs)[segIdx];
+            if (recIdx >= seg.records) {
+                ++segIdx;
+                recIdx = 0;
+                continue;
+            }
+            const std::uint64_t step = std::min<std::uint64_t>(
+                n - done, seg.records - recIdx);
+            recIdx += step;
+            done += std::size_t(step);
+        }
+        return done;
+    }
+
   private:
     void
     refill()
@@ -134,6 +160,40 @@ class FileTraceSource::TextCursor final : public RecordCursor
 
     void advance() override { ++bufPos; }
 
+    /**
+     * Text has no record index to seek by, but skipping still skips
+     * the parse: record lines are counted and discarded unparsed.
+     */
+    std::size_t
+    skip(std::size_t n) override
+    {
+        std::size_t done = std::min(n, buf.size() - bufPos);
+        bufPos += done;
+        std::string line;
+        while (done < n && segIdx < segs->size()) {
+            const Segment &seg = (*segs)[segIdx];
+            if (!inSeg) {
+                is.clear();
+                is.seekg(std::streamoff(seg.offset));
+                pos = seg.offset;
+                inSeg = true;
+            }
+            if (pos >= seg.end) {
+                ++segIdx;
+                inSeg = false;
+                continue;
+            }
+            if (!std::getline(is, line))
+                fatal("trace: '", src->path,
+                      "' truncated while streaming");
+            pos = is.eof() ? seg.end : std::uint64_t(is.tellg());
+            if (line.empty() || line[0] == '#')
+                continue;
+            ++done;
+        }
+        return done;
+    }
+
   private:
     void
     refill()
@@ -175,10 +235,11 @@ class FileTraceSource::TextCursor final : public RecordCursor
 };
 
 FileTraceSource::FileTraceSource(const std::string &file_path,
-                                 std::size_t read_ahead)
+                                 std::size_t read_ahead, ScanDepth scan_depth)
 {
     path = file_path;
     bufferRecords = std::max<std::size_t>(1, read_ahead);
+    depth = scan_depth;
     std::string why;
     if (!scan(&why))
         fatal("trace: cannot stream '", path, "' (", why, ")");
@@ -186,11 +247,12 @@ FileTraceSource::FileTraceSource(const std::string &file_path,
 
 std::unique_ptr<FileTraceSource>
 FileTraceSource::tryOpen(const std::string &path, std::size_t read_ahead,
-                         std::string *error)
+                         std::string *error, ScanDepth depth)
 {
     std::unique_ptr<FileTraceSource> src(new FileTraceSource());
     src->path = path;
     src->bufferRecords = std::max<std::size_t>(1, read_ahead);
+    src->depth = depth;
     if (!src->scan(error))
         return nullptr;
     return src;
@@ -288,14 +350,21 @@ FileTraceSource::scanBinary(std::istream &is, std::string *error)
             Segment seg;
             seg.offset = std::uint64_t(is.tellg());
             seg.records = count;
-            for (std::uint64_t i = 0; i < count; ++i) {
-                TraceRecord rec;
-                if (!iodetail::getRecord(r, rec, &why))
-                    return fail(why);
-                if ((rec.type == RecordType::BlockOpBegin ||
-                     rec.type == RecordType::BlockOpEnd) &&
-                    rec.aux >= table.size())
-                    return fail("record references unknown block op");
+            if (depth == ScanDepth::Index) {
+                is.seekg(std::streamoff(count * recordWireBytes),
+                         std::ios::cur);
+                if (!is || is.peek() == std::istream::traits_type::eof())
+                    return fail("truncated record stream");
+            } else {
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    TraceRecord rec;
+                    if (!iodetail::getRecord(r, rec, &why))
+                        return fail(why);
+                    if ((rec.type == RecordType::BlockOpBegin ||
+                         rec.type == RecordType::BlockOpEnd) &&
+                        rec.aux >= table.size())
+                        return fail("record references unknown block op");
+                }
             }
             recordCounts[cpu] = count;
             if (count > 0)
@@ -319,15 +388,23 @@ FileTraceSource::scanBinary(std::istream &is, std::string *error)
             Segment seg;
             seg.offset = std::uint64_t(is.tellg());
             seg.records = count;
-            for (std::uint32_t i = 0; i < count; ++i) {
-                TraceRecord rec;
-                if (!iodetail::getRecord(r, rec, &why))
-                    return fail(why);
-                if (rec.type == RecordType::BlockOpBegin ||
-                    rec.type == RecordType::BlockOpEnd) {
-                    any_op_ref = true;
-                    max_op_ref =
-                        std::max<std::uint64_t>(max_op_ref, rec.aux);
+            if (depth == ScanDepth::Index) {
+                is.seekg(std::streamoff(std::uint64_t(count) *
+                                        recordWireBytes),
+                         std::ios::cur);
+                if (!is || is.peek() == std::istream::traits_type::eof())
+                    return fail("truncated record stream");
+            } else {
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    TraceRecord rec;
+                    if (!iodetail::getRecord(r, rec, &why))
+                        return fail(why);
+                    if (rec.type == RecordType::BlockOpBegin ||
+                        rec.type == RecordType::BlockOpEnd) {
+                        any_op_ref = true;
+                        max_op_ref =
+                            std::max<std::uint64_t>(max_op_ref, rec.aux);
+                    }
                 }
             }
             recordCounts[cpu] += count;
@@ -349,7 +426,10 @@ FileTraceSource::scanBinary(std::istream &is, std::string *error)
             return fail("missing checksum");
         std::memcpy(&stored, buf, sizeof(stored));
     }
-    if (stored != expected)
+    // An Index scan never read the record payloads, so the running
+    // checksum is not the file's; the trailing word's presence is
+    // still required above.
+    if (depth == ScanDepth::Full && stored != expected)
         return fail("checksum mismatch");
     if (is.peek() != std::istream::traits_type::eof())
         return fail("trailing garbage");

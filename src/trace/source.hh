@@ -34,6 +34,7 @@
 #ifndef OSCACHE_TRACE_SOURCE_HH
 #define OSCACHE_TRACE_SOURCE_HH
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -60,6 +61,25 @@ class RecordCursor
 
     /** Consume the current record.  Undefined after end of stream. */
     virtual void advance() = 0;
+
+    /**
+     * Fast-forward past up to @p n records without observing them;
+     * returns how many were actually skipped (fewer only at end of
+     * stream).  The base implementation consumes record-at-a-time;
+     * implementations override with seek arithmetic (chunked files)
+     * or bulk discard (in-memory streams) so sampling can leap over
+     * unmeasured stretches at far better than replay speed.
+     */
+    virtual std::size_t
+    skip(std::size_t n)
+    {
+        std::size_t done = 0;
+        while (done < n && peek() != nullptr) {
+            advance();
+            ++done;
+        }
+        return done;
+    }
 };
 
 /**
@@ -118,6 +138,15 @@ class VectorRecordCursor final : public RecordCursor
     }
 
     void advance() override { ++pos; }
+
+    std::size_t
+    skip(std::size_t n) override
+    {
+        const std::size_t left = stream->size() - pos;
+        const std::size_t done = std::min(n, left);
+        pos += done;
+        return done;
+    }
 
   private:
     const RecordStream *stream;
@@ -187,6 +216,32 @@ class FileTraceSource final : public TraceSource
 {
   public:
     /**
+     * How much of the file the opening scan validates.
+     *
+     * Full reads and validates every record byte and verifies the
+     * trailing checksum — the right default, and what the artifact
+     * cache relies on to discard corrupt artifacts.
+     *
+     * Index walks the binary formats' structure by seek arithmetic:
+     * headers, chunk boundaries, the block-op table, and the end
+     * sentinel are validated, but record payloads are skipped on
+     * disk and the trailing checksum is not recomputed (verifying it
+     * would mean reading every byte).  Opening a multi-GB trace
+     * drops from a full-file read to a few thousand header seeks,
+     * which is what makes sampled replay's leap-over-99%-of-the-file
+     * profitable.  Use it only for artifacts validated when written
+     * (e.g. just-generated benchmarks): payload corruption then
+     * surfaces at replay as an engine diagnostic, not as a clean
+     * open failure.  Text files have no record index, so Index
+     * falls back to the full line walk.
+     */
+    enum class ScanDepth
+    {
+        Full,
+        Index,
+    };
+
+    /**
      * Open and validate @p path.  fatal()s on any malformed input;
      * use tryOpen() for the non-fatal variant.
      *
@@ -195,7 +250,8 @@ class FileTraceSource final : public TraceSource
      */
     explicit FileTraceSource(
         const std::string &path,
-        std::size_t read_ahead = defaultStreamReadAhead);
+        std::size_t read_ahead = defaultStreamReadAhead,
+        ScanDepth depth = ScanDepth::Full);
 
     /**
      * As the constructor, but a malformed file returns nullptr with
@@ -205,7 +261,8 @@ class FileTraceSource final : public TraceSource
     static std::unique_ptr<FileTraceSource>
     tryOpen(const std::string &path,
             std::size_t read_ahead = defaultStreamReadAhead,
-            std::string *error = nullptr);
+            std::string *error = nullptr,
+            ScanDepth depth = ScanDepth::Full);
 
     unsigned numCpus() const override;
     const BlockOpTable &blockOps() const override { return table; }
@@ -229,6 +286,9 @@ class FileTraceSource final : public TraceSource
     /** Cursor read-ahead, in records. */
     std::size_t readAhead() const { return bufferRecords; }
 
+    /** Scan depth the file was opened with. */
+    ScanDepth scanDepth() const { return depth; }
+
   private:
     FileTraceSource() = default;
 
@@ -250,6 +310,7 @@ class FileTraceSource final : public TraceSource
 
     std::string path;
     std::size_t bufferRecords = defaultStreamReadAhead;
+    ScanDepth depth = ScanDepth::Full;
     Format fileFormat = Format::Text;
     BlockOpTable table;
     std::unordered_set<Addr> pages;

@@ -268,6 +268,85 @@ TEST(StreamFile, TinyReadAheadStillExact)
     fs::remove(path);
 }
 
+// ---------------------------------------------------------------------
+// RecordCursor::skip must land exactly where n advances would, on
+// every implementation — the sampling subsystem leaps over unmeasured
+// stretches with it, so an off-by-one here silently shifts windows.
+
+/** Skip/advance mix against the reference stream @p expected. */
+void
+expectSkipExact(RecordCursor &cursor,
+                const std::vector<TraceRecord> &expected)
+{
+    ASSERT_GE(expected.size(), 20u);
+    // Interleave skips with reads, crossing refill boundaries.
+    std::size_t pos = 0;
+    EXPECT_EQ(cursor.skip(5), 5u);
+    pos += 5;
+    ASSERT_NE(cursor.peek(), nullptr);
+    EXPECT_EQ(*cursor.peek(), expected[pos]);
+    cursor.advance();
+    ++pos;
+    const std::size_t leap =
+        std::min<std::size_t>(expected.size() - pos - 4, 777);
+    EXPECT_EQ(cursor.skip(leap), leap);
+    pos += leap;
+    ASSERT_NE(cursor.peek(), nullptr);
+    EXPECT_EQ(*cursor.peek(), expected[pos]);
+    // Skipping past the end reports the shortfall, then sticks at 0.
+    EXPECT_EQ(cursor.skip(expected.size()), expected.size() - pos);
+    EXPECT_EQ(cursor.peek(), nullptr);
+    EXPECT_EQ(cursor.skip(10), 0u);
+}
+
+TEST(StreamSkip, VectorCursorSkipsExactly)
+{
+    const Trace trace = generateTrace(
+        smallProfile(WorkloadKind::Trfd4, 3), CoherenceOptions::none());
+    MaterializedTraceSource source(trace);
+    for (CpuId cpu = 0; cpu < source.numCpus(); ++cpu) {
+        auto cursor = source.cursor(cpu);
+        expectSkipExact(*cursor, trace.stream(cpu));
+    }
+}
+
+TEST(StreamSkip, FileCursorSkipsExactlyAllFormats)
+{
+    const Trace trace = generateTrace(
+        smallProfile(WorkloadKind::Shell, 3), CoherenceOptions::none());
+    const struct
+    {
+        TraceFormat format;
+        const char *name;
+    } cases[] = {
+        {TraceFormat::Text, "skip.trace"},
+        {TraceFormat::Binary, "skip.otb"},
+        {TraceFormat::Chunked, "skip.otc"},
+    };
+    for (const auto &c : cases) {
+        const std::string path = scratchPath(c.name);
+        writeTraceFile(path, trace, c.format);
+        // Small read-ahead so skips cross many refill boundaries.
+        FileTraceSource source(path, 64);
+        for (CpuId cpu = 0; cpu < source.numCpus(); ++cpu) {
+            auto cursor = source.cursor(cpu);
+            expectSkipExact(*cursor, trace.stream(cpu));
+        }
+        fs::remove(path);
+    }
+}
+
+TEST(StreamSkip, SynthCursorSkipsExactly)
+{
+    const WorkloadProfile profile = smallProfile(WorkloadKind::Arc2dFsck, 3);
+    const Trace trace = generateTrace(profile, CoherenceOptions::none());
+    SynthTraceSource source(profile, CoherenceOptions::none());
+    for (CpuId cpu = 0; cpu < source.numCpus(); ++cpu) {
+        auto cursor = source.cursor(cpu);
+        expectSkipExact(*cursor, trace.stream(cpu));
+    }
+}
+
 TEST(StreamFile, ChunkedReplayMatchesMaterializedSim)
 {
     const WorkloadProfile profile = smallProfile(WorkloadKind::Arc2dFsck, 3);

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Measure sampled-vs-full replay throughput on a generated trace and
+# append the result to BENCH_sampling.json at the repo root.
+#
+# Usage: tools/bench_append.sh [build-dir] [quanta] [plan]
+#
+#   build-dir  build tree with oscache + oscache-sample (default: build)
+#   quanta     synthetic-workload length (default: 1960, ~100M records)
+#   plan       sampling plan (default: period=10m,measure=10k,warmup=100k)
+#
+# The trace is generated into a scratch directory, replayed sampled
+# and full through `oscache-sample run --compare-full --json`, and the
+# JSON line is merged into the entries array with the record count and
+# trace size attached.  Requires python3 for the JSON merge.
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+quanta=${2:-1960}
+plan=${3:-"period=10m,measure=10k,warmup=100k"}
+bench="$repo/BENCH_sampling.json"
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+trace="$scratch/bench.otc"
+
+echo "== generate (shell, quanta $quanta, chunked) =="
+"$build/tools/oscache" generate --workload shell --quanta "$quanta" \
+    --format chunked --out "$trace"
+
+echo "== sampled vs full ($plan) =="
+"$build/tools/oscache-sample" run --trace "$trace" --system base \
+    --plan "$plan" --compare-full --json > "$scratch/result.json"
+
+python3 - "$bench" "$scratch/result.json" "$trace" << 'EOF'
+import json, os, sys, datetime
+
+bench_path, result_path, trace_path = sys.argv[1:4]
+result = json.load(open(result_path))
+doc = json.load(open(bench_path))
+
+records = result["records"]
+full_s = result["wall_ms_full"] / 1000.0
+sampled_s = result["wall_ms_sampled"] / 1000.0
+entry = {
+    "date": datetime.date.today().isoformat(),
+    "host": os.uname().sysname.lower() + "-" + os.uname().machine,
+    "trace_records": records,
+    "trace_bytes": os.path.getsize(trace_path),
+    "workload": "shell",
+    "system": result["system"].lower(),
+    "plan": result["plan"],
+    "windows": result["windows"],
+    "replayed_fraction": round(result["replayed_frac"], 4),
+    "full_wall_ms": result["wall_ms_full"],
+    "sampled_wall_ms": result["wall_ms_sampled"],
+    "full_accesses_per_sec": int(records / full_s),
+    "sampled_accesses_per_sec": int(records / sampled_s),
+    "speedup": result["speedup"],
+    "all_within_ci": result["all_within_ci"],
+    "metrics": result["metrics"],
+}
+doc["entries"].append(entry)
+with open(bench_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("appended: %.1fx speedup, all_within_ci=%s" %
+      (entry["speedup"], entry["all_within_ci"]))
+EOF

@@ -30,6 +30,7 @@
 #include "exp/registry.hh"
 #include "obs/options.hh"
 #include "obs/timeline.hh"
+#include "sample/plan.hh"
 
 using namespace oscache;
 
@@ -66,6 +67,11 @@ usage()
         "  --quiet         no per-cell progress lines\n"
         "  --metrics       collect per-cell metrics (src/obs) and fold\n"
         "                  them into the JSONL results\n"
+        "  --sample PLAN   replay cells under a SMARTS-style sampling\n"
+        "                  plan (key=value pairs: period, measure,\n"
+        "                  warmup, error, rounds, spinbreak; e.g.\n"
+        "                  period=100k,measure=2k,warmup=8k,error=0.05)\n"
+        "                  and report confidence intervals\n"
         "  --timeline F    write a Chrome trace of the scheduler's\n"
         "                  cell spans to F\n"
         "  --list          list the registered experiments and exit\n"
@@ -94,6 +100,7 @@ main(int argc, char **argv)
     std::size_t stream_buffer = defaultStreamReadAhead;
     std::size_t trace_cache_bytes = defaultTraceCacheBytes;
     std::string timeline_file;
+    std::string sample_plan;
     std::string cache_dir = ".oscache-artifacts";
     std::string results_base = "oscache_results";
     std::vector<std::string> names;
@@ -133,6 +140,8 @@ main(int argc, char **argv)
             quiet = true;
         } else if (arg == "--metrics") {
             metrics = true;
+        } else if (arg == "--sample") {
+            sample_plan = value();
         } else if (arg == "--timeline") {
             timeline_file = value();
         } else if (arg == "--list") {
@@ -192,6 +201,8 @@ main(int argc, char **argv)
     options.traceCacheBytes = trace_cache_bytes;
     options.resultsBase = results_base;
     options.timeline = timeline.get();
+    if (!sample_plan.empty())
+        options.samplePlan = sample::SamplingPlan::parse(sample_plan);
     std::atomic<unsigned> done{0};
     if (!quiet)
         options.progress = [&done](const std::string &label) {
@@ -216,6 +227,9 @@ main(int argc, char **argv)
     std::printf("cell cpu time:   %.1f s\n", report.totalCellMs / 1000.0);
     std::printf("trace source:    %s\n",
                 stream ? "streamed cursors" : "materialized");
+    if (!sample_plan.empty())
+        std::printf("sampling:        %s\n",
+                    options.samplePlan->describe().c_str());
     std::printf("traces:          %llu generated, %llu loaded from disk, "
                 "%llu in-memory hits, %llu evicted\n",
                 (unsigned long long)report.traceStats.generated,

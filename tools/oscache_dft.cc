@@ -34,8 +34,11 @@
 #include "common/version.hh"
 #include "core/blockop/schemes.hh"
 #include "core/cohopt.hh"
+#include "dft/differ.hh"
 #include "dft/fuzz.hh"
 #include "dft/golden.hh"
+#include "sample/cursor.hh"
+#include "sample/plan.hh"
 #include "synth/generator.hh"
 #include "synth/profile.hh"
 #include "trace/source.hh"
@@ -52,11 +55,18 @@ usage()
     std::printf(
         "usage: oscache-dft fuzz [options]\n"
         "       oscache-dft workloads [--jobs J]\n"
+        "       oscache-dft sampled [--jobs J] [--plan P]\n"
         "       oscache-dft golden (--bless | --check) [options]\n"
         "\n"
         "workloads: replay each of the paper's four synthetic\n"
         "workloads (full length) through the engine and the reference\n"
         "oracle simultaneously, failing on the first divergence.\n"
+        "\n"
+        "sampled: the same differential replay, but through a\n"
+        "SMARTS-style sampling cursor — the oracle then checks every\n"
+        "warm and measured record the sampled engine actually\n"
+        "replays, proving the fast-forward machinery never corrupts\n"
+        "the memory-system state the windows measure.\n"
         "\n"
         "fuzz options:\n"
         "  --count N      number of seeded traces (default 200)\n"
@@ -204,6 +214,84 @@ runWorkloads(unsigned jobs)
     return 0;
 }
 
+/** Phase-only controller: classify from the cursor, collect nothing. */
+class PlanController final : public SampleController
+{
+  public:
+    PlanController(sample::SampledTraceSource &sampled_source,
+                   const sample::SamplingPlan &sampling_plan)
+        : src(sampled_source), plan(sampling_plan)
+    {}
+
+    SamplePhase
+    phaseFor(CpuId cpu) override
+    {
+        return src.cursorFor(cpu)->phase();
+    }
+
+    Cycles spinBreakCycles() const override { return plan.spinBreak; }
+
+  private:
+    sample::SampledTraceSource &src;
+    sample::SamplingPlan plan;
+};
+
+int
+runSampledWorkloads(unsigned jobs, const sample::SamplingPlan &plan)
+{
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex print_mutex;
+    constexpr std::size_t n =
+        sizeof(allWorkloads) / sizeof(allWorkloads[0]);
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            const WorkloadKind kind = allWorkloads[i];
+            Trace trace =
+                generateTrace(kind, CoherenceOptions::none());
+            MaterializedTraceSource inner(trace);
+            sample::SampledTraceSource source(inner, plan);
+            PlanController controller(source, plan);
+            const MachineConfig machine;
+            const SimOptions options;
+            const DiffResult diff = runDiff(source, machine, options,
+                                            BlockScheme::Base,
+                                            &controller);
+            std::lock_guard<std::mutex> lock(print_mutex);
+            if (diff.diverged) {
+                failed.store(true, std::memory_order_relaxed);
+                std::printf("FAIL: %s diverged under sampling\n%s\n",
+                            toString(kind), diff.report.c_str());
+            } else {
+                std::printf("  %-10s %llu sampled-replay events "
+                            "checked, engine == oracle\n",
+                            toString(kind),
+                            (unsigned long long)diff.eventsChecked);
+                std::fflush(stdout);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 1; t < jobs && t < n; ++t)
+        threads.emplace_back(worker);
+    worker();
+    for (std::thread &t : threads)
+        t.join();
+
+    if (failed.load())
+        return 1;
+    std::printf("sampled: %zu workloads under plan %s, engine vs "
+                "oracle, 0 divergences\n",
+                n, plan.describe().c_str());
+    return 0;
+}
+
 int
 runGolden(bool bless, const std::string &file, const std::string &scratch,
           unsigned jobs)
@@ -262,6 +350,7 @@ main(int argc, char **argv)
     bool check = false;
     std::string file = "tests/golden/cells.jsonl";
     std::string scratch = "oscache_dft_golden";
+    std::string plan_text = "period=50k,measure=2k,warmup=6k";
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -291,6 +380,8 @@ main(int argc, char **argv)
             file = value();
         } else if (arg == "--scratch") {
             scratch = value();
+        } else if (arg == "--plan") {
+            plan_text = value();
         } else {
             usage();
             fatal("unknown option ", arg);
@@ -304,6 +395,9 @@ main(int argc, char **argv)
     }
     if (command == "workloads")
         return runWorkloads(jobs == 1 ? 4 : jobs);
+    if (command == "sampled")
+        return runSampledWorkloads(jobs == 1 ? 4 : jobs,
+                                   sample::SamplingPlan::parse(plan_text));
     if (command == "golden") {
         if (bless == check)
             fatal("golden: pass exactly one of --bless / --check");

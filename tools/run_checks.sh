@@ -172,4 +172,24 @@ echo "== verify: exhaustive exploration (all schemes) =="
 echo "== verify: implementation conformance (4 workloads) =="
 "$build/tools/oscache-verify" conform --scheme all --min-coverage 90
 
+
+# Sampling stage: the sampled estimator must cover the full-run total
+# of every frequent Table 2 metric within its own 95% CI (the CLI
+# exits non-zero on a CI miss), a resumed live point must finish
+# bit-identical to the straight-through run, and the dft oracle must
+# agree with the engine on every replayed access of a sampled run.
+echo "== sample: accuracy vs full run (shell) =="
+"$build/tools/oscache-sample" run --workload shell --system base \
+    --plan period=40k,measure=2k,warmup=12k --compare-full
+
+echo "== sample: checkpoint resume is bit-identical (trfd4) =="
+"$build/tools/oscache-sample" checkpoint --workload trfd4 \
+    --save "$tracedir/sample_resume.ckpt" --at 150k \
+    --plan period=25k,measure=2k,warmup=5k
+"$build/tools/oscache-sample" validate --workload trfd4 \
+    --checkpoint "$tracedir/sample_resume.ckpt"
+
+echo "== sample: dft oracle on sampled windows =="
+"$build/tools/oscache-dft" sampled --jobs "$jobs"
+
 echo "all checks passed"
