@@ -14,6 +14,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/version.hh"
 #include "core/blockop/schemes.hh"
 #include "core/hotspot/hotspot.hh"
 #include "mem/memsys.hh"
@@ -182,6 +183,13 @@ workloadTimingsJson(double &total_ms)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--version") {
+            std::printf("%s\n", versionString().c_str());
+            return 0;
+        }
+    }
+
     const char *out_path = std::getenv("OSCACHE_BENCH_PERF_OUT");
     if (out_path == nullptr)
         out_path = "BENCH_perf.json";

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/version.hh"
 #include "synth/generator.hh"
 #include "trace/io.hh"
 #include "trace/source.hh"
@@ -115,6 +116,9 @@ main(int argc, char **argv)
             convert_format = TraceFormat::Chunked;
         } else if (std::strcmp(argv[i], "--text") == 0) {
             convert_format = TraceFormat::Text;
+        } else if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("%s\n", versionString().c_str());
+            return 0;
         } else if (std::strcmp(argv[i], "--buffer") == 0) {
             if (i + 1 >= argc)
                 fatal("--buffer needs a record count");

@@ -1,0 +1,301 @@
+#include "common/ipc.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oscache
+{
+
+namespace
+{
+
+/**
+ * Read exactly @p size bytes.  Returns Ok, Closed (EOF before the
+ * first byte), Truncated (EOF after some bytes), Timeout, or Error.
+ */
+FrameResult
+readExactly(int fd, void *buffer, std::size_t size, int timeout_ms)
+{
+    auto *p = static_cast<unsigned char *>(buffer);
+    std::size_t got = 0;
+    while (got < size) {
+        if (timeout_ms >= 0) {
+            struct pollfd pfd = {fd, POLLIN, 0};
+            const int r = ::poll(&pfd, 1, timeout_ms);
+            if (r == 0)
+                return FrameResult::Timeout;
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return FrameResult::Error;
+            }
+        }
+        const ssize_t n = ::read(fd, p + got, size - got);
+        if (n == 0)
+            return got == 0 ? FrameResult::Closed
+                            : FrameResult::Truncated;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameResult::Error;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return FrameResult::Ok;
+}
+
+bool
+writeFully(int fd, const void *buffer, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(buffer);
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::write(fd, p + sent, size - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE et al.: peer is gone.
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr,
+             std::string *error)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr)
+            *error = "socket path too long (" +
+                     std::to_string(path.size()) + " bytes, max " +
+                     std::to_string(sizeof(addr.sun_path) - 1) + ")";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+const char *
+toString(FrameResult result)
+{
+    switch (result) {
+      case FrameResult::Ok: return "ok";
+      case FrameResult::Closed: return "closed";
+      case FrameResult::Truncated: return "truncated";
+      case FrameResult::Oversized: return "oversized";
+      case FrameResult::Timeout: return "timeout";
+      case FrameResult::Error: return "error";
+    }
+    return "?";
+}
+
+Conn::~Conn()
+{
+    close();
+}
+
+Conn::Conn(Conn &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Conn &
+Conn::operator=(Conn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Conn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Conn
+Conn::connectTo(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    if (!fillSockaddr(path, addr, error))
+        return Conn();
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::strerror(errno);
+        return Conn();
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error != nullptr)
+            *error = std::strerror(errno);
+        ::close(fd);
+        return Conn();
+    }
+    return Conn(fd);
+}
+
+bool
+Conn::sendFrame(const std::string &payload)
+{
+    if (fd_ < 0 || payload.size() > maxFrameBytes)
+        return false;
+    const auto len = std::uint32_t(payload.size());
+    unsigned char prefix[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    // One buffer, one write-loop: a frame is never visible half-sent
+    // to an interleaving sender on another fd.
+    std::string wire;
+    wire.reserve(payload.size() + 4);
+    wire.append(reinterpret_cast<const char *>(prefix), 4);
+    wire.append(payload);
+    return writeFully(fd_, wire.data(), wire.size());
+}
+
+bool
+Conn::sendJson(const Json &message)
+{
+    return sendFrame(message.dump());
+}
+
+FrameResult
+Conn::recvFrame(std::string &payload, int timeout_ms)
+{
+    if (fd_ < 0)
+        return FrameResult::Error;
+    unsigned char prefix[4];
+    FrameResult r = readExactly(fd_, prefix, 4, timeout_ms);
+    if (r != FrameResult::Ok)
+        return r;
+    const std::uint32_t len = (std::uint32_t(prefix[0]) << 24) |
+                              (std::uint32_t(prefix[1]) << 16) |
+                              (std::uint32_t(prefix[2]) << 8) |
+                              std::uint32_t(prefix[3]);
+    if (len > maxFrameBytes)
+        return FrameResult::Oversized;
+    payload.resize(len);
+    if (len == 0)
+        return FrameResult::Ok;
+    r = readExactly(fd_, payload.data(), len, timeout_ms);
+    // EOF after the prefix is truncation even at byte 0 of the body.
+    return r == FrameResult::Closed ? FrameResult::Truncated : r;
+}
+
+FrameResult
+Conn::recvJson(Json &message, bool &parse_ok, std::string *parse_error,
+               int timeout_ms)
+{
+    std::string payload;
+    const FrameResult r = recvFrame(payload, timeout_ms);
+    if (r != FrameResult::Ok) {
+        parse_ok = false;
+        return r;
+    }
+    parse_ok = Json::parse(payload, message, parse_error);
+    return FrameResult::Ok;
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+Listener::Listener(Listener &&other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_))
+{
+    other.fd_ = -1;
+    other.path_.clear();
+}
+
+Listener &
+Listener::operator=(Listener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        other.fd_ = -1;
+        other.path_.clear();
+    }
+    return *this;
+}
+
+bool
+Listener::open(const std::string &path, int backlog, std::string *error)
+{
+    sockaddr_un addr{};
+    if (!fillSockaddr(path, addr, error))
+        return false;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::strerror(errno);
+        return false;
+    }
+    ::unlink(path.c_str()); // stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd, backlog) != 0) {
+        if (error != nullptr)
+            *error = std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+Conn
+Listener::accept()
+{
+    if (fd_ < 0)
+        return Conn();
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    return fd >= 0 ? Conn(fd) : Conn();
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (!path_.empty())
+            ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+bool
+makeSocketPair(Conn &a, Conn &b)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        return false;
+    a = Conn(fds[0]);
+    b = Conn(fds[1]);
+    return true;
+}
+
+} // namespace oscache

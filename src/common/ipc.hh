@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unix-domain socket transport with length-prefixed JSON framing.
+ *
+ * The serving subsystem's one wire format: each frame is a 4-byte
+ * big-endian payload length followed by that many bytes of UTF-8
+ * JSON.  The length prefix makes truncation detectable (EOF mid-
+ * frame is an error distinct from EOF between frames) and lets the
+ * receiver enforce a hard size cap *before* buffering a hostile
+ * payload.  Blocking I/O with optional receive timeouts; the daemon
+ * multiplexes many connections with poll() and only ever reads a
+ * connection poll() reported readable.
+ *
+ * Everything returns error codes rather than throwing: a peer dying
+ * mid-frame is normal operation for this layer (that is exactly how
+ * the coordinator notices a SIGKILL'd worker).
+ */
+
+#ifndef OSCACHE_COMMON_IPC_HH
+#define OSCACHE_COMMON_IPC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+
+namespace oscache
+{
+
+/** Hard cap on one frame's payload (daemon and client alike). */
+inline constexpr std::uint32_t maxFrameBytes = 8u * 1024 * 1024;
+
+/** Outcome of one frame receive. */
+enum class FrameResult
+{
+    Ok,        ///< A complete frame was read.
+    Closed,    ///< Clean EOF on a frame boundary.
+    Truncated, ///< EOF inside a frame: the peer died mid-send.
+    Oversized, ///< Declared length exceeds maxFrameBytes.
+    Timeout,   ///< Receive timeout expired before a full frame.
+    Error,     ///< Socket error (errno-level).
+};
+
+const char *toString(FrameResult result);
+
+/**
+ * One connected stream socket.  Movable, closes on destruction.
+ * sendFrame() is atomic with respect to other sendFrame() calls on
+ * the same object only if the caller serializes; the worker's
+ * heartbeat thread and main loop share a mutex for this.
+ */
+class Conn
+{
+  public:
+    Conn() = default;
+    explicit Conn(int fd) : fd_(fd) {}
+    ~Conn();
+
+    Conn(Conn &&other) noexcept;
+    Conn &operator=(Conn &&other) noexcept;
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /** Connect to the Unix socket at @p path. */
+    static Conn connectTo(const std::string &path,
+                          std::string *error = nullptr);
+
+    /** Write one frame (length prefix + payload).  False on error. */
+    bool sendFrame(const std::string &payload);
+    bool sendJson(const Json &message);
+
+    /**
+     * Read one frame into @p payload.  @p timeout_ms < 0 blocks
+     * indefinitely; 0 polls.  On Timeout no bytes are consumed only
+     * if the frame had not started arriving; a frame that started
+     * but stalls past the timeout reports Timeout and poisons the
+     * stream (callers drop the connection — resynchronizing a
+     * half-read length prefix is not worth the complexity).
+     */
+    FrameResult recvFrame(std::string &payload, int timeout_ms = -1);
+
+    /**
+     * Read one frame and parse it.  Parse failures return Ok=false
+     * through @p parse_ok so the daemon can answer a well-framed but
+     * malformed payload with an error reply instead of dropping.
+     */
+    FrameResult recvJson(Json &message, bool &parse_ok,
+                         std::string *parse_error = nullptr,
+                         int timeout_ms = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Listening Unix socket; unlinks its path on destruction. */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener &&other) noexcept;
+    Listener &operator=(Listener &&other) noexcept;
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind and listen on @p path (unlinking a stale socket first).
+     * @p backlog is the kernel accept queue — the outermost layer of
+     * the daemon's backpressure story.
+     */
+    bool open(const std::string &path, int backlog,
+              std::string *error = nullptr);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    const std::string &path() const { return path_; }
+
+    /** Accept one connection; invalid Conn on transient failure. */
+    Conn accept();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** A connected socketpair (for in-process protocol tests). */
+bool makeSocketPair(Conn &a, Conn &b);
+
+} // namespace oscache
+
+#endif // OSCACHE_COMMON_IPC_HH

@@ -1,5 +1,7 @@
 #include "exp/artifact_cache.hh"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +19,30 @@ namespace oscache
 {
 
 namespace fs = std::filesystem;
+
+namespace
+{
+
+/**
+ * Unique temp name next to @p path.  Thread ids alone are NOT unique
+ * across processes (two workers of the sharded fleet routinely get
+ * identical pthread handles), so a colliding temp name would let two
+ * writers interleave into one file and rename garbage into place.
+ * pid + thread id + a process-local sequence number is collision-free
+ * across everything that can race on one store directory.
+ */
+std::string
+tempNameFor(const std::string &path)
+{
+    static std::atomic<std::uint64_t> sequence{0};
+    std::ostringstream name;
+    name << path << ".tmp." << ::getpid() << "."
+         << std::this_thread::get_id() << "."
+         << sequence.fetch_add(1);
+    return name.str();
+}
+
+} // namespace
 
 TraceStore::TraceStore(std::string directory) : root(std::move(directory))
 {
@@ -100,9 +126,7 @@ TraceStore::storeStreaming(const std::string &key,
                            unsigned num_cpus)
 {
     const std::string path = pathFor(key);
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << std::this_thread::get_id();
-    const std::string tmp = tmp_name.str();
+    const std::string tmp = tempNameFor(path);
     {
         std::ofstream os(tmp, std::ios::out | std::ios::binary |
                                   std::ios::trunc);
@@ -143,12 +167,11 @@ void
 TraceStore::store(const std::string &key, const Trace &trace)
 {
     const std::string path = pathFor(key);
-    // Unique temp name per thread so concurrent stores of different
-    // keys (or even a racing store of the same key) never collide;
-    // the final rename is atomic within the directory.
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << std::this_thread::get_id();
-    const std::string tmp = tmp_name.str();
+    // Unique temp name per writer so concurrent stores of different
+    // keys (or even a racing store of the same key, possibly from
+    // another process) never collide; the final rename is atomic
+    // within the directory.
+    const std::string tmp = tempNameFor(path);
     {
         std::ofstream os(tmp, std::ios::out | std::ios::binary |
                                   std::ios::trunc);

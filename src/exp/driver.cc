@@ -207,6 +207,7 @@ runExperiments(const std::vector<const Experiment *> &experiments,
                         row.shared = !computer;
                         row.traceMode = slot.run.traceMode;
                         row.peakRssKb = peakRssKb();
+                        row.canonical = options.canonicalResults;
                         row.outcome = &slot;
                         sink->record(row);
                     }

@@ -55,6 +55,12 @@ struct DriverOptions
     /** Results sink base path ("x" -> x.jsonl + x.csv); empty = off. */
     std::string resultsBase;
     /**
+     * Emit canonical result rows (run-to-run fields zeroed; see
+     * ResultRow::canonical) — comparable byte-for-byte against a
+     * sharded oscache-served run of the same cells.
+     */
+    bool canonicalResults = false;
+    /**
      * Replay every cell under this SMARTS-style sampling plan
      * instead of in full (hot-spot-prefetch cells excepted; they
      * need complete profiles).  Cells then carry a SampleReport and

@@ -109,24 +109,37 @@ ResultsSink::ResultsSink(const std::string &basePath) : base(basePath)
         "sampled,sample_windows,sample_rel_err,sample_replayed_frac");
 }
 
-void
-ResultsSink::record(const ResultRow &row)
+std::string
+resultRowIdentityJson(const ResultRow &row)
 {
-    if (row.outcome == nullptr)
-        panic("results sink: row without outcome");
-    const SimStats &s = row.outcome->run.stats;
-    const BusSnapshot &bus = row.outcome->run.bus;
-
     std::ostringstream js;
     js << "{\"experiment\":\"" << jsonEscape(row.experiment) << "\""
        << ",\"cell\":\"" << jsonEscape(row.cell) << "\""
        << ",\"workload\":\"" << jsonEscape(row.workload) << "\""
        << ",\"system\":\"" << jsonEscape(row.system) << "\""
-       << ",\"machine\":\"" << jsonEscape(row.machineHash) << "\""
-       << ",\"wall_ms\":" << formatDouble(row.wallMs)
-       << ",\"shared\":" << (row.shared ? "true" : "false")
-       << ",\"trace_mode\":\"" << jsonEscape(row.traceMode) << "\""
-       << ",\"peak_rss_kb\":" << row.peakRssKb
+       << ",\"machine\":\"" << jsonEscape(row.machineHash) << "\"";
+    return js.str();
+}
+
+std::string
+resultRowOutcomeJson(const ResultRow &row)
+{
+    if (row.outcome == nullptr)
+        panic("results sink: row without outcome");
+    const SimStats &s = row.outcome->run.stats;
+    const BusSnapshot &bus = row.outcome->run.bus;
+    // Canonical rows zero the run-to-run fields so the line depends
+    // only on the deterministic simulation outcome.
+    const double wall_ms = row.canonical ? 0.0 : row.wallMs;
+    const bool shared = !row.canonical && row.shared;
+    const std::string trace_mode = row.canonical ? "" : row.traceMode;
+    const long peak_rss_kb = row.canonical ? 0 : row.peakRssKb;
+
+    std::ostringstream js;
+    js << ",\"wall_ms\":" << formatDouble(wall_ms)
+       << ",\"shared\":" << (shared ? "true" : "false")
+       << ",\"trace_mode\":\"" << jsonEscape(trace_mode) << "\""
+       << ",\"peak_rss_kb\":" << peak_rss_kb
        << ",\"stats\":{"
        << "\"os_time\":" << s.osTime()
        << ",\"user_time\":" << s.userTime()
@@ -207,12 +220,33 @@ ResultsSink::record(const ResultRow &row)
         js << "}}";
     }
     js << "}";
+    return js.str();
+}
+
+std::string
+resultRowJsonl(const ResultRow &row)
+{
+    return resultRowIdentityJson(row) + resultRowOutcomeJson(row);
+}
+
+void
+ResultsSink::record(const ResultRow &row)
+{
+    if (row.outcome == nullptr)
+        panic("results sink: row without outcome");
+    const SimStats &s = row.outcome->run.stats;
+    const BusSnapshot &bus = row.outcome->run.bus;
+    const std::shared_ptr<const sample::SampleReport> &sample =
+        row.outcome->run.sample;
+    const std::string js = resultRowJsonl(row);
 
     std::ostringstream cs;
     cs << row.experiment << ',' << row.cell << ',' << row.workload << ','
        << row.system << ',' << row.machineHash << ','
-       << formatDouble(row.wallMs) << ',' << (row.shared ? 1 : 0) << ','
-       << row.traceMode << ',' << row.peakRssKb << ','
+       << formatDouble(row.canonical ? 0.0 : row.wallMs) << ','
+       << (!row.canonical && row.shared ? 1 : 0) << ','
+       << (row.canonical ? "" : row.traceMode) << ','
+       << (row.canonical ? 0 : row.peakRssKb) << ','
        << s.osTime() << ',' << s.userTime() << ',' << s.idle << ','
        << s.totalTime() << ',' << s.osMissTotal() << ','
        << s.osMissBlock << ',' << s.osMissCoherenceTotal() << ','
@@ -227,7 +261,7 @@ ResultsSink::record(const ResultRow &row)
                                          : 1.0);
 
     std::lock_guard<std::mutex> lock(mutex);
-    jsonl.writeLine(js.str());
+    jsonl.writeLine(js);
     csv.writeLine(cs.str());
 }
 

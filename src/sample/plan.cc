@@ -68,9 +68,33 @@ SamplingPlan::describe() const
     return os.str();
 }
 
-SamplingPlan
-SamplingPlan::parse(const std::string &text)
+std::optional<SamplingPlan>
+SamplingPlan::tryParse(const std::string &text, std::string *error)
 {
+    const auto reject = [error](std::string why) {
+        if (error != nullptr)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+    // Non-exiting twin of parseCount(): same grammar, error out-param.
+    const auto try_count = [](const std::string &t,
+                              std::uint64_t &out) -> bool {
+        char *end = nullptr;
+        const double value = std::strtod(t.c_str(), &end);
+        if (end == t.c_str() || value < 0)
+            return false;
+        double scale = 1;
+        switch (*end) {
+          case '\0': break;
+          case 'k': case 'K': scale = 1e3; break;
+          case 'm': case 'M': scale = 1e6; break;
+          case 'g': case 'G': scale = 1e9; break;
+          default: return false;
+        }
+        out = std::uint64_t(value * scale);
+        return true;
+    };
+
     SamplingPlan plan;
     std::istringstream is(text);
     std::string item;
@@ -79,28 +103,46 @@ SamplingPlan::parse(const std::string &text)
             continue;
         const std::size_t eq = item.find('=');
         if (eq == std::string::npos)
-            fatal("sampling plan: expected key=value, got '", item, "'");
+            return reject("expected key=value, got '" + item + "'");
         const std::string key = item.substr(0, eq);
         const std::string value = item.substr(eq + 1);
+        std::uint64_t count = 0;
+        if (key == "error") {
+            char *end = nullptr;
+            plan.targetError = std::strtod(value.c_str(), &end);
+            if (end == value.c_str())
+                return reject("bad value '" + value + "' for error");
+            continue;
+        }
+        if (!try_count(value, count))
+            return reject("bad count '" + value + "' for " + key);
         if (key == "period")
-            plan.period = parseCount(value);
+            plan.period = count;
         else if (key == "measure")
-            plan.measure = parseCount(value);
+            plan.measure = count;
         else if (key == "warmup")
-            plan.warmup = parseCount(value);
-        else if (key == "error")
-            plan.targetError = std::strtod(value.c_str(), nullptr);
+            plan.warmup = count;
         else if (key == "rounds")
-            plan.maxRounds = unsigned(parseCount(value));
+            plan.maxRounds = unsigned(count);
         else if (key == "spinbreak")
-            plan.spinBreak = parseCount(value);
+            plan.spinBreak = count;
         else
-            fatal("sampling plan: unknown key '", key, "'");
+            return reject("unknown key '" + key + "'");
     }
     if (!plan.valid())
-        fatal("sampling plan: need measure > 0 and warmup + measure <= "
-              "period (got ", plan.describe(), ")");
+        return reject("need measure > 0 and warmup + measure <= period "
+                      "(got " + plan.describe() + ")");
     return plan;
+}
+
+SamplingPlan
+SamplingPlan::parse(const std::string &text)
+{
+    std::string error;
+    const auto plan = tryParse(text, &error);
+    if (!plan.has_value())
+        fatal("sampling plan: ", error);
+    return *plan;
 }
 
 } // namespace sample

@@ -25,6 +25,7 @@
 #define OSCACHE_SAMPLE_PLAN_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "sim/sampling.hh"
@@ -118,6 +119,15 @@ struct SamplingPlan
      * numbers allowed as k/m/g suffixed).  fatal()s on bad input.
      */
     static SamplingPlan parse(const std::string &text);
+
+    /**
+     * As parse(), but malformed input returns nullopt with @p error
+     * set instead of exiting — for long-running servers validating
+     * client-supplied plans (a daemon must never fatal() on a bad
+     * request).
+     */
+    static std::optional<SamplingPlan>
+    tryParse(const std::string &text, std::string *error = nullptr);
 
     bool operator==(const SamplingPlan &) const = default;
 };

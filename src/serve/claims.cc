@@ -1,0 +1,223 @@
+#include "serve/claims.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace oscache::serve
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::int64_t
+nowSeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Read a whole small file; nullopt on any error. */
+std::optional<std::string>
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (is.bad())
+        return std::nullopt;
+    return os.str();
+}
+
+void
+ensureDirectory(const std::string &root, const char *what)
+{
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec)
+        fatal(what, ": cannot create '", root, "': ", ec.message());
+}
+
+/** Write @p content to @p path via unique temp + atomic rename. */
+bool
+atomicWrite(const std::string &path, const std::string &content)
+{
+    static std::atomic<std::uint64_t> sequence{0};
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid() << "."
+             << sequence.fetch_add(1);
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream os(tmp,
+                         std::ios::out | std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        os << content;
+        if (!os) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ClaimStore::ClaimStore(std::string directory) : root(std::move(directory))
+{
+    ensureDirectory(root, "claim store");
+}
+
+std::string
+ClaimStore::pathFor(const std::string &key) const
+{
+    return root + "/claim_" + key + ".lock";
+}
+
+bool
+ClaimStore::tryClaim(const std::string &key, const std::string &owner)
+{
+    // O_EXCL is the whole point: exactly one creator wins, atomically,
+    // even across processes on the same directory.
+    const int fd = ::open(pathFor(key).c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            conflictCount.fetch_add(1);
+        return false;
+    }
+    Json record = Json::object();
+    record.set("pid", std::int64_t(::getpid()));
+    record.set("owner", owner);
+    record.set("claimed_at", nowSeconds());
+    const std::string body = record.dump() + "\n";
+    const char *p = body.data();
+    std::size_t left = body.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // claim still held; record just unparseable->stale
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    claimCount.fetch_add(1);
+    return true;
+}
+
+std::optional<ClaimRecord>
+ClaimStore::read(const std::string &key) const
+{
+    const auto body = slurp(pathFor(key));
+    if (!body.has_value())
+        return std::nullopt;
+    Json parsed;
+    if (!Json::parse(*body, parsed) || !parsed.isObject())
+        return std::nullopt;
+    ClaimRecord record;
+    record.pid = long(parsed.get("pid").asInt());
+    record.owner = parsed.get("owner").asString();
+    record.claimedAt = parsed.get("claimed_at").asInt();
+    return record;
+}
+
+void
+ClaimStore::release(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(pathFor(key), ec);
+}
+
+bool
+ClaimStore::breakIfStale(const std::string &key)
+{
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return true;
+    const auto record = read(key);
+    // Unparseable record (creator died mid-write, or hostile): stale.
+    // Parseable: stale iff the owner pid is gone.  kill(pid, 0) with
+    // ESRCH is the liveness probe; EPERM means alive-but-foreign.
+    if (record.has_value() && record->pid > 0 &&
+        (::kill(pid_t(record->pid), 0) == 0 || errno == EPERM))
+        return false;
+    fs::remove(path, ec);
+    if (!ec)
+        brokenCount.fetch_add(1);
+    return !fs::exists(path, ec);
+}
+
+ResultCache::ResultCache(std::string directory) : root(std::move(directory))
+{
+    ensureDirectory(root, "result cache");
+}
+
+std::string
+ResultCache::pathFor(const std::string &key) const
+{
+    return root + "/result_" + key + ".json";
+}
+
+std::optional<CachedResult>
+ResultCache::load(const std::string &key)
+{
+    const auto body = slurp(pathFor(key));
+    if (!body.has_value()) {
+        missCount.fetch_add(1);
+        return std::nullopt;
+    }
+    Json parsed;
+    if (!Json::parse(*body, parsed) || !parsed.isObject() ||
+        parsed.get("key").asString() != key ||
+        !parsed.get("row").isString()) {
+        // Torn or foreign entry: drop it so a writer can replace it.
+        warn("result cache: rejecting corrupt '", pathFor(key), "'");
+        std::error_code ec;
+        fs::remove(pathFor(key), ec);
+        missCount.fetch_add(1);
+        return std::nullopt;
+    }
+    hitCount.fetch_add(1);
+    CachedResult result;
+    result.key = key;
+    result.row = parsed.get("row").asString();
+    return result;
+}
+
+void
+ResultCache::store(const std::string &key, const std::string &row)
+{
+    Json entry = Json::object();
+    entry.set("key", key);
+    entry.set("row", row);
+    if (!atomicWrite(pathFor(key), entry.dump() + "\n"))
+        warn("result cache: cannot write '", pathFor(key), "'");
+}
+
+} // namespace oscache::serve

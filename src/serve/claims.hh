@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cross-process cell claims and the on-disk result cache.
+ *
+ * The sharding layer's invariant — every distinct cell simulated
+ * exactly once — has two halves.  Inside one daemon the coordinator
+ * keys in-flight cells by content key (the cross-process extension
+ * of the in-memory shared-future latch in report/experiment.cc).
+ * Across processes (several workers, or a concurrent oscache-bench
+ * sharing the store directory) the arbiter is a *claim file*:
+ * `claim_<key>.lock`, created with O_CREAT|O_EXCL, holding a JSON
+ * record of the owner (pid, worker id, start time).  Exactly one
+ * creator wins; losers either wait for the result file to appear or
+ * report the conflict upward.
+ *
+ * Crash-safety: a claim whose owner pid is dead is *stale* and may
+ * be broken by anyone (the coordinator breaks its own dead workers'
+ * claims eagerly on reap, so a SIGKILL'd worker's cells re-run
+ * immediately rather than after a TTL).
+ *
+ * Results are cached as `result_<key>.json`: the canonical JSONL
+ * stats row plus identity metadata, written temp+rename so readers
+ * never observe a torn entry — the same discipline as the trace
+ * artifact cache, with which this shares a directory.
+ */
+
+#ifndef OSCACHE_SERVE_CLAIMS_HH
+#define OSCACHE_SERVE_CLAIMS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+
+namespace oscache::serve
+{
+
+/** Parsed contents of one claim file. */
+struct ClaimRecord
+{
+    long pid = 0;
+    std::string owner; ///< free-form, e.g. "worker-3"
+    /** Steady-ish wall clock (seconds since epoch) at claim time. */
+    std::int64_t claimedAt = 0;
+};
+
+/** File-lock claim records over one directory. */
+class ClaimStore
+{
+  public:
+    /** fatal()s if @p directory cannot be created. */
+    explicit ClaimStore(std::string directory);
+
+    /**
+     * Try to claim @p key for @p owner.  True exactly once per key
+     * until release — across every process sharing the directory.
+     */
+    bool tryClaim(const std::string &key, const std::string &owner);
+
+    /** Read the current claim on @p key, if any (and parseable). */
+    std::optional<ClaimRecord> read(const std::string &key) const;
+
+    /** Release @p key (unlink; idempotent). */
+    void release(const std::string &key);
+
+    /**
+     * Break the claim on @p key if its owner process is dead (or the
+     * record is unparseable).  True if the key is now unclaimed.
+     */
+    bool breakIfStale(const std::string &key);
+
+    std::string pathFor(const std::string &key) const;
+    const std::string &directory() const { return root; }
+
+    /** @name Counters (process lifetime) @{ */
+    std::uint64_t claims() const { return claimCount.load(); }
+    std::uint64_t conflicts() const { return conflictCount.load(); }
+    std::uint64_t broken() const { return brokenCount.load(); }
+    /** @} */
+
+  private:
+    std::string root;
+    std::atomic<std::uint64_t> claimCount{0};
+    std::atomic<std::uint64_t> conflictCount{0};
+    std::atomic<std::uint64_t> brokenCount{0};
+};
+
+/** One cached cell result. */
+struct CachedResult
+{
+    /** Canonical JSONL line (resultRowJsonl with canonical=true). */
+    std::string row;
+    /** Content key it was stored under. */
+    std::string key;
+};
+
+/** Disk-backed cache of canonical cell-result rows. */
+class ResultCache
+{
+  public:
+    /** fatal()s if @p directory cannot be created. */
+    explicit ResultCache(std::string directory);
+
+    /** Load the result stored under @p key; nullopt if absent/torn. */
+    std::optional<CachedResult> load(const std::string &key);
+
+    /** Store @p row under @p key (temp + atomic rename). */
+    void store(const std::string &key, const std::string &row);
+
+    std::string pathFor(const std::string &key) const;
+
+    /** @name Counters (process lifetime) @{ */
+    std::uint64_t hits() const { return hitCount.load(); }
+    std::uint64_t misses() const { return missCount.load(); }
+    /** @} */
+
+  private:
+    std::string root;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+};
+
+} // namespace oscache::serve
+
+#endif // OSCACHE_SERVE_CLAIMS_HH

@@ -1,0 +1,154 @@
+#include "serve/client.hh"
+
+namespace oscache::serve
+{
+
+bool
+ServeClient::connect(const std::string &path, std::string *error)
+{
+    conn = Conn::connectTo(path, error);
+    return conn.valid();
+}
+
+SubmitOutcome
+ServeClient::submit(const SubmitRequest &request,
+                    const std::function<void(const Json &)> &on_event)
+{
+    SubmitOutcome outcome;
+    if (!conn.valid()) {
+        outcome.error = "not connected";
+        return outcome;
+    }
+
+    Json frame = Json::object();
+    frame.set("type", "submit");
+    if (!request.experiments.empty()) {
+        Json names = Json::array();
+        for (const std::string &name : request.experiments)
+            names.push(name);
+        frame.set("experiments", std::move(names));
+    }
+    if (!request.cells.empty()) {
+        Json cells = Json::array();
+        for (const auto &[experiment, cell] : request.cells) {
+            Json entry = Json::object();
+            entry.set("experiment", experiment);
+            entry.set("cell", cell);
+            cells.push(std::move(entry));
+        }
+        frame.set("cells", std::move(cells));
+    }
+    if (request.smoke)
+        frame.set("smoke", true);
+    if (!request.samplePlan.empty())
+        frame.set("sample", request.samplePlan);
+
+    if (!conn.sendFrame(frame.dump())) {
+        outcome.error = "send failed";
+        return outcome;
+    }
+
+    while (true) {
+        Json message;
+        bool parse_ok = false;
+        std::string parse_error;
+        const FrameResult r =
+            conn.recvJson(message, parse_ok, &parse_error);
+        if (r != FrameResult::Ok) {
+            outcome.error =
+                std::string("connection lost (") + toString(r) + ")";
+            return outcome;
+        }
+        if (!parse_ok) {
+            outcome.error = "bad frame from daemon: " + parse_error;
+            return outcome;
+        }
+        const std::string &type = message.get("type").asString();
+        if (type == "accepted") {
+            outcome.job = std::uint64_t(message.get("job").asInt());
+            outcome.cellsExpected =
+                unsigned(message.get("cells").asInt());
+        } else if (type == "cell") {
+            outcome.rows.push_back(message.get("row").asString());
+            if (on_event)
+                on_event(message);
+        } else if (type == "cell-error") {
+            outcome.cellErrors.push_back(
+                message.get("experiment").asString() + ":" +
+                message.get("cell").asString() + ": " +
+                message.get("error").asString());
+            if (on_event)
+                on_event(message);
+        } else if (type == "done") {
+            outcome.completed = true;
+            outcome.cellsFailed =
+                unsigned(message.get("failed").asInt());
+            return outcome;
+        } else if (type == "retry-after") {
+            outcome.retryAfterSeconds =
+                unsigned(message.get("seconds").asInt(1));
+            if (outcome.retryAfterSeconds == 0)
+                outcome.retryAfterSeconds = 1;
+            return outcome;
+        } else if (type == "error") {
+            outcome.error = message.get("error").asString();
+            return outcome;
+        }
+        // Unknown frame types are skipped: forward compatibility.
+    }
+}
+
+bool
+ServeClient::ping()
+{
+    if (!conn.valid())
+        return false;
+    Json frame = Json::object();
+    frame.set("type", "ping");
+    if (!conn.sendFrame(frame.dump()))
+        return false;
+    Json reply;
+    bool parse_ok = false;
+    if (conn.recvJson(reply, parse_ok) != FrameResult::Ok || !parse_ok)
+        return false;
+    return reply.get("type").asString() == "pong";
+}
+
+Json
+ServeClient::status()
+{
+    if (!conn.valid())
+        return Json();
+    Json frame = Json::object();
+    frame.set("type", "status");
+    if (!conn.sendFrame(frame.dump()))
+        return Json();
+    Json reply;
+    bool parse_ok = false;
+    if (conn.recvJson(reply, parse_ok) != FrameResult::Ok || !parse_ok)
+        return Json();
+    if (reply.get("type").asString() != "status-reply")
+        return Json();
+    return reply;
+}
+
+bool
+ServeClient::drain()
+{
+    if (!conn.valid())
+        return false;
+    Json frame = Json::object();
+    frame.set("type", "drain");
+    if (!conn.sendFrame(frame.dump()))
+        return false;
+    while (true) {
+        Json reply;
+        bool parse_ok = false;
+        if (conn.recvJson(reply, parse_ok) != FrameResult::Ok)
+            return false;
+        if (parse_ok && reply.get("type").asString() == "drained")
+            return true;
+    }
+}
+
+} // namespace oscache::serve

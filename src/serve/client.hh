@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Client side of the oscache-served protocol.
+ *
+ * A thin, synchronous wrapper over the framed-JSON connection: build
+ * a request, stream the reply frames back through a callback, return
+ * a digested outcome.  Used by `oscache-servectl`, by the protocol
+ * tests (over socketpairs and real daemons alike), and by anything
+ * else that wants experiment rows out of a running daemon.
+ *
+ * Backpressure is surfaced, not hidden: a submit the daemon refuses
+ * comes back with retryAfterSeconds set, and the *caller* decides to
+ * wait and retry (servectl does, with a bounded loop) — an invisible
+ * internal retry would make client-observable queue limits
+ * untestable.
+ */
+
+#ifndef OSCACHE_SERVE_CLIENT_HH
+#define OSCACHE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ipc.hh"
+
+namespace oscache::serve
+{
+
+/** One submit request (experiments and/or explicit cells). */
+struct SubmitRequest
+{
+    /** Experiment names/groups ("figure3", "all", "figures", ...). */
+    std::vector<std::string> experiments;
+    /** Explicit (experiment, cell) pairs. */
+    std::vector<std::pair<std::string, std::string>> cells;
+    /** Only each experiment's designated smoke cell. */
+    bool smoke = false;
+    /** Sampling plan text; empty = full replay. */
+    std::string samplePlan;
+};
+
+/** Digested result of one submit exchange. */
+struct SubmitOutcome
+{
+    /** The daemon accepted and ran the job to completion. */
+    bool completed = false;
+    /** Refused with backpressure; retry after this many seconds. */
+    unsigned retryAfterSeconds = 0;
+    /** Protocol or request error (empty when none). */
+    std::string error;
+    std::uint64_t job = 0;
+    unsigned cellsExpected = 0;
+    unsigned cellsFailed = 0;
+    /** Canonical JSONL rows, in arrival order. */
+    std::vector<std::string> rows;
+    /** Per-cell failure messages ("experiment:cell: error"). */
+    std::vector<std::string> cellErrors;
+};
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+
+    /** Connect to the daemon socket at @p path. */
+    bool connect(const std::string &path, std::string *error = nullptr);
+
+    /** Adopt an existing connection (socketpair protocol tests). */
+    void adopt(Conn c) { conn = std::move(c); }
+
+    bool connected() const { return conn.valid(); }
+    Conn &connection() { return conn; }
+
+    /**
+     * Submit and stream: sends the request, then consumes frames
+     * until done / error / retry-after.  @p on_event (when set) sees
+     * every incremental frame — "cell" and "cell-error" — as it
+     * arrives, before the digested outcome returns.
+     */
+    SubmitOutcome
+    submit(const SubmitRequest &request,
+           const std::function<void(const Json &)> &on_event = {});
+
+    /** Round-trip a ping; false when the daemon is unreachable. */
+    bool ping();
+
+    /** Fetch the daemon's status reply; Null Json on failure. */
+    Json status();
+
+    /** Request a drain and wait for the "drained" acknowledgement. */
+    bool drain();
+
+  private:
+    Conn conn;
+};
+
+} // namespace oscache::serve
+
+#endif // OSCACHE_SERVE_CLIENT_HH

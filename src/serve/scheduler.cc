@@ -1,0 +1,254 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace oscache::serve
+{
+
+bool
+ShardScheduler::submit(std::uint64_t job,
+                       const std::vector<CellRequest> &cells,
+                       SchedulerEffects &effects)
+{
+    // First pass: count the genuinely new tasks against the queue cap
+    // before mutating anything, so a refused submit leaves no trace.
+    std::size_t fresh = 0;
+    {
+        // Duplicate keys inside one submit alias the same task.
+        std::vector<const std::string *> seen;
+        for (const CellRequest &cell : cells) {
+            if (tasks.find(cell.key) != tasks.end())
+                continue;
+            const bool dup =
+                std::any_of(seen.begin(), seen.end(),
+                            [&cell](const std::string *k) {
+                                return *k == cell.key;
+                            });
+            if (!dup) {
+                seen.push_back(&cell.key);
+                ++fresh;
+            }
+        }
+    }
+    if (queued.size() + fresh > cfg.maxQueuedCells)
+        return false;
+
+    JobState &state = jobs[job];
+    state.cells += unsigned(cells.size());
+
+    for (const CellRequest &cell : cells) {
+        auto it = tasks.find(cell.key);
+        if (it == tasks.end()) {
+            Task task;
+            task.experiment = cell.experiment;
+            task.cell = cell.cell;
+            task.samplePlan = cell.samplePlan;
+            it = tasks.emplace(cell.key, std::move(task)).first;
+            queued.push_back(cell.key);
+        }
+        Task &task = it->second;
+        const Subscriber sub{job, cell.experiment, cell.cell};
+        switch (task.state) {
+          case TaskState::Queued:
+          case TaskState::Running:
+              task.subscribers.push_back(sub);
+              state.remaining += 1;
+              if (task.subscribers.size() > 1)
+                  sharedCount += 1;
+              break;
+          case TaskState::Done:
+          case TaskState::Quarantined:
+              // Already settled: emit immediately, job not blocked.
+              sharedCount += 1;
+              emitFor(task, cell.key, sub, /*shared=*/true, effects);
+              if (task.state == TaskState::Quarantined)
+                  state.failed += 1;
+              break;
+        }
+    }
+
+    if (state.remaining == 0) {
+        effects.completedJobs.push_back(
+            JobSummary{job, state.cells, state.failed});
+        jobs.erase(job);
+    }
+    return true;
+}
+
+std::optional<Assignment>
+ShardScheduler::assignNext(const std::string &worker, std::uint64_t now_ms)
+{
+    for (auto it = queued.begin(); it != queued.end(); ++it) {
+        auto task_it = tasks.find(*it);
+        if (task_it == tasks.end() ||
+            task_it->second.state != TaskState::Queued) {
+            // Settled while queued (cancel/quarantine path): drop.
+            it = queued.erase(it);
+            if (it == queued.end())
+                break;
+            --it;
+            continue;
+        }
+        Task &task = task_it->second;
+        if (task.notBeforeMs > now_ms)
+            continue; // backing off; later entries may still be ready
+        Assignment assignment;
+        assignment.key = *it;
+        assignment.experiment = task.experiment;
+        assignment.cell = task.cell;
+        assignment.samplePlan = task.samplePlan;
+        assignment.attempt = task.attempts + 1;
+        task.state = TaskState::Running;
+        task.worker = worker;
+        task.attempts += 1;
+        queued.erase(it);
+        return assignment;
+    }
+    return std::nullopt;
+}
+
+SchedulerEffects
+ShardScheduler::onResult(const std::string &worker, const std::string &key,
+                         bool ok, const std::string &fragment, bool cached,
+                         const std::string &error, std::uint64_t now_ms)
+{
+    SchedulerEffects effects;
+    const auto it = tasks.find(key);
+    if (it == tasks.end())
+        return effects;
+    Task &task = it->second;
+    if (task.state != TaskState::Running || task.worker != worker)
+        return effects; // stale: key was re-queued past this worker
+    task.worker.clear();
+    if (ok) {
+        task.state = TaskState::Done;
+        task.fragment = fragment;
+        task.cached = cached;
+        settle(key, task, effects, now_ms);
+    } else {
+        requeueOrQuarantine(key, task, error, effects, now_ms);
+    }
+    return effects;
+}
+
+SchedulerEffects
+ShardScheduler::onWorkerGone(const std::string &worker,
+                             std::uint64_t now_ms)
+{
+    SchedulerEffects effects;
+    for (auto &[key, task] : tasks) {
+        if (task.state == TaskState::Running && task.worker == worker) {
+            task.worker.clear();
+            requeueOrQuarantine(key, task, "worker died", effects,
+                                now_ms);
+        }
+    }
+    return effects;
+}
+
+std::optional<std::uint64_t>
+ShardScheduler::nextWakeMs() const
+{
+    std::optional<std::uint64_t> earliest;
+    for (const std::string &key : queued) {
+        const auto it = tasks.find(key);
+        if (it == tasks.end() || it->second.state != TaskState::Queued)
+            continue;
+        const std::uint64_t t = it->second.notBeforeMs;
+        if (!earliest.has_value() || t < *earliest)
+            earliest = t;
+    }
+    return earliest;
+}
+
+std::size_t
+ShardScheduler::runningCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, task] : tasks) {
+        (void)key;
+        if (task.state == TaskState::Running)
+            ++n;
+    }
+    return n;
+}
+
+void
+ShardScheduler::emitFor(const Task &task, const std::string &key,
+                        const Subscriber &sub, bool shared,
+                        SchedulerEffects &effects)
+{
+    Emission emission;
+    emission.job = sub.job;
+    emission.experiment = sub.experiment;
+    emission.cell = sub.cell;
+    emission.key = key;
+    emission.fragment = task.fragment;
+    emission.failed = task.state == TaskState::Quarantined;
+    emission.error = task.error;
+    emission.cached = task.cached;
+    emission.shared = shared;
+    effects.emissions.push_back(std::move(emission));
+}
+
+void
+ShardScheduler::creditJob(std::uint64_t job, bool failed,
+                          SchedulerEffects &effects)
+{
+    const auto it = jobs.find(job);
+    if (it == jobs.end())
+        return;
+    JobState &state = it->second;
+    if (state.remaining > 0)
+        state.remaining -= 1;
+    if (failed)
+        state.failed += 1;
+    if (state.remaining == 0) {
+        effects.completedJobs.push_back(
+            JobSummary{job, state.cells, state.failed});
+        jobs.erase(it);
+    }
+}
+
+void
+ShardScheduler::settle(const std::string &key, Task &task,
+                       SchedulerEffects &effects, std::uint64_t now_ms)
+{
+    (void)now_ms;
+    const bool failed = task.state == TaskState::Quarantined;
+    bool first = true;
+    for (const Subscriber &sub : task.subscribers) {
+        emitFor(task, key, sub, /*shared=*/!first, effects);
+        creditJob(sub.job, failed, effects);
+        first = false;
+    }
+    task.subscribers.clear();
+}
+
+void
+ShardScheduler::requeueOrQuarantine(const std::string &key, Task &task,
+                                    const std::string &why,
+                                    SchedulerEffects &effects,
+                                    std::uint64_t now_ms)
+{
+    if (task.attempts >= cfg.maxAttempts) {
+        task.state = TaskState::Quarantined;
+        task.error = why;
+        quarantineCount += 1;
+        effects.quarantined.push_back(key);
+        settle(key, task, effects, now_ms);
+        return;
+    }
+    retryCount += 1;
+    std::uint64_t backoff = cfg.backoffMs;
+    for (unsigned i = 1; i < task.attempts && backoff < cfg.backoffCapMs;
+         ++i)
+        backoff *= 2;
+    task.state = TaskState::Queued;
+    task.notBeforeMs = now_ms + std::min(backoff, cfg.backoffCapMs);
+    queued.push_back(key);
+}
+
+} // namespace oscache::serve

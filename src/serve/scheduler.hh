@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The sharding scheduler: pure bookkeeping, no I/O, no clock.
+ *
+ * The daemon's event loop owns sockets and processes; this class
+ * owns the hard part — which cell runs where, exactly once — as a
+ * deterministic state machine driven by explicit events
+ * (submit / assign / result / worker-gone) and an injected
+ * millisecond timestamp.  That split is what makes the failure
+ * model testable: the unit tests replay worker crashes, retry
+ * storms, and quarantine thresholds without forking a single
+ * process.
+ *
+ * Invariants:
+ *  - one Task per work key, however many (job, experiment, cell)
+ *    subscribers alias it — the in-daemon half of the exactly-once
+ *    story (claim files are the cross-process half);
+ *  - a task whose worker dies is re-queued with exponential backoff
+ *    and retried at most maxAttempts times, then quarantined
+ *    (poisoned cells must not wedge the fleet in a retry loop);
+ *  - a job completes exactly when every subscribed task has either
+ *    a result or a quarantine verdict.
+ */
+
+#ifndef OSCACHE_SERVE_SCHEDULER_HH
+#define OSCACHE_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oscache::serve
+{
+
+/** One (experiment, cell) a job wants computed. */
+struct CellRequest
+{
+    std::string key; ///< work key (claim/result-cache key)
+    std::string experiment;
+    std::string cell;
+    std::string samplePlan; ///< empty = full replay
+};
+
+/** One row owed to one job. */
+struct Emission
+{
+    std::uint64_t job = 0;
+    std::string experiment;
+    std::string cell;
+    std::string key;
+    /** Canonical outcome fragment; empty when failed. */
+    std::string fragment;
+    bool failed = false;
+    std::string error;
+    /** The computing run was served from the on-disk result cache. */
+    bool cached = false;
+    /** Another in-flight/done task satisfied this subscriber. */
+    bool shared = false;
+};
+
+/** Terminal accounting for one job. */
+struct JobSummary
+{
+    std::uint64_t job = 0;
+    unsigned cells = 0;
+    unsigned failed = 0;
+};
+
+/** What one scheduler event produced. */
+struct SchedulerEffects
+{
+    std::vector<Emission> emissions;
+    std::vector<JobSummary> completedJobs;
+    /** Keys quarantined by this event (report + claim cleanup). */
+    std::vector<std::string> quarantined;
+};
+
+/** One cell handed to a worker. */
+struct Assignment
+{
+    std::string key;
+    std::string experiment;
+    std::string cell;
+    std::string samplePlan;
+    unsigned attempt = 1;
+};
+
+/** Scheduler tuning (all times in milliseconds). */
+struct SchedulerConfig
+{
+    /** Simulation attempts before a key is quarantined. */
+    unsigned maxAttempts = 3;
+    /** Base re-queue delay after a failure; doubles per attempt. */
+    std::uint64_t backoffMs = 250;
+    /** Backoff ceiling. */
+    std::uint64_t backoffCapMs = 5000;
+    /** Queued-cell cap: submits beyond it are refused (backpressure). */
+    std::size_t maxQueuedCells = 4096;
+};
+
+class ShardScheduler
+{
+  public:
+    explicit ShardScheduler(SchedulerConfig config = {}) : cfg(config) {}
+
+    /**
+     * Register job @p job's cells.  Returns false — and records
+     * nothing — when admitting the genuinely new cells would push
+     * the queue past maxQueuedCells (the caller answers
+     * retry-after).  Aliases of in-flight or completed tasks never
+     * count against the cap; effects may already carry emissions
+     * (and even the job's completion) when every cell was already
+     * done.
+     */
+    bool submit(std::uint64_t job,
+                const std::vector<CellRequest> &cells,
+                SchedulerEffects &effects);
+
+    /** Next ready cell for @p worker, respecting backoff clocks. */
+    std::optional<Assignment> assignNext(const std::string &worker,
+                                         std::uint64_t now_ms);
+
+    /**
+     * Result for @p key from @p worker.  @p ok false counts as a
+     * failed attempt (requeue or quarantine).  Stale results from a
+     * worker the key is no longer assigned to are ignored — the key
+     * was re-queued when that worker was declared gone, and the
+     * replacement attempt is authoritative.
+     */
+    SchedulerEffects onResult(const std::string &worker,
+                              const std::string &key, bool ok,
+                              const std::string &fragment,
+                              bool cached, const std::string &error,
+                              std::uint64_t now_ms);
+
+    /**
+     * @p worker died or was declared wedged: re-queue (or
+     * quarantine) everything assigned to it.
+     */
+    SchedulerEffects onWorkerGone(const std::string &worker,
+                                  std::uint64_t now_ms);
+
+    /** Earliest not-before among queued tasks (poll-tick hint). */
+    std::optional<std::uint64_t> nextWakeMs() const;
+
+    /** @name Introspection for the status reply @{ */
+    std::size_t queueDepth() const { return queued.size(); }
+    std::size_t runningCount() const;
+    std::size_t activeJobs() const { return jobs.size(); }
+    std::uint64_t totalRetries() const { return retryCount; }
+    std::uint64_t totalQuarantined() const { return quarantineCount; }
+    std::uint64_t totalSharedHits() const { return sharedCount; }
+    /** @} */
+
+  private:
+    enum class TaskState
+    {
+        Queued,
+        Running,
+        Done,
+        Quarantined,
+    };
+
+    struct Subscriber
+    {
+        std::uint64_t job = 0;
+        std::string experiment;
+        std::string cell;
+    };
+
+    struct Task
+    {
+        TaskState state = TaskState::Queued;
+        std::string experiment; ///< representative identity
+        std::string cell;
+        std::string samplePlan;
+        std::vector<Subscriber> subscribers;
+        unsigned attempts = 0;
+        std::uint64_t notBeforeMs = 0;
+        std::string worker; ///< owner while Running
+        std::string fragment;
+        bool cached = false;
+        std::string error;
+    };
+
+    struct JobState
+    {
+        unsigned remaining = 0;
+        unsigned cells = 0;
+        unsigned failed = 0;
+    };
+
+    /** Resolve @p key's terminal state into subscriber emissions. */
+    void settle(const std::string &key, Task &task,
+                SchedulerEffects &effects, std::uint64_t now_ms);
+    void emitFor(const Task &task, const std::string &key,
+                 const Subscriber &sub, bool shared,
+                 SchedulerEffects &effects);
+    void creditJob(std::uint64_t job, bool failed,
+                   SchedulerEffects &effects);
+    void requeueOrQuarantine(const std::string &key, Task &task,
+                             const std::string &why,
+                             SchedulerEffects &effects,
+                             std::uint64_t now_ms);
+
+    SchedulerConfig cfg;
+    std::map<std::string, Task> tasks;
+    std::deque<std::string> queued;
+    std::map<std::uint64_t, JobState> jobs;
+    std::uint64_t retryCount = 0;
+    std::uint64_t quarantineCount = 0;
+    std::uint64_t sharedCount = 0;
+};
+
+} // namespace oscache::serve
+
+#endif // OSCACHE_SERVE_SCHEDULER_HH

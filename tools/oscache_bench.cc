@@ -67,6 +67,10 @@ usage()
         "  --quiet         no per-cell progress lines\n"
         "  --metrics       collect per-cell metrics (src/obs) and fold\n"
         "                  them into the JSONL results\n"
+        "  --canonical-results\n"
+        "                  zero run-varying result fields (wall_ms,\n"
+        "                  rss, trace_mode, shared) so the JSONL is\n"
+        "                  byte-comparable with an oscache-served run\n"
         "  --sample PLAN   replay cells under a SMARTS-style sampling\n"
         "                  plan (key=value pairs: period, measure,\n"
         "                  warmup, error, rounds, spinbreak; e.g.\n"
@@ -97,6 +101,7 @@ main(int argc, char **argv)
     bool quiet = false;
     bool metrics = false;
     bool stream = false;
+    bool canonical = false;
     std::size_t stream_buffer = defaultStreamReadAhead;
     std::size_t trace_cache_bytes = defaultTraceCacheBytes;
     std::string timeline_file;
@@ -140,6 +145,8 @@ main(int argc, char **argv)
             quiet = true;
         } else if (arg == "--metrics") {
             metrics = true;
+        } else if (arg == "--canonical-results") {
+            canonical = true;
         } else if (arg == "--sample") {
             sample_plan = value();
         } else if (arg == "--timeline") {
@@ -200,6 +207,7 @@ main(int argc, char **argv)
     options.streamBufferRecords = stream_buffer;
     options.traceCacheBytes = trace_cache_bytes;
     options.resultsBase = results_base;
+    options.canonicalResults = canonical;
     options.timeline = timeline.get();
     if (!sample_plan.empty())
         options.samplePlan = sample::SamplingPlan::parse(sample_plan);

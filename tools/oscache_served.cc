@@ -1,0 +1,141 @@
+/**
+ * @file
+ * oscache-served: the sharded experiment daemon.
+ *
+ * Runs the coordinator by default; re-executed with `--worker` (by
+ * the coordinator itself) it becomes one worker process.  Both roles
+ * live in one binary so the fleet is always version-matched — the
+ * daemon spawns workers from its own executable.
+ *
+ *   oscache-served --socket /tmp/oscache.sock --workers 4 \
+ *       --store .oscache-artifacts
+ *   oscache-servectl --socket /tmp/oscache.sock submit --smoke all
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "common/version.hh"
+#include "serve/daemon.hh"
+#include "serve/worker.hh"
+
+using namespace oscache;
+using namespace oscache::serve;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: oscache-served [options]\n"
+        "\n"
+        "Long-running experiment service: accepts JSON job requests\n"
+        "over a Unix socket, shards their cells across a fleet of\n"
+        "worker processes, and streams canonical result rows back to\n"
+        "each client as cells complete.\n"
+        "\n"
+        "options:\n"
+        "  --socket PATH   Unix socket to listen on\n"
+        "                  (default ./oscache-served.sock)\n"
+        "  --workers N     worker processes (default 2)\n"
+        "  --store D       shared store directory: traces at the top,\n"
+        "                  claims/ and results/ underneath\n"
+        "                  (default .oscache-artifacts)\n"
+        "  --stream        workers pull records through streaming\n"
+        "                  cursors (bounded memory)\n"
+        "  --max-queue N   queued-cell cap before submits get\n"
+        "                  retry-after (default 4096)\n"
+        "  --max-attempts N  attempts before a cell is quarantined\n"
+        "                  (default 3)\n"
+        "  --heartbeat-timeout-ms N  declare a silent worker wedged\n"
+        "                  (default 10000)\n"
+        "  --cell-timeout-ms N  per-assignment deadline (default\n"
+        "                  600000)\n"
+        "  --respawn-budget N  replacement workers allowed before the\n"
+        "                  fleet stops regrowing (default 16)\n"
+        "  --quiet         no lifecycle chatter on stderr\n"
+        "  --version       print build identification and exit\n"
+        "\n"
+        "SIGTERM/SIGINT drain gracefully: in-flight jobs finish,\n"
+        "workers shut down, then the daemon exits.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool worker_mode = false;
+    WorkerOptions worker;
+    DaemonOptions daemon;
+    daemon.socketPath = "./oscache-served.sock";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto number = [&]() -> unsigned long {
+            return std::strtoul(value().c_str(), nullptr, 10);
+        };
+        if (arg == "--worker") {
+            worker_mode = true;
+        } else if (arg == "--socket") {
+            daemon.socketPath = worker.socketPath = value();
+        } else if (arg == "--token") {
+            worker.token = value();
+        } else if (arg == "--store") {
+            daemon.storeDir = worker.storeDir = value();
+        } else if (arg == "--name") {
+            worker.name = value();
+        } else if (arg == "--workers") {
+            daemon.workers = unsigned(number());
+            if (daemon.workers == 0)
+                fatal("--workers must be >= 1");
+        } else if (arg == "--stream") {
+            daemon.stream = worker.stream = true;
+        } else if (arg == "--max-queue") {
+            daemon.maxQueuedCells = number();
+        } else if (arg == "--max-attempts") {
+            daemon.maxAttempts = unsigned(number());
+            if (daemon.maxAttempts == 0)
+                fatal("--max-attempts must be >= 1");
+        } else if (arg == "--heartbeat-timeout-ms") {
+            daemon.heartbeatTimeoutMs = number();
+        } else if (arg == "--cell-timeout-ms") {
+            daemon.cellTimeoutMs = number();
+            worker.claimWaitMs = daemon.cellTimeoutMs;
+        } else if (arg == "--respawn-budget") {
+            daemon.respawnBudget = unsigned(number());
+        } else if (arg == "--quiet") {
+            daemon.quiet = true;
+        } else if (arg == "--version") {
+            std::printf("%s\n", versionString().c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option ", arg);
+        }
+    }
+
+    if (worker_mode) {
+        if (worker.socketPath.empty() || worker.storeDir.empty())
+            fatal("--worker needs --socket and --store");
+        return runWorker(worker);
+    }
+
+    // workerExec stays empty: the daemon spawns workers from
+    // /proc/self/exe, so the fleet is always this very binary.
+    Daemon d(daemon);
+    return d.run();
+}
