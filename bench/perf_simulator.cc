@@ -7,13 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "check/invariants.hh"
 #include "common/version.hh"
 #include "core/blockop/schemes.hh"
 #include "core/hotspot/hotspot.hh"
@@ -178,6 +181,70 @@ workloadTimingsJson(double &total_ms)
     return js.str();
 }
 
+/**
+ * Replay throughput of the engine on the four full-workload traces —
+ * the accesses/sec numbers the perf regression gate tracks.  Each
+ * workload is replayed twice on the bare engine (no observer; the
+ * production fast path) and twice with the coherence checker attached
+ * (the default experiment-cell configuration); the faster of each
+ * pair is reported, so one scheduling hiccup cannot fail the gate.
+ */
+std::string
+replayThroughputJson()
+{
+    std::ostringstream js;
+    js << "[";
+    bool first = true;
+    for (WorkloadKind kind : allWorkloads) {
+        WorkloadProfile p = WorkloadProfile::forKind(kind);
+        const Trace trace = generateTrace(p, CoherenceOptions::none());
+        const SimOptions opts = p.simOptions();
+        std::uint64_t accesses = 0;
+
+        const auto replay_once = [&](bool checked) {
+            SimStats stats;
+            MemorySystem mem(MachineConfig::base());
+            std::unique_ptr<CoherenceChecker> checker;
+            if (checked) {
+                checker = std::make_unique<CoherenceChecker>(mem.config());
+                mem.setObserver(checker.get());
+            }
+            auto exec =
+                makeBlockOpExecutor(BlockScheme::Base, mem, stats, opts);
+            System system(trace, mem, *exec, opts, stats);
+            using clock = std::chrono::steady_clock;
+            const auto t0 = clock::now();
+            system.run();
+            const auto t1 = clock::now();
+            accesses = stats.totalReads() + stats.userWrites +
+                       stats.osWrites;
+            return std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        };
+
+        const double bare_ms =
+            std::min(replay_once(false), replay_once(false));
+        const double checked_ms =
+            std::min(replay_once(true), replay_once(true));
+        const std::uint64_t records = trace.totalRecords();
+        const auto per_sec = [](std::uint64_t n, double ms) {
+            return ms > 0.0 ? double(n) * 1000.0 / ms : 0.0;
+        };
+        js << (first ? "" : ",") << "\n    {\"workload\":\""
+           << toString(kind) << "\",\"records\":" << records
+           << ",\"accesses\":" << accesses
+           << ",\"bare_ms\":" << bare_ms
+           << ",\"accesses_per_sec\":" << per_sec(accesses, bare_ms)
+           << ",\"records_per_sec\":" << per_sec(records, bare_ms)
+           << ",\"checked_ms\":" << checked_ms
+           << ",\"checked_accesses_per_sec\":"
+           << per_sec(accesses, checked_ms) << "}";
+        first = false;
+    }
+    js << "\n  ]";
+    return js.str();
+}
+
 } // namespace
 
 int
@@ -227,10 +294,12 @@ main(int argc, char **argv)
 
     double total_ms = 0.0;
     const std::string workloads = workloadTimingsJson(total_ms);
+    const std::string replay = replayThroughputJson();
 
     std::ofstream out(out_path, std::ios::out | std::ios::trunc);
     out << "{\n  \"workloads\": " << workloads
         << ",\n  \"workload_total_ms\": " << total_ms
+        << ",\n  \"replay\": " << replay
         << ",\n  \"micro\": " << micro_json << "}\n";
     std::printf("wrote %s (end-to-end: %.0f ms across %zu workloads)\n",
                 out_path, total_ms, std::size(allWorkloads));

@@ -35,16 +35,9 @@ runOnce(TraceSource &source, const MachineConfig &machine,
         mem.bus().setProbe(hub.get());
     }
 
-    // Checker and hub share the single observer slot through the mux.
-    MemEventObserverMux mux;
-    mux.add(checker.get());
-    mux.add(hub.get());
-    if (checker && !hub)
-        mem.setObserver(checker.get());
-    else if (hub && !checker)
-        mem.setObserver(hub.get());
-    else if (!mux.empty())
-        mem.setObserver(&mux);
+    // Checker and hub tap the flat observer fan-out directly — no
+    // intermediate mux hop on the per-event path.
+    mem.setObservers({checker.get(), hub.get()});
 
     auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
     System system(source, mem, *executor, options, result.stats);

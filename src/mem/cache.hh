@@ -16,6 +16,14 @@
  * simulation.  The paper's machine is direct-mapped throughout
  * (ways = 1, the default); higher associativity with LRU replacement
  * is supported for the conflict-miss ablations.
+ *
+ * Storage is structure-of-arrays: one flat tag bank per cache (set
+ * index × way, way 0 = MRU) and, for the secondary cache, a parallel
+ * flat MESI state bank rotated in lock-step by the LRU promotion —
+ * there is no virtual hook in the rotation loop and no per-set
+ * allocation.  A cache can own its banks (standalone construction,
+ * unit tests) or carve them from a SimArena so every bank of every
+ * processor lands in one contiguous per-run allocation.
  */
 
 #ifndef OSCACHE_MEM_CACHE_HH
@@ -28,6 +36,7 @@
 #include "common/binio.hh"
 #include "common/log.hh"
 #include "common/types.hh"
+#include "mem/arena.hh"
 
 namespace oscache
 {
@@ -54,16 +63,25 @@ class SetAssocTags
   public:
     SetAssocTags(std::uint32_t size, std::uint32_t line_size,
                  std::uint32_t ways)
-        : lineSize(line_size), numWays(ways),
-          numSets(size / (line_size * ways)), indexMask(numSets - 1),
-          lineShift(floorLog2(line_size)),
-          tags(std::size_t{numSets} * ways, invalidAddr)
+        : SetAssocTags(size, line_size, ways, nullptr)
+    {}
+
+    /** As above, but the tag bank is carved from @p arena. */
+    SetAssocTags(std::uint32_t size, std::uint32_t line_size,
+                 std::uint32_t ways, SimArena &arena)
+        : SetAssocTags(size, line_size, ways, &arena)
+    {}
+
+    SetAssocTags(const SetAssocTags &) = delete;
+    SetAssocTags &operator=(const SetAssocTags &) = delete;
+    SetAssocTags(SetAssocTags &&) = default;
+    SetAssocTags &operator=(SetAssocTags &&) = default;
+
+    /** Arena bytes the tag bank of this geometry consumes. */
+    static constexpr std::size_t
+    tagBankBytes(std::uint32_t size, std::uint32_t line_size)
     {
-        if (!isPowerOfTwo(size) || !isPowerOfTwo(line_size) ||
-            !isPowerOfTwo(ways) || numSets == 0 ||
-            !isPowerOfTwo(numSets))
-            panic("cache: size, line size, and ways must be powers of "
-                  "two with at least one set");
+        return SimArena::spanBytes(size / line_size, sizeof(Addr));
     }
 
     Addr lineAddr(Addr addr) const { return addr & ~(Addr{lineSize} - 1); }
@@ -73,9 +91,9 @@ class SetAssocTags
     find(Addr addr) const
     {
         const Addr line = lineAddr(addr);
-        const std::size_t base = setBase(addr);
+        const Addr *set = tags + setBase(addr);
         for (std::uint32_t w = 0; w < numWays; ++w)
-            if (tags[base + w] == line)
+            if (set[w] == line)
                 return w;
         return numWays;
     }
@@ -91,6 +109,17 @@ class SetAssocTags
             return false;
         promote(setBase(addr), way);
         return true;
+    }
+
+    /**
+     * Promote a way returned by find() for the same @p addr — the
+     * second half of a find()/promoteWay() pair that lets hot paths
+     * probe once and promote only on a hit.
+     */
+    void
+    promoteWay(Addr addr, std::uint32_t way)
+    {
+        promote(setBase(addr), way);
     }
 
     /**
@@ -148,7 +177,8 @@ class SetAssocTags
     void
     clear()
     {
-        tags.assign(tags.size(), invalidAddr);
+        for (std::size_t i = 0; i < slotCount; ++i)
+            tags[i] = invalidAddr;
     }
 
     std::uint32_t getLineSize() const { return lineSize; }
@@ -160,9 +190,9 @@ class SetAssocTags
     residentLines() const
     {
         std::vector<Addr> lines;
-        for (const Addr tag : tags)
-            if (tag != invalidAddr)
-                lines.push_back(tag);
+        for (std::size_t i = 0; i < slotCount; ++i)
+            if (tags[i] != invalidAddr)
+                lines.push_back(tags[i]);
         return lines;
     }
 
@@ -177,9 +207,9 @@ class SetAssocTags
     void
     saveState(binio::BinaryWriter &w) const
     {
-        w.put(std::uint64_t(tags.size()));
-        for (const Addr tag : tags)
-            w.put(tag);
+        w.put(std::uint64_t(slotCount));
+        for (std::size_t i = 0; i < slotCount; ++i)
+            w.put(tags[i]);
     }
 
     /**
@@ -190,15 +220,24 @@ class SetAssocTags
     loadState(binio::BinaryReader &r)
     {
         std::uint64_t n = 0;
-        if (!r.get(n) || n != tags.size())
+        if (!r.get(n) || n != slotCount)
             return false;
-        for (Addr &tag : tags)
-            if (!r.get(tag))
+        for (std::size_t i = 0; i < slotCount; ++i)
+            if (!r.get(tags[i]))
                 return false;
         return true;
     }
 
   protected:
+    /**
+     * Optional flat bank the LRU promotion rotates in lock-step with
+     * the tags.  L2Cache points this at its MESI state bank; the
+     * former virtual rotated() hook is gone from the inner loop.
+     */
+    LineState *sideStates = nullptr;
+
+    std::size_t slots() const { return slotCount; }
+
     std::size_t
     setBase(Addr addr) const
     {
@@ -207,37 +246,60 @@ class SetAssocTags
 
     /**
      * Move @p way to the MRU position of its set, shifting the
-     * younger entries down.  Derived classes with side-car state
-     * override rotateHook to keep their arrays in step.
+     * younger entries down and rotating the side-car state bank (when
+     * attached) in the same pass.
      */
     void
     promote(std::size_t base, std::uint32_t way)
     {
         if (way == 0)
             return;
-        const Addr line = tags[base + way];
+        Addr *set = tags + base;
+        const Addr line = set[way];
         for (std::uint32_t w = way; w > 0; --w)
-            tags[base + w] = tags[base + w - 1];
-        tags[base] = line;
-        rotated(base, way);
+            set[w] = set[w - 1];
+        set[0] = line;
+        if (sideStates != nullptr) {
+            LineState *states = sideStates + base;
+            const LineState moved = states[way];
+            for (std::uint32_t w = way; w > 0; --w)
+                states[w] = states[w - 1];
+            states[0] = moved;
+        }
     }
-
-    /** Notification that ways [0, way] of @p base rotated by one. */
-    virtual void rotated(std::size_t base, std::uint32_t way)
-    {
-        (void)base;
-        (void)way;
-    }
-
-    virtual ~SetAssocTags() = default;
 
   private:
+    SetAssocTags(std::uint32_t size, std::uint32_t line_size,
+                 std::uint32_t ways, SimArena *arena)
+        : lineSize(line_size), numWays(ways),
+          numSets(size / (line_size * ways)), indexMask(numSets - 1),
+          lineShift(floorLog2(line_size)),
+          slotCount(std::size_t{numSets} * ways)
+    {
+        if (!isPowerOfTwo(size) || !isPowerOfTwo(line_size) ||
+            !isPowerOfTwo(ways) || numSets == 0 ||
+            !isPowerOfTwo(numSets))
+            panic("cache: size, line size, and ways must be powers of "
+                  "two with at least one set");
+        if (arena != nullptr) {
+            tags = arena->allocate<Addr>(slotCount);
+        } else {
+            ownedTags.resize(slotCount);
+            tags = ownedTags.data();
+        }
+        clear();
+    }
+
     std::uint32_t lineSize;
     std::uint32_t numWays;
     std::uint32_t numSets;
     std::uint64_t indexMask;
     unsigned lineShift;
-    std::vector<Addr> tags;
+    std::size_t slotCount;
+    /** Flat tag bank (set × way); arena span or ownedTags.data(). */
+    Addr *tags = nullptr;
+    /** Backing storage when constructed without an arena. */
+    std::vector<Addr> ownedTags;
 };
 
 } // namespace detail
@@ -259,6 +321,19 @@ class L1Cache : public detail::SetAssocTags
         : SetAssocTags(size, line_size, ways)
     {}
 
+    /** As above, with the tag bank carved from @p arena. */
+    L1Cache(std::uint32_t size, std::uint32_t line_size,
+            std::uint32_t ways, SimArena &arena)
+        : SetAssocTags(size, line_size, ways, arena)
+    {}
+
+    /** Arena bytes this geometry consumes. */
+    static constexpr std::size_t
+    arenaBytes(std::uint32_t size, std::uint32_t line_size)
+    {
+        return tagBankBytes(size, line_size);
+    }
+
     /**
      * Install the line containing @p addr.
      * @return The evicted victim's line address, or invalidAddr.
@@ -274,6 +349,8 @@ class L1Cache : public detail::SetAssocTags
 
 /**
  * The secondary cache: write-back, MESI states, LRU replacement.
+ * The state bank is a flat side-car array the base class rotates in
+ * lock-step with the tags.
  */
 class L2Cache : public detail::SetAssocTags
 {
@@ -281,8 +358,39 @@ class L2Cache : public detail::SetAssocTags
     L2Cache(std::uint32_t size, std::uint32_t line_size,
             std::uint32_t ways = 1)
         : SetAssocTags(size, line_size, ways),
-          states(std::size_t{sets()} * this->ways(), LineState::Invalid)
-    {}
+          ownedStates(slots(), LineState::Invalid)
+    {
+        states = ownedStates.data();
+        sideStates = states;
+    }
+
+    /** As above, with both banks carved from @p arena. */
+    L2Cache(std::uint32_t size, std::uint32_t line_size,
+            std::uint32_t ways, SimArena &arena)
+        : SetAssocTags(size, line_size, ways, arena)
+    {
+        states = arena.allocate<LineState>(slots());
+        for (std::size_t i = 0; i < slots(); ++i)
+            states[i] = LineState::Invalid;
+        sideStates = states;
+    }
+
+    L2Cache(L2Cache &&other) noexcept
+        : SetAssocTags(std::move(other)),
+          ownedStates(std::move(other.ownedStates)),
+          states(other.states)
+    {
+        // Re-anchor the side-car pointer at the moved-to object.
+        sideStates = states;
+    }
+
+    /** Arena bytes this geometry consumes (tags + state bank). */
+    static constexpr std::size_t
+    arenaBytes(std::uint32_t size, std::uint32_t line_size)
+    {
+        return tagBankBytes(size, line_size) +
+               SimArena::spanBytes(size / line_size, sizeof(LineState));
+    }
 
     /** State of the line containing @p addr (Invalid if absent). */
     LineState
@@ -290,6 +398,17 @@ class L2Cache : public detail::SetAssocTags
     {
         const std::uint32_t way = find(addr);
         return way < ways() ? states[slot(addr, way)] : LineState::Invalid;
+    }
+
+    /**
+     * State of the line at a way returned by find() for the same
+     * @p addr — the second half of a find()/stateOfWay() pair that
+     * lets hot paths probe the tag bank once.
+     */
+    LineState
+    stateOfWay(Addr addr, std::uint32_t way) const
+    {
+        return states[slot(addr, way)];
     }
 
     bool contains(Addr addr) const
@@ -345,7 +464,8 @@ class L2Cache : public detail::SetAssocTags
     flush()
     {
         clear();
-        states.assign(states.size(), LineState::Invalid);
+        for (std::size_t i = 0; i < slots(); ++i)
+            states[i] = LineState::Invalid;
     }
 
     /** Serialize tags plus the MESI side-car array. */
@@ -353,8 +473,8 @@ class L2Cache : public detail::SetAssocTags
     saveState(binio::BinaryWriter &w) const
     {
         SetAssocTags::saveState(w);
-        for (const LineState s : states)
-            w.put(std::uint8_t(s));
+        for (std::size_t i = 0; i < slots(); ++i)
+            w.put(std::uint8_t(states[i]));
     }
 
     /** Inverse of saveState(); false on malformed input. */
@@ -363,26 +483,20 @@ class L2Cache : public detail::SetAssocTags
     {
         if (!SetAssocTags::loadState(r))
             return false;
-        for (LineState &s : states) {
+        for (std::size_t i = 0; i < slots(); ++i) {
             std::uint8_t v = 0;
             if (!r.get(v) || v > std::uint8_t(LineState::Modified))
                 return false;
-            s = LineState(v);
+            states[i] = LineState(v);
         }
         return true;
     }
 
   private:
-    void
-    rotated(std::size_t base, std::uint32_t way) override
-    {
-        const LineState moved = states[base + way];
-        for (std::uint32_t w = way; w > 0; --w)
-            states[base + w] = states[base + w - 1];
-        states[base] = moved;
-    }
-
-    std::vector<LineState> states;
+    /** Backing storage when constructed without an arena. */
+    std::vector<LineState> ownedStates;
+    /** Flat MESI bank, parallel to the tag bank. */
+    LineState *states = nullptr;
 };
 
 } // namespace oscache

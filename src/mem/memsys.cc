@@ -10,9 +10,12 @@ namespace oscache
 MemorySystem::MemorySystem(const MachineConfig &config) : cfg(config)
 {
     cfg.check();
+    // One contiguous reservation covers every processor's tag banks,
+    // the L2 state banks, and both write-buffer rings.
+    arena.reserve(std::size_t{cfg.numCpus} * CpuMem::arenaBytes(cfg));
     cpus.reserve(cfg.numCpus);
     for (unsigned i = 0; i < cfg.numCpus; ++i)
-        cpus.emplace_back(cfg);
+        cpus.emplace_back(cfg, arena);
 }
 
 bool
@@ -38,11 +41,16 @@ MemorySystem::l2State(CpuId cpu, Addr addr) const
 MissCause
 MemorySystem::classifyMiss(CpuMem &mem, Addr line)
 {
-    if (mem.coherenceInvalidated.count(line))
+    // One flat probe yields both per-processor mark classes; bypass
+    // marks live in their own (usually empty) global table whose
+    // population test keeps non-bypassing schemes from probing it.
+    const std::uint8_t flags = mem.marks.flagsAt(line);
+    if ((flags & MarkTable::coherence) != 0)
         return MissCause::Coherence;
-    if (bypassedLines.count(line))
+    if (bypassMarks.any(MarkTable::bypass) &&
+        bypassMarks.test(line, MarkTable::bypass))
         return MissCause::Reuse;
-    if (mem.blockOpEvicted.count(line))
+    if ((flags & MarkTable::blockEvict) != 0)
         return MissCause::Displacement;
     return MissCause::Plain;
 }
@@ -54,19 +62,21 @@ MemorySystem::fillL1(CpuId cpu, Addr addr, bool block_op_fill)
     const Addr line = mem.l1.lineAddr(addr);
     const Addr victim = mem.l1.fill(addr);
     if (victim != invalidAddr) {
-        if (observer != nullptr)
-            observer->onL1Drop(cpu, victim);
+        if (fan.active())
+            fan.onL1Drop(cpu, victim);
         if (block_op_fill)
-            mem.blockOpEvicted.insert(victim);
-        else
-            mem.blockOpEvicted.erase(victim);
+            mem.marks.set(victim, MarkTable::blockEvict);
+        else if (mem.marks.any(MarkTable::blockEvict))
+            mem.marks.clear(victim, MarkTable::blockEvict);
     }
-    // A fresh residency wipes any stale classification marks.
-    mem.coherenceInvalidated.erase(line);
-    mem.blockOpEvicted.erase(line);
-    bypassedLines.erase(line);
-    if (observer != nullptr)
-        observer->onL1Fill(cpu, line);
+    // A fresh residency wipes any stale classification marks — one
+    // probe for both per-processor classes, and the bypass table is
+    // skipped entirely while no scheme has populated it.
+    mem.marks.clearAll(line, MarkTable::coherence | MarkTable::blockEvict);
+    if (bypassMarks.any(MarkTable::bypass))
+        bypassMarks.clear(line, MarkTable::bypass);
+    if (fan.active())
+        fan.onL1Fill(cpu, line);
 }
 
 void
@@ -76,8 +86,8 @@ MemorySystem::dropL1(CpuId cpu, Addr l1_line)
     if (!mem.l1.contains(l1_line))
         return;
     mem.l1.invalidate(l1_line);
-    if (observer != nullptr)
-        observer->onL1Drop(cpu, mem.l1.lineAddr(l1_line));
+    if (fan.active())
+        fan.onL1Drop(cpu, mem.l1.lineAddr(l1_line));
 }
 
 void
@@ -161,7 +171,7 @@ MemorySystem::snoopInvalidate(CpuId requester, Addr l2_line)
             const Addr sub = l2_line + off;
             if (other.l1.contains(sub)) {
                 dropL1(c, sub);
-                other.coherenceInvalidated.insert(sub);
+                other.marks.set(sub, MarkTable::coherence);
             }
         }
     }
@@ -231,7 +241,7 @@ MemorySystem::busReadLine(CpuId cpu, Addr l2_line, Cycles when,
                 const Addr sub = l2_line + off;
                 if (other.l1.contains(sub)) {
                     dropL1(c, sub);
-                    other.coherenceInvalidated.insert(sub);
+                    other.marks.set(sub, MarkTable::coherence);
                 }
             }
         } else {
@@ -274,36 +284,48 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
     const Addr line = l1Line(addr);
     const Addr l2line = l2Line(addr);
 
+    // One tag probe serves both the bypass test and the hit path;
+    // the promote happens only after the in-flight check so the LRU
+    // order matches the associative ablations' record-at-a-time
+    // semantics exactly.
+    const std::uint32_t l1_way = mem.l1.find(addr);
+    const bool l1_hit = l1_way < mem.l1.ways();
+
     // Reads bypass buffered writes except to the same line: if the
     // line is not cached but a write to it is still draining, the
     // read must wait for the drain.
-    if (!mem.l1.contains(addr)) {
+    if (!l1_hit) {
         const Cycles pend = std::max(mem.l1Wb.pendingLineDrain(line),
                                      mem.l2Wb.pendingLineDrain(l2line));
         if (pend > now)
             now = pend;
     }
 
-    // Outstanding fill (typically prefetch-initiated)?
-    auto in_flight = mem.inFlight.find(line);
-    if (in_flight != mem.inFlight.end()) {
-        const InFlightFill fill = in_flight->second;
-        mem.inFlight.erase(in_flight);
-        if (fill.readyAt > now) {
-            // Late prefetch: the miss is only partially hidden.
-            res.completeAt = fill.readyAt;
-            res.l1Miss = true;
-            res.level = ServiceLevel::InFlight;
-            res.cause = fill.cause;
-            res.partiallyHidden = fill.byPrefetch;
-            res.stall = res.completeAt - (now + cfg.l1HitLatency);
-            notifyAccess(MemOpKind::Read, cpu, addr, issued, ctx, res);
-            return res;
+    // Outstanding fill (typically prefetch-initiated)?  The register
+    // file is empty whenever no prefetch is in flight; the empty()
+    // test skips a hash probe on every read of a prefetch-free run.
+    if (!mem.inFlight.empty()) {
+        auto in_flight = mem.inFlight.find(line);
+        if (in_flight != mem.inFlight.end()) {
+            const InFlightFill fill = in_flight->second;
+            mem.inFlight.erase(in_flight);
+            if (fill.readyAt > now) {
+                // Late prefetch: the miss is only partially hidden.
+                res.completeAt = fill.readyAt;
+                res.l1Miss = true;
+                res.level = ServiceLevel::InFlight;
+                res.cause = fill.cause;
+                res.partiallyHidden = fill.byPrefetch;
+                res.stall = res.completeAt - (now + cfg.l1HitLatency);
+                notifyAccess(MemOpKind::Read, cpu, addr, issued, ctx, res);
+                return res;
+            }
+            // Fill completed before the demand access: a full hit.
         }
-        // Fill completed before the demand access: a full hit.
     }
 
-    if (mem.l1.touch(addr)) {
+    if (l1_hit) {
+        mem.l1.promoteWay(addr, l1_way);
         res.completeAt = now + cfg.l1HitLatency;
         notifyAccess(MemOpKind::Read, cpu, addr, issued, ctx, res);
         return res;
@@ -329,7 +351,7 @@ MemorySystem::read(CpuId cpu, Addr addr, Cycles now, const AccessContext &ctx)
     } else {
         // Bypassed read: in a processor-driven copy this line would
         // now be cached; its first future touch is a reuse miss.
-        bypassedLines.insert(line);
+        bypassMarks.set(line, MarkTable::bypass);
     }
     res.stall = res.completeAt - (now + cfg.l1HitLatency);
     opEnd(MemOpKind::Read, cpu, addr);
@@ -356,12 +378,20 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
 
     const Cycles service = mem.l1Wb.nextServiceStart(now);
 
-    const LineState st = mem.l2.state(addr);
+    // One tag probe serves the dispatch on the line's state and the
+    // owned-write LRU promotion.
+    const std::uint32_t l2_way = mem.l2.find(addr);
+    const LineState st = l2_way < mem.l2.ways()
+                             ? mem.l2.stateOfWay(addr, l2_way)
+                             : LineState::Invalid;
     Cycles drained;
     if (st == LineState::Modified || st == LineState::Exclusive) {
-        // Local write: silently upgrade Exclusive to Modified.
-        mem.l2.touch(addr);
-        setL2State(cpu, addr, LineState::Modified);
+        // Local write: silently upgrade Exclusive to Modified.  The
+        // already-Modified case (the hot write path) needs no state
+        // change, so the extra tag probe is skipped.
+        mem.l2.promoteWay(addr, l2_way);
+        if (st == LineState::Exclusive)
+            setL2State(cpu, addr, LineState::Modified);
         drained = service + cfg.l2WriteLatency;
     } else if (isUpdateAddr(addr)) {
         // Firefly update protocol for this page.
@@ -425,7 +455,8 @@ MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
     const Addr line = l1Line(addr);
     const Addr l2line = l2Line(addr);
 
-    if (mem.l1.contains(addr) || mem.inFlight.count(line)) {
+    if (mem.l1.contains(addr) ||
+        (!mem.inFlight.empty() && mem.inFlight.count(line))) {
         // Already present or already being fetched: a trivial hit.
         AccessResult res;
         res.completeAt = now;
@@ -465,7 +496,7 @@ MemorySystem::prefetch(CpuId cpu, Addr addr, Cycles now,
     fillL1(cpu, addr, ctx.blockOpBody);
     mem.inFlight.emplace(line, fill);
     opEnd(MemOpKind::Prefetch, cpu, addr);
-    if (wantsAccess) {
+    if (fan.wantsAccessEvents()) {
         AccessResult res;
         res.completeAt = now;
         res.l1Miss = true;
@@ -502,7 +533,7 @@ MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
 
     // The destination line ends up uncached: future first reuses miss.
     for (std::uint32_t off = 0; off < cfg.l2LineSize; off += cfg.l1LineSize)
-        bypassedLines.insert(l2line + off);
+        bypassMarks.set(l2line + off, MarkTable::bypass);
     opEnd(MemOpKind::BypassWrite, cpu, addr);
     notifyAccess(MemOpKind::BypassWrite, cpu, addr, now - res.stall, ctx,
                  res, /*dropped=*/false, /*whole_line=*/true,
@@ -532,7 +563,7 @@ MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
                                         BusTxn::WriteBack, 4);
     mem.l2Wb.push(l2line, grant + cfg.wordWriteOccupancy);
 
-    bypassedLines.insert(l1Line(addr));
+    bypassMarks.set(l1Line(addr), MarkTable::bypass);
     opEnd(MemOpKind::BypassWrite, cpu, addr);
     notifyAccess(MemOpKind::BypassWrite, cpu, addr, now - res.stall, ctx,
                  res, /*dropped=*/false, /*whole_line=*/false, invalidate);
@@ -587,8 +618,8 @@ MemorySystem::prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now)
     }
     mem.prefetchBuffer.push_back(entry);
     opEnd(MemOpKind::Prefetch, cpu, addr);
-    if (wantsAccess)
-        observer->onBufferPrefetchFill(cpu, addr);
+    if (fan.wantsAccessEvents())
+        fan.onBufferPrefetchFill(cpu, addr);
 }
 
 AccessResult
@@ -668,8 +699,8 @@ MemorySystem::codeFill(CpuId cpu, Addr code_addr, std::uint32_t bytes)
         installL2(cpu, a, readFillState(cpu, a));
     }
     opEnd(MemOpKind::CodeFill, cpu, code_addr);
-    if (wantsAccess)
-        observer->onCodeFill(cpu, code_addr, bytes);
+    if (fan.wantsAccessEvents())
+        fan.onCodeFill(cpu, code_addr, bytes);
 }
 
 Cycles
@@ -729,8 +760,8 @@ Cycles
 MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
 {
     opBegin(MemOpKind::Dma, cpu, op.dst);
-    if (observer != nullptr)
-        observer->onDmaBegin(cpu, op);
+    if (fan.active())
+        fan.onDmaBegin(cpu, op);
     CpuMem &mem = cpus[cpu];
     const Addr src_begin = op.isCopy() ? l2Line(op.src) : invalidAddr;
     const Addr dst_begin = l2Line(op.dst);
@@ -773,16 +804,16 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
                 for (std::uint32_t off = 0; off < cfg.l2LineSize;
                      off += cfg.l1LineSize) {
                     // Updated data: clear any stale coherence marks.
-                    cpus[c].coherenceInvalidated.erase(a + off);
+                    cpus[c].marks.clear(a + off, MarkTable::coherence);
                 }
             }
         }
         for (std::uint32_t off = 0; off < cfg.l2LineSize;
              off += cfg.l1LineSize) {
             if (cached_anywhere)
-                bypassedLines.erase(a + off);
+                bypassMarks.clear(a + off, MarkTable::bypass);
             else
-                bypassedLines.insert(a + off);
+                bypassMarks.set(a + off, MarkTable::bypass);
         }
     }
 
@@ -796,42 +827,44 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
                 continue;
             for (std::uint32_t off = 0; off < cfg.l2LineSize;
                  off += cfg.l1LineSize)
-                bypassedLines.insert(a + off);
+                bypassMarks.set(a + off, MarkTable::bypass);
         }
     }
 
     opEnd(MemOpKind::Dma, cpu, op.dst);
-    if (wantsAccess)
-        observer->onDma(cpu, op);
+    if (fan.wantsAccessEvents())
+        fan.onDma(cpu, op);
     return done;
 }
 
 namespace
 {
 
-/** Write an unordered set of addresses sorted (deterministic bytes). */
+/**
+ * Write one mark class as a sorted address list — the same bytes the
+ * pre-MarkTable unordered_set serialization produced.
+ */
 void
-putAddrSet(binio::BinaryWriter &w, const std::unordered_set<Addr> &set)
+putMarkClass(binio::BinaryWriter &w, const MarkTable &t, std::uint8_t flag)
 {
-    std::vector<Addr> sorted(set.begin(), set.end());
-    std::sort(sorted.begin(), sorted.end());
+    const std::vector<Addr> sorted = t.snapshot(flag);
     w.put(std::uint64_t(sorted.size()));
     for (const Addr a : sorted)
         w.put(a);
 }
 
 bool
-getAddrSet(binio::BinaryReader &r, std::unordered_set<Addr> &set)
+getMarkClass(binio::BinaryReader &r, MarkTable &t, std::uint8_t flag)
 {
     std::uint64_t n = 0;
     if (!r.get(n) || n > (1ull << 32))
         return false;
-    set.clear();
+    t.clearClass(flag);
     for (std::uint64_t i = 0; i < n; ++i) {
         Addr a = 0;
         if (!r.get(a))
             return false;
-        set.insert(a);
+        t.set(a, flag);
     }
     return true;
 }
@@ -863,8 +896,8 @@ MemorySystem::saveState(binio::BinaryWriter &w) const
             w.put(std::uint8_t(fill.byPrefetch));
         }
 
-        putAddrSet(w, mem.coherenceInvalidated);
-        putAddrSet(w, mem.blockOpEvicted);
+        putMarkClass(w, mem.marks, MarkTable::coherence);
+        putMarkClass(w, mem.marks, MarkTable::blockEvict);
 
         w.put(std::uint64_t(mem.prefetchBuffer.size()));
         for (const BufferLine &line : mem.prefetchBuffer) {
@@ -872,7 +905,7 @@ MemorySystem::saveState(binio::BinaryWriter &w) const
             w.put(line.readyAt);
         }
     }
-    putAddrSet(w, bypassedLines);
+    putMarkClass(w, bypassMarks, MarkTable::bypass);
     theBus.saveState(w);
 }
 
@@ -918,9 +951,9 @@ MemorySystem::loadState(binio::BinaryReader &r, std::string *error)
             mem.inFlight.emplace(line, fill);
         }
 
-        if (!getAddrSet(r, mem.coherenceInvalidated))
+        if (!getMarkClass(r, mem.marks, MarkTable::coherence))
             return fail("bad coherence-invalidated set");
-        if (!getAddrSet(r, mem.blockOpEvicted))
+        if (!getMarkClass(r, mem.marks, MarkTable::blockEvict))
             return fail("bad block-op-evicted set");
 
         if (!r.get(count) || count > cfg.blockPrefetchBufferLines)
@@ -933,7 +966,7 @@ MemorySystem::loadState(binio::BinaryReader &r, std::string *error)
             mem.prefetchBuffer.push_back(line);
         }
     }
-    if (!getAddrSet(r, bypassedLines))
+    if (!getMarkClass(r, bypassMarks, MarkTable::bypass))
         return fail("bad bypassed-lines set");
     if (!theBus.loadState(r))
         return fail("bad bus state");

@@ -10,15 +10,16 @@
  * processors' secondary caches directly (there are only three).
  *
  * The class also carries the bookkeeping needed to reproduce the
- * paper's miss taxonomy:
+ * paper's miss taxonomy, held in flat MarkTable instances (one probe
+ * per classification, see mem/marks.hh):
  *
- *  - per-processor sets of lines invalidated by coherence (a
+ *  - per-processor marks on lines invalidated by coherence (a
  *    subsequent primary-cache miss on such a line is a coherence
  *    miss),
- *  - per-processor sets of lines whose last eviction was caused by a
+ *  - per-processor marks on lines whose last eviction was caused by a
  *    block-operation fill (a subsequent miss is a block *displacement*
  *    miss, Section 4.1.3),
- *  - a global set of lines last touched by a cache-bypassing block
+ *  - global marks on lines last touched by a cache-bypassing block
  *    operation (a subsequent miss is a *reuse* miss, Section 4.1.3).
  *
  * Writes to lines in pages registered with setUpdatePages() use the
@@ -30,6 +31,7 @@
 #define OSCACHE_MEM_MEMSYS_HH
 
 #include <deque>
+#include <initializer_list>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,9 +40,11 @@
 #include "common/binio.hh"
 #include "common/types.hh"
 #include "mem/access.hh"
+#include "mem/arena.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/config.hh"
+#include "mem/marks.hh"
 #include "mem/observer.hh"
 #include "mem/write_buffer.hh"
 #include "trace/blockop.hh"
@@ -181,16 +185,35 @@ class MemorySystem
 
     /** @name Verification hooks @{ */
 
-    /** Attach (or, with nullptr, detach) the event observer. */
+    /** Attach (or, with nullptr, detach) a single event observer. */
     void
     setObserver(MemEventObserver *obs)
     {
-        observer = obs;
-        wantsAccess = obs != nullptr && obs->wantsAccessEvents();
+        fan.clear();
+        fan.add(obs);
     }
 
-    /** The attached observer, or nullptr (for engine-level events). */
-    MemEventObserver *eventObserver() const { return observer; }
+    /**
+     * Attach several observers at once (nulls are skipped) through
+     * the flat fan-out — check / obs / dft taps without the extra
+     * virtual hop a MemEventObserverMux would cost per event.
+     */
+    void
+    setObservers(std::initializer_list<MemEventObserver *> taps)
+    {
+        fan.clear();
+        for (MemEventObserver *tap : taps)
+            fan.add(tap);
+    }
+
+    /**
+     * The fan-out of attached observers (engine-level events such as
+     * onBlockOp are reported through it by the simulation engine).
+     */
+    const ObserverFanout &observers() const { return fan; }
+
+    /** The sole attached observer, or nullptr (compat accessor). */
+    MemEventObserver *eventObserver() const { return fan.single(); }
 
     /** Read-only views for invariant audits. */
     const L1Cache &l1Cache(CpuId cpu) const { return cpus[cpu].l1; }
@@ -255,13 +278,29 @@ class MemorySystem
     /** All per-processor state. */
     struct CpuMem
     {
-        CpuMem(const MachineConfig &c)
-            : l1(c.l1Size, c.l1LineSize, c.l1Ways),
-              icache(c.iCacheSize, c.iCacheLineSize),
-              l2(c.l2Size, c.l2LineSize, c.l2Ways),
-              l1Wb(c.l1WriteBufferDepth),
-              l2Wb(c.l2WriteBufferDepth)
+        /**
+         * The hot banks — all three tag arrays, the L2 state bank,
+         * and both write-buffer rings — are carved from the per-run
+         * arena, so every processor's per-access state is contiguous.
+         */
+        CpuMem(const MachineConfig &c, SimArena &arena)
+            : l1(c.l1Size, c.l1LineSize, c.l1Ways, arena),
+              icache(c.iCacheSize, c.iCacheLineSize, 1, arena),
+              l2(c.l2Size, c.l2LineSize, c.l2Ways, arena),
+              l1Wb(c.l1WriteBufferDepth, arena),
+              l2Wb(c.l2WriteBufferDepth, arena)
         {}
+
+        /** Arena bytes one processor's banks consume. */
+        static std::size_t
+        arenaBytes(const MachineConfig &c)
+        {
+            return L1Cache::arenaBytes(c.l1Size, c.l1LineSize) +
+                   L1Cache::arenaBytes(c.iCacheSize, c.iCacheLineSize) +
+                   L2Cache::arenaBytes(c.l2Size, c.l2LineSize) +
+                   WriteBuffer::arenaBytes(c.l1WriteBufferDepth) +
+                   WriteBuffer::arenaBytes(c.l2WriteBufferDepth);
+        }
 
         L1Cache l1;
         /** Primary instruction cache (valid/invalid lines). */
@@ -271,10 +310,12 @@ class MemorySystem
         WriteBuffer l2Wb;
         /** Keyed by primary-line address. */
         std::unordered_map<Addr, InFlightFill> inFlight;
-        /** Primary lines invalidated by another processor. */
-        std::unordered_set<Addr> coherenceInvalidated;
-        /** Primary lines last evicted by a block-operation fill. */
-        std::unordered_set<Addr> blockOpEvicted;
+        /**
+         * Miss-classification marks on primary lines: coherence
+         * (invalidated by another processor) and blockEvict (last
+         * evicted by a block-operation fill) flags.
+         */
+        MarkTable marks;
         /** Blk_ByPref source prefetch buffer (FIFO). */
         std::deque<BufferLine> prefetchBuffer;
     };
@@ -293,24 +334,24 @@ class MemorySystem
     void
     notifyL2(CpuId cpu, Addr l2_line, LineState from, LineState to)
     {
-        if (observer != nullptr && from != to)
-            observer->onL2Transition(cpu, l2Line(l2_line), from, to);
+        if (fan.active() && from != to)
+            fan.onL2Transition(cpu, l2Line(l2_line), from, to);
     }
 
     /** Report the start of a processor-side operation. */
     void
     opBegin(MemOpKind op, CpuId cpu, Addr addr)
     {
-        if (observer != nullptr)
-            observer->onOperationBegin(*this, op, cpu, addr);
+        if (fan.active())
+            fan.onOperationBegin(*this, op, cpu, addr);
     }
 
     /** Report the completion of a processor-side operation. */
     void
     opEnd(MemOpKind op, CpuId cpu, Addr addr)
     {
-        if (observer != nullptr)
-            observer->onOperationEnd(*this, op, cpu, addr);
+        if (fan.active())
+            fan.onOperationEnd(*this, op, cpu, addr);
     }
 
     /**
@@ -326,7 +367,7 @@ class MemorySystem
                  bool dropped = false, bool whole_line = false,
                  bool invalidated = false, bool via_buffer = false)
     {
-        if (!wantsAccess)
+        if (!fan.wantsAccessEvents())
             return;
         MemAccessEvent event;
         event.kind = op;
@@ -339,7 +380,7 @@ class MemorySystem
         event.wholeLine = whole_line;
         event.invalidated = invalidated;
         event.viaBuffer = via_buffer;
-        observer->onAccess(event);
+        fan.onAccess(event);
     }
 
     /** @} */
@@ -418,13 +459,16 @@ class MemorySystem
 
     MachineConfig cfg;
     Bus theBus;
+    /**
+     * Per-run bump arena holding every processor's hot banks; must
+     * precede `cpus`, whose members carve spans from it.
+     */
+    SimArena arena;
     std::vector<CpuMem> cpus;
-    /** Passive coherence observer (the invariant checker), or null. */
-    MemEventObserver *observer = nullptr;
-    /** Cached observer->wantsAccessEvents() (hot-path gate). */
-    bool wantsAccess = false;
+    /** Flat fan-out of passive coherence observers (often empty). */
+    ObserverFanout fan;
     /** Lines last touched by a bypassing block op and left uncached. */
-    std::unordered_set<Addr> bypassedLines;
+    MarkTable bypassMarks;
     const std::unordered_set<Addr> *updatePages = nullptr;
 };
 

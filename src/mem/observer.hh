@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "mem/access.hh"
 #include "mem/cache.hh"
@@ -237,9 +238,148 @@ struct MemEventObserver
 };
 
 /**
+ * Flat, devirtualized observer fan-out: a fixed array of taps the
+ * memory system iterates inline.  Unlike MemEventObserverMux (one
+ * virtual hop into the mux, then one per child), the fan-out's
+ * forwarders are non-virtual and inlined into the notify helpers, so
+ * an event costs exactly one `active()` branch when nothing is
+ * attached and one virtual call per tap otherwise.  The
+ * wantsAccessEvents() answer is cached at attach time, collapsing the
+ * per-access gate to a single flag test.
+ */
+class ObserverFanout
+{
+  public:
+    /** Check / obs / dft taps, plus one spare. */
+    static constexpr unsigned maxTaps = 4;
+
+    void
+    clear()
+    {
+        count = 0;
+        wantsAccess = false;
+    }
+
+    /** Attach @p observer (ignored when null). */
+    void
+    add(MemEventObserver *observer)
+    {
+        if (observer == nullptr)
+            return;
+        if (count >= maxTaps)
+            panic("ObserverFanout: more than ", maxTaps, " taps");
+        taps[count++] = observer;
+        wantsAccess = wantsAccess || observer->wantsAccessEvents();
+    }
+
+    bool active() const { return count != 0; }
+    bool empty() const { return count == 0; }
+    unsigned size() const { return count; }
+
+    /** Cached any-tap wantsAccessEvents() (hot-path gate). */
+    bool wantsAccessEvents() const { return wantsAccess; }
+
+    /** The sole tap when exactly one is attached, else nullptr. */
+    MemEventObserver *
+    single() const
+    {
+        return count == 1 ? taps[0] : nullptr;
+    }
+
+    void
+    onAccess(const MemAccessEvent &event) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onAccess(event);
+    }
+
+    void
+    onBlockOp(CpuId cpu, const BlockOp &op, Cycles start, Cycles end) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onBlockOp(cpu, op, start, end);
+    }
+
+    void
+    onL2Transition(CpuId cpu, Addr l2_line, LineState from,
+                   LineState to) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onL2Transition(cpu, l2_line, from, to);
+    }
+
+    void
+    onL1Fill(CpuId cpu, Addr l1_line) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onL1Fill(cpu, l1_line);
+    }
+
+    void
+    onL1Drop(CpuId cpu, Addr l1_line) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onL1Drop(cpu, l1_line);
+    }
+
+    void
+    onOperationBegin(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                     Addr addr) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onOperationBegin(mem, op, cpu, addr);
+    }
+
+    void
+    onDmaBegin(CpuId cpu, const BlockOp &op) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onDmaBegin(cpu, op);
+    }
+
+    void
+    onOperationEnd(const MemorySystem &mem, MemOpKind op, CpuId cpu,
+                   Addr addr) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onOperationEnd(mem, op, cpu, addr);
+    }
+
+    void
+    onCodeFill(CpuId cpu, Addr addr, std::uint32_t bytes) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onCodeFill(cpu, addr, bytes);
+    }
+
+    void
+    onDma(CpuId cpu, const BlockOp &op) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onDma(cpu, op);
+    }
+
+    void
+    onBufferPrefetchFill(CpuId cpu, Addr addr) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            taps[i]->onBufferPrefetchFill(cpu, addr);
+    }
+
+  private:
+    MemEventObserver *taps[maxTaps] = {};
+    unsigned count = 0;
+    bool wantsAccess = false;
+};
+
+/**
  * Fan-out observer: forwards every event to each attached observer in
  * attachment order.  Used when a run wants both the coherence checker
  * and the observability hub on the same memory system.
+ *
+ * Retained for consumers that need a MemEventObserver-shaped bundle;
+ * the memory system itself fans out through the flat ObserverFanout
+ * above (setObservers()), which skips the extra virtual hop.
  */
 class MemEventObserverMux : public MemEventObserver
 {

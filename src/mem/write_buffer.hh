@@ -8,15 +8,20 @@
  * starts when both the previous entry has finished and the enqueue
  * has happened.  The processor stalls only when the buffer is full at
  * enqueue time, per the paper's write-buffer-overflow accounting.
+ *
+ * Storage is a fixed ring of `depth` entries — the buffer is bounded
+ * by construction, so the ring never reallocates; it can be owned or
+ * carved from the per-run SimArena next to the cache tag banks.
  */
 
 #ifndef OSCACHE_MEM_WRITE_BUFFER_HH
 #define OSCACHE_MEM_WRITE_BUFFER_HH
 
-#include <deque>
+#include <vector>
 
 #include "common/binio.hh"
 #include "common/types.hh"
+#include "mem/arena.hh"
 
 namespace oscache
 {
@@ -27,14 +32,40 @@ namespace oscache
 class WriteBuffer
 {
   public:
-    explicit WriteBuffer(unsigned depth) : capacity(depth) {}
+    explicit WriteBuffer(unsigned depth)
+        : capacity(depth), slots(ringSlots(depth))
+    {
+        ownedRing.resize(slots);
+        ring = ownedRing.data();
+    }
+
+    /** As above, with the entry ring carved from @p arena. */
+    WriteBuffer(unsigned depth, SimArena &arena)
+        : capacity(depth), slots(ringSlots(depth))
+    {
+        ring = arena.allocate<Entry>(slots);
+    }
+
+    WriteBuffer(const WriteBuffer &) = delete;
+    WriteBuffer &operator=(const WriteBuffer &) = delete;
+    WriteBuffer(WriteBuffer &&) = default;
+    WriteBuffer &operator=(WriteBuffer &&) = default;
+
+    /** Arena bytes a buffer of @p depth consumes. */
+    static constexpr std::size_t
+    arenaBytes(unsigned depth)
+    {
+        return SimArena::spanBytes(ringSlots(depth), sizeof(Entry));
+    }
 
     /** Drop entries that have drained by @p now. */
     void
     prune(Cycles now)
     {
-        while (!entries.empty() && entries.front().completeAt <= now)
-            entries.pop_front();
+        while (count > 0 && ring[head].completeAt <= now) {
+            head = next(head);
+            --count;
+        }
     }
 
     /**
@@ -45,9 +76,9 @@ class WriteBuffer
     stallUntilSlot(Cycles now)
     {
         prune(now);
-        if (entries.size() < capacity)
+        if (count < capacity)
             return 0;
-        return entries.front().completeAt - now;
+        return ring[head].completeAt - now;
     }
 
     /**
@@ -57,7 +88,13 @@ class WriteBuffer
     void
     push(Addr line_addr, Cycles complete_at)
     {
-        entries.push_back({line_addr, complete_at});
+        if (count == slots)
+            grow();
+        std::size_t idx = head + count;
+        if (idx >= slots)
+            idx -= slots;
+        ring[idx] = {line_addr, complete_at};
+        ++count;
         lastComplete = complete_at;
     }
 
@@ -83,15 +120,16 @@ class WriteBuffer
     pendingLineDrain(Addr line_addr) const
     {
         Cycles t = 0;
-        for (const auto &e : entries)
-            if (e.lineAddr == line_addr && e.completeAt > t)
-                t = e.completeAt;
+        for (std::size_t i = 0, idx = head; i < count;
+             ++i, idx = next(idx))
+            if (ring[idx].lineAddr == line_addr && ring[idx].completeAt > t)
+                t = ring[idx].completeAt;
         return t;
     }
 
     /** Number of entries still draining at the last prune. */
-    std::size_t size() const { return entries.size(); }
-    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
     unsigned depth() const { return capacity; }
 
     /**
@@ -105,22 +143,24 @@ class WriteBuffer
     drainOrderConsistent() const
     {
         Cycles prev = 0;
-        for (const auto &e : entries) {
-            if (e.completeAt < prev)
+        for (std::size_t i = 0, idx = head; i < count;
+             ++i, idx = next(idx)) {
+            if (ring[idx].completeAt < prev)
                 return false;
-            prev = e.completeAt;
+            prev = ring[idx].completeAt;
         }
-        return entries.empty() || prev <= lastComplete;
+        return count == 0 || prev <= lastComplete;
     }
 
     /** Serialize pending entries and the drain clock. */
     void
     saveState(binio::BinaryWriter &w) const
     {
-        w.put(std::uint64_t(entries.size()));
-        for (const auto &e : entries) {
-            w.put(e.lineAddr);
-            w.put(e.completeAt);
+        w.put(std::uint64_t(count));
+        for (std::size_t i = 0, idx = head; i < count;
+             ++i, idx = next(idx)) {
+            w.put(ring[idx].lineAddr);
+            w.put(ring[idx].completeAt);
         }
         w.put(lastComplete);
     }
@@ -132,12 +172,13 @@ class WriteBuffer
         std::uint64_t n = 0;
         if (!r.get(n) || n > capacity)
             return false;
-        entries.clear();
+        head = 0;
+        count = 0;
         for (std::uint64_t i = 0; i < n; ++i) {
             Entry e{};
             if (!r.get(e.lineAddr) || !r.get(e.completeAt))
                 return false;
-            entries.push_back(e);
+            ring[count++] = e;
         }
         return r.get(lastComplete);
     }
@@ -149,9 +190,53 @@ class WriteBuffer
         Cycles completeAt;
     };
 
+    /**
+     * Physical ring slots for a logical depth: the drain schedule
+     * lets an entry ride the full-buffer stall boundary (the producer
+     * stalls but the freed slot is only reclaimed at the next prune),
+     * so occupancy transiently exceeds the depth.  A few slack slots
+     * absorb that; overflow past the slack is a scheduling bug and
+     * panics in push().
+     */
+    static constexpr std::size_t
+    ringSlots(unsigned depth)
+    {
+        return std::size_t{depth} + 8;
+    }
+
+    /**
+     * Spill the ring into a larger owned buffer.  A producer that
+     * ignores the stall accounting (or a slack overrun) keeps the
+     * deque-era unbounded semantics; the simulator itself never
+     * exceeds the slack, so the hot path stays on the fixed ring.
+     */
+    void
+    grow()
+    {
+        std::vector<Entry> bigger(slots * 2);
+        for (std::size_t i = 0, idx = head; i < count;
+             ++i, idx = next(idx))
+            bigger[i] = ring[idx];
+        ownedRing = std::move(bigger);
+        ring = ownedRing.data();
+        slots = ownedRing.size();
+        head = 0;
+    }
+
+    std::size_t next(std::size_t idx) const
+    {
+        return idx + 1 == slots ? 0 : idx + 1;
+    }
+
     unsigned capacity;
+    std::size_t slots;
     Cycles lastComplete = 0;
-    std::deque<Entry> entries;
+    /** Fixed entry ring; arena span or ownedRing.data(). */
+    Entry *ring = nullptr;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    /** Backing storage when constructed without an arena. */
+    std::vector<Entry> ownedRing;
 };
 
 } // namespace oscache

@@ -202,15 +202,9 @@ runRound(const TraceSourceFactory &open, const MachineConfig &machine,
         hub->setEnabled(false);
     }
 
-    MemEventObserverMux mux;
-    mux.add(checker.get());
-    mux.add(hub.get());
-    if (checker && !hub)
-        mem.setObserver(checker.get());
-    else if (hub && !checker)
-        mem.setObserver(hub.get());
-    else if (!mux.empty())
-        mem.setObserver(&mux);
+    // Checker and hub tap the flat observer fan-out directly — no
+    // intermediate mux hop on the per-event path.
+    mem.setObservers({checker.get(), hub.get()});
 
     auto executor = makeBlockOpExecutor(scheme, mem, result.stats, options);
     System system(sampled, mem, *executor, options, result.stats);

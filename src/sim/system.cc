@@ -64,7 +64,132 @@ System::attach()
 void
 System::run()
 {
-    while (tick()) {
+    // Sampling interleaves phase queries and live-point checkpoints
+    // between records, so it keeps the step-at-a-time loop.
+    if (sampler != nullptr) {
+        while (tick()) {
+        }
+        return;
+    }
+    if (opts.modelICache)
+        runBatched<true>();
+    else
+        runBatched<false>();
+}
+
+template <bool ModelICache>
+void
+System::runBatched()
+{
+    const unsigned num_cpus = source.numCpus();
+    for (;;) {
+        // One pass computes the exact tick() schedule (smallest
+        // local time, ties broken toward the lowest id) and the
+        // runner-up: the smallest time among the other live
+        // processors, again with the lowest id among its achievers.
+        // Iterating in id order keeps both tie-breaks right — a
+        // demoted leader has a lower id than everything after it.
+        CpuId best = 0, rival = 0;
+        bool any = false, has_rival = false;
+        Cycles best_time = 0;
+        Cycles rival_time = ~Cycles{0};
+        for (unsigned c = 0; c < num_cpus; ++c) {
+            const CpuState &st = cpus[c];
+            if (st.state == CpuRunState::Done)
+                continue;
+            if (!any) {
+                any = true;
+                best = CpuId(c);
+                best_time = st.time;
+            } else if (st.time < best_time) {
+                rival = best;
+                rival_time = best_time;
+                has_rival = true;
+                best = CpuId(c);
+                best_time = st.time;
+            } else if (st.time < rival_time) {
+                rival = CpuId(c);
+                rival_time = st.time;
+                has_rival = true;
+            }
+        }
+        if (!any)
+            return;
+        if (cpus[best].state != CpuRunState::Running) {
+            // Spinning on a lock or barrier: the retiming logic and
+            // its spin bookkeeping live in step().
+            step(best);
+            continue;
+        }
+        if (!has_rival) {
+            // Alone: nothing can preempt the batch before a complex
+            // record or end of stream.
+            rival = best;
+            rival_time = ~Cycles{0};
+        }
+
+        CpuState &cs = cpus[best];
+        RecordCursor &cursor = *cursors[best];
+        bool yield = false;
+        while (!yield) {
+            const TraceRecord *span = nullptr;
+            const std::size_t n = cursor.peekRun(span);
+            if (n == 0) {
+                cs.state = CpuRunState::Done;
+                break;
+            }
+            std::size_t used = 0;
+            bool complex_head = false;
+            while (used < n) {
+                const TraceRecord &rec = span[used];
+                switch (rec.type) {
+                  case RecordType::Exec:
+                    applyExec<ModelICache>(best, rec);
+                    break;
+                  case RecordType::Idle:
+                    cur->idle += rec.aux;
+                    cs.time += rec.aux;
+                    break;
+                  case RecordType::Read:
+                    applyRead(best, rec);
+                    break;
+                  case RecordType::Write:
+                    applyWrite(best, rec);
+                    break;
+                  case RecordType::Prefetch:
+                    applyPrefetch(best, rec);
+                    break;
+                  case RecordType::BlockOpEnd:
+                    // The Begin handler already did the work.
+                    break;
+                  default:
+                    complex_head = true;
+                    break;
+                }
+                if (complex_head)
+                    break;
+                ++used;
+                // best holds the processor while it still beats the
+                // runner-up under the tick() tie-break: strictly
+                // earlier, or equal with the lower id.
+                if (cs.time > rival_time ||
+                    (cs.time == rival_time && rival < best)) {
+                    yield = true;
+                    break;
+                }
+            }
+            if (used > 0) {
+                cursor.advanceRun(used);
+                consecutiveSpins = 0;
+            }
+            if (complex_head) {
+                // A block-op or synchronization record: run it
+                // through the step path, whose handlers may suspend
+                // the processor or touch the shared sync tables.
+                step(best);
+                break;
+            }
+        }
     }
 }
 
@@ -247,8 +372,9 @@ System::step(CpuId cpu)
     }
 }
 
+template <bool ModelICache>
 void
-System::handleExec(CpuId cpu, const TraceRecord &rec)
+System::applyExec(CpuId cpu, const TraceRecord &rec)
 {
     CpuState &cs = cpus[cpu];
     const Cycles exec = rec.aux;
@@ -260,7 +386,7 @@ System::handleExec(CpuId cpu, const TraceRecord &rec)
         const Addr code_base = codeSpaceBase + Addr{rec.bb} * 4096;
         const std::uint32_t bytes =
             std::min<std::uint32_t>(4096, rec.aux * 8);
-        if (opts.modelICache) {
+        if constexpr (ModelICache) {
             // Detailed model: probe the primary I-cache and charge
             // the real fill latencies.
             imiss = mem.instructionFetch(cpu, code_base, bytes, cs.time);
@@ -276,11 +402,10 @@ System::handleExec(CpuId cpu, const TraceRecord &rec)
     cur->recordExec(rec.isOs(), rec.isBlockOpBody(), rec.aux, exec,
                     imiss);
     cs.time += exec + imiss;
-    cursors[cpu]->advance();
 }
 
 void
-System::handleData(CpuId cpu, const TraceRecord &rec)
+System::applyRead(CpuId cpu, const TraceRecord &rec)
 {
     CpuState &cs = cpus[cpu];
     AccessContext ctx;
@@ -288,21 +413,58 @@ System::handleData(CpuId cpu, const TraceRecord &rec)
     ctx.blockOpBody = rec.isBlockOpBody();
     ctx.category = rec.category;
     ctx.bb = rec.bb;
+    const AccessResult res = mem.read(cpu, rec.addr, cs.time, ctx);
+    cur->recordRead(ctx.os, ctx.blockOpBody, ctx.category, ctx.bb, res);
+    cs.time = res.completeAt;
+}
 
-    if (rec.type == RecordType::Read) {
-        const AccessResult res = mem.read(cpu, rec.addr, cs.time, ctx);
-        cur->recordRead(ctx.os, ctx.blockOpBody, ctx.category, ctx.bb,
-                        res);
-        cs.time = res.completeAt;
-    } else if (rec.type == RecordType::Write) {
-        const AccessResult res = mem.write(cpu, rec.addr, cs.time, ctx);
-        cur->recordWrite(ctx.os, ctx.blockOpBody, res);
-        cs.time = res.completeAt;
-    } else {
-        mem.prefetch(cpu, rec.addr, cs.time, ctx);
-        cur->recordExec(ctx.os, false, 1, 1, 0);
-        cs.time += 1;
-    }
+void
+System::applyWrite(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    AccessContext ctx;
+    ctx.os = rec.isOs();
+    ctx.blockOpBody = rec.isBlockOpBody();
+    ctx.category = rec.category;
+    ctx.bb = rec.bb;
+    const AccessResult res = mem.write(cpu, rec.addr, cs.time, ctx);
+    cur->recordWrite(ctx.os, ctx.blockOpBody, res);
+    cs.time = res.completeAt;
+}
+
+void
+System::applyPrefetch(CpuId cpu, const TraceRecord &rec)
+{
+    CpuState &cs = cpus[cpu];
+    AccessContext ctx;
+    ctx.os = rec.isOs();
+    ctx.blockOpBody = rec.isBlockOpBody();
+    ctx.category = rec.category;
+    ctx.bb = rec.bb;
+    mem.prefetch(cpu, rec.addr, cs.time, ctx);
+    cur->recordExec(ctx.os, false, 1, 1, 0);
+    cs.time += 1;
+}
+
+void
+System::handleExec(CpuId cpu, const TraceRecord &rec)
+{
+    if (opts.modelICache)
+        applyExec<true>(cpu, rec);
+    else
+        applyExec<false>(cpu, rec);
+    cursors[cpu]->advance();
+}
+
+void
+System::handleData(CpuId cpu, const TraceRecord &rec)
+{
+    if (rec.type == RecordType::Read)
+        applyRead(cpu, rec);
+    else if (rec.type == RecordType::Write)
+        applyWrite(cpu, rec);
+    else
+        applyPrefetch(cpu, rec);
     cursors[cpu]->advance();
 }
 
@@ -317,8 +479,8 @@ System::handleBlockOp(CpuId cpu, const TraceRecord &rec)
     if (sampler != nullptr)
         executor.retargetStats(*cur);
     cs.time = executor.execute(cpu, op, cs.time, rec.isOs());
-    if (MemEventObserver *obs = mem.eventObserver())
-        obs->onBlockOp(cpu, op, start, cs.time);
+    if (mem.observers().active())
+        mem.observers().onBlockOp(cpu, op, start, cs.time);
     cursors[cpu]->advance();
 }
 

@@ -144,6 +144,30 @@ class System
     /** Process one record (or one spin quantum) on @p cpu. */
     void step(CpuId cpu);
 
+    /**
+     * The batched replay loop behind run() when no sampler is
+     * attached: pulls whole cursor spans via peekRun() and keeps the
+     * scheduled processor consuming simple records until another
+     * processor's local time takes over, with the I-cache model
+     * branch hoisted out of the inner loop as a template parameter.
+     * Produces byte-identical results to tick() in a loop.
+     */
+    template <bool ModelICache> void runBatched();
+
+    /**
+     * @name Non-consuming record appliers
+     * The handle* wrappers below pair these with a cursor advance;
+     * the batched loop applies them straight off a peeked span and
+     * consumes the span in one advanceRun() call.
+     * @{
+     */
+    template <bool ModelICache>
+    void applyExec(CpuId cpu, const TraceRecord &rec);
+    void applyRead(CpuId cpu, const TraceRecord &rec);
+    void applyWrite(CpuId cpu, const TraceRecord &rec);
+    void applyPrefetch(CpuId cpu, const TraceRecord &rec);
+    /** @} */
+
     void handleExec(CpuId cpu, const TraceRecord &rec);
     void handleData(CpuId cpu, const TraceRecord &rec);
     void handleBlockOp(CpuId cpu, const TraceRecord &rec);

@@ -66,6 +66,22 @@ class FileTraceSource::BinaryCursor final : public RecordCursor
 
     void advance() override { ++bufPos; }
 
+    /** The unread tail of the read-ahead buffer is one span. */
+    std::size_t
+    peekRun(const TraceRecord *&first) override
+    {
+        if (bufPos >= buf.size())
+            refill();
+        if (bufPos >= buf.size()) {
+            first = nullptr;
+            return 0;
+        }
+        first = &buf[bufPos];
+        return buf.size() - bufPos;
+    }
+
+    void advanceRun(std::size_t n) override { bufPos += n; }
+
     /**
      * Chunk-skipping fast-forward: drain whatever is buffered, then
      * walk the segment index arithmetically — no record is read,
@@ -159,6 +175,22 @@ class FileTraceSource::TextCursor final : public RecordCursor
     }
 
     void advance() override { ++bufPos; }
+
+    /** The unread tail of the read-ahead buffer is one span. */
+    std::size_t
+    peekRun(const TraceRecord *&first) override
+    {
+        if (bufPos >= buf.size())
+            refill();
+        if (bufPos >= buf.size()) {
+            first = nullptr;
+            return 0;
+        }
+        first = &buf[bufPos];
+        return buf.size() - bufPos;
+    }
+
+    void advanceRun(std::size_t n) override { bufPos += n; }
 
     /**
      * Text has no record index to seek by, but skipping still skips

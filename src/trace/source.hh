@@ -80,6 +80,36 @@ class RecordCursor
         }
         return done;
     }
+
+    /**
+     * Batched peek: expose the longest contiguous span of records
+     * starting at the cursor without consuming any of them.  @p first
+     * points at the span's first record; the return value is the span
+     * length (0 at end of stream, with @p first null).  The span is
+     * invalidated by advance()/advanceRun()/skip(), exactly like a
+     * peek() pointer.  The base implementation degrades to a span of
+     * one record; buffered implementations override to hand out their
+     * whole read-ahead window so the replay engine can consume
+     * record-batch-at-a-time with two virtual calls per batch instead
+     * of two per record.
+     */
+    virtual std::size_t
+    peekRun(const TraceRecord *&first)
+    {
+        first = peek();
+        return first != nullptr ? 1 : 0;
+    }
+
+    /**
+     * Consume the first @p n records of the span last returned by
+     * peekRun().  @p n must not exceed that span's length.
+     */
+    virtual void
+    advanceRun(std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            advance();
+    }
 };
 
 /**
@@ -147,6 +177,20 @@ class VectorRecordCursor final : public RecordCursor
         pos += done;
         return done;
     }
+
+    /** The whole remaining stream is one contiguous span. */
+    std::size_t
+    peekRun(const TraceRecord *&first) override
+    {
+        if (pos >= stream->size()) {
+            first = nullptr;
+            return 0;
+        }
+        first = &(*stream)[pos];
+        return stream->size() - pos;
+    }
+
+    void advanceRun(std::size_t n) override { pos += n; }
 
   private:
     const RecordStream *stream;

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Performance-refactor safety net (ctest label "Perf").
+ *
+ * The data-oriented engine overhaul introduced a batched replay path
+ * (System::runBatched), a packed open-addressing mark table
+ * (MarkTable), and a devirtualized observer fan-out.  These tests pin
+ * the properties the refactor must preserve:
+ *
+ *  - batched replay is record-for-record equivalent to driving
+ *    tick() one step at a time, for every block-operation scheme,
+ *    with and without observers attached, including the selective
+ *    update protocol;
+ *  - a simulation with no observers performs no observer dispatch
+ *    and no heap allocation on the steady-state hit path;
+ *  - MarkTable behaves exactly like the three unordered sets it
+ *    replaced (flags, populations, sorted snapshots, class clears,
+ *    probe-chain integrity across backward-shift deletions and
+ *    growth).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "common/binio.hh"
+#include "core/blockop/schemes.hh"
+#include "mem/marks.hh"
+#include "mem/memsys.hh"
+#include "sim/system.hh"
+#include "synth/generator.hh"
+#include "synth/profile.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter for the zero-allocation test.  Counting
+// every path through the replacement set keeps the "no allocation in
+// the measured window" assertion honest.
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+// noinline keeps GCC from pairing the malloc in the replacement new
+// with the free in the replacement delete at inlined use sites and
+// raising -Wmismatched-new-delete false positives.
+__attribute__((noinline)) void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+__attribute__((noinline)) void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+__attribute__((noinline)) void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+__attribute__((noinline)) void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+__attribute__((noinline)) void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+__attribute__((noinline)) void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace oscache
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Batched vs stepped equivalence
+// ---------------------------------------------------------------------
+
+/** Everything observable a replay produces. */
+struct ReplayResult
+{
+    SimStats stats;
+    std::string memState;
+    std::string sysState;
+};
+
+/**
+ * Replay @p trace under @p scheme.  @p stepped drives tick() one
+ * record at a time (the path sampling uses); otherwise run() takes
+ * the batched fast path.  @p checked attaches the coherence checker
+ * so the observer-notification schedule is exercised too.
+ */
+ReplayResult
+replay(const Trace &trace, BlockScheme scheme, bool checked, bool stepped)
+{
+    ReplayResult out;
+    SimOptions opts;
+    MemorySystem mem(MachineConfig::base());
+    std::unique_ptr<CoherenceChecker> checker;
+    if (checked) {
+        checker = std::make_unique<CoherenceChecker>(MachineConfig::base());
+        mem.setObserver(checker.get());
+    }
+    std::unique_ptr<BlockOpExecutor> exec =
+        makeBlockOpExecutor(scheme, mem, out.stats, opts);
+    System system(trace, mem, *exec, opts, out.stats);
+    if (stepped) {
+        while (system.tick()) {
+        }
+    } else {
+        system.run();
+    }
+    std::ostringstream mem_bytes, sys_bytes;
+    binio::BinaryWriter mw(mem_bytes);
+    mem.saveState(mw);
+    binio::BinaryWriter sw(sys_bytes);
+    system.saveState(sw);
+    out.memState = mem_bytes.str();
+    out.sysState = sys_bytes.str();
+    return out;
+}
+
+/** A short but block-op-rich workload (page faults, forks, I/O). */
+const Trace &
+shortTrace(const CoherenceOptions &coh)
+{
+    static const Trace none = [] {
+        WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Trfd4);
+        p.quanta = 3;
+        return generateTrace(p, CoherenceOptions::none());
+    }();
+    static const Trace update = [] {
+        WorkloadProfile p = WorkloadProfile::forKind(WorkloadKind::Trfd4);
+        p.quanta = 3;
+        return generateTrace(p, CoherenceOptions::relocUpdate());
+    }();
+    return coh.selectiveUpdate ? update : none;
+}
+
+void
+expectEquivalent(const ReplayResult &batched, const ReplayResult &stepped)
+{
+    EXPECT_TRUE(batched.stats == stepped.stats);
+    EXPECT_EQ(batched.memState, stepped.memState);
+    EXPECT_EQ(batched.sysState, stepped.sysState);
+}
+
+constexpr BlockScheme allSchemes[] = {
+    BlockScheme::Base, BlockScheme::Pref, BlockScheme::Bypass,
+    BlockScheme::ByPref, BlockScheme::Dma,
+};
+
+TEST(BatchedEquivalence, AllSchemesBare)
+{
+    const Trace &trace = shortTrace(CoherenceOptions::none());
+    for (const BlockScheme scheme : allSchemes) {
+        SCOPED_TRACE(toString(scheme));
+        expectEquivalent(replay(trace, scheme, false, false),
+                         replay(trace, scheme, false, true));
+    }
+}
+
+TEST(BatchedEquivalence, AllSchemesWithObserver)
+{
+    const Trace &trace = shortTrace(CoherenceOptions::none());
+    for (const BlockScheme scheme : allSchemes) {
+        SCOPED_TRACE(toString(scheme));
+        expectEquivalent(replay(trace, scheme, true, false),
+                         replay(trace, scheme, true, true));
+    }
+}
+
+TEST(BatchedEquivalence, SelectiveUpdateProtocol)
+{
+    const Trace &trace = shortTrace(CoherenceOptions::relocUpdate());
+    expectEquivalent(replay(trace, BlockScheme::Base, false, false),
+                     replay(trace, BlockScheme::Base, false, true));
+    expectEquivalent(replay(trace, BlockScheme::Base, true, false),
+                     replay(trace, BlockScheme::Base, true, true));
+}
+
+TEST(BatchedEquivalence, BatchedAndSteppedAgreeAcrossObserverToggle)
+{
+    // The observer must not perturb the simulated outcome: bare and
+    // checked replays of the same trace produce the same statistics
+    // and the same memory image.
+    const Trace &trace = shortTrace(CoherenceOptions::none());
+    const ReplayResult bare = replay(trace, BlockScheme::Dma, false, false);
+    const ReplayResult checked = replay(trace, BlockScheme::Dma, true, false);
+    EXPECT_TRUE(bare.stats == checked.stats);
+    EXPECT_EQ(bare.memState, checked.memState);
+    EXPECT_EQ(bare.sysState, checked.sysState);
+}
+
+// ---------------------------------------------------------------------
+// Null-observer guarantees
+// ---------------------------------------------------------------------
+
+/** Observer that counts every dispatch it receives. */
+class CountingObserver : public MemEventObserver
+{
+  public:
+    bool wantsAccessEvents() const override { return true; }
+    void onAccess(const MemAccessEvent &) override { ++accesses; }
+    void onL2Transition(CpuId, Addr, LineState, LineState) override
+    {
+        ++transitions;
+    }
+    std::uint64_t accesses = 0;
+    std::uint64_t transitions = 0;
+};
+
+TEST(NullObserver, FanoutIsInactiveByDefault)
+{
+    MemorySystem mem(MachineConfig::base());
+    EXPECT_TRUE(mem.observers().empty());
+    EXPECT_FALSE(mem.observers().active());
+    EXPECT_FALSE(mem.observers().wantsAccessEvents());
+    EXPECT_EQ(mem.observers().single(), nullptr);
+}
+
+TEST(NullObserver, AttachedObserverSeesDispatch)
+{
+    // Sanity check of the fan-out: the zero-dispatch claim below is
+    // only meaningful if an attached tap actually receives events.
+    MemorySystem mem(MachineConfig::base());
+    CountingObserver counter;
+    mem.setObserver(&counter);
+    EXPECT_TRUE(mem.observers().active());
+    EXPECT_TRUE(mem.observers().wantsAccessEvents());
+    AccessContext ctx;
+    Cycles t = 0;
+    for (Addr a = 0x4000; a < 0x4400; a += 16)
+        t = mem.read(0, a, t, ctx).completeAt;
+    EXPECT_GT(counter.accesses, 0u);
+    EXPECT_GT(counter.transitions, 0u);
+
+    mem.setObserver(nullptr);
+    EXPECT_TRUE(mem.observers().empty());
+    const std::uint64_t before = counter.accesses;
+    mem.read(0, 0x4000, t, ctx);
+    EXPECT_EQ(counter.accesses, before);
+}
+
+TEST(NullObserver, SteadyStateHitPathDoesNotAllocate)
+{
+    MemorySystem mem(MachineConfig::base());
+    AccessContext ctx;
+    Cycles t = 0;
+    // Warm a footprint that fits the 32 KB L1 and settle every
+    // transient (write-buffer ring growth, mark-table sizing).
+    const Addr base = 0x10000;
+    const Addr span = 16 * 1024;
+    for (Addr a = base; a < base + span; a += 16) {
+        t = mem.read(0, a, t, ctx).completeAt;
+        t = mem.write(0, a, t, ctx).completeAt;
+    }
+    for (Addr a = base; a < base + span; a += 16) {
+        t = mem.read(0, a, t, ctx).completeAt;
+        t = mem.write(0, a, t, ctx).completeAt;
+    }
+
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    for (int pass = 0; pass < 8; ++pass) {
+        for (Addr a = base; a < base + span; a += 16) {
+            t = mem.read(0, a, t, ctx).completeAt;
+            t = mem.write(0, a, t, ctx).completeAt;
+        }
+    }
+    const std::uint64_t after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before)
+        << "steady-state L1 hits allocated " << (after - before)
+        << " times";
+}
+
+// ---------------------------------------------------------------------
+// MarkTable unit tests
+// ---------------------------------------------------------------------
+
+TEST(MarkTable, SetTestClear)
+{
+    MarkTable t;
+    EXPECT_FALSE(t.test(0x100, MarkTable::coherence));
+    t.set(0x100, MarkTable::coherence);
+    EXPECT_TRUE(t.test(0x100, MarkTable::coherence));
+    EXPECT_FALSE(t.test(0x100, MarkTable::blockEvict));
+    EXPECT_FALSE(t.test(0x110, MarkTable::coherence));
+
+    t.set(0x100, MarkTable::blockEvict);
+    EXPECT_EQ(t.flagsAt(0x100),
+              MarkTable::coherence | MarkTable::blockEvict);
+
+    t.clear(0x100, MarkTable::coherence);
+    EXPECT_EQ(t.flagsAt(0x100), MarkTable::blockEvict);
+    t.clear(0x100, MarkTable::blockEvict);
+    EXPECT_EQ(t.flagsAt(0x100), 0);
+}
+
+TEST(MarkTable, ClearAllDropsEveryRequestedFlag)
+{
+    MarkTable t;
+    t.set(0x40, MarkTable::coherence);
+    t.set(0x40, MarkTable::blockEvict);
+    t.set(0x40, MarkTable::bypass);
+    t.clearAll(0x40, MarkTable::coherence | MarkTable::blockEvict);
+    EXPECT_EQ(t.flagsAt(0x40), MarkTable::bypass);
+    EXPECT_EQ(t.population(MarkTable::coherence), 0u);
+    EXPECT_EQ(t.population(MarkTable::blockEvict), 0u);
+    EXPECT_EQ(t.population(MarkTable::bypass), 1u);
+}
+
+TEST(MarkTable, PopulationTracksDistinctLines)
+{
+    MarkTable t;
+    for (Addr a = 0; a < 100; ++a)
+        t.set(a * 16, MarkTable::coherence);
+    EXPECT_EQ(t.population(MarkTable::coherence), 100u);
+    EXPECT_TRUE(t.any(MarkTable::coherence));
+    EXPECT_FALSE(t.any(MarkTable::bypass));
+
+    // Re-setting is idempotent.
+    t.set(0, MarkTable::coherence);
+    EXPECT_EQ(t.population(MarkTable::coherence), 100u);
+
+    // Clearing an absent flag is a no-op.
+    t.clear(0, MarkTable::bypass);
+    EXPECT_EQ(t.population(MarkTable::coherence), 100u);
+
+    for (Addr a = 0; a < 100; ++a)
+        t.clear(a * 16, MarkTable::coherence);
+    EXPECT_FALSE(t.any(MarkTable::coherence));
+}
+
+TEST(MarkTable, SnapshotIsSortedAndPerClass)
+{
+    MarkTable t;
+    const std::vector<Addr> lines = {0x900, 0x100, 0x500, 0x300, 0x700};
+    for (const Addr a : lines)
+        t.set(a, MarkTable::blockEvict);
+    t.set(0x200, MarkTable::coherence);
+
+    const std::vector<Addr> snap = t.snapshot(MarkTable::blockEvict);
+    ASSERT_EQ(snap.size(), lines.size());
+    EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+    std::vector<Addr> expected = lines;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(snap, expected);
+    EXPECT_EQ(t.snapshot(MarkTable::coherence),
+              std::vector<Addr>{0x200});
+}
+
+TEST(MarkTable, ClearClassKeepsOtherFlags)
+{
+    MarkTable t;
+    t.set(0x10, MarkTable::coherence);
+    t.set(0x10, MarkTable::bypass);
+    t.set(0x20, MarkTable::bypass);
+    t.set(0x30, MarkTable::blockEvict);
+
+    t.clearClass(MarkTable::bypass);
+    EXPECT_EQ(t.population(MarkTable::bypass), 0u);
+    EXPECT_TRUE(t.snapshot(MarkTable::bypass).empty());
+    EXPECT_EQ(t.flagsAt(0x10), MarkTable::coherence);
+    EXPECT_EQ(t.flagsAt(0x20), 0);
+    EXPECT_EQ(t.flagsAt(0x30), MarkTable::blockEvict);
+}
+
+TEST(MarkTable, GrowPreservesEveryMark)
+{
+    // Push far past the initial capacity so the table doubles
+    // several times, then verify every mark survived.
+    MarkTable t;
+    std::mt19937_64 rng(42);
+    std::set<Addr> coh, blk;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = (rng() % 100000) * 16;
+        if (rng() & 1) {
+            t.set(a, MarkTable::coherence);
+            coh.insert(a);
+        } else {
+            t.set(a, MarkTable::blockEvict);
+            blk.insert(a);
+        }
+    }
+    EXPECT_EQ(t.population(MarkTable::coherence), coh.size());
+    EXPECT_EQ(t.population(MarkTable::blockEvict), blk.size());
+    for (const Addr a : coh)
+        EXPECT_TRUE(t.test(a, MarkTable::coherence)) << a;
+    for (const Addr a : blk)
+        EXPECT_TRUE(t.test(a, MarkTable::blockEvict)) << a;
+}
+
+TEST(MarkTable, RandomizedAgainstReferenceSets)
+{
+    // Differential test: MarkTable vs the three std::set instances
+    // it replaced, under a random workload of sets, clears, class
+    // wipes, and probes — including enough inserts and removals to
+    // exercise backward-shift deletion chains and growth.
+    MarkTable t;
+    std::set<Addr> ref[3];
+    constexpr std::uint8_t flags[3] = {
+        MarkTable::coherence, MarkTable::blockEvict, MarkTable::bypass};
+    std::mt19937_64 rng(7);
+    for (int step = 0; step < 200000; ++step) {
+        // A small address universe forces heavy collision/reuse.
+        const Addr a = (rng() % 4096) * 16;
+        const int f = int(rng() % 3);
+        switch (rng() % 8) {
+          case 0:
+          case 1:
+          case 2:
+            t.set(a, flags[f]);
+            ref[f].insert(a);
+            break;
+          case 3:
+          case 4:
+            t.clear(a, flags[f]);
+            ref[f].erase(a);
+            break;
+          case 5: {
+            const std::uint8_t m =
+                std::uint8_t(flags[f] | flags[(f + 1) % 3]);
+            t.clearAll(a, m);
+            ref[f].erase(a);
+            ref[(f + 1) % 3].erase(a);
+            break;
+          }
+          case 6: {
+            std::uint8_t expect = 0;
+            for (int k = 0; k < 3; ++k)
+                if (ref[k].count(a))
+                    expect |= flags[k];
+            ASSERT_EQ(t.flagsAt(a), expect) << "addr " << a;
+            break;
+          }
+          case 7:
+            if (rng() % 1000 == 0) {
+                t.clearClass(flags[f]);
+                ref[f].clear();
+            }
+            break;
+        }
+    }
+    for (int k = 0; k < 3; ++k) {
+        ASSERT_EQ(t.population(flags[k]), ref[k].size());
+        const std::vector<Addr> snap = t.snapshot(flags[k]);
+        const std::vector<Addr> expect(ref[k].begin(), ref[k].end());
+        ASSERT_EQ(snap, expect);
+    }
+}
+
+TEST(MarkTable, BackwardShiftKeepsCollidingChainsReachable)
+{
+    // Build a long probe chain by inserting many keys, then remove
+    // interior members and verify the rest stay reachable.  The
+    // random differential above covers this statistically; this case
+    // removes every other element of a dense run to hit the
+    // move-or-skip decision in removeSlot directly.
+    MarkTable t;
+    std::vector<Addr> keys;
+    for (Addr a = 1; a <= 600; ++a) {
+        t.set(a, MarkTable::coherence);
+        keys.push_back(a);
+    }
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        t.clear(keys[i], MarkTable::coherence);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i % 2 == 0)
+            EXPECT_FALSE(t.test(keys[i], MarkTable::coherence)) << keys[i];
+        else
+            EXPECT_TRUE(t.test(keys[i], MarkTable::coherence)) << keys[i];
+    }
+    EXPECT_EQ(t.population(MarkTable::coherence), keys.size() / 2);
+}
+
+} // namespace
+} // namespace oscache

@@ -4,6 +4,7 @@
 #
 # Usage: tools/bench_append.sh [build-dir] [quanta] [plan]
 #        tools/bench_append.sh serve [build-dir]
+#        tools/bench_append.sh perf [build-dir] [label]
 #
 #   build-dir  build tree with oscache + oscache-sample (default: build)
 #   quanta     synthetic-workload length (default: 1960, ~100M records)
@@ -18,9 +19,66 @@
 # oscache-served daemon per worker count (1, 2, 4), each with a cold
 # result store, timed over a full smoke-suite submit from one client,
 # and appends {workers -> cells/sec} scaling to BENCH_serve.json.
+#
+# The `perf` mode measures raw replay throughput: it configures a
+# Release+LTO tree if the given build-dir has none, runs the
+# bench/perf_simulator replay section (all four workloads, bare and
+# checked, min-of-2 each), and appends the accesses/sec numbers to
+# BENCH_perf.json — the series tools/run_checks.sh gates against.
 set -eu
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
+
+if [ "${1:-}" = "perf" ]; then
+    build=${2:-"$repo/build-rel"}
+    label=${3:-"dev"}
+    bench="$repo/BENCH_perf.json"
+    scratch=$(mktemp -d)
+    trap 'rm -rf "$scratch"' EXIT
+
+    echo "== configure/build perf_simulator ($build, Release+LTO) =="
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON > /dev/null
+    cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
+        --target perf_simulator > /dev/null
+
+    echo "== replay throughput (4 workloads, bare + checked) =="
+    OSCACHE_BENCH_PERF_OUT="$scratch/perf.json" \
+        "$build/bench/perf_simulator" --benchmark_filter=NONE \
+        > /dev/null
+
+    python3 - "$bench" "$scratch/perf.json" "$label" << 'EOF'
+import json, os, sys, datetime
+
+bench_path, perf_path, label = sys.argv[1:4]
+
+# The perf_simulator output is only fully valid JSON when the micro
+# benchmarks run; index-scan the replay array out instead of parsing
+# the whole document.
+text = open(perf_path).read()
+i = text.index('"replay"')
+j = text.index('[', i)
+k = text.index(']', j)
+rows = json.loads(text[j:k + 1])
+
+doc = json.load(open(bench_path))
+entry = {
+    "date": datetime.date.today().isoformat(),
+    "host": os.uname().sysname.lower() + "-" + os.uname().machine,
+    "build": "Release+LTO",
+    "label": label,
+    "workloads": rows,
+}
+doc["entries"].append(entry)
+with open(bench_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("appended: " + ", ".join(
+    "%s=%.2fM acc/s" % (r["workload"], r["accesses_per_sec"] / 1e6)
+    for r in rows))
+EOF
+    exit 0
+fi
 
 if [ "${1:-}" = "serve" ]; then
     build=${2:-"$repo/build"}

@@ -203,4 +203,72 @@ echo "== serve: fleet smoke (4 workers, 8 clients, kill -9) =="
     "$build/tools/oscache-servectl" "$build/tools/oscache-bench" \
     "$tracedir/serve_smoke"
 
+
+# Performance stage: an optimized build must (a) still pass the
+# batched-replay/MarkTable safety net (`ctest -L Perf` — the ASan
+# ctest above already ran it unoptimized) and (b) hold the replay
+# throughput recorded in BENCH_perf.json.  Throughput is measured as
+# the perf_simulator replay section (min-of-2 per workload) on a
+# Release+LTO tree; any workload more than 5% below the latest
+# BENCH_perf.json entry fails the sweep.  After an intentional
+# engine change, re-baseline with `tools/bench_append.sh perf`.
+perf_build="$build-perf"
+echo "== configure perf ($perf_build, Release+LTO) =="
+cmake -B "$perf_build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON > /dev/null
+
+echo "== build perf =="
+cmake --build "$perf_build" -j "$jobs" --target perf_simulator \
+    test_perf_equiv
+
+echo "== ctest perf (label Perf, optimized build) =="
+ctest --test-dir "$perf_build" --output-on-failure -j "$jobs" -L Perf
+
+# Three full invocations, best per workload: a single run can lose
+# 15% to transient machine load, which would flake a 5% gate.
+echo "== perf gate: replay throughput vs BENCH_perf.json =="
+for run in 1 2 3; do
+    OSCACHE_BENCH_PERF_OUT="$tracedir/perf-$run.json" \
+        "$perf_build/bench/perf_simulator" --benchmark_filter=NONE \
+        > /dev/null
+done
+python3 - "$repo/BENCH_perf.json" "$tracedir"/perf-*.json << 'EOF'
+import json, sys
+
+bench_path = sys.argv[1]
+measured = {}
+for perf_path in sys.argv[2:]:
+    text = open(perf_path).read()
+    i = text.index('"replay"')
+    j = text.index('[', i)
+    k = text.index(']', j)
+    for r in json.loads(text[j:k + 1]):
+        best = measured.get(r["workload"])
+        if best is None or r["accesses_per_sec"] > best["accesses_per_sec"]:
+            measured[r["workload"]] = r
+
+baseline_entry = json.load(open(bench_path))["entries"][-1]
+baseline = {r["workload"]: r for r in baseline_entry["workloads"]}
+
+failed = False
+for name, base in sorted(baseline.items()):
+    got = measured.get(name)
+    if got is None:
+        print("perf gate: workload %s missing from run" % name)
+        failed = True
+        continue
+    ratio = got["accesses_per_sec"] / base["accesses_per_sec"]
+    status = "ok" if ratio >= 0.95 else "REGRESSED"
+    print("  %-11s %6.2fM acc/s vs baseline %6.2fM (%.2fx) %s"
+          % (name, got["accesses_per_sec"] / 1e6,
+             base["accesses_per_sec"] / 1e6, ratio, status))
+    if ratio < 0.95:
+        failed = True
+if failed:
+    print("perf gate failed: >5%% regression vs entry dated %s (%s)"
+          % (baseline_entry["date"], baseline_entry["label"]))
+    sys.exit(1)
+print("perf gate passed (baseline: %s)" % baseline_entry["label"])
+EOF
+
 echo "all checks passed"
