@@ -33,6 +33,11 @@ runOnce(TraceSource &source, const MachineConfig &machine,
         hub = std::make_unique<ObsHub>(obs_opts);
         hub->setMemorySystem(&mem);
         mem.bus().setProbe(hub.get());
+        if (mem.numaActive()) {
+            for (unsigned s = 0; s < machine.numSockets; ++s)
+                mem.socketBus(s).setProbe(hub.get());
+            mem.linkBus().setProbe(hub->linkProbe());
+        }
     }
 
     // Checker and hub tap the flat observer fan-out directly — no
@@ -54,16 +59,36 @@ runOnce(TraceSource &source, const MachineConfig &machine,
                   format(checker->findings().front()));
     }
 
-    const Bus &bus = mem.bus();
-    result.bus.totalBytes = bus.totalBytes();
-    result.bus.totalTransactions = bus.totalTransactions();
-    result.bus.busyCycles = bus.totalBusyCycles();
-    result.bus.fillBytes = bus.bytes(BusTxn::LineFill);
-    result.bus.writebackBytes = bus.bytes(BusTxn::WriteBack);
-    result.bus.invalidateTransactions = bus.transactions(BusTxn::Invalidate);
-    result.bus.updateTransactions = bus.transactions(BusTxn::Update);
-    result.bus.updateBytes = bus.bytes(BusTxn::Update);
-    result.bus.dmaBytes = bus.bytes(BusTxn::Dma);
+    const auto fold = [&result](const Bus &bus) {
+        result.bus.totalBytes += bus.totalBytes();
+        result.bus.totalTransactions += bus.totalTransactions();
+        result.bus.busyCycles += bus.totalBusyCycles();
+        result.bus.fillBytes += bus.bytes(BusTxn::LineFill);
+        result.bus.writebackBytes += bus.bytes(BusTxn::WriteBack);
+        result.bus.invalidateTransactions +=
+            bus.transactions(BusTxn::Invalidate);
+        result.bus.updateTransactions += bus.transactions(BusTxn::Update);
+        result.bus.updateBytes += bus.bytes(BusTxn::Update);
+        result.bus.dmaBytes += bus.bytes(BusTxn::Dma);
+    };
+    if (!mem.numaActive()) {
+        fold(mem.bus());
+        return result;
+    }
+    // Per-kind totals aggregate across the socket buses; the link and
+    // the directory-filter counters are reported on their own.
+    for (unsigned s = 0; s < machine.numSockets; ++s)
+        fold(mem.socketBus(s));
+    const Bus &link = mem.linkBus();
+    result.bus.numSockets = machine.numSockets;
+    result.bus.linkTransactions = link.totalTransactions();
+    result.bus.linkBytes = link.totalBytes();
+    result.bus.linkBusyCycles = link.totalBusyCycles();
+    const MemorySystem::NumaCounters nc = mem.numaCounters();
+    result.bus.snoopsFiltered = nc.snoopsFiltered;
+    result.bus.snoopsForwarded = nc.snoopsForwarded;
+    result.bus.localHomeReads = nc.localHomeReads;
+    result.bus.remoteHomeReads = nc.remoteHomeReads;
     return result;
 }
 

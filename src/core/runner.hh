@@ -36,7 +36,13 @@ namespace sample
 struct SampleReport;
 } // namespace sample
 
-/** Bus-level results copied out of the memory system after a run. */
+/**
+ * Bus-level results copied out of the memory system after a run.  On
+ * a flat (single-socket) machine the fields describe the one snooping
+ * bus and every NUMA field stays zero; on a multi-socket machine the
+ * per-kind totals aggregate across the socket buses and the link is
+ * reported separately.
+ */
 struct BusSnapshot
 {
     std::uint64_t totalBytes = 0;
@@ -48,6 +54,22 @@ struct BusSnapshot
     std::uint64_t updateTransactions = 0;
     std::uint64_t updateBytes = 0;
     std::uint64_t dmaBytes = 0;
+
+    /** @name Two-level interconnect (zero on a flat machine) @{ */
+    /** Sockets simulated; 0 means the flat single-bus machine. */
+    std::uint64_t numSockets = 0;
+    std::uint64_t linkTransactions = 0;
+    std::uint64_t linkBytes = 0;
+    std::uint64_t linkBusyCycles = 0;
+    /** Snoop broadcasts the home directory kept socket-local. */
+    std::uint64_t snoopsFiltered = 0;
+    /** Snoop broadcasts forwarded across the link. */
+    std::uint64_t snoopsForwarded = 0;
+    /** Line reads serviced by the requester's own home memory. */
+    std::uint64_t localHomeReads = 0;
+    /** Line reads that paid the remote-home penalty. */
+    std::uint64_t remoteHomeReads = 0;
+    /** @} */
 };
 
 /** Everything one simulation run produces. */

@@ -71,7 +71,22 @@ makeFuzzCase(std::uint64_t seed)
     // Tiny caches so every pool collides constantly: 64 primary sets,
     // 64-128 secondary sets.
     MachineConfig &m = fc.machine;
-    m.numCpus = unsigned(2 + rng.below(3));
+    if (rng.chance(0.4)) {
+        // Multi-socket geometries: the oracle is timing-blind, so
+        // the two-level interconnect must leave functional behaviour
+        // untouched at every shape.  Small home granules make home
+        // sockets alternate inside every address pool.
+        constexpr std::pair<unsigned, unsigned> geometries[] = {
+            {2, 2}, {2, 3}, {2, 4}, {4, 2}};
+        const auto &[sockets, per] =
+            geometries[rng.below(std::size(geometries))];
+        m.numSockets = sockets;
+        m.numCpus = sockets * per;
+        constexpr std::uint32_t granules[] = {64, 256, 4096};
+        m.homeGranule = granules[rng.below(std::size(granules))];
+    } else {
+        m.numCpus = unsigned(2 + rng.below(3));
+    }
     m.l1Size = 1024;
     m.l1LineSize = 16;
     m.iCacheSize = 1024;

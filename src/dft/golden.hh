@@ -4,7 +4,8 @@
  *
  * Snapshots the structured results of every registered experiment's
  * smoke cell (one small deterministic simulation per figure, table,
- * and ablation — 18 cells in all) and compares them against a blessed
+ * ablation, and NUMA suite — 19 cells in all) and compares them
+ * against a blessed
  * file under version control (tests/golden/cells.jsonl).  Any future
  * change that shifts a reproduced number fails the check with a
  * line-level diff and must consciously re-bless with

@@ -255,6 +255,12 @@ ReferenceMachine::read(CpuId cpu, Addr addr, bool allocate,
         out.level = ServiceLevel::L2;
     } else {
         out.level = ServiceLevel::Memory;
+        if (cfg.numaActive()) {
+            if (cfg.homeSocketOf(l2line) == cfg.socketOf(cpu))
+                ++m.counts.homeLocalReads;
+            else
+                ++m.counts.homeRemoteReads;
+        }
         busReadShared(cpu, l2line);
         if (allocate)
             installL2(cpu, l2line, readFillState(cpu, l2line));

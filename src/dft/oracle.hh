@@ -70,6 +70,19 @@ struct RefCounts
     /** Read misses by the referenced data-structure category. */
     std::array<std::uint64_t, numCategories> missByCategory{};
 
+    /**
+     * @name Two-level topology attribution (all zero on a flat
+     * machine).  The model has no link or timing, but home-socket
+     * membership is a pure function of the address, so the oracle
+     * splits every memory-serviced read miss by whether its home
+     * granule lives on the reader's socket — the functional half of
+     * the engine's local/remote read accounting.
+     * @{
+     */
+    std::uint64_t homeLocalReads = 0;
+    std::uint64_t homeRemoteReads = 0;
+    /** @} */
+
     std::uint64_t
     misses() const
     {

@@ -82,14 +82,16 @@ runExperiments(const std::vector<const Experiment *> &experiments,
     if (options.store != nullptr) {
         TraceStore *store = options.store;
         setTraceCacheHooks(
-            [store](WorkloadKind w, const CoherenceOptions &o) {
-                return store->load(
-                    TraceStore::keyFor(WorkloadProfile::forKind(w), o));
+            [store](WorkloadKind w, const CoherenceOptions &o,
+                    unsigned cpus) {
+                return store->load(TraceStore::keyFor(
+                    WorkloadProfile::forKind(w), o, cpus));
             },
             [store](WorkloadKind w, const CoherenceOptions &o,
-                    const Trace &t) {
-                store->store(
-                    TraceStore::keyFor(WorkloadProfile::forKind(w), o), t);
+                    unsigned cpus, const Trace &t) {
+                store->store(TraceStore::keyFor(
+                                 WorkloadProfile::forKind(w), o, cpus),
+                             t);
             });
         hooks.active = true;
         if (options.stream) {
@@ -98,14 +100,16 @@ runExperiments(const std::vector<const Experiment *> &experiments,
             const std::size_t read_ahead = options.streamBufferRecords;
             setTraceSourceHook(
                 [store, read_ahead](WorkloadKind w,
-                                    const CoherenceOptions &o)
+                                    const CoherenceOptions &o,
+                                    unsigned cpus)
                     -> std::unique_ptr<TraceSource> {
                     const WorkloadProfile profile =
                         WorkloadProfile::forKind(w);
-                    const std::string key = TraceStore::keyFor(profile, o);
+                    const std::string key =
+                        TraceStore::keyFor(profile, o, cpus);
                     if (auto source = store->openSource(key, read_ahead))
                         return source;
-                    store->storeStreaming(key, profile, o);
+                    store->storeStreaming(key, profile, o, cpus);
                     return store->openSource(key, read_ahead);
                 });
             hooks.sourceActive = true;

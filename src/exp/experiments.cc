@@ -20,6 +20,7 @@
 #include "exp/hash.hh"
 #include "report/experiment.hh"
 #include "report/figures.hh"
+#include "report/numa.hh"
 #include "report/paper.hh"
 #include "report/table.hh"
 #include "sim/system.hh"
@@ -1379,6 +1380,98 @@ makeAblationAssociativity()
     return e;
 }
 
+// ------------------------------------------------------------- numa suite
+
+/** (sockets, cpus-per-socket) geometries of the NUMA sweep. */
+constexpr std::pair<unsigned, unsigned> numaGeometries[] = {
+    {2, 4}, {2, 8}, {4, 8}};
+
+/** Paper verdict systems: baseline, the loser, the winner, the stack. */
+constexpr SystemKind numaSystems[] = {
+    SystemKind::Base, SystemKind::BlkBypass, SystemKind::BlkDma,
+    SystemKind::BCPref};
+
+std::string
+numaId(unsigned sockets, unsigned per, SystemKind sys, WorkloadKind kind)
+{
+    return std::to_string(sockets) + "x" + std::to_string(per) + "/" +
+        cellId(sys, kind);
+}
+
+Experiment
+makeNumaServer()
+{
+    Experiment e;
+    e.name = "numa_server";
+    e.title = "Server-class mixes on the two-level NUMA machine";
+    for (const auto &[sockets, per] : numaGeometries) {
+        const MachineConfig machine = MachineConfig::numa(sockets, per);
+        for (SystemKind sys : numaSystems)
+            for (WorkloadKind kind : serverWorkloads)
+                e.cells.push_back(stdCell(
+                    numaId(sockets, per, sys, kind), kind, sys, machine));
+    }
+    e.smokeCell =
+        numaId(2, 4, SystemKind::Base, WorkloadKind::SyscallStorm);
+    e.render = [](const CellLookup &lk, std::ostream &os) {
+        appendf(os, "NUMA suite: server-class mixes, two-level "
+                    "interconnect (sockets x cpus/socket)\n\n");
+        for (const auto &[sockets, per] : numaGeometries) {
+            appendf(os, "==== %ux%u ====\n", sockets, per);
+            appendf(os, "%-15s %10s %10s %10s %10s %8s\n", "workload",
+                    "base", "Bypass/B", "Dma/B", "BCPref/B", "miss-red");
+            for (WorkloadKind kind : serverWorkloads) {
+                const SimStats &base = lk.stats(
+                    numaId(sockets, per, SystemKind::Base, kind));
+                const SimStats &byp = lk.stats(
+                    numaId(sockets, per, SystemKind::BlkBypass, kind));
+                const SimStats &dma = lk.stats(
+                    numaId(sockets, per, SystemKind::BlkDma, kind));
+                const SimStats &best = lk.stats(
+                    numaId(sockets, per, SystemKind::BCPref, kind));
+                const double base_time = double(base.osTime());
+                appendf(os, "%-15s %10llu %10.3f %10.3f %10.3f %7.0f%%\n",
+                        toString(kind),
+                        (unsigned long long)base.osTime(),
+                        double(byp.osTime()) / base_time,
+                        double(dma.osTime()) / base_time,
+                        double(best.osTime()) / base_time,
+                        100.0 *
+                            (1.0 - double(best.osMissTotal()) /
+                                       double(base.osMissTotal())));
+            }
+            appendf(os, "\n");
+
+            // The NUMA table proper: interconnect behaviour of the
+            // Base system at this geometry.
+            std::vector<NumaColumn> columns;
+            std::vector<const CellOutcome *> rows;
+            for (WorkloadKind kind : serverWorkloads)
+                rows.push_back(&lk.at(
+                    numaId(sockets, per, SystemKind::Base, kind)));
+            for (std::size_t w = 0; w < rows.size(); ++w) {
+                NumaColumn c;
+                c.label = toString(serverWorkloads[w]);
+                c.stats = &rows[w]->run.stats;
+                c.bus = &rows[w]->run.bus;
+                columns.push_back(c);
+            }
+            renderNumaTable(os,
+                            "NUMA split on Base, " +
+                                std::to_string(sockets) + "x" +
+                                std::to_string(per),
+                            columns);
+            appendf(os, "\n");
+        }
+        appendf(os,
+                "Expected shape: Blk_Dma still wins and Blk_Bypass "
+                "still loses at every geometry; the full stack keeps\n"
+                "a large miss reduction, while the remote-read share "
+                "and link occupancy grow with the socket count.\n");
+    };
+    return e;
+}
+
 } // namespace
 
 const std::vector<Experiment> &
@@ -1404,6 +1497,7 @@ experimentRegistry()
         r.push_back(makeAblationWriteBuffer());
         r.push_back(makeAblationICache());
         r.push_back(makeAblationAssociativity());
+        r.push_back(makeNumaServer());
         return r;
     }();
     return registry;
@@ -1430,7 +1524,8 @@ resolveExperiments(const std::vector<std::string> &names)
             const bool group = name == "all" ||
                 (name == "figures" && entry.starts_with("figure")) ||
                 (name == "tables" && entry.starts_with("table")) ||
-                (name == "ablations" && entry.starts_with("ablation"));
+                (name == "ablations" && entry.starts_with("ablation")) ||
+                (name == "numa" && entry.starts_with("numa"));
             if (group || entry == name) {
                 selected[i] = true;
                 matched = true;

@@ -131,6 +131,14 @@ mixMachine(ContentHash &h, const MachineConfig &machine)
     h.mix(machine.dmaStartup).mix(machine.dmaPer8Bytes);
     h.mix(machine.dmaDirtySupplyPenalty);
     h.mix(machine.blockPrefetchBufferLines);
+    // NUMA geometry mixes in only when active, so every flat
+    // machine's key is byte-identical to what it hashed before the
+    // multi-socket fields existed.
+    if (machine.numSockets > 1) {
+        h.mix(machine.numSockets).mix(machine.remoteMemPenalty);
+        h.mix(machine.linkTransferOccupancy).mix(machine.linkMsgOccupancy);
+        h.mix(machine.homeGranule);
+    }
     return h;
 }
 

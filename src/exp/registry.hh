@@ -106,7 +106,7 @@ const Experiment *findExperiment(const std::string &name);
 /**
  * Expand user-supplied names into registry entries.  Accepts
  * experiment names plus the groups "figures", "tables", "ablations",
- * and "all"; preserves registry order and drops duplicates.
+ * "numa", and "all"; preserves registry order and drops duplicates.
  * fatal()s on an unknown name.
  */
 std::vector<const Experiment *>

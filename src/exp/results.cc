@@ -158,6 +158,19 @@ resultRowOutcomeJson(const ResultRow &row)
        << ",\"bus_txns\":" << bus.totalTransactions
        << ",\"hotspot_coverage\":"
        << formatDouble(row.outcome->run.hotspotCoverage) << "}";
+    // Two-level interconnect figures; flat runs omit the key
+    // entirely (golden-safe).
+    if (bus.numSockets > 1) {
+        js << ",\"numa\":{"
+           << "\"sockets\":" << bus.numSockets
+           << ",\"link_txns\":" << bus.linkTransactions
+           << ",\"link_bytes\":" << bus.linkBytes
+           << ",\"link_busy_cycles\":" << bus.linkBusyCycles
+           << ",\"snoops_filtered\":" << bus.snoopsFiltered
+           << ",\"snoops_forwarded\":" << bus.snoopsForwarded
+           << ",\"local_home_reads\":" << bus.localHomeReads
+           << ",\"remote_home_reads\":" << bus.remoteHomeReads << "}";
+    }
     if (!row.outcome->extra.empty()) {
         js << ",\"extra\":{";
         bool first = true;

@@ -120,6 +120,46 @@ struct MachineConfig
     unsigned blockPrefetchBufferLines = 8;
     /** @} */
 
+    /**
+     * @name Two-level NUMA interconnect @{
+     *
+     * With numSockets > 1 the processors split into equal groups,
+     * each snooping on a private per-socket bus; the sockets join
+     * through a single inter-socket link guarded by a home-node
+     * directory filter.  Memory interleaves across sockets at
+     * homeGranule-byte granularity, and a read whose home is a
+     * remote socket pays remoteMemPenalty extra cycles.  The default
+     * numSockets == 1 is the paper's flat bus, bit-for-bit.
+     */
+    /** Sockets; 1 = the paper's single snooping bus. */
+    unsigned numSockets = 1;
+    /** Extra cycles for a line serviced by a remote home memory. */
+    Cycles remoteMemPenalty = 40;
+    /** Link occupancy of a full line transfer across sockets. */
+    Cycles linkTransferOccupancy = 24;
+    /** Link occupancy of an address-only coherence message. */
+    Cycles linkMsgOccupancy = 6;
+    /** Bytes per home-interleave granule (page-sized by default). */
+    std::uint32_t homeGranule = 4096;
+    /** @} */
+
+    /** Derived: processors per socket. */
+    unsigned cpusPerSocket() const { return numCpus / numSockets; }
+    /** Derived: socket of @p cpu. */
+    unsigned
+    socketOf(CpuId cpu) const
+    {
+        return unsigned(cpu) / cpusPerSocket();
+    }
+    /** Derived: home socket of @p addr (granule interleaving). */
+    unsigned
+    homeSocketOf(Addr addr) const
+    {
+        return unsigned((addr / homeGranule) % numSockets);
+    }
+    /** Derived: true when the two-level interconnect is in play. */
+    bool numaActive() const { return numSockets > 1; }
+
     /** Derived: number of lines in L1. */
     std::uint32_t l1Sets() const { return l1Size / l1LineSize; }
     /** Derived: number of lines in L2. */
@@ -154,10 +194,32 @@ struct MachineConfig
             panic("MachineConfig: associativity must be a power of two");
         if (l1Ways > l1Sets() || l2Ways > l2Sets())
             panic("MachineConfig: more ways than lines");
+        if (numSockets == 0)
+            panic("MachineConfig: need at least one socket");
+        if (numCpus % numSockets != 0)
+            panic("MachineConfig: cpus must divide evenly into "
+                  "sockets");
+        if (!isPowerOfTwo(homeGranule) || homeGranule < l2LineSize)
+            panic("MachineConfig: home granule must be a power of two "
+                  "no smaller than an L2 line");
     }
 
     /** The paper's Base machine. */
     static MachineConfig base() { return MachineConfig{}; }
+
+    /**
+     * The Base machine scaled to @p sockets sockets of
+     * @p cpus_per_socket processors each, under the default NUMA
+     * timing parameters.
+     */
+    static MachineConfig
+    numa(unsigned sockets, unsigned cpus_per_socket)
+    {
+        MachineConfig m;
+        m.numSockets = sockets;
+        m.numCpus = sockets * cpus_per_socket;
+        return m;
+    }
 };
 
 } // namespace oscache

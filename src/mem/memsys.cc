@@ -16,6 +16,98 @@ MemorySystem::MemorySystem(const MachineConfig &config) : cfg(config)
     cpus.reserve(cfg.numCpus);
     for (unsigned i = 0; i < cfg.numCpus; ++i)
         cpus.emplace_back(cfg, arena);
+    if (cfg.numaActive())
+        numa = std::make_unique<NumaState>(cfg);
+}
+
+std::uint32_t
+MemorySystem::remoteHolderMask(CpuId requester, Addr l2_line) const
+{
+    const unsigned socket = cfg.socketOf(requester);
+    std::uint32_t mask = 0;
+    for (CpuId c = 0; c < cfg.numCpus; ++c) {
+        const unsigned s = cfg.socketOf(c);
+        if (s == socket)
+            continue;
+        if (cpus[c].l2.state(l2_line) != LineState::Invalid)
+            mask |= 1u << s;
+    }
+    return mask;
+}
+
+Cycles
+MemorySystem::numaReadLine(unsigned socket, Addr l2_line, Cycles when,
+                           Cycles occupancy, std::uint32_t bytes,
+                           std::uint32_t remote_mask)
+{
+    NumaState &nu = *numa;
+    const Cycles grant =
+        nu.socketBus[socket].acquire(when, occupancy, BusTxn::LineFill,
+                                     bytes);
+    const unsigned home = cfg.homeSocketOf(l2_line);
+    if (home == socket)
+        ++nu.counters.localHomeReads;
+    else
+        ++nu.counters.remoteHomeReads;
+    if (remote_mask == 0)
+        ++nu.counters.snoopsFiltered;
+    else
+        ++nu.counters.snoopsForwarded;
+    if (remote_mask == 0 && home == socket)
+        return grant + cfg.busMemLatency();
+
+    // Request (and returning data) cross the link; every holding
+    // socket is probed, and a remote home adds its access penalty.
+    const Cycles lg = nu.link.acquire(grant, cfg.linkTransferOccupancy,
+                                      BusTxn::LineFill, bytes);
+    Cycles done = lg + cfg.busMemLatency();
+    if (home != socket)
+        done += cfg.remoteMemPenalty;
+    for (unsigned r = 0; r < cfg.numSockets; ++r) {
+        if (r == socket || ((remote_mask >> r) & 1u) == 0)
+            continue;
+        const Cycles rg = nu.socketBus[r].acquire(
+            lg, cfg.invalOccupancy, BusTxn::LineFill, 0);
+        done = std::max(done,
+                        rg + cfg.invalOccupancy + cfg.linkMsgOccupancy);
+    }
+    return done;
+}
+
+Cycles
+MemorySystem::numaWriteDone(unsigned socket, Addr l2_line, Cycles grant,
+                            Cycles occupancy, BusTxn kind,
+                            std::uint32_t bytes,
+                            std::uint32_t remote_mask,
+                            bool snoop_broadcast)
+{
+    NumaState &nu = *numa;
+    Cycles done = grant + occupancy;
+    if (snoop_broadcast) {
+        if (remote_mask == 0)
+            ++nu.counters.snoopsFiltered;
+        else
+            ++nu.counters.snoopsForwarded;
+    }
+    // Memory-bound kinds must also reach a remote home's socket.
+    std::uint32_t fwd = remote_mask;
+    const unsigned home = cfg.homeSocketOf(l2_line);
+    if (kind != BusTxn::Invalidate && home != socket)
+        fwd |= 1u << home;
+    if (fwd == 0)
+        return done;
+    const Cycles link_occ =
+        kind == BusTxn::WriteBack || kind == BusTxn::Dma
+            ? cfg.linkTransferOccupancy
+            : cfg.linkMsgOccupancy;
+    const Cycles lg = nu.link.acquire(grant, link_occ, kind, bytes);
+    for (unsigned r = 0; r < cfg.numSockets; ++r) {
+        if (r == socket || ((fwd >> r) & 1u) == 0)
+            continue;
+        const Cycles rg = nu.socketBus[r].acquire(lg, occupancy, kind, 0);
+        done = std::max(done, rg + occupancy);
+    }
+    return done;
 }
 
 bool
@@ -222,8 +314,21 @@ Cycles
 MemorySystem::busReadLine(CpuId cpu, Addr l2_line, Cycles when,
                           bool exclusive)
 {
-    const Cycles grant = theBus.acquire(when, cfg.lineTransferOccupancy,
-                                        BusTxn::LineFill, cfg.l2LineSize);
+    // The holder mask is captured before the snoop below mutates
+    // remote state; the state evolution itself is identical to the
+    // flat bus (the directory filter is precise), only the timing
+    // and traffic accounting differ.
+    Cycles arrive;
+    if (numa == nullptr) {
+        const Cycles grant =
+            theBus.acquire(when, cfg.lineTransferOccupancy,
+                           BusTxn::LineFill, cfg.l2LineSize);
+        arrive = grant + cfg.busMemLatency();
+    } else {
+        arrive = numaReadLine(cfg.socketOf(cpu), l2_line, when,
+                              cfg.lineTransferOccupancy, cfg.l2LineSize,
+                              remoteHolderMask(cpu, l2_line));
+    }
     bool supplied = false;
     for (CpuId c = 0; c < cfg.numCpus; ++c) {
         if (c == cpu)
@@ -249,27 +354,49 @@ MemorySystem::busReadLine(CpuId cpu, Addr l2_line, Cycles when,
         }
     }
     (void)supplied; // Cache-to-cache supply uses the same timing.
-    return grant + cfg.busMemLatency();
+    return arrive;
 }
 
 void
 MemorySystem::fillL2(CpuId cpu, Addr l2_line, LineState state, Cycles when)
 {
     const auto [victim, victim_dirty] = installL2(cpu, l2_line, state);
-    if (victim != invalidAddr && victim_dirty)
+    if (victim == invalidAddr || !victim_dirty)
+        return;
+    if (numa == nullptr) {
         theBus.acquire(when, cfg.lineTransferOccupancy,
                        BusTxn::WriteBack, cfg.l2LineSize);
+        return;
+    }
+    const unsigned socket = cfg.socketOf(cpu);
+    const Cycles grant = numa->socketBus[socket].acquire(
+        when, cfg.lineTransferOccupancy, BusTxn::WriteBack,
+        cfg.l2LineSize);
+    numaWriteDone(socket, victim, grant, cfg.lineTransferOccupancy,
+                  BusTxn::WriteBack, cfg.l2LineSize, 0,
+                  /*snoop_broadcast=*/false);
 }
 
 Cycles
-MemorySystem::scheduleL2WbEntry(CpuMem &mem, Addr l2_line, Cycles ready,
-                                Cycles occupancy, BusTxn kind,
-                                std::uint32_t bytes)
+MemorySystem::scheduleL2WbEntry(CpuId cpu, CpuMem &mem, Addr l2_line,
+                                Cycles ready, Cycles occupancy,
+                                BusTxn kind, std::uint32_t bytes,
+                                std::uint32_t remote_mask)
 {
     const Cycles slot_wait = mem.l2Wb.stallUntilSlot(ready);
     const Cycles start = mem.l2Wb.nextServiceStart(ready + slot_wait);
-    const Cycles grant = theBus.acquire(start, occupancy, kind, bytes);
-    const Cycles done = grant + occupancy;
+    Cycles done;
+    if (numa == nullptr) {
+        const Cycles grant = theBus.acquire(start, occupancy, kind, bytes);
+        done = grant + occupancy;
+    } else {
+        const unsigned socket = cfg.socketOf(cpu);
+        const Cycles grant = numa->socketBus[socket].acquire(
+            start, occupancy, kind, bytes);
+        done = numaWriteDone(socket, l2_line, grant, occupancy, kind,
+                             bytes, remote_mask,
+                             /*snoop_broadcast=*/true);
+    }
     mem.l2Wb.push(l2_line, done);
     return done;
 }
@@ -403,22 +530,31 @@ MemorySystem::write(CpuId cpu, Addr addr, Cycles now,
             ready = arrive;
         }
         if (sharedElsewhere(cpu, l2line)) {
+            // Firefly sharers keep their copies, so the holder mask is
+            // the same before and after the update snoop.
+            const std::uint32_t rmask =
+                numa != nullptr ? remoteHolderMask(cpu, l2line) : 0;
             snoopUpdate(cpu, l2line);
             setL2State(cpu, l2line, LineState::Shared);
-            drained = scheduleL2WbEntry(mem, l2line, ready,
+            drained = scheduleL2WbEntry(cpu, mem, l2line, ready,
                                         cfg.updateOccupancy, BusTxn::Update,
-                                        ctx.blockOpBody ? 8 : 4);
+                                        ctx.blockOpBody ? 8 : 4, rmask);
         } else {
             // No sharers: behave like an ordinary owned write.
             setL2State(cpu, l2line, LineState::Modified);
             drained = ready;
         }
     } else if (st == LineState::Shared) {
-        // Invalidation-only transaction, then write locally.
+        // Invalidation-only transaction, then write locally.  The
+        // holder mask must precede the snoop that kills the copies.
+        const std::uint32_t rmask =
+            numa != nullptr ? remoteHolderMask(cpu, l2line) : 0;
         snoopInvalidate(cpu, l2line);
         setL2State(cpu, addr, LineState::Modified);
-        drained = scheduleL2WbEntry(mem, l2line, service + cfg.l2WriteLatency,
-                                    cfg.invalOccupancy, BusTxn::Invalidate, 0);
+        drained = scheduleL2WbEntry(cpu, mem, l2line,
+                                    service + cfg.l2WriteLatency,
+                                    cfg.invalOccupancy, BusTxn::Invalidate,
+                                    0, rmask);
     } else {
         // Write miss: read-for-ownership, allocate Modified.  The
         // buffer slot frees once the bus phase ends; the returning
@@ -525,11 +661,26 @@ MemorySystem::writeBypassLine(CpuId cpu, Addr addr, Cycles now,
 
     // Stale copies elsewhere must die; the full-line write then goes
     // straight to memory.
+    const std::uint32_t rmask =
+        numa != nullptr ? remoteHolderMask(cpu, l2line) : 0;
     snoopInvalidate(cpu, l2line);
     const Cycles start = mem.l2Wb.nextServiceStart(now);
-    const Cycles grant = theBus.acquire(start, cfg.lineTransferOccupancy,
-                                        BusTxn::WriteBack, cfg.l2LineSize);
-    mem.l2Wb.push(l2line, grant + cfg.lineTransferOccupancy);
+    if (numa == nullptr) {
+        const Cycles grant =
+            theBus.acquire(start, cfg.lineTransferOccupancy,
+                           BusTxn::WriteBack, cfg.l2LineSize);
+        mem.l2Wb.push(l2line, grant + cfg.lineTransferOccupancy);
+    } else {
+        const unsigned socket = cfg.socketOf(cpu);
+        const Cycles grant = numa->socketBus[socket].acquire(
+            start, cfg.lineTransferOccupancy, BusTxn::WriteBack,
+            cfg.l2LineSize);
+        mem.l2Wb.push(l2line,
+                      numaWriteDone(socket, l2line, grant,
+                                    cfg.lineTransferOccupancy,
+                                    BusTxn::WriteBack, cfg.l2LineSize,
+                                    rmask, /*snoop_broadcast=*/true));
+    }
 
     // The destination line ends up uncached: future first reuses miss.
     for (std::uint32_t off = 0; off < cfg.l2LineSize; off += cfg.l1LineSize)
@@ -556,12 +707,26 @@ MemorySystem::writeBypassWord(CpuId cpu, Addr addr, Cycles now,
     now += slot_wait;
     res.completeAt = now + cfg.l1HitLatency;
 
+    const std::uint32_t rmask = numa != nullptr && invalidate
+                                    ? remoteHolderMask(cpu, l2line)
+                                    : 0;
     if (invalidate)
         snoopInvalidate(cpu, l2line);
     const Cycles start = mem.l2Wb.nextServiceStart(now);
-    const Cycles grant = theBus.acquire(start, cfg.wordWriteOccupancy,
-                                        BusTxn::WriteBack, 4);
-    mem.l2Wb.push(l2line, grant + cfg.wordWriteOccupancy);
+    if (numa == nullptr) {
+        const Cycles grant = theBus.acquire(start, cfg.wordWriteOccupancy,
+                                            BusTxn::WriteBack, 4);
+        mem.l2Wb.push(l2line, grant + cfg.wordWriteOccupancy);
+    } else {
+        const unsigned socket = cfg.socketOf(cpu);
+        const Cycles grant = numa->socketBus[socket].acquire(
+            start, cfg.wordWriteOccupancy, BusTxn::WriteBack, 4);
+        mem.l2Wb.push(l2line,
+                      numaWriteDone(socket, l2line, grant,
+                                    cfg.wordWriteOccupancy,
+                                    BusTxn::WriteBack, 4, rmask,
+                                    /*snoop_broadcast=*/invalidate));
+    }
 
     bypassMarks.set(l1Line(addr), MarkTable::bypass);
     opEnd(MemOpKind::BypassWrite, cpu, addr);
@@ -605,9 +770,16 @@ MemorySystem::prefetchIntoBuffer(CpuId cpu, Addr addr, Cycles now)
         const Cycles occ = std::max<Cycles>(
             cfg.invalOccupancy,
             cfg.lineTransferOccupancy * cfg.l1LineSize / cfg.l2LineSize);
-        const Cycles grant = theBus.acquire(now, occ, BusTxn::LineFill,
-                                            cfg.l1LineSize);
-        entry.readyAt = grant + cfg.busMemLatency();
+        if (numa == nullptr) {
+            const Cycles grant = theBus.acquire(now, occ, BusTxn::LineFill,
+                                                cfg.l1LineSize);
+            entry.readyAt = grant + cfg.busMemLatency();
+        } else {
+            entry.readyAt =
+                numaReadLine(cfg.socketOf(cpu), l2Line(addr), now, occ,
+                             cfg.l1LineSize,
+                             remoteHolderMask(cpu, l2Line(addr)));
+        }
         // Snoop: a Modified owner must supply and demote.
         for (CpuId c = 0; c < cfg.numCpus; ++c) {
             if (c == cpu)
@@ -724,11 +896,20 @@ MemorySystem::instructionFetch(CpuId cpu, Addr code_addr,
         // Fetch the code line over the bus into the unified L2.  The
         // read snoops: remote owners demote and the fill state obeys
         // the protocol (Shared when copies exist elsewhere).
-        const Cycles grant =
-            theBus.acquire(now + stall + cfg.l2HitLatency,
-                           cfg.lineTransferOccupancy, BusTxn::LineFill,
-                           cfg.l2LineSize);
-        stall = grant + cfg.busMemLatency() - now;
+        if (numa == nullptr) {
+            const Cycles grant =
+                theBus.acquire(now + stall + cfg.l2HitLatency,
+                               cfg.lineTransferOccupancy,
+                               BusTxn::LineFill, cfg.l2LineSize);
+            stall = grant + cfg.busMemLatency() - now;
+        } else {
+            const Cycles arrive = numaReadLine(
+                cfg.socketOf(cpu), l2line,
+                now + stall + cfg.l2HitLatency,
+                cfg.lineTransferOccupancy, cfg.l2LineSize,
+                remoteHolderMask(cpu, l2line));
+            stall = arrive - now;
+        }
         for (CpuId c = 0; c < cfg.numCpus; ++c) {
             if (c == cpu)
                 continue;
@@ -767,6 +948,32 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
     const Addr dst_begin = l2Line(op.dst);
     const Addr dst_end = alignUp(op.dst + op.size, cfg.l2LineSize);
 
+    // Sockets the transfer must reach beyond the originator's: any
+    // remote holder of an involved line, and any remote home of the
+    // moved data.  Captured before the snoops below mutate state.
+    std::uint32_t rmask = 0;
+    if (numa != nullptr) {
+        const unsigned socket = cfg.socketOf(cpu);
+        const auto fold = [&](Addr a) {
+            const unsigned home = cfg.homeSocketOf(a);
+            if (home != socket)
+                rmask |= 1u << home;
+            for (CpuId c = 0; c < cfg.numCpus; ++c) {
+                const unsigned s = cfg.socketOf(c);
+                if (s != socket &&
+                    cpus[c].l2.state(a) != LineState::Invalid)
+                    rmask |= 1u << s;
+            }
+        };
+        for (Addr a = dst_begin; a < dst_end; a += cfg.l2LineSize)
+            fold(a);
+        if (op.isCopy()) {
+            const Addr src_end = alignUp(op.src + op.size, cfg.l2LineSize);
+            for (Addr a = src_begin; a < src_end; a += cfg.l2LineSize)
+                fold(a);
+        }
+    }
+
     // A copy moves each 8 bytes across the bus twice (source read,
     // destination write); a zero only writes, at twice the rate.
     const Cycles per8 =
@@ -787,9 +994,31 @@ MemorySystem::dmaBlockOp(CpuId cpu, const BlockOp &op, Cycles now)
         }
     }
 
-    const Cycles grant = theBus.acquire(now, occupancy, BusTxn::Dma,
-                                        op.size);
-    const Cycles done = grant + occupancy;
+    Cycles done;
+    if (numa == nullptr) {
+        const Cycles grant = theBus.acquire(now, occupancy, BusTxn::Dma,
+                                            op.size);
+        done = grant + occupancy;
+    } else {
+        // The engine holds its socket's bus for the whole transfer;
+        // a cross-socket operation holds the link and every involved
+        // remote bus too (DMA is not split-transaction).
+        const unsigned socket = cfg.socketOf(cpu);
+        const Cycles grant = numa->socketBus[socket].acquire(
+            now, occupancy, BusTxn::Dma, op.size);
+        done = grant + occupancy;
+        if (rmask != 0) {
+            const Cycles lg = numa->link.acquire(grant, occupancy,
+                                                 BusTxn::Dma, op.size);
+            for (unsigned r = 0; r < cfg.numSockets; ++r) {
+                if (r == socket || ((rmask >> r) & 1u) == 0)
+                    continue;
+                const Cycles rg = numa->socketBus[r].acquire(
+                    lg, occupancy, BusTxn::Dma, 0);
+                done = std::max(done, rg + occupancy);
+            }
+        }
+    }
 
     // Destination lines: resident copies anywhere are updated in
     // place (the update propagates to the primary caches, whose
@@ -907,6 +1136,17 @@ MemorySystem::saveState(binio::BinaryWriter &w) const
     }
     putMarkClass(w, bypassMarks, MarkTable::bypass);
     theBus.saveState(w);
+    // The flat machine's byte format is frozen (golden snapshots);
+    // the NUMA section exists only when the interconnect does.
+    if (numa != nullptr) {
+        for (const Bus &b : numa->socketBus)
+            b.saveState(w);
+        numa->link.saveState(w);
+        w.put(numa->counters.snoopsFiltered);
+        w.put(numa->counters.snoopsForwarded);
+        w.put(numa->counters.localHomeReads);
+        w.put(numa->counters.remoteHomeReads);
+    }
 }
 
 bool
@@ -970,6 +1210,18 @@ MemorySystem::loadState(binio::BinaryReader &r, std::string *error)
         return fail("bad bypassed-lines set");
     if (!theBus.loadState(r))
         return fail("bad bus state");
+    if (numa != nullptr) {
+        for (Bus &b : numa->socketBus)
+            if (!b.loadState(r))
+                return fail("bad socket-bus state");
+        if (!numa->link.loadState(r))
+            return fail("bad inter-socket link state");
+        if (!r.get(numa->counters.snoopsFiltered) ||
+            !r.get(numa->counters.snoopsForwarded) ||
+            !r.get(numa->counters.localHomeReads) ||
+            !r.get(numa->counters.remoteHomeReads))
+            return fail("bad numa counters");
+    }
     return true;
 }
 

@@ -32,6 +32,7 @@
 
 #include <deque>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -172,6 +173,41 @@ class MemorySystem
     const MachineConfig &config() const { return cfg; }
     Bus &bus() { return theBus; }
     const Bus &bus() const { return theBus; }
+
+    /** @name Two-level interconnect inspection @{ */
+
+    /** True iff the machine runs the two-level NUMA interconnect. */
+    bool numaActive() const { return numa != nullptr; }
+
+    /** Per-socket snooping bus @p s (NUMA mode only). */
+    Bus &socketBus(unsigned s) { return numa->socketBus[s]; }
+    const Bus &socketBus(unsigned s) const { return numa->socketBus[s]; }
+
+    /** The inter-socket link (NUMA mode only). */
+    Bus &linkBus() { return numa->link; }
+    const Bus &linkBus() const { return numa->link; }
+
+    /** Aggregate directory-filter and home-locality counters. */
+    struct NumaCounters
+    {
+        /** Snoop broadcasts the home directory kept socket-local. */
+        std::uint64_t snoopsFiltered = 0;
+        /** Snoop broadcasts forwarded across the link. */
+        std::uint64_t snoopsForwarded = 0;
+        /** Line reads whose home memory was the local socket. */
+        std::uint64_t localHomeReads = 0;
+        /** Line reads that paid the remote-home penalty. */
+        std::uint64_t remoteHomeReads = 0;
+    };
+
+    /** Current counter values (all zero on a flat machine). */
+    NumaCounters
+    numaCounters() const
+    {
+        return numa != nullptr ? numa->counters : NumaCounters{};
+    }
+
+    /** @} */
 
     /** True iff @p cpu's primary cache holds the line of @p addr. */
     bool l1Contains(CpuId cpu, Addr addr) const;
@@ -320,6 +356,24 @@ class MemorySystem
         std::deque<BufferLine> prefetchBuffer;
     };
 
+    /**
+     * Two-level interconnect state, allocated only when
+     * numSockets > 1 so the flat single-bus machine pays one null
+     * test per bus transaction and stays bit-for-bit identical.
+     */
+    struct NumaState
+    {
+        explicit NumaState(const MachineConfig &c)
+            : socketBus(c.numSockets)
+        {}
+
+        /** One snooping bus per socket. */
+        std::vector<Bus> socketBus;
+        /** The inter-socket link, serially reusable like a bus. */
+        Bus link;
+        NumaCounters counters;
+    };
+
     /** @name Internal helpers @{ */
 
     Addr l1Line(Addr addr) const { return alignDown(addr, cfg.l1LineSize); }
@@ -449,16 +503,56 @@ class MemorySystem
 
     /**
      * Schedule a write that needs the bus through the L2-to-bus write
-     * buffer.  @return the cycle the entry finishes draining.
+     * buffer.  @p remote_mask names the sockets (beyond @p cpu's own)
+     * that held the line when the snoop was decided — it must be
+     * captured *before* the snoop mutates remote state.
+     * @return the cycle the entry finishes draining.
      */
-    Cycles scheduleL2WbEntry(CpuMem &mem, Addr l2_line, Cycles ready,
-                             Cycles occupancy, BusTxn kind,
-                             std::uint32_t bytes);
+    Cycles scheduleL2WbEntry(CpuId cpu, CpuMem &mem, Addr l2_line,
+                             Cycles ready, Cycles occupancy, BusTxn kind,
+                             std::uint32_t bytes,
+                             std::uint32_t remote_mask);
+
+    /** @name Two-level interconnect helpers (numa != nullptr only) @{ */
+
+    /**
+     * Bitmask of sockets other than @p requester's that hold a valid
+     * copy of @p l2_line — the home directory's presence view, which
+     * decides whether a snoop crosses the link.
+     */
+    std::uint32_t remoteHolderMask(CpuId requester, Addr l2_line) const;
+
+    /**
+     * Timing of a line read on the two-level interconnect: local
+     * socket bus, then (unless the directory filters it) the link,
+     * remote snoops, and the remote-home memory penalty.
+     * @return the cycle the data arrives at the requester.
+     */
+    Cycles numaReadLine(unsigned socket, Addr l2_line, Cycles when,
+                        Cycles occupancy, std::uint32_t bytes,
+                        std::uint32_t remote_mask);
+
+    /**
+     * Cross-socket completion of a write-side transaction granted the
+     * local socket bus at @p grant: forwards to the sockets in
+     * @p remote_mask plus (for memory-bound kinds) a remote home.
+     * @p snoop_broadcast gates the filter counters — writebacks
+     * consult no remote cache and are not snoop decisions.
+     * @return the cycle the transaction fully completes.
+     */
+    Cycles numaWriteDone(unsigned socket, Addr l2_line, Cycles grant,
+                         Cycles occupancy, BusTxn kind,
+                         std::uint32_t bytes, std::uint32_t remote_mask,
+                         bool snoop_broadcast);
+
+    /** @} */
 
     /** @} */
 
     MachineConfig cfg;
     Bus theBus;
+    /** Two-level interconnect; null on the flat single-bus machine. */
+    std::unique_ptr<NumaState> numa;
     /**
      * Per-run bump arena holding every processor's hot banks; must
      * precede `cpus`, whose members carve spans from it.

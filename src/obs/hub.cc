@@ -11,6 +11,8 @@ namespace
 
 /** Timeline lane for bus events (above any plausible cpu id). */
 constexpr std::uint32_t busLane = 64;
+/** Timeline lane for inter-socket link events. */
+constexpr std::uint32_t linkLane = 65;
 
 const char *
 busTxnName(BusTxn kind)
@@ -25,11 +27,25 @@ busTxnName(BusTxn kind)
     }
 }
 
+const char *
+linkTxnName(BusTxn kind)
+{
+    switch (kind) {
+      case BusTxn::LineFill:   return "link.fill";
+      case BusTxn::WriteBack:  return "link.writeback";
+      case BusTxn::Invalidate: return "link.invalidate";
+      case BusTxn::Update:     return "link.update";
+      case BusTxn::Dma:        return "link.dma";
+      default:                 return "link.txn";
+    }
+}
+
 } // namespace
 
 ObsHub::ObsHub(const ObsOptions &options)
     : opts(options), timeline(opts.timeline ? opts.timelineCapacity : 0),
-      busOccupancy(opts.windowCycles), writeBufferDepth(opts.windowCycles)
+      busOccupancy(opts.windowCycles), writeBufferDepth(opts.windowCycles),
+      linkOccupancy(opts.windowCycles)
 {
     if (!opts.metrics)
         return;
@@ -241,6 +257,41 @@ ObsHub::onBusAcquire(BusTxn kind, Cycles requested, Cycles grant,
                       busLane, "bytes", bytes);
 }
 
+BusProbe *
+ObsHub::linkProbe()
+{
+    if (opts.metrics && !linkMetricsReady) {
+        cLinkTxns = metrics.counter("link.txns");
+        cLinkBytes = metrics.counter("link.bytes");
+        cLinkBusyCycles = metrics.counter("link.busy_cycles");
+        cLinkWaitCycles = metrics.counter("link.wait_cycles");
+        hLinkWait = metrics.histogram("link.wait");
+        linkMetricsReady = true;
+    }
+    return &linkTap;
+}
+
+void
+ObsHub::onLinkAcquire(BusTxn kind, Cycles requested, Cycles grant,
+                      Cycles occupancy, std::uint32_t bytes)
+{
+    if (!enabled)
+        return;
+    const Cycles wait = grant - requested;
+    if (opts.metrics && linkMetricsReady) {
+        cLinkTxns.add();
+        cLinkBytes.add(bytes);
+        cLinkBusyCycles.add(occupancy);
+        cLinkWaitCycles.add(wait);
+        hLinkWait.record(wait);
+    }
+    if (opts.busWindows)
+        linkOccupancy.addSpan(grant, occupancy);
+    if (opts.timeline && sampleTick())
+        timeline.span(linkTxnName(kind), "link", grant,
+                      grant + occupancy, linkLane, "bytes", bytes);
+}
+
 std::shared_ptr<const ObsReport>
 ObsHub::finish()
 {
@@ -254,6 +305,7 @@ ObsHub::finish()
         report->windowCycles = opts.windowCycles;
         report->busOccupancy = busOccupancy.data();
         report->writeBufferDepth = writeBufferDepth.data();
+        report->linkOccupancy = linkOccupancy.data();
     }
     if (opts.timeline)
         report->timeline = std::move(timeline);

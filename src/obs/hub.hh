@@ -49,6 +49,8 @@ struct ObsReport
     Cycles windowCycles = 0;
     std::vector<WindowedSeries::Window> busOccupancy;
     std::vector<WindowedSeries::Window> writeBufferDepth;
+    /** Inter-socket link occupancy; empty on a flat machine. */
+    std::vector<WindowedSeries::Window> linkOccupancy;
     /** @} */
 
     /** The event ring; empty unless options.timeline. */
@@ -84,6 +86,21 @@ class ObsHub : public MemEventObserver, public BusProbe
     /** @} */
 
     /**
+     * Probe for the inter-socket link.  A Bus carries one probe and
+     * no channel id, so the link attaches through this adapter while
+     * the socket buses attach the hub itself; link grants land in
+     * their own metrics, occupancy series, and timeline lane.  The
+     * link counters are registered on first request — call before the
+     * run starts (the registry freezes at the first record), so flat
+     * machines never see them and their snapshots stay unchanged.
+     */
+    BusProbe *linkProbe();
+
+    /** Link-grant intake (via linkProbe(); public for the adapter). */
+    void onLinkAcquire(BusTxn kind, Cycles requested, Cycles grant,
+                       Cycles occupancy, std::uint32_t bytes);
+
+    /**
      * Point the hub at the memory system it observes, enabling
      * write-buffer-depth sampling (the observer callbacks carry no
      * back-pointer on the per-access path).  Optional.
@@ -113,6 +130,19 @@ class ObsHub : public MemEventObserver, public BusProbe
     std::shared_ptr<const ObsReport> finish();
 
   private:
+    /** Forwards the link Bus's grants to onLinkAcquire. */
+    struct LinkTap : BusProbe
+    {
+        explicit LinkTap(ObsHub &h) : hub(h) {}
+        void
+        onBusAcquire(BusTxn kind, Cycles requested, Cycles grant,
+                     Cycles occupancy, std::uint32_t bytes) override
+        {
+            hub.onLinkAcquire(kind, requested, grant, occupancy, bytes);
+        }
+        ObsHub &hub;
+    };
+
     /** True on every samplePeriod-th call (always true for period 1). */
     bool sampleTick();
 
@@ -124,6 +154,10 @@ class ObsHub : public MemEventObserver, public BusProbe
     MissProfiler profiler;
     WindowedSeries busOccupancy;
     WindowedSeries writeBufferDepth;
+    WindowedSeries linkOccupancy;
+    LinkTap linkTap{*this};
+    /** True once linkProbe() registered the link counters. */
+    bool linkMetricsReady = false;
 
     /** Rolling event count driving samplePeriod decimation. */
     std::uint64_t sampleSeq = 0;
@@ -140,7 +174,9 @@ class ObsHub : public MemEventObserver, public BusProbe
     Counter cL1Fills, cL1Drops, cL2Invalidations;
     Counter cBlockOps;
     Counter cBusTxns, cBusBytes, cBusBusyCycles, cBusWaitCycles;
+    Counter cLinkTxns, cLinkBytes, cLinkBusyCycles, cLinkWaitCycles;
     Histogram hReadStall, hBusWait, hBlockOpCycles, hWbDepth;
+    Histogram hLinkWait;
     Gauge gLastCycle;
     /** @} */
 };

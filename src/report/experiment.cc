@@ -54,13 +54,17 @@ traceBytes(const Trace &trace)
            trace.updatePages().size() * sizeof(Addr);
 }
 
-/** Content-hash key for (workload, coherence options). */
+/** Content-hash key for (workload, coherence options, cpu count). */
 std::string
-traceKey(WorkloadKind workload, const CoherenceOptions &options)
+traceKey(WorkloadKind workload, const CoherenceOptions &options,
+         unsigned num_cpus)
 {
     ContentHash h;
     mixProfile(h, WorkloadProfile::forKind(workload));
     mixCoherence(h, options);
+    // The historical keys were implicitly 4-cpu; keep them stable.
+    if (num_cpus != 4)
+        h.mix(num_cpus);
     return h.hex();
 }
 
@@ -137,9 +141,10 @@ evictLocked(CacheState &state, const std::shared_ptr<Entry> &keep,
 }
 
 TracePtr
-cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
+cachedTrace(WorkloadKind workload, const CoherenceOptions &options,
+            unsigned num_cpus)
 {
-    const std::string key = traceKey(workload, options);
+    const std::string key = traceKey(workload, options, num_cpus);
     CacheState &state = cacheState();
     CacheCounters &counters = cacheCounters();
 
@@ -171,10 +176,10 @@ cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
         try {
             std::optional<Trace> loaded;
             if (load)
-                loaded = load(workload, options);
+                loaded = load(workload, options, num_cpus);
             const bool fresh = !loaded.has_value();
             TracePtr ptr = std::make_shared<const Trace>(
-                fresh ? generateTrace(workload, options)
+                fresh ? generateTrace(workload, options, num_cpus)
                       : std::move(*loaded));
             std::vector<std::shared_ptr<Entry>> evicted;
             {
@@ -193,7 +198,7 @@ cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
             }
             counters.evictions.add(evicted.size());
             if (fresh && store)
-                store(workload, options, *ptr);
+                store(workload, options, num_cpus, *ptr);
             promise.set_value(std::move(ptr));
         } catch (...) {
             // Drop the failed latch (if a clear hasn't already) so a
@@ -214,9 +219,10 @@ cachedTrace(WorkloadKind workload, const CoherenceOptions &options)
 } // namespace
 
 std::shared_ptr<const Trace>
-cachedWorkloadTrace(WorkloadKind workload, const CoherenceOptions &options)
+cachedWorkloadTrace(WorkloadKind workload, const CoherenceOptions &options,
+                    unsigned num_cpus)
 {
-    return cachedTrace(workload, options);
+    return cachedTrace(workload, options, num_cpus);
 }
 
 RunResult
@@ -244,11 +250,12 @@ runWorkload(WorkloadKind workload, const SystemSetup &setup,
     if (mode == TraceSourceMode::Streamed) {
         const auto open = [&]() -> std::unique_ptr<TraceSource> {
             if (hook) {
-                if (auto source = hook(workload, setup.coherence))
+                if (auto source = hook(workload, setup.coherence,
+                                       machine.numCpus))
                     return source;
             }
-            return std::make_unique<SynthTraceSource>(profile,
-                                                      setup.coherence);
+            return std::make_unique<SynthTraceSource>(
+                profile, setup.coherence, machine.numCpus);
         };
         if (sampled) {
             sample::SampleRunOptions sample_options;
@@ -263,7 +270,8 @@ runWorkload(WorkloadKind workload, const SystemSetup &setup,
         return runOnSource(open, machine, profile.simOptions(), setup);
     }
 
-    const TracePtr trace = cachedWorkloadTrace(workload, setup.coherence);
+    const TracePtr trace =
+        cachedWorkloadTrace(workload, setup.coherence, machine.numCpus);
     if (sampled) {
         const auto open = [trace]() -> std::unique_ptr<TraceSource> {
             return std::make_unique<MaterializedTraceSource>(*trace);

@@ -47,13 +47,14 @@ RunResult runWorkload(WorkloadKind workload, const SystemSetup &setup,
                       const MachineConfig &machine = MachineConfig::base());
 
 /**
- * The cached trace for (@p workload, @p options), generating it (or
- * loading it through the persistence hook) on first use.  The
- * returned pointer stays valid across clearTraceCache(); holders keep
- * the trace alive.  Thread-safe.
+ * The cached trace for (@p workload, @p options, @p num_cpus),
+ * generating it (or loading it through the persistence hook) on
+ * first use.  The returned pointer stays valid across
+ * clearTraceCache(); holders keep the trace alive.  Thread-safe.
  */
 std::shared_ptr<const Trace> cachedWorkloadTrace(
-    WorkloadKind workload, const CoherenceOptions &options);
+    WorkloadKind workload, const CoherenceOptions &options,
+    unsigned num_cpus = 4);
 
 /**
  * Drop all cached traces (used between parameter sweeps).
@@ -106,13 +107,19 @@ TraceCacheStats traceCacheStats();
 /** Reset the counters (cached traces themselves are kept). */
 void resetTraceCacheStats();
 
-/** Loads a previously stored trace; nullopt means "not available". */
+/**
+ * Loads a previously stored trace; nullopt means "not available".
+ * The unsigned parameter is the cpu count the trace was generated
+ * for — part of the key, since a trace schedules its processes over
+ * a specific processor set.
+ */
 using TraceLoadHook =
     std::function<std::optional<Trace>(WorkloadKind,
-                                       const CoherenceOptions &)>;
+                                       const CoherenceOptions &,
+                                       unsigned)>;
 /** Offers a freshly generated trace for storage. */
 using TraceStoreHook = std::function<void(
-    WorkloadKind, const CoherenceOptions &, const Trace &)>;
+    WorkloadKind, const CoherenceOptions &, unsigned, const Trace &)>;
 
 /**
  * Install (or, with empty functions, remove) the persistence layer
@@ -152,12 +159,12 @@ void setStreamReadAhead(std::size_t records);
 std::size_t streamReadAhead();
 
 /**
- * Opens a streamed source for (workload, options), or nullptr to
- * fall back to on-demand synthesis.  Invoked once per simulation
- * pass under TraceSourceMode::Streamed.
+ * Opens a streamed source for (workload, options, cpu count), or
+ * nullptr to fall back to on-demand synthesis.  Invoked once per
+ * simulation pass under TraceSourceMode::Streamed.
  */
 using TraceSourceHook = std::function<std::unique_ptr<TraceSource>(
-    WorkloadKind, const CoherenceOptions &)>;
+    WorkloadKind, const CoherenceOptions &, unsigned)>;
 
 /** Install (or clear, with an empty function) the source hook. */
 void setTraceSourceHook(TraceSourceHook hook);

@@ -1,0 +1,65 @@
+#include "report/numa.hh"
+
+#include <ostream>
+
+#include "common/log.hh"
+#include "report/table.hh"
+
+namespace oscache
+{
+
+namespace
+{
+
+double
+pct(double part, double whole)
+{
+    return whole > 0.0 ? 100.0 * part / whole : 0.0;
+}
+
+} // namespace
+
+void
+renderNumaTable(std::ostream &os, const std::string &title,
+                const std::vector<NumaColumn> &columns)
+{
+    std::vector<std::string> headers;
+    headers.reserve(columns.size());
+    for (const NumaColumn &c : columns)
+        headers.push_back(c.label);
+
+    TextTable table(title, headers);
+    std::vector<std::string> local, remote, filtered, link_busy, link_kb;
+    for (const NumaColumn &c : columns) {
+        if (c.stats == nullptr || c.bus == nullptr ||
+            c.bus->numSockets < 2)
+            panic("NUMA table column '", c.label,
+                  "' is not a multi-socket run");
+        const BusSnapshot &b = *c.bus;
+        const double reads =
+            double(b.localHomeReads + b.remoteHomeReads);
+        const double snoops =
+            double(b.snoopsFiltered + b.snoopsForwarded);
+        local.push_back(
+            formatValue(pct(double(b.localHomeReads), reads), 1) + "%");
+        remote.push_back(
+            formatValue(pct(double(b.remoteHomeReads), reads), 1) + "%");
+        filtered.push_back(
+            formatValue(pct(double(b.snoopsFiltered), snoops), 1) + "%");
+        link_busy.push_back(
+            formatValue(pct(double(b.linkBusyCycles),
+                            double(c.stats->totalTime())),
+                        1) +
+            "%");
+        link_kb.push_back(
+            formatValue(double(b.linkBytes) / 1024.0, 0));
+    }
+    table.addRow("Local-home reads", local);
+    table.addRow("Remote-home reads", remote);
+    table.addRow("Snoops filtered", filtered);
+    table.addRow("Link occupancy", link_busy);
+    table.addRow("Link KB moved", link_kb);
+    os << table.str();
+}
+
+} // namespace oscache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The NUMA table: how a run's line reads split between local and
+ * remote home memory, how often the home directory kept a snoop
+ * socket-local, and how busy the inter-socket link was.  The
+ * numa_server experiment prints one of these per geometry; the cells
+ * come straight from BusSnapshot's two-level-interconnect counters.
+ */
+
+#ifndef OSCACHE_REPORT_NUMA_HH
+#define OSCACHE_REPORT_NUMA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "sim/stats.hh"
+
+namespace oscache
+{
+
+/** One column of the NUMA table: a finished run under some label. */
+struct NumaColumn
+{
+    std::string label;
+    const SimStats *stats = nullptr;
+    const BusSnapshot *bus = nullptr;
+};
+
+/**
+ * Render the local/remote split, snoop-filter rate, and link
+ * occupancy of @p columns as one TextTable under @p title.  Every
+ * column must come from a multi-socket run (bus->numSockets > 1).
+ */
+void renderNumaTable(std::ostream &os, const std::string &title,
+                     const std::vector<NumaColumn> &columns);
+
+} // namespace oscache
+
+#endif // OSCACHE_REPORT_NUMA_HH

@@ -138,26 +138,30 @@ runWorker(const WorkerOptions &options)
     setStreamReadAhead(options.streamBufferRecords);
     TraceStore *store_ptr = &store;
     setTraceCacheHooks(
-        [store_ptr](WorkloadKind w, const CoherenceOptions &o) {
-            return store_ptr->load(
-                TraceStore::keyFor(WorkloadProfile::forKind(w), o));
+        [store_ptr](WorkloadKind w, const CoherenceOptions &o,
+                    unsigned cpus) {
+            return store_ptr->load(TraceStore::keyFor(
+                WorkloadProfile::forKind(w), o, cpus));
         },
         [store_ptr](WorkloadKind w, const CoherenceOptions &o,
-                    const Trace &t) {
-            store_ptr->store(
-                TraceStore::keyFor(WorkloadProfile::forKind(w), o), t);
+                    unsigned cpus, const Trace &t) {
+            store_ptr->store(TraceStore::keyFor(
+                                 WorkloadProfile::forKind(w), o, cpus),
+                             t);
         });
     if (options.stream) {
         const std::size_t read_ahead = options.streamBufferRecords;
         setTraceSourceHook(
             [store_ptr, read_ahead](WorkloadKind w,
-                                    const CoherenceOptions &o)
+                                    const CoherenceOptions &o,
+                                    unsigned cpus)
                 -> std::unique_ptr<TraceSource> {
                 const WorkloadProfile profile = WorkloadProfile::forKind(w);
-                const std::string key = TraceStore::keyFor(profile, o);
+                const std::string key =
+                    TraceStore::keyFor(profile, o, cpus);
                 if (auto source = store_ptr->openSource(key, read_ahead))
                     return source;
-                store_ptr->storeStreaming(key, profile, o);
+                store_ptr->storeStreaming(key, profile, o, cpus);
                 return store_ptr->openSource(key, read_ahead);
             });
     }

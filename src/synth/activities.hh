@@ -62,7 +62,7 @@ namespace fsid
 enum : unsigned
 {
     freelistSize = 0,
-    cpievents0 = 1, ///< One slot per processor: 1..4.
+    cpievents0 = 1, ///< One slot per processor: 1..numCpus.
     runRegime = 5,  ///< Current machine regime flag.
     resourcePtr0 = 6,
 };

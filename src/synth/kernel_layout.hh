@@ -46,7 +46,14 @@ class KernelLayout
   public:
     /** @name Structure population constants @{ */
     static constexpr unsigned numCounters = 16;
-    static constexpr unsigned numFreqShared = 24;
+    /**
+     * Sized so the per-processor cross-interrupt slots
+     * (fsid::cpievents0 + cpu) stay in bounds up to the largest
+     * NUMA geometry (4x8 = 32 processors); the region still fits
+     * in one page either packed or relocated, so growing it moves
+     * no other base address.
+     */
+    static constexpr unsigned numFreqShared = 40;
     static constexpr unsigned numLocks = 24;
     static constexpr unsigned numUpdateLocks = 10; ///< Most active locks.
     static constexpr unsigned numBarriers = 3;

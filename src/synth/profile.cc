@@ -9,10 +9,14 @@ const char *
 toString(WorkloadKind kind)
 {
     switch (kind) {
-      case WorkloadKind::Trfd4:     return "TRFD_4";
-      case WorkloadKind::TrfdMake:  return "TRFD+Make";
-      case WorkloadKind::Arc2dFsck: return "ARC2D+Fsck";
-      case WorkloadKind::Shell:     return "Shell";
+      case WorkloadKind::Trfd4:          return "TRFD_4";
+      case WorkloadKind::TrfdMake:       return "TRFD+Make";
+      case WorkloadKind::Arc2dFsck:      return "ARC2D+Fsck";
+      case WorkloadKind::Shell:          return "Shell";
+      case WorkloadKind::SyscallStorm:   return "SyscallStorm";
+      case WorkloadKind::IntrFlood:      return "IntrFlood";
+      case WorkloadKind::PageCacheChurn: return "PageCacheChurn";
+      case WorkloadKind::ForkChurn:      return "ForkChurn";
     }
     panic("unknown WorkloadKind");
 }
@@ -147,6 +151,133 @@ WorkloadProfile::forKind(WorkloadKind kind)
         p.userSlices = 18;
         p.userInstrPerSlice = 2200;
         p.idleFraction = 0.33;
+        break;
+
+      case WorkloadKind::SyscallStorm:
+        // RPC-serving trap storm: a request is a trap, a copyin, a
+        // little compute, and a copyout, thousands of times per
+        // quantum machine-wide; almost no idle, little barrier
+        // synchronization, small transfer sizes.
+        p.seed = 0x5359'5343'4c31ULL;
+        p.numProcs = 64;
+        p.barrierEpisodes = 0.2;
+        p.pageFaults = 0.5;
+        p.forks = 0.1;
+        p.execs = 0.05;
+        p.syscalls = 28.0;
+        p.fileIos = 1.2;
+        p.cpis = 4.0;
+        p.networkOps = 6.0;
+        p.dirScans = 1.5;
+        p.pagerRuns = 0.4;
+        p.copyinChance = 0.6;
+        p.procStickiness = 0.35;
+        p.smallBlockFrac = 0.7;
+        p.mediumBlockFrac = 0.1;
+        p.readOnlySmallCopyFrac = 0.2;
+        p.pageTouchFrac = 0.5;
+        p.freshCopyFrac = 0.55;
+        p.pageReuseFrac = 0.3;
+        p.bufferFrames = 32;
+        p.userStyle = UserStyle::ShellMix;
+        p.userSlices = 10;
+        p.userInstrPerSlice = 900;
+        p.idleFraction = 0.05;
+        break;
+
+      case WorkloadKind::IntrFlood:
+        // Interrupt flood: device and cross-processor interrupts
+        // dominate, each touching scheduler and device-driver state;
+        // network buffers circulate through small copies.
+        p.seed = 0x494e'5452'464cULL;
+        p.numProcs = 32;
+        p.barrierEpisodes = 0.5;
+        p.pageFaults = 0.4;
+        p.forks = 0.04;
+        p.execs = 0.02;
+        p.syscalls = 8.0;
+        p.fileIos = 0.6;
+        p.cpis = 40.0;
+        p.networkOps = 12.0;
+        p.dirScans = 0.5;
+        p.pagerRuns = 0.3;
+        p.copyinChance = 0.4;
+        p.procStickiness = 0.5;
+        p.smallBlockFrac = 0.6;
+        p.mediumBlockFrac = 0.15;
+        p.readOnlySmallCopyFrac = 0.3;
+        p.pageTouchFrac = 0.5;
+        p.freshCopyFrac = 0.5;
+        p.pageReuseFrac = 0.3;
+        p.bufferFrames = 24;
+        p.userStyle = UserStyle::Compiler;
+        p.userSlices = 8;
+        p.userInstrPerSlice = 1200;
+        p.idleFraction = 0.1;
+        break;
+
+      case WorkloadKind::PageCacheChurn:
+        // Page-cache churn: file I/O far beyond the cache, constant
+        // pager activity, dirty buffer frames recycled LIFO — the
+        // block-copy-heaviest of the server mixes.
+        p.seed = 0x5047'4348'524eULL;
+        p.numProcs = 40;
+        p.barrierEpisodes = 1.0;
+        p.pageFaults = 1.8;
+        p.forks = 0.1;
+        p.execs = 0.06;
+        p.syscalls = 9.0;
+        p.fileIos = 4.0;
+        p.cpis = 6.0;
+        p.networkOps = 2.0;
+        p.dirScans = 6.0;
+        p.pagerRuns = 2.5;
+        p.copyinChance = 0.3;
+        p.procStickiness = 0.6;
+        p.smallBlockFrac = 0.35;
+        p.mediumBlockFrac = 0.3;
+        p.readOnlySmallCopyFrac = 0.3;
+        p.pageTouchFrac = 0.5;
+        p.freshCopyFrac = 0.5;
+        p.pageReuseFrac = 0.7;
+        p.bufferFrames = 64;
+        p.userStyle = UserStyle::Compiler;
+        p.userSlices = 10;
+        p.userInstrPerSlice = 1400;
+        p.idleFraction = 0.12;
+        break;
+
+      case WorkloadKind::ForkChurn:
+        // Many short-lived processes: fork/exec storms over fresh
+        // and COW pages, low processor affinity, moderate idle while
+        // parents wait on children.
+        p.seed = 0x464f'524b'4348ULL;
+        p.numProcs = 96;
+        p.barrierEpisodes = 0.3;
+        p.pageFaults = 2.0;
+        p.forks = 1.2;
+        p.execs = 1.0;
+        p.syscalls = 12.0;
+        p.fileIos = 0.8;
+        p.cpis = 5.0;
+        p.networkOps = 1.0;
+        p.dirScans = 4.0;
+        p.pagerRuns = 0.8;
+        p.copyinChance = 0.3;
+        p.cowChance = 0.9;
+        p.procStickiness = 0.2;
+        p.smallBlockFrac = 0.5;
+        p.mediumBlockFrac = 0.1;
+        p.readOnlySmallCopyFrac = 0.15;
+        p.pageTouchFrac = 0.45;
+        p.freshCopyFrac = 0.3;
+        p.pageReuseFrac = 0.35;
+        p.bufferFrames = 20;
+        p.doubleCounterBumps = false;
+        p.userStyle = UserStyle::ShellMix;
+        p.userSlices = 12;
+        p.userInstrPerSlice = 1000;
+        p.idleFraction = 0.15;
         break;
     }
     return p;

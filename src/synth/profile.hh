@@ -39,14 +39,35 @@ enum class WorkloadKind : std::uint8_t
     TrfdMake,
     Arc2dFsck,
     Shell,
+    /**
+     * @name Server-class mixes (beyond the paper)
+     * Heavily loaded network-server behaviour for the multi-socket
+     * geometries: they reuse the paper's activity vocabulary with
+     * modern rates, so every block-operation scheme and the whole
+     * verification net apply unchanged.
+     * @{
+     */
+    SyscallStorm,   ///< RPC-style trap storm, copyin/copyout heavy.
+    IntrFlood,      ///< Device + cross-processor interrupt flood.
+    PageCacheChurn, ///< File-cache thrash: I/O, pager, dirty reuse.
+    ForkChurn,      ///< Many short-lived processes (CGI/CI style).
+    /** @} */
 };
 
-/** All four workloads, in the paper's column order. */
+/** All four paper workloads, in the paper's column order. */
 inline constexpr WorkloadKind allWorkloads[] = {
     WorkloadKind::Trfd4,
     WorkloadKind::TrfdMake,
     WorkloadKind::Arc2dFsck,
     WorkloadKind::Shell,
+};
+
+/** The server-class mixes, in NUMA-suite column order. */
+inline constexpr WorkloadKind serverWorkloads[] = {
+    WorkloadKind::SyscallStorm,
+    WorkloadKind::IntrFlood,
+    WorkloadKind::PageCacheChurn,
+    WorkloadKind::ForkChurn,
 };
 
 /** Paper-style workload name. */

@@ -322,13 +322,21 @@ conformBlockScheme(ProtoScheme scheme)
 }
 
 ConformReport
-runConformance(ProtoScheme scheme, unsigned quanta)
+runConformance(ProtoScheme scheme, unsigned quanta, unsigned sockets)
 {
     const SchemeSpec &spec = schemeSpec(scheme);
     const CoherenceOptions options =
         scheme == ProtoScheme::MesiUpdate ? CoherenceOptions::relocUpdate()
                                           : CoherenceOptions::none();
-    const MachineConfig machine = conformMachine(scheme);
+    MachineConfig machine = conformMachine(scheme);
+    if (sockets > 1) {
+        // The two-level machine keeps its processor count; a small
+        // home granule interleaves home sockets across the workload
+        // footprint so both the filtered and the forwarded snoop
+        // paths feed the extractor.
+        machine.numSockets = sockets;
+        machine.homeGranule = 256;
+    }
     // Small-cache variant: conflict misses exercise the replacement
     // (Evict) edges that the paper-sized caches rarely take.
     MachineConfig small = machine;

@@ -148,9 +148,13 @@ BlockScheme conformBlockScheme(ProtoScheme scheme);
  * workloads, each replayed on the default machine and on a small-cache
  * variant (which exercises the replacement edges), accumulating one
  * report.  @p quanta overrides the workload length when nonzero
- * (smaller is faster; 0 uses each profile's default).
+ * (smaller is faster; 0 uses each profile's default).  @p sockets > 1
+ * replays on the two-level interconnect instead (must divide the
+ * conformance machine's processor count); the home-node filter is
+ * precise, so the same tables must hold edge for edge.
  */
-ConformReport runConformance(ProtoScheme scheme, unsigned quanta = 0);
+ConformReport runConformance(ProtoScheme scheme, unsigned quanta = 0,
+                             unsigned sockets = 1);
 
 } // namespace verif
 } // namespace oscache

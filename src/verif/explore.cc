@@ -91,10 +91,16 @@ decodeCpu(ModelState &st, unsigned cpu, std::uint64_t block)
 
 /**
  * Canonical encoding: the per-processor blocks sorted ascending.
- * The processors are fully interchangeable (identical caches and
- * buffers, and nothing else in the state names a processor), so any
- * permutation of the blocks denotes the same protocol situation; the
- * sorted order picks one representative per orbit.  When @p perm is
+ * On the flat bus the processors are fully interchangeable
+ * (identical caches and buffers, and nothing else in the state names
+ * a processor), so any permutation of the blocks denotes the same
+ * protocol situation; the sorted order picks one representative per
+ * orbit.  With sockets > 1 the automorphism group of the two-level
+ * machine is smaller — processors may swap within a socket, and
+ * whole sockets may swap with each other, but a cross-socket swap of
+ * two individual processors changes which bus their snoops ride — so
+ * the sort is constrained to within-socket order followed by a
+ * lexicographic sort of the whole socket blocks.  When @p perm is
  * non-null, perm[k] receives the raw processor index whose block
  * landed in canonical slot k.
  */
@@ -108,10 +114,37 @@ canonicalize(const ModelState &st, const ExploreConfig &cfg,
         blocks[c] = encodeCpu(st, c);
         order[c] = static_cast<std::uint8_t>(c);
     }
-    std::stable_sort(order.begin(), order.begin() + cfg.cpus,
-                     [&](std::uint8_t x, std::uint8_t y) {
-                         return blocks[x] < blocks[y];
-                     });
+    const auto byBlock = [&](std::uint8_t x, std::uint8_t y) {
+        return blocks[x] < blocks[y];
+    };
+    if (cfg.sockets > 1) {
+        const unsigned per = cfg.cpus / cfg.sockets;
+        for (unsigned s = 0; s < cfg.sockets; ++s)
+            std::stable_sort(order.begin() + s * per,
+                             order.begin() + (s + 1) * per, byBlock);
+        std::array<std::uint8_t, maxCpus> socketOrder{};
+        for (unsigned s = 0; s < cfg.sockets; ++s)
+            socketOrder[s] = static_cast<std::uint8_t>(s);
+        std::stable_sort(
+            socketOrder.begin(), socketOrder.begin() + cfg.sockets,
+            [&](std::uint8_t x, std::uint8_t y) {
+                for (unsigned k = 0; k < per; ++k) {
+                    const std::uint64_t bx = blocks[order[x * per + k]];
+                    const std::uint64_t by = blocks[order[y * per + k]];
+                    if (bx != by)
+                        return bx < by;
+                }
+                return false;
+            });
+        std::array<std::uint8_t, maxCpus> socketed{};
+        for (unsigned s = 0; s < cfg.sockets; ++s)
+            for (unsigned k = 0; k < per; ++k)
+                socketed[s * per + k] = order[socketOrder[s] * per + k];
+        order = socketed;
+    } else {
+        std::stable_sort(order.begin(), order.begin() + cfg.cpus,
+                         byBlock);
+    }
     Encoded enc = 0;
     for (unsigned k = 0; k < cfg.cpus; ++k)
         enc |= blocks[order[k]] << (k * cpuBits);
@@ -571,14 +604,22 @@ struct Model
     checkInvariants(const ModelState &st,
                     std::vector<CheckFinding> &findings) const
     {
+        const unsigned perSocket =
+            cfg.sockets > 1 ? cfg.cpus / cfg.sockets : cfg.cpus;
         for (unsigned a = 0; a < cfg.addrs; ++a) {
             unsigned valid = 0, owners = 0;
             bool anyM = false, anyE = false;
+            unsigned firstValid = cfg.cpus;
+            bool spansSockets = false;
             for (unsigned c = 0; c < cfg.cpus; ++c) {
                 const LineState s = st.copy[c][a].state;
                 if (s == LineState::Invalid)
                     continue;
                 ++valid;
+                if (firstValid == cfg.cpus)
+                    firstValid = c;
+                else if (c / perSocket != firstValid / perSocket)
+                    spansSockets = true;
                 if (s == LineState::Modified) {
                     anyM = true;
                     ++owners;
@@ -593,6 +634,10 @@ struct Model
                 f.addr = a;
                 f.message = "an owned (E/M) copy coexists with another "
                             "valid copy";
+                if (cfg.sockets > 1 && spansSockets)
+                    f.message += " on a different socket (the home-node"
+                                 " filter failed to forward an"
+                                 " invalidation across the link)";
                 findings.push_back(f);
             }
             if (anyE && spec.scheme == ProtoScheme::Msi) {
@@ -693,6 +738,10 @@ checkConfig(const ExploreConfig &cfg)
     if (cfg.wbDepth > maxWb)
         fatal("explore: wbDepth must be 0..", maxWb, " (got ",
               cfg.wbDepth, ")");
+    if (cfg.sockets < 1 || cfg.sockets > cfg.cpus ||
+        cfg.cpus % cfg.sockets != 0)
+        fatal("explore: sockets must divide cpus (got ", cfg.sockets,
+              " sockets for ", cfg.cpus, " cpus)");
 }
 
 } // namespace
@@ -803,6 +852,8 @@ realizeCounterexample(const SchemeSpec &spec, const ExploreConfig &cfg,
 
     Counterexample ce;
     ce.machine.numCpus = cfg.cpus;
+    if (cfg.sockets > 1)
+        ce.machine.numSockets = cfg.sockets;
     ce.machine.l1LineSize = 16;
     ce.machine.l2LineSize = 16;
     ce.machine.l1Size = 16 * cfg.sets;

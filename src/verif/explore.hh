@@ -68,6 +68,16 @@ struct ExploreConfig
     unsigned sets = 1;
     /** Modeled bypass write-buffer entries per processor (0..2). */
     unsigned wbDepth = 2;
+    /**
+     * Sockets of the two-level interconnect (must divide cpus; 1 =
+     * flat bus).  The home-node directory filter is precise, so the
+     * protocol tables are socket-blind and the reachable state space
+     * is the same; what changes is the symmetry group used for
+     * canonicalization (only within-socket and whole-socket-block
+     * permutations are automorphisms of the filtered machine) and the
+     * cross-socket annotation on SWMR findings.
+     */
+    unsigned sockets = 1;
 };
 
 /** One initiating step of the explored system. */

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Two-level NUMA interconnect tests (ctest label "Numa").
+ *
+ * The multi-socket machine splits the processors across per-socket
+ * snooping buses joined by a home-node-filtered inter-socket link.
+ * These tests pin the properties the topology must preserve:
+ *
+ *  - a cold read whose home granule lives on a remote socket pays
+ *    exactly remoteMemPenalty more than the same read served by the
+ *    local home, and the local case costs what the flat bus charges;
+ *  - the directory filter is precise: snoops stay socket-local
+ *    exactly when no remote socket holds the line, and a write still
+ *    invalidates every cross-socket copy (SWMR across sockets);
+ *  - the link counters the runner snapshots agree with the metrics
+ *    and occupancy series src/obs collects from the same run, and a
+ *    flat run exposes no link instrumentation at all.
+ *
+ * Batched-vs-stepped equivalence at a NUMA geometry lives with the
+ * other replay-equivalence tests in test_perf_equiv.cc (label Perf).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runner.hh"
+#include "core/system_config.hh"
+#include "mem/memsys.hh"
+#include "obs/metrics.hh"
+#include "synth/generator.hh"
+#include "synth/profile.hh"
+
+namespace oscache
+{
+namespace
+{
+
+// Two granule-aligned kernel addresses: with the default 4-KB home
+// granule, homeA sits on socket 0 and homeB on socket 1.
+constexpr Addr homeA = 0x100000;
+constexpr Addr homeB = 0x101000;
+
+// ---------------------------------------------------------------------
+// Geometry helpers
+// ---------------------------------------------------------------------
+
+TEST(NumaConfig, GeometryHelpers)
+{
+    const MachineConfig m = MachineConfig::numa(2, 4);
+    m.check();
+    EXPECT_EQ(m.numSockets, 2u);
+    EXPECT_EQ(m.numCpus, 8u);
+    EXPECT_TRUE(m.numaActive());
+    EXPECT_EQ(m.cpusPerSocket(), 4u);
+    EXPECT_EQ(m.socketOf(0), 0u);
+    EXPECT_EQ(m.socketOf(3), 0u);
+    EXPECT_EQ(m.socketOf(4), 1u);
+    EXPECT_EQ(m.socketOf(7), 1u);
+    EXPECT_EQ(m.homeSocketOf(homeA), 0u);
+    EXPECT_EQ(m.homeSocketOf(homeB), 1u);
+    EXPECT_FALSE(MachineConfig::base().numaActive());
+}
+
+// ---------------------------------------------------------------------
+// Remote-vs-local latency accounting
+// ---------------------------------------------------------------------
+
+TEST(NumaLatency, RemoteHomePaysExactlyThePenalty)
+{
+    const MachineConfig cfg = MachineConfig::numa(2, 2);
+    MemorySystem mem(cfg);
+    AccessContext ctx;
+
+    // Two cold misses from cpu0 on quiet buses, identical except for
+    // the home socket of the referenced granule.
+    const Cycles localLat = mem.read(0, homeA, 0, ctx).completeAt - 0;
+    const Cycles t1 = 100000;
+    const Cycles remoteLat =
+        mem.read(0, homeB, t1, ctx).completeAt - t1;
+    EXPECT_EQ(remoteLat - localLat, cfg.remoteMemPenalty);
+
+    // The local-home, snoop-filtered case costs exactly what the
+    // paper's flat bus charges for the same cold miss.
+    MemorySystem flat(MachineConfig::base());
+    const Cycles flatLat = flat.read(0, homeA, 0, ctx).completeAt - 0;
+    EXPECT_EQ(localLat, flatLat);
+}
+
+// ---------------------------------------------------------------------
+// Directory-filter correctness
+// ---------------------------------------------------------------------
+
+TEST(NumaDirectory, FilterIsPreciseAndSnoopsCrossWhenTheyMust)
+{
+    const MachineConfig cfg = MachineConfig::numa(2, 2);
+    MemorySystem mem(cfg);
+    AccessContext ctx;
+    Cycles t = 0;
+
+    // Cold read, local home, no remote holders: filtered.
+    t = mem.read(0, homeA, t, ctx).completeAt;
+    auto c = mem.numaCounters();
+    EXPECT_EQ(c.localHomeReads, 1u);
+    EXPECT_EQ(c.remoteHomeReads, 0u);
+    EXPECT_EQ(c.snoopsFiltered, 1u);
+    EXPECT_EQ(c.snoopsForwarded, 0u);
+    EXPECT_EQ(mem.linkBus().totalTransactions(), 0u);
+
+    // cpu2 (socket 1) reads the same line: socket 0 holds a copy and
+    // is the home, so the request must cross the link.
+    t = mem.read(2, homeA, t, ctx).completeAt;
+    c = mem.numaCounters();
+    EXPECT_EQ(c.remoteHomeReads, 1u);
+    EXPECT_EQ(c.snoopsForwarded, 1u);
+    EXPECT_GT(mem.linkBus().totalTransactions(), 0u);
+    EXPECT_EQ(mem.l2State(0, homeA), LineState::Shared);
+    EXPECT_EQ(mem.l2State(2, homeA), LineState::Shared);
+
+    // cpu1 (socket 0) reads it too: the home is local but cpu2's
+    // copy on socket 1 forces the snoop across.
+    t = mem.read(1, homeA, t, ctx).completeAt;
+    c = mem.numaCounters();
+    EXPECT_EQ(c.localHomeReads, 2u);
+    EXPECT_EQ(c.snoopsForwarded, 2u);
+
+    // A write from socket 1 must kill every copy, including the two
+    // on the other socket's bus: SWMR holds across sockets.
+    mem.write(3, homeA, t, ctx);
+    EXPECT_EQ(mem.l2State(0, homeA), LineState::Invalid);
+    EXPECT_EQ(mem.l2State(1, homeA), LineState::Invalid);
+    EXPECT_EQ(mem.l2State(2, homeA), LineState::Invalid);
+    EXPECT_EQ(mem.l2State(3, homeA), LineState::Modified);
+
+    // An address only ever touched inside socket 1 with a socket-1
+    // home never crosses: filtered, local, link traffic unchanged.
+    const auto linkBefore = mem.linkBus().totalTransactions();
+    const auto filteredBefore = mem.numaCounters().snoopsFiltered;
+    mem.read(2, homeB + 0x40, 1000000, ctx);
+    c = mem.numaCounters();
+    EXPECT_EQ(c.snoopsFiltered, filteredBefore + 1);
+    EXPECT_EQ(c.localHomeReads, 3u);
+    EXPECT_EQ(mem.linkBus().totalTransactions(), linkBefore);
+}
+
+// ---------------------------------------------------------------------
+// Link-occupancy consistency with src/obs
+// ---------------------------------------------------------------------
+
+const CounterSnapshot *
+findCounter(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const CounterSnapshot &counter : snap.counters)
+        if (counter.name == name)
+            return &counter;
+    return nullptr;
+}
+
+RunResult
+observedRun(const MachineConfig &machine)
+{
+    WorkloadProfile profile =
+        WorkloadProfile::forKind(WorkloadKind::SyscallStorm);
+    profile.quanta = 2;
+    const Trace trace = generateTrace(profile, CoherenceOptions::none(),
+                                      machine.numCpus);
+    SimOptions options;
+    options.obs.metrics = true;
+    options.obs.busWindows = true;
+    return runOnTrace(trace, machine, options,
+                      SystemSetup::forKind(SystemKind::Base));
+}
+
+TEST(NumaObs, LinkMetricsMatchTheEngineCounters)
+{
+    const RunResult r = observedRun(MachineConfig::numa(2, 2));
+    EXPECT_EQ(r.bus.numSockets, 2u);
+    EXPECT_GT(r.bus.linkTransactions, 0u);
+
+    ASSERT_NE(r.obs, nullptr);
+    const CounterSnapshot *txns =
+        findCounter(r.obs->metrics, "link.txns");
+    const CounterSnapshot *bytes =
+        findCounter(r.obs->metrics, "link.bytes");
+    const CounterSnapshot *busy =
+        findCounter(r.obs->metrics, "link.busy_cycles");
+    ASSERT_NE(txns, nullptr);
+    ASSERT_NE(bytes, nullptr);
+    ASSERT_NE(busy, nullptr);
+    EXPECT_EQ(txns->value, r.bus.linkTransactions);
+    EXPECT_EQ(bytes->value, r.bus.linkBytes);
+    EXPECT_EQ(busy->value, r.bus.linkBusyCycles);
+
+    // The windowed occupancy series integrates to the same busy time
+    // the link bus accumulated.
+    std::uint64_t windowed = 0;
+    for (const auto &w : r.obs->linkOccupancy)
+        windowed += w.sum;
+    EXPECT_EQ(windowed, r.bus.linkBusyCycles);
+}
+
+TEST(NumaObs, FlatRunExposesNoLinkInstrumentation)
+{
+    const RunResult r = observedRun(MachineConfig::base());
+    EXPECT_EQ(r.bus.numSockets, 0u);
+    EXPECT_EQ(r.bus.linkTransactions, 0u);
+    ASSERT_NE(r.obs, nullptr);
+    EXPECT_EQ(findCounter(r.obs->metrics, "link.txns"), nullptr);
+    EXPECT_EQ(findCounter(r.obs->metrics, "link.bytes"), nullptr);
+    EXPECT_EQ(findCounter(r.obs->metrics, "link.busy_cycles"), nullptr);
+    std::uint64_t windowed = 0;
+    for (const auto &w : r.obs->linkOccupancy)
+        windowed += w.sum;
+    EXPECT_EQ(windowed, 0u);
+}
+
+} // namespace
+} // namespace oscache

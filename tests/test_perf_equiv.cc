@@ -117,14 +117,15 @@ struct ReplayResult
  * so the observer-notification schedule is exercised too.
  */
 ReplayResult
-replay(const Trace &trace, BlockScheme scheme, bool checked, bool stepped)
+replay(const Trace &trace, BlockScheme scheme, bool checked, bool stepped,
+       const MachineConfig &machine = MachineConfig::base())
 {
     ReplayResult out;
     SimOptions opts;
-    MemorySystem mem(MachineConfig::base());
+    MemorySystem mem(machine);
     std::unique_ptr<CoherenceChecker> checker;
     if (checked) {
-        checker = std::make_unique<CoherenceChecker>(MachineConfig::base());
+        checker = std::make_unique<CoherenceChecker>(machine);
         mem.setObserver(checker.get());
     }
     std::unique_ptr<BlockOpExecutor> exec =
@@ -193,6 +194,20 @@ TEST(BatchedEquivalence, AllSchemesWithObserver)
         SCOPED_TRACE(toString(scheme));
         expectEquivalent(replay(trace, scheme, true, false),
                          replay(trace, scheme, true, true));
+    }
+}
+
+TEST(BatchedEquivalence, AllSchemesOnTheNumaGeometry)
+{
+    // The two-level interconnect threads different timing through the
+    // replay; the batched fast path must stay record-for-record
+    // equivalent there too, with the coherence checker attached.
+    const Trace &trace = shortTrace(CoherenceOptions::none());
+    const MachineConfig machine = MachineConfig::numa(2, 2);
+    for (const BlockScheme scheme : allSchemes) {
+        SCOPED_TRACE(toString(scheme));
+        expectEquivalent(replay(trace, scheme, true, false, machine),
+                         replay(trace, scheme, true, true, machine));
     }
 }
 

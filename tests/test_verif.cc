@@ -172,6 +172,51 @@ TEST(VerifExploreTest, AllSchemesSafeThreeCpusWithConflicts)
     }
 }
 
+TEST(VerifExploreTest, TwoSocketGeometrySafe)
+{
+    // The 2x2 two-level machine: the home-node filter is precise, so
+    // the tables must hold unchanged — SWMR across sockets included.
+    ExploreConfig cfg;
+    cfg.cpus = 4;
+    cfg.sockets = 2;
+    for (ProtoScheme scheme : {ProtoScheme::Mesi, ProtoScheme::Msi}) {
+        const ExploreResult r = explore(schemeSpec(scheme), cfg);
+        EXPECT_TRUE(r.ok())
+            << toString(scheme) << ": "
+            << (r.findings.empty() ? "" : format(r.findings[0]));
+        EXPECT_GT(r.states, 4u) << toString(scheme);
+    }
+}
+
+TEST(VerifExploreTest, SocketCanonicalizationBoundsTheFlatSpace)
+{
+    // The socketed symmetry group is a subgroup of the full one, so
+    // constrained canonicalization can only split orbits: at least as
+    // many canonical states as the flat exploration of the same
+    // processor count, and with one processor per socket (the
+    // socket-block sort degenerates to the full sort) exactly as many.
+    ExploreConfig flat;
+    flat.cpus = 3;
+    ExploreConfig socketed = flat;
+    socketed.sockets = 3;
+    const auto flatStates =
+        explore(schemeSpec(ProtoScheme::Mesi), flat).states;
+    const auto perCpuSockets =
+        explore(schemeSpec(ProtoScheme::Mesi), socketed).states;
+    EXPECT_EQ(perCpuSockets, flatStates);
+
+    ExploreConfig paired;
+    paired.cpus = 4;
+    paired.sockets = 2;
+    ExploreConfig flat4;
+    flat4.cpus = 4;
+    const auto pairedStates =
+        explore(schemeSpec(ProtoScheme::Mesi), paired).states;
+    const auto flat4States =
+        explore(schemeSpec(ProtoScheme::Mesi), flat4).states;
+    EXPECT_GE(pairedStates, flat4States);
+}
+
 TEST(VerifExploreTest, Deterministic)
 {
     const ExploreResult a =
@@ -278,6 +323,20 @@ TEST(VerifConformTest, EngineConformsToEverySchemeTable)
         const auto scheme = static_cast<ProtoScheme>(i);
         SCOPED_TRACE(std::string(toString(scheme)));
         const ConformReport rep = runConformance(scheme, 2);
+        EXPECT_EQ(rep.forbidden, 0u)
+            << (rep.findings.empty() ? "" : format(rep.findings[0]));
+        EXPECT_GT(rep.observed, 1000u);
+        EXPECT_GT(rep.coverage(), 0.5);
+    }
+}
+
+TEST(VerifConformTest, EngineConformsAtTwoSocketGeometry)
+{
+    // Same extraction on the 2x2 two-level machine: the directory
+    // filter must not change a single observable transition.
+    for (ProtoScheme scheme : {ProtoScheme::Mesi, ProtoScheme::Msi}) {
+        SCOPED_TRACE(std::string(toString(scheme)));
+        const ConformReport rep = runConformance(scheme, 2, 2);
         EXPECT_EQ(rep.forbidden, 0u)
             << (rep.findings.empty() ? "" : format(rep.findings[0]));
         EXPECT_GT(rep.observed, 1000u);

@@ -45,7 +45,8 @@ usage()
         "\n"
         "Experiments are registry names (figure1..figure7, "
         "table1..table5,\n"
-        "ablation_*) or the groups: figures, tables, ablations, all.\n"
+        "ablation_*, numa_server) or the groups: figures, tables,\n"
+        "ablations, numa, all.\n"
         "\n"
         "options:\n"
         "  --jobs N        worker threads (default 1)\n"

@@ -55,6 +55,9 @@ usage()
         "common options:\n"
         "  --scheme S     mesi | msi | mesi-update | mesi-bypass |\n"
         "                 mesi-dma | all (default all)\n"
+        "  --sockets N    two-level interconnect sockets (must divide\n"
+        "                 the processor count, default 1 = flat bus);\n"
+        "                 applies to explore and conform\n"
         "\n"
         "explore options:\n"
         "  --cpus N           processors (2..4, default 2)\n"
@@ -136,11 +139,11 @@ runExplore(const std::vector<ProtoScheme> &schemes,
 
 int
 runConform(const std::vector<ProtoScheme> &schemes, unsigned quanta,
-           double min_coverage)
+           double min_coverage, unsigned sockets)
 {
     int rc = 0;
     for (ProtoScheme scheme : schemes) {
-        const ConformReport rep = runConformance(scheme, quanta);
+        const ConformReport rep = runConformance(scheme, quanta, sockets);
         const double pct = rep.coverage() * 100.0;
         const bool ok = rep.forbidden == 0 && pct >= min_coverage;
         std::printf("conform %-12s %s: %llu transitions observed, "
@@ -205,6 +208,9 @@ main(int argc, char **argv)
         } else if (arg == "--wb") {
             cfg.wbDepth =
                 unsigned(std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--sockets") {
+            cfg.sockets =
+                unsigned(std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--counterexample") {
             cex_path = value();
         } else if (arg == "--quanta") {
@@ -220,7 +226,8 @@ main(int argc, char **argv)
     if (command == "explore")
         return runExplore(schemesFor(scheme), cfg, cex_path);
     if (command == "conform")
-        return runConform(schemesFor(scheme), quanta, min_coverage);
+        return runConform(schemesFor(scheme), quanta, min_coverage,
+                          cfg.sockets);
     if (command == "dot") {
         for (ProtoScheme s : schemesFor(scheme))
             std::printf("%s", specDot(schemeSpec(s)).c_str());

@@ -137,10 +137,11 @@ done
 
 # Differential-testing stage: the engine must agree with the
 # independent oracle on every full workload, on a fixed 2000-trace
-# fuzz corpus (reproducible: seeds 0..1999), and on a short
-# fresh-seed run whose base seed is printed so any divergence can be
-# replayed with `oscache-dft fuzz --seed-base N --count 1`.  The 18
-# golden experiment cells must match the blessed snapshot
+# fuzz corpus (reproducible: seeds 0..1999; ~40% of the cases draw a
+# multi-socket NUMA geometry), and on a short fresh-seed run whose
+# base seed is printed so any divergence can be replayed with
+# `oscache-dft fuzz --seed-base N --count 1`.  The 19 golden
+# experiment cells must match the blessed snapshot
 # (tests/golden/cells.jsonl; re-bless with `oscache-dft golden
 # --bless` after an intentional behaviour change).
 echo "== dft: oracle vs engine (full workloads) =="
@@ -171,6 +172,30 @@ echo "== verify: exhaustive exploration (all schemes) =="
 
 echo "== verify: implementation conformance (4 workloads) =="
 "$build/tools/oscache-verify" conform --scheme all --min-coverage 90
+
+echo "== verify: two-level 2x2 geometry (MESI, MSI) =="
+"$build/tools/oscache-verify" explore --scheme mesi --cpus 4 \
+    --addrs 2 --sockets 2
+"$build/tools/oscache-verify" explore --scheme msi --cpus 4 \
+    --addrs 2 --sockets 2
+"$build/tools/oscache-verify" conform --scheme mesi --sockets 2 \
+    --min-coverage 100
+"$build/tools/oscache-verify" conform --scheme msi --sockets 2 \
+    --min-coverage 100
+
+
+# NUMA stage: the two-level interconnect's latency accounting,
+# directory-filter precision, and link observability (`ctest -L Numa`
+# — the ASan ctest above already ran it; this names the gate), plus
+# one end-to-end server-class cell on the 2x4 machine through the
+# bench scheduler.
+echo "== numa: tier tests (label Numa) =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L Numa
+
+echo "== numa: server-mix smoke cell (2x4 machine) =="
+"$build/tools/oscache-bench" --smoke --jobs 2 --quiet \
+    --cache-dir "$tracedir/numa_smoke_cache" \
+    --results "$tracedir/numa_smoke_results" numa
 
 
 # Sampling stage: the sampled estimator must cover the full-run total
@@ -207,7 +232,9 @@ echo "== serve: fleet smoke (4 workers, 8 clients, kill -9) =="
 # Performance stage: an optimized build must (a) still pass the
 # batched-replay/MarkTable safety net (`ctest -L Perf` — the ASan
 # ctest above already ran it unoptimized) and (b) hold the replay
-# throughput recorded in BENCH_perf.json.  Throughput is measured as
+# throughput recorded in BENCH_perf.json.  The replay benchmarks run
+# flat-bus machines, so this doubles as the guard that the NUMA
+# branches stayed off the single-socket fast path.  Throughput is measured as
 # the perf_simulator replay section (min-of-2 per workload) on a
 # Release+LTO tree; any workload more than 5% below the latest
 # BENCH_perf.json entry fails the sweep.  After an intentional
